@@ -1,0 +1,91 @@
+// Ablation — the two implementation moves that make VLCSA's detection as
+// fast as its speculation (Ch. 5.1's core claim):
+//   1. the DeMorgan-paired (NAND/NOR) OR tree vs a plain OR2 tree;
+//   2. tapping the lightly-loaded duplicate of each window's group-generate
+//      vs sharing the mux-select net (which sits behind a fanout buffer
+//      chain).
+// Both are measured by rebuilding ERR0 in the degraded style next to the
+// production netlist.
+
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "harness/synthesis.hpp"
+#include "netlist/timing.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/scsa_netlist.hpp"
+
+using namespace vlcsa;
+using netlist::Netlist;
+using netlist::Signal;
+
+namespace {
+
+/// Rebuilds the VLCSA 1 netlist, then appends a degraded ERR0 computed from
+/// the loaded group-G nets with a plain OR2 tree, as extra outputs.
+double degraded_detect_delay(int n, int k) {
+  // Reconstruct group signals from a fresh SCSA build by name: the spec
+  // netlist does not export per-window groups, so rebuild from scratch via
+  // the public pieces.
+  Netlist nl("degraded");
+  std::vector<Signal> a, b;
+  for (int i = 0; i < n; ++i) a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+  for (int i = 0; i < n; ++i) b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+  const spec::WindowLayout layout(n, k);
+  std::vector<adders::ConditionalSums> windows;
+  for (int i = 0; i < layout.count(); ++i) {
+    const auto [pos, size] = layout.window(i);
+    const std::span<const Signal> aw{a.data() + pos, static_cast<std::size_t>(size)};
+    const std::span<const Signal> bw{b.data() + pos, static_cast<std::size_t>(size)};
+    windows.push_back(
+        adders::conditional_window_sums(nl, aw, bw, adders::PrefixTopology::kKoggeStone));
+  }
+  // Production-style spec outputs (so the group-G nets carry their real
+  // mux-select load).
+  for (int i = 0; i < layout.count(); ++i) {
+    const auto [pos, size] = layout.window(i);
+    Signal sel = i == 0 ? Signal{} : windows[static_cast<std::size_t>(i - 1)].cout0;
+    for (int j = 0; j < size; ++j) {
+      const auto& w = windows[static_cast<std::size_t>(i)];
+      const Signal bit = i == 0 ? w.sum0[static_cast<std::size_t>(j)]
+                                : nl.mux(sel, w.sum0[static_cast<std::size_t>(j)],
+                                         w.sum1[static_cast<std::size_t>(j)]);
+      nl.add_output("sum[" + std::to_string(pos + j) + "]", bit, "spec");
+    }
+  }
+  // Degraded ERR0: loaded group_g + plain OR2 tree.
+  std::vector<Signal> terms;
+  for (std::size_t i = 0; i + 1 < windows.size(); ++i) {
+    terms.push_back(nl.and_(windows[i + 1].group_p, windows[i].group_g));
+  }
+  nl.add_output("err0", nl.or_reduce(terms), "detect");
+  return harness::synthesize(nl).delay_of("detect");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)harness::BenchArgs::parse(argc, argv, 0);
+  harness::print_banner(std::cout, "Ablation: detection implementation",
+                        "ERR0 critical path with vs without the fast-tree and\n"
+                        "load-splitting moves (VLCSA 1, 0.01% design points).");
+
+  harness::Table table({"n", "k", "spec delay", "detect (production)",
+                        "detect (plain OR tree, shared nets)", "penalty"});
+  for (const int n : {64, 128, 256, 512}) {
+    const int k = spec::min_window_for_error_rate(n, 1e-4);
+    const auto production = harness::synthesize(
+        spec::build_vlcsa_netlist(spec::ScsaConfig{n, k}, spec::ScsaVariant::kScsa1));
+    const double degraded = degraded_detect_delay(n, k);
+    table.add_row({std::to_string(n), std::to_string(k),
+                   harness::fmt_fixed(production.delay_of("spec"), 1),
+                   harness::fmt_fixed(production.delay_of("detect"), 1),
+                   harness::fmt_fixed(degraded, 1),
+                   harness::fmt_delta_pct(degraded, production.delay_of("detect"))});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the naive detector lands up to ~15% above the production\n"
+               "one at the mid widths, eroding the detection <= speculation property\n"
+               "the variable-latency clock period depends on (Ch. 5.1).\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation — prefix topology inside the SCSA window adders.  Ch. 4.1 says
+// "two small adders can be implemented using any traditional adder" and
+// picks Kogge-Stone for speed; this sweep quantifies the choice (and the
+// recovery prefix topology) across the four families at the 0.01% design
+// points.
+
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "harness/synthesis.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/scsa_netlist.hpp"
+
+using namespace vlcsa;
+
+int main(int argc, char** argv) {
+  (void)harness::BenchArgs::parse(argc, argv, 0);
+  harness::print_banner(std::cout, "Ablation: window-adder topology",
+                        "VLCSA 1 delay/area for each prefix topology inside the window "
+                        "adders (recovery fixed to Kogge-Stone), 0.01% design points.");
+
+  harness::Table table({"n", "topology", "spec delay", "detect delay", "recovery delay",
+                        "area"});
+  for (const int n : {64, 256}) {
+    const int k = spec::min_window_for_error_rate(n, 1e-4);
+    for (const auto topology : adders::all_prefix_topologies()) {
+      spec::ScsaNetlistOptions opts;
+      opts.window_topology = topology;
+      const auto result = harness::synthesize(
+          spec::build_vlcsa_netlist(spec::ScsaConfig{n, k}, spec::ScsaVariant::kScsa1, opts));
+      table.add_row({std::to_string(n), to_string(topology),
+                     harness::fmt_fixed(result.delay_of("spec"), 1),
+                     harness::fmt_fixed(result.delay_of("detect"), 1),
+                     harness::fmt_fixed(result.delay_of("recovery"), 1),
+                     harness::fmt_fixed(result.area, 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: Kogge-Stone/Sklansky windows are fastest; Brent-Kung trades\n"
+               "~10% delay for the smallest area — the window is small enough (k <= 17)\n"
+               "that the differences stay modest, supporting the paper's 'any\n"
+               "traditional adder' remark.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+#pragma once
+// Shared helpers for the per-artifact bench binaries.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "arith/carry_chain.hpp"
+#include "harness/report.hpp"
+
+namespace vlcsa::bench {
+
+/// Prints a carry-chain length histogram as rows of "length | % | bar",
+/// the textual rendering of the Figs 6.1–6.5 bar charts.
+inline void print_chain_histogram(const arith::CarryChainProfiler& profiler,
+                                  std::ostream& os = std::cout) {
+  double peak = 0.0;
+  for (int len = 1; len <= profiler.width(); ++len) {
+    peak = std::max(peak, profiler.fraction(len));
+  }
+  harness::Table table({"chain length", "fraction", "histogram"});
+  for (int len = 1; len <= profiler.width(); ++len) {
+    const double f = profiler.fraction(len);
+    const int bar = peak > 0.0 ? static_cast<int>(f / peak * 40.0 + 0.5) : 0;
+    table.add_row({std::to_string(len), harness::fmt_pct(f, 3), std::string(bar, '#')});
+  }
+  table.print(os);
+  os << "chains recorded: " << profiler.total() << " over " << profiler.additions()
+     << " additions; mean length " << harness::fmt_fixed(profiler.mean_length(), 2) << "\n";
+}
+
+}  // namespace vlcsa::bench

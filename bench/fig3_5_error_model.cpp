@@ -1,0 +1,31 @@
+// Fig 3.5 — predicted SCSA error rates from the analytical model (eq. 3.13)
+// for adder widths 64..512 and window sizes 4..18.  Pure model evaluation;
+// no sampling.
+
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "speculative/error_model.hpp"
+
+using namespace vlcsa;
+
+int main(int argc, char** argv) {
+  (void)harness::BenchArgs::parse(argc, argv, 0);
+  harness::print_banner(std::cout, "Figure 3.5",
+                        "Predicted SCSA error rates (eq. 3.13) vs window size for "
+                        "n = 64/128/256/512, unsigned uniform inputs.");
+
+  harness::Table table({"window size k", "n=64", "n=128", "n=256", "n=512"});
+  for (int k = 4; k <= 18; ++k) {
+    table.add_row({std::to_string(k),
+                   harness::fmt_sci(spec::scsa_error_rate(64, k)),
+                   harness::fmt_sci(spec::scsa_error_rate(128, k)),
+                   harness::fmt_sci(spec::scsa_error_rate(256, k)),
+                   harness::fmt_sci(spec::scsa_error_rate(512, k))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper's worked example: n = 256, k = 16 -> P_err ~ "
+            << harness::fmt_pct(spec::scsa_error_rate(256, 16)) << " (paper: ~0.01%)\n";
+  return 0;
+}

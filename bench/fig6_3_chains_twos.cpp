@@ -1,0 +1,29 @@
+// Fig 6.3 — carry-chain length statistics for 2's-complement uniform inputs
+// (random sign x uniform magnitude) on a 32-bit adder.
+
+#include <iostream>
+
+#include "arith/distributions.hpp"
+#include "bench_util.hpp"
+
+using namespace vlcsa;
+
+int main(int argc, char** argv) {
+  const auto args = harness::BenchArgs::parse(argc, argv, 1000000);
+  harness::print_banner(std::cout, "Figure 6.3",
+                        "Carry-chain length statistics, 2's-complement uniform inputs, "
+                        "32-bit adder, " + std::to_string(args.samples) + " additions.");
+
+  arith::CarryChainProfiler profiler(32, arith::ChainMetric::kAllChains);
+  arith::UniformTwosSource source(32);
+  std::mt19937_64 rng(args.seed);
+  for (std::uint64_t i = 0; i < args.samples; ++i) {
+    const auto [a, b] = source.next(rng);
+    profiler.record(a, b);
+  }
+  bench::print_chain_histogram(profiler);
+  std::cout << "\nExpected shape: still short-chain dominated, similar to unsigned\n"
+               "uniform (Ch. 6.3's first observation): uniform magnitudes rarely\n"
+               "create the small-negative-plus-small-positive pattern.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Google-benchmark microbenches for the library's hot paths: big-integer
+// addition, behavioral SCSA/VLSA evaluation, bit-sliced netlist simulation,
+// the optimizer, and static timing — the costs that bound every Monte Carlo
+// and synthesis experiment above.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "adders/adders.hpp"
+#include "arith/apint.hpp"
+#include "arith/distributions.hpp"
+#include "harness/montecarlo.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/timing.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/scsa.hpp"
+#include "speculative/vlsa.hpp"
+
+namespace {
+
+using namespace vlcsa;
+using arith::ApInt;
+
+void BM_ApIntAdd(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  std::mt19937_64 rng(1);
+  const ApInt a = ApInt::random(width, rng);
+  const ApInt b = ApInt::random(width, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApInt::add(a, b));
+  }
+}
+BENCHMARK(BM_ApIntAdd)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_ScsaEvaluate(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const spec::ScsaModel model(
+      spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
+  std::mt19937_64 rng(2);
+  const ApInt a = ApInt::random(width, rng);
+  const ApInt b = ApInt::random(width, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(a, b));
+  }
+}
+BENCHMARK(BM_ScsaEvaluate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_VlsaEvaluate(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const spec::VlsaModel model(
+      spec::VlsaConfig{width, spec::vlsa_published_chain_length(width)});
+  std::mt19937_64 rng(3);
+  const ApInt a = ApInt::random(width, rng);
+  const ApInt b = ApInt::random(width, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.evaluate(a, b));
+  }
+}
+BENCHMARK(BM_VlsaEvaluate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_NetlistSimulate64Vectors(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const auto nl =
+      netlist::optimize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, width));
+  netlist::Simulator sim(nl);
+  std::mt19937_64 rng(4);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) sim.set_input(i, rng());
+  for (auto _ : state) {
+    sim.run();
+    benchmark::DoNotOptimize(sim.value(nl.outputs().back().signal));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);  // vectors per pass
+}
+BENCHMARK(BM_NetlistSimulate64Vectors)->Arg(64)->Arg(256);
+
+void BM_OptimizeKoggeStone(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const auto nl = adders::build_adder_netlist(adders::AdderKind::kKoggeStone, width);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::optimize(nl));
+  }
+}
+BENCHMARK(BM_OptimizeKoggeStone)->Arg(64)->Arg(256);
+
+void BM_StaticTiming(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const auto nl =
+      netlist::optimize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, width));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist::analyze_timing(nl));
+  }
+}
+BENCHMARK(BM_StaticTiming)->Arg(64)->Arg(256);
+
+void BM_MonteCarloVlcsa(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
+  const spec::VlcsaConfig config{width, spec::min_window_for_error_rate(width, 1e-4),
+                                 spec::ScsaVariant::kScsa2};
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, 1000, seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MonteCarloVlcsa)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table 7.3 — design parameters for a 0.01% error rate: SCSA window size k
+// (from the analytical model, sizing rule in DESIGN.md) vs the speculative
+// carry chain length l of VLSA [17] (published design points, with our exact
+// DP model's rate at those points for reference).
+
+#include <iostream>
+
+#include "harness/report.hpp"
+#include "speculative/error_model.hpp"
+
+using namespace vlcsa;
+
+int main(int argc, char** argv) {
+  (void)harness::BenchArgs::parse(argc, argv, 0);
+  harness::print_banner(std::cout, "Table 7.3",
+                        "SCSA window size vs VLSA chain length for a 0.01% error rate.");
+
+  harness::Table table({"adder width", "window size (SCSA)", "P_err @ k",
+                        "chain length (VLSA [17])", "P_err @ l (exact DP)"});
+  for (const int n : {64, 128, 256, 512}) {
+    const int k = spec::min_window_for_error_rate(n, 1e-4);
+    const int l = spec::vlsa_published_chain_length(n);
+    table.add_row({std::to_string(n), std::to_string(k),
+                   harness::fmt_pct(spec::scsa_error_rate(n, k)), std::to_string(l),
+                   harness::fmt_pct(spec::vlsa_exact_error_rate(n, l))});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper values: k = 14/15/16/17, l = 17/18/20/21.  SCSA speculates on\n"
+               "windows rather than per-bit, so it needs a shorter lookahead for the\n"
+               "same error rate (Ch. 3/4.3).\n";
+  return 0;
+}

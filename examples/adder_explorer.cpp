@@ -1,0 +1,133 @@
+// Adder explorer — the "C++ programs which ... generate Verilog files" flow
+// of Ch. 7.1 as a command-line tool.  Builds any generator in the library,
+// prints synthesis metrics, and optionally writes the structural Verilog.
+//
+//   $ ./build/examples/adder_explorer --design=vlcsa2 --width=64 --window=13
+//   $ ./build/examples/adder_explorer --design=kogge-stone --width=128 \
+//         --verilog=ks128.v
+//   $ ./build/examples/adder_explorer --list
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "adders/adders.hpp"
+#include "harness/report.hpp"
+#include "harness/synthesis.hpp"
+#include "netlist/verilog.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/scsa_netlist.hpp"
+#include "speculative/vlsa.hpp"
+
+using namespace vlcsa;
+
+namespace {
+
+const char* kDesigns[] = {"ripple",      "carry-select", "carry-skip",  "kogge-stone",
+                          "brent-kung",  "sklansky",     "han-carlson", "hybrid-ks-carry-select",
+                          "designware",  "scsa1",        "scsa2",       "vlcsa1",
+                          "vlcsa2",      "vlsa"};
+
+void print_usage() {
+  std::cout << "usage: adder_explorer [--design=NAME] [--width=N] [--window=K]\n"
+               "                      [--chain=L] [--verilog=FILE] [--list]\n"
+               "  --design   one of the generators (default kogge-stone)\n"
+               "  --width    adder width in bits (default 64)\n"
+               "  --window   SCSA/VLCSA window size (default: sized for 0.01%)\n"
+               "  --chain    VLSA speculative chain length (default: published)\n"
+               "  --verilog  write structural Verilog to FILE\n"
+               "  --list     list available designs\n";
+}
+
+netlist::Netlist build(const std::string& design, int width, int window, int chain) {
+  using adders::AdderKind;
+  if (design == "scsa1" || design == "scsa2") {
+    const auto variant = design == "scsa1" ? spec::ScsaVariant::kScsa1 : spec::ScsaVariant::kScsa2;
+    return spec::build_scsa_netlist({width, window}, variant);
+  }
+  if (design == "vlcsa1" || design == "vlcsa2") {
+    const auto variant = design == "vlcsa1" ? spec::ScsaVariant::kScsa1 : spec::ScsaVariant::kScsa2;
+    return spec::build_vlcsa_netlist({width, window}, variant);
+  }
+  if (design == "vlsa") return spec::build_vlsa_netlist({width, chain});
+  for (const auto kind :
+       {AdderKind::kRipple, AdderKind::kCarrySelect, AdderKind::kCarrySkip,
+        AdderKind::kKoggeStone, AdderKind::kBrentKung, AdderKind::kSklansky,
+        AdderKind::kHanCarlson, AdderKind::kHybridKsCarrySelect, AdderKind::kDesignWare}) {
+    if (design == to_string(kind)) return adders::build_adder_netlist(kind, width);
+  }
+  throw std::invalid_argument("unknown design: " + design + " (try --list)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string design = "kogge-stone";
+  std::string verilog_path;
+  int width = 64;
+  int window = 0;
+  int chain = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const char* d : kDesigns) std::cout << "  " << d << "\n";
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    const auto value = [&arg](const std::string& prefix) { return arg.substr(prefix.size()); };
+    if (arg.rfind("--design=", 0) == 0) {
+      design = value("--design=");
+    } else if (arg.rfind("--width=", 0) == 0) {
+      width = std::stoi(value("--width="));
+    } else if (arg.rfind("--window=", 0) == 0) {
+      window = std::stoi(value("--window="));
+    } else if (arg.rfind("--chain=", 0) == 0) {
+      chain = std::stoi(value("--chain="));
+    } else if (arg.rfind("--verilog=", 0) == 0) {
+      verilog_path = value("--verilog=");
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      print_usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (window == 0) window = spec::min_window_for_error_rate(width, 1e-4);
+    if (chain == 0) {
+      chain = (width == 64 || width == 128 || width == 256 || width == 512)
+                  ? spec::vlsa_published_chain_length(width)
+                  : std::min(width, window + 3);
+    }
+
+    const auto netlist = build(design, width, window, chain);
+    const auto result = harness::synthesize(netlist);
+
+    harness::Table table({"metric", "value"});
+    table.add_row({"design", result.name});
+    table.add_row({"gates (optimized)", std::to_string(result.gates)});
+    table.add_row({"area [inv]", harness::fmt_fixed(result.area, 0)});
+    table.add_row({"critical delay [tau]", harness::fmt_fixed(result.delay, 1)});
+    for (const auto& [group, delay] : result.group_delay) {
+      if (!group.empty()) {
+        table.add_row({"delay of '" + group + "' [tau]", harness::fmt_fixed(delay, 1)});
+      }
+    }
+    table.add_row({"max primary-input fanout", std::to_string(result.max_input_fanout)});
+    table.print(std::cout);
+
+    if (!verilog_path.empty()) {
+      std::ofstream out(verilog_path);
+      if (!out) throw std::runtime_error("cannot open " + verilog_path);
+      netlist::emit_verilog(netlist::optimize(netlist), out);
+      std::cout << "wrote Verilog to " << verilog_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

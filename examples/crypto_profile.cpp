@@ -1,0 +1,70 @@
+// The Ch. 6 story end to end: profile the carry chains of a real
+// (instrumented) cryptographic workload, show why VLCSA 1 degrades on such
+// inputs, and show VLCSA 2 recovering the speculation win — by replaying the
+// *exact* operand stream the workload's datapath saw through both
+// variable-latency models.
+//
+//   $ ./build/examples/crypto_profile
+
+#include <iostream>
+#include <vector>
+
+#include "arith/workload.hpp"
+#include "harness/report.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/vlcsa.hpp"
+
+using namespace vlcsa;
+using arith::ApInt;
+
+int main() {
+  // 1. Run an EC-style prime-field workload (16-bit residues on a 64-bit
+  //    datapath) and capture every addition its datapath performs.
+  constexpr int kWidth = 64;
+  std::vector<std::pair<ApInt, ApInt>> trace;
+  arith::CarryChainProfiler profiler(kWidth, arith::ChainMetric::kAllChains);
+  arith::ModField field(arith::builtin_prime(16).zext(kWidth),
+                        [&](const ApInt& a, const ApInt& b) {
+                          profiler.record(a, b);
+                          trace.emplace_back(a, b);
+                        });
+  std::mt19937_64 rng(99);
+  for (int op = 0; op < 64; ++op) {
+    const ApInt x1 = field.random_element(rng);
+    const ApInt y1 = field.random_element(rng);
+    const ApInt lambda = field.mul(field.sub(y1, x1), field.random_element(rng));
+    (void)field.sub(field.mul(lambda, lambda), field.add(x1, y1));
+  }
+
+  std::cout << "captured " << trace.size() << " datapath additions\n";
+  std::cout << "carry chains >= 32 bits: "
+            << harness::fmt_pct(profiler.fraction_at_least(32), 2)
+            << " of all chains (mean length "
+            << harness::fmt_fixed(profiler.mean_length(), 1) << ")\n\n";
+
+  // 2. Replay the trace through VLCSA 1 and VLCSA 2 at the same window size.
+  const int k = spec::published_vlcsa2_parameters().k_rate_01;  // 13
+  const spec::VlcsaModel v1({kWidth, k, spec::ScsaVariant::kScsa1});
+  const spec::VlcsaModel v2({kWidth, k, spec::ScsaVariant::kScsa2});
+  spec::LatencyStats s1, s2;
+  std::uint64_t wrong = 0;
+  for (const auto& [a, b] : trace) {
+    const auto r1 = v1.step(a, b);
+    const auto r2 = v2.step(a, b);
+    s1.record(r1);
+    s2.record(r2);
+    if (r1.result != r1.eval.exact || r2.result != r2.eval.exact) ++wrong;
+  }
+
+  harness::Table table({"design", "window", "stall rate", "avg cycles (eq. 5.2)"});
+  table.add_row({"VLCSA 1", std::to_string(k), harness::fmt_pct(s1.stall_rate()),
+                 harness::fmt_fixed(s1.average_cycles(), 4)});
+  table.add_row({"VLCSA 2", std::to_string(k), harness::fmt_pct(s2.stall_rate()),
+                 harness::fmt_fixed(s2.average_cycles(), 4)});
+  table.print(std::cout);
+  std::cout << "emitted results wrong (must be 0): " << wrong << "\n";
+  std::cout << "\nThe modular-reduction subtractions put sign-extension carry chains\n"
+               "through the adder; VLCSA 1 pays a second cycle for each, VLCSA 2's\n"
+               "S*,1 bank absorbs the ones that run to the MSB (Ch. 6.4-6.7).\n";
+  return 0;
+}

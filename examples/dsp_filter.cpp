@@ -1,0 +1,153 @@
+// Error-tolerant DSP with the bare speculative adder (no detection/recovery).
+//
+// Ch. 4 motivates SCSA for "applications where errors are tolerable, such as
+// ... signal processing".  The error-magnitude argument of Ch. 3.3 — a wrong
+// speculation is a window-carry off-by-one, i.e. an error of weight 2^pos
+// for some window boundary pos at or below the operands' magnitude — holds
+// for *unsigned* operands.  (Two's-complement operands put sign-extension
+// bits in the high windows, where an off-by-one is catastrophic; that is
+// exactly why Ch. 6 adds detection for practical inputs rather than running
+// open-loop.)  This example therefore smooths an unsigned (offset-binary,
+// as ADCs produce) sensor stream with an all-positive 31-tap kernel:
+//   * exact accumulation (reference),
+//   * SCSA 1 accumulation with an aggressively small window,
+//   * a control adder with the same wrong-answer *rate* but a random-bit
+//     error position, to show why SCSA's error shape matters.
+//
+//   $ ./build/examples/dsp_filter
+
+#include <cmath>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "arith/apint.hpp"
+#include "harness/report.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/scsa.hpp"
+
+using namespace vlcsa;
+using arith::ApInt;
+
+namespace {
+
+constexpr int kWidth = 32;  // accumulator width
+
+/// Adds two 32-bit unsigned values through the SCSA 1 speculative datapath.
+std::uint64_t scsa_add(const spec::ScsaModel& model, std::uint64_t x, std::uint64_t y,
+                       std::uint64_t* errors) {
+  const auto ev = model.evaluate(ApInt::from_u64(kWidth, x), ApInt::from_u64(kWidth, y));
+  if (!ev.spec0_correct()) ++*errors;
+  return ev.spec0.to_u64();
+}
+
+/// Control: errs equally often but flips one *random* bit — the per-output
+/// failure mode the paper contrasts in Ch. 3.3.
+std::uint64_t bitflip_add(std::uint64_t x, std::uint64_t y, double error_rate,
+                          std::mt19937_64& rng, std::uint64_t* errors) {
+  std::uint64_t sum = (x + y) & 0xffffffffu;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  if (coin(rng) < error_rate) {
+    ++*errors;
+    sum ^= std::uint64_t{1} << (rng() % kWidth);
+  }
+  return sum;
+}
+
+double snr_db(const std::vector<double>& reference, const std::vector<double>& test) {
+  double signal = 0.0, noise = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    signal += reference[i] * reference[i];
+    const double e = reference[i] - test[i];
+    noise += e * e;
+  }
+  if (noise == 0.0) return 999.0;
+  return 10.0 * std::log10(signal / noise);
+}
+
+}  // namespace
+
+int main() {
+  // All-positive 31-tap Hamming smoothing kernel in Q15.
+  constexpr int kTaps = 31;
+  std::vector<std::uint64_t> h(kTaps);
+  double kernel_sum = 0.0;
+  for (int i = 0; i < kTaps; ++i) {
+    kernel_sum += 0.54 - 0.46 * std::cos(2.0 * M_PI * i / (kTaps - 1));
+  }
+  for (int i = 0; i < kTaps; ++i) {
+    const double w = (0.54 - 0.46 * std::cos(2.0 * M_PI * i / (kTaps - 1))) / kernel_sum;
+    h[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(std::lround(w * 32768.0));
+  }
+
+  // Offset-binary sensor stream: slow sine + noise, 16-bit unsigned.
+  constexpr int kSamples = 4096;
+  std::mt19937_64 rng(2024);
+  std::normal_distribution<double> noise(0.0, 0.04);
+  std::vector<std::uint64_t> x(kSamples);
+  for (int t = 0; t < kSamples; ++t) {
+    const double v = 0.5 + 0.4 * std::sin(2.0 * M_PI * 0.01 * t) + noise(rng);
+    const double clamped = std::fmin(std::fmax(v, 0.0), 1.0);
+    x[static_cast<std::size_t>(t)] = static_cast<std::uint64_t>(std::lround(clamped * 65535.0));
+  }
+
+  // Aggressive speculation: k = 6 on 32 bits errs visibly often.
+  const int k = 6;
+  const spec::ScsaModel scsa({kWidth, k});
+  std::cout << "SCSA window k = " << k << " (model error rate on uniform inputs: "
+            << harness::fmt_pct(spec::scsa_error_rate(kWidth, k)) << ")\n";
+
+  std::vector<double> exact_out, scsa_out, flip_out;
+  std::uint64_t scsa_errors = 0, flip_errors = 0, adds = 0;
+  std::mt19937_64 flip_rng(7);
+
+  // First pass to learn the SCSA per-add error rate on this operand stream,
+  // so the bit-flip control errs at the *same* measured rate.
+  const double flip_rate = [&] {
+    std::uint64_t probe_errors = 0, probe_adds = 0;
+    for (int t = kTaps - 1; t < 512; ++t) {
+      std::uint64_t acc = 0;
+      for (int i = 0; i < kTaps; ++i) {
+        const std::uint64_t prod =
+            (h[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(t - i)]) >> 15;
+        acc = scsa_add(scsa, acc, prod, &probe_errors);
+        ++probe_adds;
+      }
+    }
+    return static_cast<double>(probe_errors) / static_cast<double>(probe_adds);
+  }();
+  std::cout << "measured per-add error rate on this stream: "
+            << harness::fmt_pct(flip_rate, 3) << "\n";
+
+  for (int t = kTaps - 1; t < kSamples; ++t) {
+    std::uint64_t acc_exact = 0, acc_scsa = 0, acc_flip = 0;
+    for (int i = 0; i < kTaps; ++i) {
+      const std::uint64_t prod =
+          (h[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(t - i)]) >> 15;
+      acc_exact = (acc_exact + prod) & 0xffffffffu;
+      acc_scsa = scsa_add(scsa, acc_scsa, prod, &scsa_errors);
+      acc_flip = bitflip_add(acc_flip, prod, flip_rate, flip_rng, &flip_errors);
+      ++adds;
+    }
+    exact_out.push_back(static_cast<double>(acc_exact) / 65536.0);
+    scsa_out.push_back(static_cast<double>(acc_scsa) / 65536.0);
+    flip_out.push_back(static_cast<double>(acc_flip) / 65536.0);
+  }
+
+  std::cout << "additions: " << adds << "\n";
+  std::cout << "SCSA speculative adds wrong:     " << scsa_errors << " ("
+            << harness::fmt_pct(static_cast<double>(scsa_errors) / static_cast<double>(adds), 3)
+            << ")\n";
+  std::cout << "random-bit-flip adds wrong:      " << flip_errors << " ("
+            << harness::fmt_pct(static_cast<double>(flip_errors) / static_cast<double>(adds), 3)
+            << ")\n";
+  std::cout << "filter SNR with SCSA adder:      "
+            << harness::fmt_fixed(snr_db(exact_out, scsa_out), 1) << " dB\n";
+  std::cout << "filter SNR with bit-flip adder:  "
+            << harness::fmt_fixed(snr_db(exact_out, flip_out), 1) << " dB\n";
+  std::cout << "\nSame error *rate*, very different damage: SCSA's errors are\n"
+               "window-carry off-by-ones bounded by the operands' magnitude\n"
+               "(Ch. 3.3); random-position flips reach the high-order bits and\n"
+               "wreck the output.\n";
+  return 0;
+}

@@ -1,0 +1,209 @@
+#include "adders/adders.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlcsa::adders {
+
+const char* to_string(AdderKind kind) {
+  switch (kind) {
+    case AdderKind::kRipple: return "ripple";
+    case AdderKind::kCarrySelect: return "carry-select";
+    case AdderKind::kCarrySkip: return "carry-skip";
+    case AdderKind::kKoggeStone: return "kogge-stone";
+    case AdderKind::kBrentKung: return "brent-kung";
+    case AdderKind::kSklansky: return "sklansky";
+    case AdderKind::kHanCarlson: return "han-carlson";
+    case AdderKind::kHybridKsCarrySelect: return "hybrid-ks-carry-select";
+    case AdderKind::kDesignWare: return "designware";
+  }
+  return "?";
+}
+
+namespace {
+
+struct OperandInputs {
+  std::vector<Signal> a;
+  std::vector<Signal> b;
+  Signal cin{};
+};
+
+OperandInputs make_operand_inputs(Netlist& nl, int n, bool with_cin) {
+  OperandInputs in;
+  in.a.reserve(static_cast<std::size_t>(n));
+  in.b.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) in.a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+  for (int i = 0; i < n; ++i) in.b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+  if (with_cin) in.cin = nl.add_input("cin");
+  return in;
+}
+
+void add_sum_outputs(Netlist& nl, const std::vector<Signal>& sum, Signal cout) {
+  for (std::size_t i = 0; i < sum.size(); ++i) {
+    nl.add_output("sum[" + std::to_string(i) + "]", sum[i]);
+  }
+  nl.add_output("cout", cout);
+}
+
+int effective_block_size(int n, int requested) {
+  if (requested > 0) return requested;
+  const int b = static_cast<int>(std::lround(std::sqrt(static_cast<double>(n))));
+  return std::max(2, b);
+}
+
+/// Splits n bits into blocks of size <= b; the first (least significant)
+/// block takes the remainder so the rest are uniform, mirroring the paper's
+/// window placement (Ch. 4).
+std::vector<int> block_sizes(int n, int b) {
+  const int count = (n + b - 1) / b;
+  std::vector<int> sizes(static_cast<std::size_t>(count), b);
+  sizes[0] = n - b * (count - 1);
+  return sizes;
+}
+
+Netlist build_ripple(int n, const AdderOptions& opts) {
+  Netlist nl("ripple_" + std::to_string(n));
+  const auto in = make_operand_inputs(nl, n, opts.with_cin);
+  Signal cout{};
+  const auto sum =
+      ripple_sum(nl, in.a, in.b, opts.with_cin ? in.cin : nl.constant(false), &cout);
+  add_sum_outputs(nl, sum, cout);
+  return nl;
+}
+
+Netlist build_prefix(AdderKind kind, PrefixTopology topology, int n, const AdderOptions& opts) {
+  Netlist nl(std::string(to_string(kind)) + "_" + std::to_string(n));
+  const auto in = make_operand_inputs(nl, n, opts.with_cin);
+  const auto result = prefix_sum(nl, in.a, in.b, in.cin, topology);
+  add_sum_outputs(nl, result.sum, result.cout);
+  return nl;
+}
+
+/// Classic carry-select: ripple blocks computing both carry-in cases, a mux
+/// chain threading the block carries.
+Netlist build_carry_select(int n, const AdderOptions& opts) {
+  Netlist nl("carry_select_" + std::to_string(n));
+  const auto in = make_operand_inputs(nl, n, opts.with_cin);
+  const auto sizes = block_sizes(n, effective_block_size(n, opts.block_size));
+
+  std::vector<Signal> sum(static_cast<std::size_t>(n));
+  Signal carry = opts.with_cin ? in.cin : nl.constant(false);
+  int pos = 0;
+  for (const int size : sizes) {
+    const std::span<const Signal> a_blk{in.a.data() + pos, static_cast<std::size_t>(size)};
+    const std::span<const Signal> b_blk{in.b.data() + pos, static_cast<std::size_t>(size)};
+    Signal cout0{}, cout1{};
+    const auto s0 = ripple_sum(nl, a_blk, b_blk, nl.constant(false), &cout0);
+    const auto s1 = ripple_sum(nl, a_blk, b_blk, nl.constant(true), &cout1);
+    for (int j = 0; j < size; ++j) {
+      sum[static_cast<std::size_t>(pos + j)] =
+          nl.mux(carry, s0[static_cast<std::size_t>(j)], s1[static_cast<std::size_t>(j)]);
+    }
+    carry = nl.mux(carry, cout0, cout1);
+    pos += size;
+  }
+  add_sum_outputs(nl, sum, carry);
+  return nl;
+}
+
+/// Carry-skip: ripple blocks with a block-propagate bypass mux.
+Netlist build_carry_skip(int n, const AdderOptions& opts) {
+  Netlist nl("carry_skip_" + std::to_string(n));
+  const auto in = make_operand_inputs(nl, n, opts.with_cin);
+  const auto sizes = block_sizes(n, effective_block_size(n, opts.block_size));
+
+  std::vector<Signal> sum(static_cast<std::size_t>(n));
+  Signal carry = opts.with_cin ? in.cin : nl.constant(false);
+  int pos = 0;
+  for (const int size : sizes) {
+    const std::span<const Signal> a_blk{in.a.data() + pos, static_cast<std::size_t>(size)};
+    const std::span<const Signal> b_blk{in.b.data() + pos, static_cast<std::size_t>(size)};
+    Signal ripple_cout{};
+    const auto s = ripple_sum(nl, a_blk, b_blk, carry, &ripple_cout);
+    for (int j = 0; j < size; ++j) sum[static_cast<std::size_t>(pos + j)] = s[static_cast<std::size_t>(j)];
+    // Block propagate: every bit propagates -> the carry skips the block.
+    std::vector<Signal> props;
+    props.reserve(static_cast<std::size_t>(size));
+    for (int j = 0; j < size; ++j) {
+      props.push_back(nl.xor_(a_blk[static_cast<std::size_t>(j)], b_blk[static_cast<std::size_t>(j)]));
+    }
+    const Signal block_p = nl.and_reduce(props);
+    carry = nl.mux(block_p, ripple_cout, carry);
+    pos += size;
+  }
+  add_sum_outputs(nl, sum, carry);
+  return nl;
+}
+
+/// The "hybrid Kogge-Stone carry-select adder" the authors implemented as a
+/// sanity baseline (Ch. 7.5): carry-select blocks whose two conditional
+/// results come from one shared Kogge-Stone tree per block, with an exact
+/// mux chain for the block carries.  Structurally this is SCSA *without*
+/// speculation — a useful ablation point.
+Netlist build_hybrid_ks_carry_select(int n, const AdderOptions& opts) {
+  Netlist nl("hybrid_ks_carry_select_" + std::to_string(n));
+  const auto in = make_operand_inputs(nl, n, opts.with_cin);
+  const auto sizes = block_sizes(n, effective_block_size(n, opts.block_size));
+
+  std::vector<Signal> sum(static_cast<std::size_t>(n));
+  Signal carry = opts.with_cin ? in.cin : nl.constant(false);
+  int pos = 0;
+  for (const int size : sizes) {
+    const std::span<const Signal> a_blk{in.a.data() + pos, static_cast<std::size_t>(size)};
+    const std::span<const Signal> b_blk{in.b.data() + pos, static_cast<std::size_t>(size)};
+    const auto cond = conditional_window_sums(nl, a_blk, b_blk, PrefixTopology::kKoggeStone);
+    for (int j = 0; j < size; ++j) {
+      sum[static_cast<std::size_t>(pos + j)] = nl.mux(carry, cond.sum0[static_cast<std::size_t>(j)],
+                                                      cond.sum1[static_cast<std::size_t>(j)]);
+    }
+    carry = nl.mux(carry, cond.cout0, cond.cout1);
+    pos += size;
+  }
+  add_sum_outputs(nl, sum, carry);
+  return nl;
+}
+
+}  // namespace
+
+Netlist build_adder_netlist(AdderKind kind, int n, const AdderOptions& opts) {
+  if (n < 1) throw std::invalid_argument("adder width must be >= 1");
+  switch (kind) {
+    case AdderKind::kRipple:
+      return build_ripple(n, opts);
+    case AdderKind::kCarrySelect:
+      return build_carry_select(n, opts);
+    case AdderKind::kCarrySkip:
+      return build_carry_skip(n, opts);
+    case AdderKind::kKoggeStone:
+      return build_prefix(kind, PrefixTopology::kKoggeStone, n, opts);
+    case AdderKind::kBrentKung:
+      return build_prefix(kind, PrefixTopology::kBrentKung, n, opts);
+    case AdderKind::kSklansky:
+      return build_prefix(kind, PrefixTopology::kSklansky, n, opts);
+    case AdderKind::kHanCarlson:
+      return build_prefix(kind, PrefixTopology::kHanCarlson, n, opts);
+    case AdderKind::kHybridKsCarrySelect:
+      return build_hybrid_ks_carry_select(n, opts);
+    case AdderKind::kDesignWare:
+      return build_designware_adder(n, nullptr);
+  }
+  throw std::logic_error("unknown adder kind");
+}
+
+std::vector<Signal> ripple_sum(Netlist& nl, std::span<const Signal> a,
+                               std::span<const Signal> b, Signal cin, Signal* cout) {
+  if (a.size() != b.size()) throw std::invalid_argument("operand width mismatch");
+  std::vector<Signal> sum;
+  sum.reserve(a.size());
+  Signal carry = cin.valid() ? cin : nl.constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Signal p = nl.xor_(a[i], b[i]);
+    const Signal g = nl.and_(a[i], b[i]);
+    sum.push_back(nl.xor_(p, carry));
+    carry = nl.or_(g, nl.and_(p, carry));
+  }
+  if (cout != nullptr) *cout = carry;
+  return sum;
+}
+
+}  // namespace vlcsa::adders

@@ -1,0 +1,62 @@
+#pragma once
+// Public entry points for the traditional adder generators.  These are the
+// comparison baselines of Ch. 7 (Kogge-Stone for Figs 7.2–7.5, the
+// DesignWare substitute for Figs 7.6–7.11) and the building blocks the
+// speculative structures are assembled from.
+//
+// Every builder creates its own primary inputs "a[i]"/"b[i]" (plus "cin"
+// when requested) and outputs "sum[i]"/"cout", so the returned netlist is a
+// complete synthesizable module.  Lower-level cores that operate on existing
+// signals live in prefix.hpp and ripple.hpp for composition.
+
+#include <string>
+
+#include "adders/prefix.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::adders {
+
+enum class AdderKind {
+  kRipple,
+  kCarrySelect,
+  kCarrySkip,
+  kKoggeStone,
+  kBrentKung,
+  kSklansky,
+  kHanCarlson,
+  kHybridKsCarrySelect,  // carry-select blocks with shared-prefix conditional sums
+  kDesignWare,           // best-of-family substitute (see DESIGN.md)
+};
+
+[[nodiscard]] const char* to_string(AdderKind kind);
+
+struct AdderOptions {
+  bool with_cin = false;
+  /// Block size for carry-select / carry-skip / hybrid; 0 = round(sqrt(n)).
+  int block_size = 0;
+};
+
+/// Builds the complete adder netlist (module name "<kind>_<n>").
+[[nodiscard]] Netlist build_adder_netlist(AdderKind kind, int n, const AdderOptions& opts = {});
+
+/// Which family the DesignWare substitute selected, with its metrics.
+struct DesignWareChoice {
+  AdderKind winner = AdderKind::kKoggeStone;
+  double delay = 0.0;
+  double area = 0.0;
+};
+
+/// The DesignWare substitute: synthesizes (optimizer + STA) every candidate
+/// family at width n and returns the minimum-delay design (ties broken by
+/// area).  Mirrors "the DesignWare adder is synthesized for the minimal
+/// achievable delay" (Ch. 7.5).
+[[nodiscard]] Netlist build_designware_adder(int n, DesignWareChoice* choice = nullptr);
+
+// ---- cores over existing signals (for composition) -------------------------
+
+/// Ripple-carry sum over existing signals; returns per-bit sums, sets *cout.
+[[nodiscard]] std::vector<Signal> ripple_sum(Netlist& nl, std::span<const Signal> a,
+                                             std::span<const Signal> b, Signal cin,
+                                             Signal* cout);
+
+}  // namespace vlcsa::adders

@@ -1,0 +1,199 @@
+#include "adders/prefix.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace vlcsa::adders {
+
+GP combine(Netlist& nl, const GP& hi, const GP& lo) {
+  const Signal g = nl.or_(hi.g, nl.and_(hi.p, lo.g));
+  const Signal p = nl.and_(hi.p, lo.p);
+  return GP{g, p};
+}
+
+const char* to_string(PrefixTopology topology) {
+  switch (topology) {
+    case PrefixTopology::kKoggeStone: return "kogge-stone";
+    case PrefixTopology::kBrentKung: return "brent-kung";
+    case PrefixTopology::kSklansky: return "sklansky";
+    case PrefixTopology::kHanCarlson: return "han-carlson";
+  }
+  return "?";
+}
+
+std::span<const PrefixTopology> all_prefix_topologies() {
+  static constexpr std::array<PrefixTopology, 4> kAll = {
+      PrefixTopology::kKoggeStone,
+      PrefixTopology::kBrentKung,
+      PrefixTopology::kSklansky,
+      PrefixTopology::kHanCarlson,
+  };
+  return kAll;
+}
+
+namespace {
+
+std::vector<GP> kogge_stone(Netlist& nl, std::vector<GP> cur) {
+  const int n = static_cast<int>(cur.size());
+  for (int d = 1; d < n; d <<= 1) {
+    const std::vector<GP> prev = cur;
+    for (int i = n - 1; i >= d; --i) {
+      cur[static_cast<std::size_t>(i)] =
+          combine(nl, prev[static_cast<std::size_t>(i)], prev[static_cast<std::size_t>(i - d)]);
+    }
+  }
+  return cur;
+}
+
+std::vector<GP> sklansky(Netlist& nl, std::vector<GP> cur) {
+  const int n = static_cast<int>(cur.size());
+  for (int t = 0; (1 << t) < n; ++t) {
+    const std::vector<GP> prev = cur;
+    for (int i = 0; i < n; ++i) {
+      if ((i >> t) & 1) {
+        const int j = ((i >> t) << t) - 1;  // top of the completed lower block
+        cur[static_cast<std::size_t>(i)] =
+            combine(nl, prev[static_cast<std::size_t>(i)], prev[static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<GP> brent_kung(Netlist& nl, std::vector<GP> cur) {
+  const int n = static_cast<int>(cur.size());
+  // Up-sweep: binary reduction tree.
+  for (int d = 1; d < n; d <<= 1) {
+    for (int i = 2 * d - 1; i < n; i += 2 * d) {
+      cur[static_cast<std::size_t>(i)] =
+          combine(nl, cur[static_cast<std::size_t>(i)], cur[static_cast<std::size_t>(i - d)]);
+    }
+  }
+  // Down-sweep: fill in the remaining prefixes.
+  int top = 1;
+  while (top * 2 < n) top *= 2;
+  for (int d = top / 2; d >= 1; d /= 2) {
+    for (int i = 3 * d - 1; i < n; i += 2 * d) {
+      cur[static_cast<std::size_t>(i)] =
+          combine(nl, cur[static_cast<std::size_t>(i)], cur[static_cast<std::size_t>(i - d)]);
+    }
+  }
+  return cur;
+}
+
+std::vector<GP> han_carlson(Netlist& nl, std::vector<GP> cur) {
+  const int n = static_cast<int>(cur.size());
+  // Level 0: odd positions absorb their even neighbour.
+  {
+    const std::vector<GP> prev = cur;
+    for (int i = 1; i < n; i += 2) {
+      cur[static_cast<std::size_t>(i)] =
+          combine(nl, prev[static_cast<std::size_t>(i)], prev[static_cast<std::size_t>(i - 1)]);
+    }
+  }
+  // Kogge-Stone among the odd positions.
+  for (int d = 2; d < n; d <<= 1) {
+    const std::vector<GP> prev = cur;
+    for (int i = n - 1; i >= d + 1; --i) {
+      if (i % 2 == 1) {
+        cur[static_cast<std::size_t>(i)] = combine(nl, prev[static_cast<std::size_t>(i)],
+                                                   prev[static_cast<std::size_t>(i - d)]);
+      }
+    }
+  }
+  // Final level: even positions absorb the completed odd prefix below.
+  {
+    const std::vector<GP> prev = cur;
+    for (int i = 2; i < n; i += 2) {
+      cur[static_cast<std::size_t>(i)] =
+          combine(nl, prev[static_cast<std::size_t>(i)], prev[static_cast<std::size_t>(i - 1)]);
+    }
+  }
+  return cur;
+}
+
+}  // namespace
+
+std::vector<GP> build_prefix_network(Netlist& nl, std::vector<GP> leaves,
+                                     PrefixTopology topology) {
+  if (leaves.empty()) throw std::invalid_argument("prefix network needs >= 1 leaf");
+  switch (topology) {
+    case PrefixTopology::kKoggeStone: return kogge_stone(nl, std::move(leaves));
+    case PrefixTopology::kBrentKung: return brent_kung(nl, std::move(leaves));
+    case PrefixTopology::kSklansky: return sklansky(nl, std::move(leaves));
+    case PrefixTopology::kHanCarlson: return han_carlson(nl, std::move(leaves));
+  }
+  throw std::logic_error("unknown prefix topology");
+}
+
+std::vector<GP> make_pg_leaves(Netlist& nl, std::span<const Signal> a,
+                               std::span<const Signal> b) {
+  if (a.size() != b.size()) throw std::invalid_argument("operand width mismatch");
+  std::vector<GP> leaves;
+  leaves.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    leaves.push_back(GP{nl.and_(a[i], b[i]), nl.xor_(a[i], b[i])});
+  }
+  return leaves;
+}
+
+PrefixSums prefix_sum(Netlist& nl, std::span<const Signal> a, std::span<const Signal> b,
+                      Signal cin, PrefixTopology topology) {
+  std::vector<GP> leaves = make_pg_leaves(nl, a, b);
+  PrefixSums out;
+  out.p_bit.reserve(leaves.size());
+  for (const auto& leaf : leaves) out.p_bit.push_back(leaf.p);
+
+  // Fold the external carry into the bit-0 leaf: g0' = g0 | (p0 & cin).
+  if (cin.valid()) {
+    leaves[0].g = nl.or_(leaves[0].g, nl.and_(leaves[0].p, cin));
+  }
+
+  out.prefix = build_prefix_network(nl, std::move(leaves), topology);
+
+  const std::size_t n = a.size();
+  out.sum.resize(n);
+  out.sum[0] = cin.valid() ? nl.xor_(out.p_bit[0], cin) : nl.buf(out.p_bit[0]);
+  for (std::size_t i = 1; i < n; ++i) {
+    out.sum[i] = nl.xor_(out.p_bit[i], out.prefix[i - 1].g);
+  }
+  out.cout = out.prefix[n - 1].g;
+  return out;
+}
+
+ConditionalSums conditional_window_sums(Netlist& nl, std::span<const Signal> a,
+                                        std::span<const Signal> b, PrefixTopology topology) {
+  std::vector<GP> leaves = make_pg_leaves(nl, a, b);
+  std::vector<Signal> p_bit, g_bit;
+  p_bit.reserve(leaves.size());
+  g_bit.reserve(leaves.size());
+  for (const auto& leaf : leaves) {
+    p_bit.push_back(leaf.p);
+    g_bit.push_back(leaf.g);
+  }
+
+  const std::vector<GP> prefix = build_prefix_network(nl, std::move(leaves), topology);
+
+  const std::size_t k = a.size();
+  ConditionalSums out;
+  out.sum0.resize(k);
+  out.sum1.resize(k);
+  // Bit 0: carry-in is the window carry itself.
+  out.sum0[0] = nl.buf(p_bit[0]);
+  out.sum1[0] = nl.not_(p_bit[0]);
+  for (std::size_t j = 1; j < k; ++j) {
+    const GP& below = prefix[j - 1];  // (G,P) over [0 .. j-1] within the window
+    out.sum0[j] = nl.xor_(p_bit[j], below.g);
+    out.sum1[j] = nl.xor_(p_bit[j], nl.or_(below.g, below.p));
+  }
+  out.group_g = prefix[k - 1].g;
+  out.group_p = prefix[k - 1].p;
+  out.cout0 = out.group_g;
+  out.cout1 = nl.or_(out.group_g, out.group_p);
+  out.group_g_light =
+      k == 1 ? out.group_g
+             : nl.or_(g_bit[k - 1], nl.and_(p_bit[k - 1], prefix[k - 2].g));
+  return out;
+}
+
+}  // namespace vlcsa::adders

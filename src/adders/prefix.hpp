@@ -1,0 +1,94 @@
+#pragma once
+// Parallel-prefix machinery shared by every carry-computing structure in the
+// library: the traditional prefix adders (Kogge-Stone, Brent-Kung, Sklansky,
+// Han-Carlson), the SCSA window adders (which run a prefix tree *inside*
+// each window, eqs. 4.3–4.6), the error-recovery prefix adder over window
+// group signals (Fig 5.2), and the truncated prefix trees of the VLSA
+// baseline.
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::adders {
+
+using netlist::Netlist;
+using netlist::Signal;
+
+/// A (generate, propagate) pair over some bit span.
+struct GP {
+  Signal g;
+  Signal p;
+};
+
+/// The prefix operator: (G,P) = (hi) o (lo) covering hi-span ++ lo-span.
+///   G = hi.g | (hi.p & lo.g),  P = hi.p & lo.p
+/// Gray cells (nodes whose P output is never consumed) are not special-cased
+/// here; dead-gate elimination removes the unused P logic.
+[[nodiscard]] GP combine(Netlist& nl, const GP& hi, const GP& lo);
+
+enum class PrefixTopology {
+  kKoggeStone,  // minimal depth, maximal wiring/area
+  kBrentKung,   // minimal area, ~2x depth
+  kSklansky,    // minimal depth, high fanout
+  kHanCarlson,  // Kogge-Stone on odd bits + final ripple level
+};
+
+[[nodiscard]] const char* to_string(PrefixTopology topology);
+
+/// All supported topologies (for parameterized tests and the DesignWare
+/// best-of search).
+[[nodiscard]] std::span<const PrefixTopology> all_prefix_topologies();
+
+/// Computes inclusive prefixes: out[i] = (G over [0..i], P over [0..i]) from
+/// per-bit leaves (leaves[i] covers exactly bit i).
+[[nodiscard]] std::vector<GP> build_prefix_network(Netlist& nl, std::vector<GP> leaves,
+                                                   PrefixTopology topology);
+
+/// Per-bit propagate/generate preprocessing: p = a ^ b, g = a & b.
+[[nodiscard]] std::vector<GP> make_pg_leaves(Netlist& nl, std::span<const Signal> a,
+                                             std::span<const Signal> b);
+
+/// Result of a complete prefix addition over existing signals.
+struct PrefixSums {
+  std::vector<Signal> sum;
+  Signal cout;
+  std::vector<GP> prefix;     // inclusive prefixes (post-network)
+  std::vector<Signal> p_bit;  // per-bit propagate (pre-network), for reuse
+};
+
+/// Builds a full prefix adder over existing operand signals.  `cin` may be
+/// invalid (treated as constant 0); it is folded into the bit-0 leaf
+/// (g0' = g0 | p0&cin) so the network itself is cin-agnostic.
+[[nodiscard]] PrefixSums prefix_sum(Netlist& nl, std::span<const Signal> a,
+                                    std::span<const Signal> b, Signal cin,
+                                    PrefixTopology topology);
+
+/// The SCSA window-adder core (Fig 4.2 / eqs. 4.5–4.6): one shared prefix
+/// tree produces both conditional results of a carry-select window:
+///   sum0[j] = p_j ^  G[j-1:0]           (window carry-in = 0)
+///   sum1[j] = p_j ^ (G[j-1:0] | P[j-1:0])   (window carry-in = 1)
+///   cout0   = G[k-1:0]      (the window's group-generate signal)
+///   cout1   = G[k-1:0] | P[k-1:0]
+struct ConditionalSums {
+  std::vector<Signal> sum0;
+  std::vector<Signal> sum1;
+  Signal cout0;    // == group_g
+  Signal cout1;    // group_g | group_p
+  Signal group_g;  // window group generate
+  Signal group_p;  // window group propagate
+  /// Functionally identical duplicate of group_g built as the serial
+  /// expansion g[k-1] | (p[k-1] & G[k-2:0]).  group_g drives the k-wide
+  /// carry-select mux bank (and so sits behind a fanout buffer chain);
+  /// timing-critical side consumers — the ERR0 detector — tap this lightly
+  /// loaded copy instead, the standard load-splitting move a delay-driven
+  /// synthesis run makes.
+  Signal group_g_light;
+};
+
+[[nodiscard]] ConditionalSums conditional_window_sums(Netlist& nl, std::span<const Signal> a,
+                                                      std::span<const Signal> b,
+                                                      PrefixTopology topology);
+
+}  // namespace vlcsa::adders

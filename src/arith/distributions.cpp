@@ -1,0 +1,89 @@
+#include "arith/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace vlcsa::arith {
+
+std::pair<ApInt, ApInt> UniformUnsignedSource::next(std::mt19937_64& rng) {
+  return {ApInt::random(width(), rng), ApInt::random(width(), rng)};
+}
+
+namespace {
+
+ApInt random_signed_magnitude(int width, std::mt19937_64& rng) {
+  // Uniform magnitude in [0, 2^(width-1)) with a random sign bit.
+  ApInt mag = ApInt::random(width, rng);
+  mag.set_bit(width - 1, false);
+  const bool negative = (rng() & 1) != 0;
+  return negative ? mag.negated() : mag;
+}
+
+}  // namespace
+
+std::pair<ApInt, ApInt> UniformTwosSource::next(std::mt19937_64& rng) {
+  return {random_signed_magnitude(width(), rng), random_signed_magnitude(width(), rng)};
+}
+
+ApInt encode_signed_sample(int width, double sample) {
+  const double rounded = std::nearbyint(sample);
+  if (width >= 64) {
+    // sigma = 2^32 keeps samples far inside int64 range (8 sigma < 2^36).
+    const auto v = static_cast<std::int64_t>(rounded);
+    return ApInt::from_i64(width, v);
+  }
+  const double lo = -std::ldexp(1.0, width - 1);
+  const double hi = std::ldexp(1.0, width - 1) - 1.0;
+  const double clamped = std::fmin(std::fmax(rounded, lo), hi);
+  return ApInt::from_i64(width, static_cast<std::int64_t>(clamped));
+}
+
+ApInt encode_unsigned_sample(int width, double sample) {
+  const double mag = std::fabs(std::nearbyint(sample));
+  if (width >= 64) {
+    return ApInt::from_u64(width, static_cast<std::uint64_t>(mag));
+  }
+  const double hi = std::ldexp(1.0, width) - 1.0;
+  const double clamped = std::fmin(mag, hi);
+  return ApInt::from_u64(width, static_cast<std::uint64_t>(clamped));
+}
+
+std::pair<ApInt, ApInt> GaussianUnsignedSource::next(std::mt19937_64& rng) {
+  return {encode_unsigned_sample(width(), dist_(rng)),
+          encode_unsigned_sample(width(), dist_(rng))};
+}
+
+std::pair<ApInt, ApInt> GaussianTwosSource::next(std::mt19937_64& rng) {
+  return {encode_signed_sample(width(), dist_(rng)), encode_signed_sample(width(), dist_(rng))};
+}
+
+std::string to_string(InputDistribution dist) {
+  switch (dist) {
+    case InputDistribution::kUniformUnsigned:
+      return "uniform-unsigned";
+    case InputDistribution::kUniformTwos:
+      return "uniform-twos-complement";
+    case InputDistribution::kGaussianUnsigned:
+      return "gaussian-unsigned";
+    case InputDistribution::kGaussianTwos:
+      return "gaussian-twos-complement";
+  }
+  throw std::logic_error("unknown InputDistribution");
+}
+
+std::unique_ptr<OperandSource> make_source(InputDistribution dist, int width,
+                                           GaussianParams params) {
+  switch (dist) {
+    case InputDistribution::kUniformUnsigned:
+      return std::make_unique<UniformUnsignedSource>(width);
+    case InputDistribution::kUniformTwos:
+      return std::make_unique<UniformTwosSource>(width);
+    case InputDistribution::kGaussianUnsigned:
+      return std::make_unique<GaussianUnsignedSource>(width, params);
+    case InputDistribution::kGaussianTwos:
+      return std::make_unique<GaussianTwosSource>(width, params);
+  }
+  throw std::logic_error("unknown InputDistribution");
+}
+
+}  // namespace vlcsa::arith

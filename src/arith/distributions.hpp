@@ -1,0 +1,108 @@
+#pragma once
+// Operand-pair sources for the four input classes studied in the paper
+// (Ch. 3 and Ch. 6): unsigned uniform, two's-complement uniform, unsigned
+// Gaussian and two's-complement Gaussian (the practical-input proxy), plus a
+// common interface so the Monte Carlo harness can run any of them.
+
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+
+#include "arith/apint.hpp"
+
+namespace vlcsa::arith {
+
+/// A stream of operand pairs for an n-bit adder.
+class OperandSource {
+ public:
+  explicit OperandSource(int width) : width_(width) {}
+  virtual ~OperandSource() = default;
+
+  OperandSource(const OperandSource&) = delete;
+  OperandSource& operator=(const OperandSource&) = delete;
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Draws the next operand pair.
+  virtual std::pair<ApInt, ApInt> next(std::mt19937_64& rng) = 0;
+
+ private:
+  int width_;
+};
+
+/// Uniformly random n-bit patterns ("unsigned random inputs", Ch. 3).
+class UniformUnsignedSource final : public OperandSource {
+ public:
+  explicit UniformUnsignedSource(int width) : OperandSource(width) {}
+  [[nodiscard]] std::string name() const override { return "uniform-unsigned"; }
+  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+};
+
+/// Two's-complement uniform inputs (Fig 6.3): a uniformly random magnitude
+/// in [0, 2^(n-1)) with a random sign, encoded in two's complement.  This
+/// differs from a uniform bit pattern in that negative values carry explicit
+/// sign-extension structure, matching the paper's separate treatment of the
+/// two cases.
+class UniformTwosSource final : public OperandSource {
+ public:
+  explicit UniformTwosSource(int width) : OperandSource(width) {}
+  [[nodiscard]] std::string name() const override { return "uniform-twos-complement"; }
+  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+};
+
+/// Parameters of the Gaussian operand model (Ch. 7 uses mu = 0, sigma = 2^32).
+struct GaussianParams {
+  double mean = 0.0;
+  double sigma = 4294967296.0;  // 2^32
+};
+
+/// |round(N(mu, sigma))| encoded as an unsigned n-bit value (Fig 6.4).
+class GaussianUnsignedSource final : public OperandSource {
+ public:
+  GaussianUnsignedSource(int width, GaussianParams params)
+      : OperandSource(width), dist_(params.mean, params.sigma) {}
+  [[nodiscard]] std::string name() const override { return "gaussian-unsigned"; }
+  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+
+ private:
+  std::normal_distribution<double> dist_;
+};
+
+/// round(N(mu, sigma)) encoded in n-bit two's complement (Fig 6.5, Ch. 7).
+/// Small-magnitude negatives produce the long sign-extension carry chains
+/// that motivate VLCSA 2.
+class GaussianTwosSource final : public OperandSource {
+ public:
+  GaussianTwosSource(int width, GaussianParams params)
+      : OperandSource(width), dist_(params.mean, params.sigma) {}
+  [[nodiscard]] std::string name() const override { return "gaussian-twos-complement"; }
+  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+
+ private:
+  std::normal_distribution<double> dist_;
+};
+
+enum class InputDistribution {
+  kUniformUnsigned,
+  kUniformTwos,
+  kGaussianUnsigned,
+  kGaussianTwos,
+};
+
+[[nodiscard]] std::string to_string(InputDistribution dist);
+
+/// Factory used by the harness and benches.
+[[nodiscard]] std::unique_ptr<OperandSource> make_source(InputDistribution dist, int width,
+                                                         GaussianParams params = {});
+
+/// Clamps a double sample to the representable signed range of `width` bits
+/// and encodes it in two's complement.  Exposed for testing.
+[[nodiscard]] ApInt encode_signed_sample(int width, double sample);
+
+/// Clamps |sample| to the representable unsigned range of `width` bits.
+/// Exposed for testing.
+[[nodiscard]] ApInt encode_unsigned_sample(int width, double sample);
+
+}  // namespace vlcsa::arith

@@ -1,0 +1,97 @@
+#pragma once
+// Instrumented cryptographic workload — the substitute for the proprietary
+// benchmark traces of Cilardo [6] used in Fig 6.2.
+//
+// The paper uses [6]'s profile of carry-chain lengths inside RSA / ECC /
+// Diffie-Hellman arithmetic only to motivate one observation: practical
+// additions mix short chains with sign-extension chains that run to the MSB
+// (because subtraction is implemented as two's-complement addition and
+// operands are often small relative to the datapath).  We reproduce the
+// mechanism rather than the trace: a real prime-field arithmetic layer
+// (modular add/sub/double-and-add multiply/square-and-multiply modexp) over
+// our own big integers, where every addition the datapath would perform is
+// reported to an observer that feeds the carry-chain profiler.
+
+#include <cstdint>
+#include <functional>
+#include <random>
+
+#include "arith/apint.hpp"
+#include "arith/carry_chain.hpp"
+
+namespace vlcsa::arith {
+
+/// Called with the exact operand pair of every n-bit addition performed.
+using AddObserver = std::function<void(const ApInt& a, const ApInt& b)>;
+
+/// Returns a built-in prime of roughly `bits` size (at its natural width):
+/// 16 -> 65521, 32 -> 2^31-1, 64 -> 2^61-1, 128 -> 2^127-1, 256 -> 2^255-19.
+[[nodiscard]] ApInt builtin_prime(int bits);
+
+/// Prime-field arithmetic instrumented at the adder level.  Values are
+/// canonical residues in [0, m).  Every addition — including the
+/// two's-complement subtractions used for modular reduction, which generate
+/// the long sign-extension carry chains of Fig 6.2 — is reported.
+class ModField {
+ public:
+  ModField(ApInt modulus, AddObserver observer);
+
+  [[nodiscard]] int width() const { return modulus_.width(); }
+  [[nodiscard]] const ApInt& modulus() const { return modulus_; }
+
+  /// Uniformly random canonical residue.
+  [[nodiscard]] ApInt random_element(std::mt19937_64& rng) const;
+
+  [[nodiscard]] ApInt add(const ApInt& a, const ApInt& b);
+  [[nodiscard]] ApInt sub(const ApInt& a, const ApInt& b);
+  [[nodiscard]] ApInt dbl(const ApInt& a) { return add(a, a); }
+  /// Double-and-add modular multiplication.
+  [[nodiscard]] ApInt mul(const ApInt& a, const ApInt& b);
+  /// Square-and-multiply modular exponentiation (exponent scanned MSB first).
+  [[nodiscard]] ApInt pow(const ApInt& base, const ApInt& exponent);
+
+  /// Number of datapath additions performed so far.
+  [[nodiscard]] std::uint64_t additions() const { return additions_; }
+
+ private:
+  /// Performs (and reports) one datapath addition.
+  [[nodiscard]] ApInt observed_add(const ApInt& a, const ApInt& b);
+  /// Conditionally subtracts m from x in [0, 2m).
+  [[nodiscard]] ApInt reduce_once(const ApInt& x);
+
+  ApInt modulus_;
+  ApInt neg_modulus_;  // two's complement of m: the subtract-side operand
+  AddObserver observer_;
+  std::uint64_t additions_ = 0;
+};
+
+/// Workload mix roughly mirroring [6]'s benchmark set.
+enum class CryptoKind {
+  kRsaLike,            // modexp with a 17-bit Fermat-style public exponent
+  kDiffieHellmanLike,  // modexp with a full-width random secret exponent
+  kEcFieldLike,        // point-addition-shaped field op sequences (mul/sub/add)
+};
+
+[[nodiscard]] const char* to_string(CryptoKind kind);
+
+struct CryptoWorkloadConfig {
+  /// Datapath (adder) width the workload executes on.  Real ALUs/datapaths
+  /// are wider than the field residues they process; it is exactly this gap
+  /// (small operands, two's-complement subtractions, sign-extended
+  /// intermediates) that produces the long carry chains of Fig 6.2.
+  int width = 64;
+  /// Field size: builtin_prime(field_bits) is zero-extended onto the
+  /// datapath.  0 picks the largest supported prime at most width/2.
+  int field_bits = 0;
+  CryptoKind kind = CryptoKind::kRsaLike;
+  int operations = 4;       // number of top-level crypto operations
+  int exponent_bits = 48;   // secret-exponent size for DH-like ops
+  std::uint64_t seed = 1;
+};
+
+/// Runs the workload and feeds every performed addition into `profiler`.
+/// Returns the number of additions recorded.
+std::uint64_t run_crypto_workload(const CryptoWorkloadConfig& config,
+                                  CarryChainProfiler& profiler);
+
+}  // namespace vlcsa::arith

@@ -1,0 +1,75 @@
+#pragma once
+// Monte Carlo experiment engine: runs operand streams through the behavioral
+// models and aggregates the error/latency statistics the paper's tables
+// report.  All runs are reproducible from a seed.
+//
+// Terminology (kept deliberately explicit because the paper conflates two
+// notions under "error rate"):
+//  * actual error   — the speculative result (including carry-out) differs
+//                     from the exact sum;
+//  * nominal error  — the detection logic flags (ERR for VLCSA 1, ERR0&ERR1
+//                     for VLCSA 2); this is the *stall* rate and is what
+//                     eq. (3.13) models.  Detection overestimates, so
+//                     nominal >= actual always (a tested invariant).
+
+#include <cstdint>
+#include <random>
+
+#include "arith/distributions.hpp"
+#include "speculative/scsa.hpp"
+#include "speculative/vlcsa.hpp"
+#include "speculative/vlsa.hpp"
+
+namespace vlcsa::harness {
+
+using arith::OperandSource;
+
+struct ErrorRateResult {
+  std::uint64_t samples = 0;
+  std::uint64_t actual_errors = 0;      // primary speculative result wrong
+  std::uint64_t nominal_errors = 0;     // detection flagged (stall)
+  std::uint64_t false_negatives = 0;    // wrong but not flagged (must be 0)
+  std::uint64_t either_wrong = 0;       // VLCSA 2: neither S*,0 nor S*,1 exact
+  std::uint64_t emitted_wrong = 0;      // final emitted result wrong (must be 0)
+  std::uint64_t total_cycles = 0;
+
+  [[nodiscard]] double actual_rate() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(actual_errors) / static_cast<double>(samples);
+  }
+  [[nodiscard]] double nominal_rate() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(nominal_errors) / static_cast<double>(samples);
+  }
+  [[nodiscard]] double either_wrong_rate() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(either_wrong) / static_cast<double>(samples);
+  }
+  /// Eq. (5.2)/(6.1) measured directly.
+  [[nodiscard]] double average_cycles() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(total_cycles) / static_cast<double>(samples);
+  }
+};
+
+/// Runs `samples` additions of a VLCSA configuration over an operand source.
+[[nodiscard]] ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
+                                        std::uint64_t samples, std::uint64_t seed);
+
+/// Runs the VLSA baseline the same way (actual = spec wrong, nominal = ERR).
+[[nodiscard]] ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
+                                       std::uint64_t samples, std::uint64_t seed);
+
+/// Finds the smallest window size whose *nominal* (stall) rate over the given
+/// distribution stays within slack * target — the simulation-driven sizing
+/// the paper uses for VLCSA 2 (Table 7.5).  Search range: [k_lo, k_hi].
+struct EmpiricalWindowSearch {
+  int window = 0;
+  ErrorRateResult result;  // stats at the chosen window
+};
+[[nodiscard]] EmpiricalWindowSearch find_window_for_nominal_rate(
+    int width, spec::ScsaVariant variant, arith::InputDistribution dist,
+    arith::GaussianParams params, double target, double slack, std::uint64_t samples,
+    std::uint64_t seed, int k_lo = 4, int k_hi = 32);
+
+}  // namespace vlcsa::harness

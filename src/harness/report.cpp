@@ -1,0 +1,97 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace vlcsa::harness {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: cell count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(width[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string fmt_pct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_delta_pct(double value, double baseline) {
+  if (baseline == 0.0) return "n/a";
+  const double delta = (value - baseline) / baseline * 100.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", delta);
+  return buf;
+}
+
+std::string fmt_sci(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", value);
+  return buf;
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv, std::uint64_t default_samples) {
+  BenchArgs args;
+  args.samples = default_samples;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto parse_value = [&](const std::string& prefix) -> std::uint64_t {
+      return std::stoull(arg.substr(prefix.size()));
+    };
+    if (arg.rfind("--samples=", 0) == 0) {
+      args.samples = parse_value("--samples=");
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      args.seed = parse_value("--seed=");
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      // Tolerated so google-benchmark style flags don't kill table benches
+      // when the whole bench directory is run with common flags.
+      continue;
+    } else {
+      throw std::invalid_argument("unknown argument: " + arg +
+                                  " (expected --samples=N or --seed=S)");
+    }
+  }
+  return args;
+}
+
+void print_banner(std::ostream& os, const std::string& artifact, const std::string& description) {
+  os << "==== " << artifact << " ====\n" << description << "\n\n";
+}
+
+}  // namespace vlcsa::harness

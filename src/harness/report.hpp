@@ -1,0 +1,51 @@
+#pragma once
+// Fixed-width table/series printers shared by all bench binaries, plus the
+// tiny CLI parser they use for --samples/--seed overrides.  Output format is
+// deliberately paper-like: one bench binary regenerates one table or figure
+// as rows on stdout (see DESIGN.md "Per-experiment index").
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vlcsa::harness {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a probability as a percentage with `decimals` digits ("0.01%").
+[[nodiscard]] std::string fmt_pct(double fraction, int decimals = 2);
+
+/// Formats a double with fixed decimals.
+[[nodiscard]] std::string fmt_fixed(double value, int decimals = 2);
+
+/// Formats a ratio as a signed percentage difference ("-19%", "+16%").
+[[nodiscard]] std::string fmt_delta_pct(double value, double baseline);
+
+/// Formats a probability in scientific notation ("1.14e-04").
+[[nodiscard]] std::string fmt_sci(double value);
+
+/// Common bench CLI: --samples=N --seed=S (order-free; unknown args fatal).
+struct BenchArgs {
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 1;
+
+  /// Parses argv; `default_samples` applies when --samples is absent.
+  static BenchArgs parse(int argc, char** argv, std::uint64_t default_samples);
+};
+
+/// Prints the standard bench banner (artifact id + workload description).
+void print_banner(std::ostream& os, const std::string& artifact, const std::string& description);
+
+}  // namespace vlcsa::harness

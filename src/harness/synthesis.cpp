@@ -1,0 +1,21 @@
+#include "harness/synthesis.hpp"
+
+namespace vlcsa::harness {
+
+SynthesisResult synthesize(const netlist::Netlist& nl, bool run_optimizer,
+                           const netlist::CellLibrary& lib) {
+  const netlist::Netlist optimized = run_optimizer ? netlist::optimize(nl) : netlist::prune(nl);
+  const auto timing = netlist::analyze_timing(optimized, lib);
+  const auto area = netlist::analyze_area(optimized, lib);
+
+  SynthesisResult out;
+  out.name = nl.name();
+  out.delay = timing.critical_delay;
+  out.area = area.total;
+  out.group_delay = timing.group_delay;
+  out.gates = optimized.logic_gate_count();
+  out.max_input_fanout = optimized.max_input_fanout();
+  return out;
+}
+
+}  // namespace vlcsa::harness

@@ -1,0 +1,35 @@
+#pragma once
+// The "synthesis" pipeline: netlist -> optimizer -> static timing + area.
+// This stands in for the Design Compiler runs of Ch. 7.1; every delay/area
+// number in the benches flows through here so all designs are treated
+// identically.
+
+#include <map>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/timing.hpp"
+
+namespace vlcsa::harness {
+
+struct SynthesisResult {
+  std::string name;
+  double delay = 0.0;  // critical-path delay over all outputs [tau]
+  double area = 0.0;   // cell area [minimal-inverter units]
+  std::map<std::string, double> group_delay;
+  std::uint32_t gates = 0;
+  std::uint32_t max_input_fanout = 0;
+
+  [[nodiscard]] double delay_of(const std::string& group) const {
+    const auto it = group_delay.find(group);
+    return it == group_delay.end() ? 0.0 : it->second;
+  }
+};
+
+/// Optimizes (unless told not to) and measures a netlist.
+[[nodiscard]] SynthesisResult synthesize(
+    const netlist::Netlist& nl, bool run_optimizer = true,
+    const netlist::CellLibrary& lib = netlist::CellLibrary::standard());
+
+}  // namespace vlcsa::harness

@@ -1,0 +1,84 @@
+#include "netlist/dot.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace vlcsa::netlist {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* group_color(const std::string& group) {
+  if (group == "spec") return "lightblue";
+  if (group == "detect") return "orange";
+  if (group == "recovery") return "palegreen";
+  return "lightgray";
+}
+
+}  // namespace
+
+void emit_dot(const Netlist& nl, std::ostream& os) {
+  os << "digraph \"" << escape(nl.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n";
+
+  for (std::uint32_t i = 0; i < nl.num_gates(); ++i) {
+    const Gate& g = nl.gates()[i];
+    if (g.kind == GateKind::kInput) continue;  // declared below with port names
+    os << "  n" << i << " [";
+    switch (g.kind) {
+      case GateKind::kConst0:
+        os << "shape=plaintext, label=\"0\"";
+        break;
+      case GateKind::kConst1:
+        os << "shape=plaintext, label=\"1\"";
+        break;
+      default:
+        os << "shape=ellipse, label=\"" << to_string(g.kind) << "\"";
+        break;
+    }
+    os << "];\n";
+  }
+  for (const auto& port : nl.inputs()) {
+    os << "  n" << port.signal.id << " [shape=box, style=filled, fillcolor=khaki, label=\""
+       << escape(port.name) << "\"];\n";
+  }
+
+  for (std::uint32_t i = 0; i < nl.num_gates(); ++i) {
+    const Gate& g = nl.gates()[i];
+    const int pins = fanin_count(g.kind);
+    for (int pin = 0; pin < pins; ++pin) {
+      os << "  n" << g.fanin[static_cast<std::size_t>(pin)].id << " -> n" << i;
+      if (g.kind == GateKind::kMux2) {
+        os << " [label=\"" << (pin == 0 ? "sel" : (pin == 1 ? "0" : "1")) << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+
+  // Output markers (sequential node ids; port names go into labels only).
+  int out_counter = 0;
+  for (const auto& port : nl.outputs()) {
+    os << "  o" << out_counter << " [shape=doublecircle, style=filled, fillcolor="
+       << group_color(port.group) << ", label=\"" << escape(port.name) << "\"];\n";
+    os << "  n" << port.signal.id << " -> o" << out_counter << ";\n";
+    ++out_counter;
+  }
+  os << "}\n";
+}
+
+std::string to_dot(const Netlist& nl) {
+  std::ostringstream os;
+  emit_dot(nl, os);
+  return os.str();
+}
+
+}  // namespace vlcsa::netlist

@@ -1,0 +1,20 @@
+#pragma once
+// Graphviz DOT export of a netlist, for inspecting generated structures
+// (window adders, detection trees, prefix networks).  Inputs render as
+// boxes, outputs as double circles colored by output group, gates as
+// ellipses labeled with their cell kind.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::netlist {
+
+/// Writes a `digraph` for the whole netlist.  Intended for small netlists
+/// (a window adder, a detector); a 512-bit VLCSA renders but is unreadable.
+void emit_dot(const Netlist& nl, std::ostream& os);
+
+[[nodiscard]] std::string to_dot(const Netlist& nl);
+
+}  // namespace vlcsa::netlist

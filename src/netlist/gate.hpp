@@ -1,0 +1,73 @@
+#pragma once
+// Gate vocabulary of the netlist IR.
+//
+// The cell set mirrors the paper's implementation sketches: everything is
+// built from 2-input logic, inverters and 2:1 muxes (the error-detection
+// blocks of Figs 5.1/6.7 are explicitly "2-input AND and OR gates"; the
+// carry-select structures are muxes).  Wider operators are composed as
+// balanced trees by the builder helpers.
+
+#include <cstdint>
+
+namespace vlcsa::netlist {
+
+enum class GateKind : std::uint8_t {
+  kConst0,  // constant 0, no fanin
+  kConst1,  // constant 1, no fanin
+  kInput,   // primary input, no fanin
+  kBuf,     // x
+  kNot,     // !x
+  kAnd2,    // x & y
+  kOr2,     // x | y
+  kNand2,   // !(x & y)
+  kNor2,    // !(x | y)
+  kXor2,    // x ^ y
+  kXnor2,   // !(x ^ y)
+  kMux2,    // fanin[0] ? fanin[2] : fanin[1]   (sel, d0, d1)
+};
+
+/// Number of fanin pins for a gate kind.
+[[nodiscard]] constexpr int fanin_count(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+    case GateKind::kInput:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 1;
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      return 2;
+    case GateKind::kMux2:
+      return 3;
+  }
+  return 0;
+}
+
+/// True for the two-input gates whose function is symmetric in the inputs
+/// (used by structural hashing to canonicalize fanin order).
+[[nodiscard]] constexpr bool is_commutative(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAnd2:
+    case GateKind::kOr2:
+    case GateKind::kNand2:
+    case GateKind::kNor2:
+    case GateKind::kXor2:
+    case GateKind::kXnor2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] const char* to_string(GateKind kind);
+
+/// Total number of gate kinds (for per-kind histograms).
+inline constexpr int kNumGateKinds = 12;
+
+}  // namespace vlcsa::netlist

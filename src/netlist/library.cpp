@@ -1,0 +1,33 @@
+#include "netlist/library.hpp"
+
+namespace vlcsa::netlist {
+
+CellLibrary::CellLibrary() {
+  auto set = [this](GateKind k, double g, double p, double a) {
+    cells_[static_cast<std::size_t>(k)] = CellParams{g, p, a};
+  };
+  // Zero-delay, zero-area pseudo cells.
+  set(GateKind::kConst0, 0.0, 0.0, 0.0);
+  set(GateKind::kConst1, 0.0, 0.0, 0.0);
+  set(GateKind::kInput, 0.0, 0.0, 0.0);
+  // Logical-effort values (classic Sutherland/Sproull/Harris numbers for the
+  // static CMOS cells; AND2/OR2 modeled as NAND2/NOR2 + inverter composites).
+  set(GateKind::kNot, 1.0, 1.0, 1.0);
+  set(GateKind::kBuf, 2.0, 2.0, 2.0);
+  set(GateKind::kNand2, 4.0 / 3.0, 2.0, 2.0);
+  set(GateKind::kNor2, 5.0 / 3.0, 2.0, 2.0);
+  set(GateKind::kAnd2, 7.0 / 3.0, 3.0, 3.0);
+  set(GateKind::kOr2, 8.0 / 3.0, 3.0, 3.0);
+  set(GateKind::kXor2, 4.0, 4.0, 4.0);
+  set(GateKind::kXnor2, 4.0, 4.0, 4.0);
+  set(GateKind::kMux2, 2.0, 4.0, 5.0);
+  // Primary-input driver: a standard buffer.
+  input_driver_ = CellParams{2.0, 2.0, 0.0};
+}
+
+const CellLibrary& CellLibrary::standard() {
+  static const CellLibrary lib;
+  return lib;
+}
+
+}  // namespace vlcsa::netlist

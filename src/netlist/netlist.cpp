@@ -1,0 +1,197 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace vlcsa::netlist {
+
+const char* to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kInput: return "input";
+    case GateKind::kBuf: return "buf";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd2: return "and2";
+    case GateKind::kOr2: return "or2";
+    case GateKind::kNand2: return "nand2";
+    case GateKind::kNor2: return "nor2";
+    case GateKind::kXor2: return "xor2";
+    case GateKind::kXnor2: return "xnor2";
+    case GateKind::kMux2: return "mux2";
+  }
+  return "?";
+}
+
+Signal Netlist::add_input(std::string name) {
+  const Signal s{num_gates()};
+  gates_.push_back(Gate{GateKind::kInput, {}});
+  inputs_.push_back(Port{std::move(name), s, ""});
+  return s;
+}
+
+Signal Netlist::constant(bool value) {
+  Signal& cached = value ? const1_ : const0_;
+  if (!cached.valid()) {
+    cached = Signal{num_gates()};
+    gates_.push_back(Gate{value ? GateKind::kConst1 : GateKind::kConst0, {}});
+  }
+  return cached;
+}
+
+Signal Netlist::make_gate(GateKind kind, Signal a, Signal b, Signal c) {
+  const int pins = fanin_count(kind);
+  const std::array<Signal, 3> fanin{a, b, c};
+  for (int i = 0; i < pins; ++i) {
+    if (!fanin[static_cast<std::size_t>(i)].valid() ||
+        fanin[static_cast<std::size_t>(i)].id >= num_gates()) {
+      throw std::invalid_argument("Netlist::make_gate: bad fanin signal");
+    }
+  }
+  for (int i = pins; i < 3; ++i) {
+    if (fanin[static_cast<std::size_t>(i)].valid()) {
+      throw std::invalid_argument("Netlist::make_gate: too many fanins for gate kind");
+    }
+  }
+  const Signal s{num_gates()};
+  gates_.push_back(Gate{kind, fanin});
+  return s;
+}
+
+namespace {
+
+Signal reduce_tree(Netlist& nl, GateKind kind, const std::vector<Signal>& xs, bool empty_value) {
+  if (xs.empty()) return nl.constant(empty_value);
+  std::vector<Signal> level = xs;
+  while (level.size() > 1) {
+    std::vector<Signal> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(nl.make_gate(kind, level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+}  // namespace
+
+Signal Netlist::and_reduce(const std::vector<Signal>& xs) {
+  return reduce_tree(*this, GateKind::kAnd2, xs, /*empty_value=*/true);
+}
+
+Signal Netlist::or_reduce(const std::vector<Signal>& xs) {
+  return reduce_tree(*this, GateKind::kOr2, xs, /*empty_value=*/false);
+}
+
+namespace {
+
+/// Polarity-tracked reduction with inverting gates: combining two same-
+/// polarity nodes uses one NAND2/NOR2 and flips the polarity; mismatched
+/// polarities are reconciled with an inverter.  `is_and` selects the
+/// function being reduced.
+Signal reduce_tree_fast(Netlist& nl, const std::vector<Signal>& xs, bool is_and) {
+  struct Node {
+    Signal s;
+    bool inverted;  // node value = inverted ? ~s : s
+  };
+  if (xs.empty()) return nl.constant(is_and);
+  std::vector<Node> level;
+  level.reserve(xs.size());
+  for (const Signal s : xs) level.push_back({s, false});
+  while (level.size() > 1) {
+    std::vector<Node> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      Node a = level[i];
+      Node b = level[i + 1];
+      if (a.inverted != b.inverted) {
+        // Materialize the inverted one so both carry the same polarity.
+        Node& inv = a.inverted ? a : b;
+        inv = {nl.not_(inv.s), false};
+      }
+      if (!a.inverted) {
+        // AND(a,b) = ~NAND(a,b); OR(a,b) = ~NOR(a,b).
+        next.push_back({is_and ? nl.nand_(a.s, b.s) : nl.nor_(a.s, b.s), true});
+      } else {
+        // AND(~a,~b) = NOR(a,b); OR(~a,~b) = NAND(a,b).
+        next.push_back({is_and ? nl.nor_(a.s, b.s) : nl.nand_(a.s, b.s), false});
+      }
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  const Node root = level.front();
+  return root.inverted ? nl.not_(root.s) : root.s;
+}
+
+}  // namespace
+
+Signal Netlist::and_reduce_fast(const std::vector<Signal>& xs) {
+  return reduce_tree_fast(*this, xs, /*is_and=*/true);
+}
+
+Signal Netlist::or_reduce_fast(const std::vector<Signal>& xs) {
+  return reduce_tree_fast(*this, xs, /*is_and=*/false);
+}
+
+void Netlist::add_output(std::string name, Signal s, std::string group) {
+  if (!s.valid() || s.id >= num_gates()) {
+    throw std::invalid_argument("Netlist::add_output: bad signal");
+  }
+  outputs_.push_back(Port{std::move(name), s, std::move(group)});
+}
+
+std::optional<Signal> Netlist::find_input(const std::string& name) const {
+  for (const auto& p : inputs_) {
+    if (p.name == name) return p.signal;
+  }
+  return std::nullopt;
+}
+
+std::optional<Signal> Netlist::find_output(const std::string& name) const {
+  for (const auto& p : outputs_) {
+    if (p.name == name) return p.signal;
+  }
+  return std::nullopt;
+}
+
+std::uint32_t Netlist::logic_gate_count() const {
+  std::uint32_t n = 0;
+  for (const auto& g : gates_) {
+    switch (g.kind) {
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+      case GateKind::kInput:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+std::array<std::uint32_t, kNumGateKinds> Netlist::kind_histogram() const {
+  std::array<std::uint32_t, kNumGateKinds> h{};
+  for (const auto& g : gates_) h[static_cast<std::size_t>(g.kind)] += 1;
+  return h;
+}
+
+std::vector<std::uint32_t> Netlist::fanout_counts() const {
+  std::vector<std::uint32_t> fo(gates_.size(), 0);
+  for (const auto& g : gates_) {
+    const int pins = fanin_count(g.kind);
+    for (int i = 0; i < pins; ++i) fo[g.fanin[static_cast<std::size_t>(i)].id] += 1;
+  }
+  for (const auto& p : outputs_) fo[p.signal.id] += 1;
+  return fo;
+}
+
+std::uint32_t Netlist::max_input_fanout() const {
+  const auto fo = fanout_counts();
+  std::uint32_t best = 0;
+  for (const auto& p : inputs_) best = std::max(best, fo[p.signal.id]);
+  return best;
+}
+
+}  // namespace vlcsa::netlist

@@ -1,0 +1,126 @@
+#pragma once
+// Gate-level netlist IR.
+//
+// A Netlist is an append-only DAG of gates.  Signals are indices into the
+// gate array; a gate may only reference signals created before it, so the
+// creation order is a topological order — the simulator and the static
+// timing analyzer exploit this and never need an explicit sort.
+//
+// Primary outputs are named ports that may carry an *output group* label
+// ("spec", "detect", "recovery", ...).  Per-group arrival times are what the
+// paper's variable-latency delay figures (7.4, 7.8, 7.10) report.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace vlcsa::netlist {
+
+/// Handle to a net (the output of one gate).
+struct Signal {
+  std::uint32_t id = kInvalidId;
+
+  static constexpr std::uint32_t kInvalidId = 0xffffffffu;
+
+  [[nodiscard]] constexpr bool valid() const { return id != kInvalidId; }
+  [[nodiscard]] constexpr bool operator==(const Signal&) const = default;
+  [[nodiscard]] constexpr auto operator<=>(const Signal&) const = default;
+};
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::array<Signal, 3> fanin{};  // unused pins are invalid
+};
+
+/// A named primary input or output port.
+struct Port {
+  std::string name;
+  Signal signal;
+  std::string group;  // outputs only; "" = default group
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name = "top") : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ---- construction -------------------------------------------------------
+
+  /// Adds a primary input port.
+  Signal add_input(std::string name);
+
+  /// Returns the (cached) constant signal.
+  Signal constant(bool value);
+
+  /// Adds a gate; fanins must be existing signals of this netlist.
+  Signal make_gate(GateKind kind, Signal a = {}, Signal b = {}, Signal c = {});
+
+  Signal buf(Signal x) { return make_gate(GateKind::kBuf, x); }
+  Signal not_(Signal x) { return make_gate(GateKind::kNot, x); }
+  Signal and_(Signal x, Signal y) { return make_gate(GateKind::kAnd2, x, y); }
+  Signal or_(Signal x, Signal y) { return make_gate(GateKind::kOr2, x, y); }
+  Signal nand_(Signal x, Signal y) { return make_gate(GateKind::kNand2, x, y); }
+  Signal nor_(Signal x, Signal y) { return make_gate(GateKind::kNor2, x, y); }
+  Signal xor_(Signal x, Signal y) { return make_gate(GateKind::kXor2, x, y); }
+  Signal xnor_(Signal x, Signal y) { return make_gate(GateKind::kXnor2, x, y); }
+  /// sel ? d1 : d0
+  Signal mux(Signal sel, Signal d0, Signal d1) { return make_gate(GateKind::kMux2, sel, d0, d1); }
+
+  /// Balanced AND tree of AND2 gates; empty input yields constant 1.
+  Signal and_reduce(const std::vector<Signal>& xs);
+  /// Balanced OR tree of OR2 gates; empty input yields constant 0.
+  Signal or_reduce(const std::vector<Signal>& xs);
+
+  /// Reduction trees built from alternating NAND2/NOR2 levels (DeMorgan
+  /// pairing) — what a delay-driven synthesis run produces instead of
+  /// AND2/OR2 chains.  Same function, roughly half the per-level delay.
+  /// Used by the error-detection blocks (Figs 5.1/6.7).
+  Signal and_reduce_fast(const std::vector<Signal>& xs);
+  Signal or_reduce_fast(const std::vector<Signal>& xs);
+
+  /// Registers a primary output.
+  void add_output(std::string name, Signal s, std::string group = "");
+
+  // ---- inspection ---------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t num_gates() const { return static_cast<std::uint32_t>(gates_.size()); }
+  [[nodiscard]] const Gate& gate(Signal s) const { return gates_[s.id]; }
+  [[nodiscard]] const std::vector<Gate>& gates() const { return gates_; }
+  [[nodiscard]] const std::vector<Port>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<Port>& outputs() const { return outputs_; }
+
+  /// Looks up an input port by name.
+  [[nodiscard]] std::optional<Signal> find_input(const std::string& name) const;
+  /// Looks up an output port by name.
+  [[nodiscard]] std::optional<Signal> find_output(const std::string& name) const;
+
+  /// Number of logic gates (excludes inputs and constants).
+  [[nodiscard]] std::uint32_t logic_gate_count() const;
+
+  /// Per-kind gate histogram indexed by static_cast<int>(GateKind).
+  [[nodiscard]] std::array<std::uint32_t, kNumGateKinds> kind_histogram() const;
+
+  /// Fanout count of every signal (number of gate pins it drives; primary
+  /// outputs add one each).
+  [[nodiscard]] std::vector<std::uint32_t> fanout_counts() const;
+
+  /// Largest fanout among primary inputs (the paper flags PI fanout as a
+  /// weakness of per-bit speculation).
+  [[nodiscard]] std::uint32_t max_input_fanout() const;
+
+ private:
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<Port> inputs_;
+  std::vector<Port> outputs_;
+  Signal const0_{};
+  Signal const1_{};
+};
+
+}  // namespace vlcsa::netlist

@@ -1,0 +1,239 @@
+#include "netlist/opt.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace vlcsa::netlist {
+
+namespace {
+
+struct GateKey {
+  GateKind kind;
+  std::uint32_t f0, f1, f2;
+
+  bool operator==(const GateKey&) const = default;
+};
+
+struct GateKeyHash {
+  std::size_t operator()(const GateKey& k) const {
+    std::size_t h = static_cast<std::size_t>(k.kind);
+    h = h * 1000003u ^ k.f0;
+    h = h * 1000003u ^ k.f1;
+    h = h * 1000003u ^ k.f2;
+    return h;
+  }
+};
+
+/// Builds the optimized gate sea.  All emission funnels through emit(), which
+/// applies local rewrites first and structural hashing second, so rewrite
+/// products are themselves simplified and shared.
+class Optimizer {
+ public:
+  explicit Optimizer(const Netlist& src) : src_(src), out_(src.name()) {}
+
+  Netlist run() {
+    map_.assign(src_.num_gates(), Signal{});
+    const auto& gates = src_.gates();
+    std::size_t input_idx = 0;
+    for (std::uint32_t i = 0; i < gates.size(); ++i) {
+      const Gate& g = gates[i];
+      switch (g.kind) {
+        case GateKind::kInput:
+          map_[i] = out_.add_input(src_.inputs()[input_idx++].name);
+          break;
+        case GateKind::kConst0:
+          map_[i] = out_.constant(false);
+          break;
+        case GateKind::kConst1:
+          map_[i] = out_.constant(true);
+          break;
+        default: {
+          const int pins = fanin_count(g.kind);
+          Signal f[3];
+          for (int pin = 0; pin < pins; ++pin) {
+            f[pin] = map_[g.fanin[static_cast<std::size_t>(pin)].id];
+          }
+          map_[i] = emit(g.kind, f[0], f[1], f[2]);
+          break;
+        }
+      }
+    }
+    for (const auto& port : src_.outputs()) {
+      out_.add_output(port.name, map_[port.signal.id], port.group);
+    }
+    return prune(out_);
+  }
+
+ private:
+  [[nodiscard]] bool is_const(Signal s, bool value) const {
+    const GateKind k = out_.gate(s).kind;
+    return value ? k == GateKind::kConst1 : k == GateKind::kConst0;
+  }
+
+  /// True when `a` is the complement of `b` (either is a NOT of the other).
+  [[nodiscard]] bool complementary(Signal a, Signal b) const {
+    const Gate& ga = out_.gate(a);
+    if (ga.kind == GateKind::kNot && ga.fanin[0] == b) return true;
+    const Gate& gb = out_.gate(b);
+    return gb.kind == GateKind::kNot && gb.fanin[0] == a;
+  }
+
+  Signal emit_not(Signal x) { return emit(GateKind::kNot, x, {}, {}); }
+
+  Signal emit(GateKind kind, Signal a, Signal b, Signal c) {
+    switch (kind) {
+      case GateKind::kBuf:
+        return a;  // buffers carry no logic; timing inserts drivers implicitly
+      case GateKind::kNot: {
+        if (is_const(a, false)) return out_.constant(true);
+        if (is_const(a, true)) return out_.constant(false);
+        const Gate& g = out_.gate(a);
+        if (g.kind == GateKind::kNot) return g.fanin[0];
+        break;
+      }
+      case GateKind::kAnd2: {
+        if (is_const(a, false) || is_const(b, false)) return out_.constant(false);
+        if (is_const(a, true)) return b;
+        if (is_const(b, true)) return a;
+        if (a == b) return a;
+        if (complementary(a, b)) return out_.constant(false);
+        break;
+      }
+      case GateKind::kOr2: {
+        if (is_const(a, true) || is_const(b, true)) return out_.constant(true);
+        if (is_const(a, false)) return b;
+        if (is_const(b, false)) return a;
+        if (a == b) return a;
+        if (complementary(a, b)) return out_.constant(true);
+        break;
+      }
+      case GateKind::kNand2: {
+        if (is_const(a, false) || is_const(b, false)) return out_.constant(true);
+        if (is_const(a, true)) return emit_not(b);
+        if (is_const(b, true)) return emit_not(a);
+        if (a == b) return emit_not(a);
+        if (complementary(a, b)) return out_.constant(true);
+        break;
+      }
+      case GateKind::kNor2: {
+        if (is_const(a, true) || is_const(b, true)) return out_.constant(false);
+        if (is_const(a, false)) return emit_not(b);
+        if (is_const(b, false)) return emit_not(a);
+        if (a == b) return emit_not(a);
+        if (complementary(a, b)) return out_.constant(false);
+        break;
+      }
+      case GateKind::kXor2: {
+        if (is_const(a, false)) return b;
+        if (is_const(b, false)) return a;
+        if (is_const(a, true)) return emit_not(b);
+        if (is_const(b, true)) return emit_not(a);
+        if (a == b) return out_.constant(false);
+        if (complementary(a, b)) return out_.constant(true);
+        break;
+      }
+      case GateKind::kXnor2: {
+        if (is_const(a, true)) return b;
+        if (is_const(b, true)) return a;
+        if (is_const(a, false)) return emit_not(b);
+        if (is_const(b, false)) return emit_not(a);
+        if (a == b) return out_.constant(true);
+        if (complementary(a, b)) return out_.constant(false);
+        break;
+      }
+      case GateKind::kMux2: {
+        // (a, b, c) = (sel, d0, d1)
+        if (is_const(a, false)) return b;
+        if (is_const(a, true)) return c;
+        if (b == c) return b;
+        if (is_const(b, false) && is_const(c, true)) return a;
+        if (is_const(b, true) && is_const(c, false)) return emit_not(a);
+        if (is_const(c, true)) return emit(GateKind::kOr2, a, b, {});       // sel | d0
+        if (is_const(c, false)) return emit(GateKind::kAnd2, emit_not(a), b, {});
+        if (is_const(b, false)) return emit(GateKind::kAnd2, a, c, {});     // sel & d1
+        if (is_const(b, true)) return emit(GateKind::kOr2, emit_not(a), c, {});
+        if (c == a) return emit(GateKind::kOr2, a, b, {});                  // sel ? sel : d0
+        if (b == a) return emit(GateKind::kAnd2, a, c, {});                 // sel ? d1 : sel
+        break;
+      }
+      default:
+        break;
+    }
+
+    GateKey key{kind, a.id, b.id, c.id};
+    if (is_commutative(kind) && key.f1 < key.f0) std::swap(key.f0, key.f1);
+    if (const auto it = strash_.find(key); it != strash_.end()) return it->second;
+    const Signal s = out_.make_gate(kind, a, b, c);
+    strash_.emplace(key, s);
+    return s;
+  }
+
+  const Netlist& src_;
+  Netlist out_;
+  std::vector<Signal> map_;
+  std::unordered_map<GateKey, Signal, GateKeyHash> strash_;
+};
+
+}  // namespace
+
+Netlist prune(const Netlist& nl) {
+  std::vector<bool> live(nl.num_gates(), false);
+  // Outputs are the roots; walk fanin cones iteratively.
+  std::vector<Signal> stack;
+  for (const auto& port : nl.outputs()) stack.push_back(port.signal);
+  while (!stack.empty()) {
+    const Signal s = stack.back();
+    stack.pop_back();
+    if (live[s.id]) continue;
+    live[s.id] = true;
+    const Gate& g = nl.gate(s);
+    const int pins = fanin_count(g.kind);
+    for (int pin = 0; pin < pins; ++pin) stack.push_back(g.fanin[static_cast<std::size_t>(pin)]);
+  }
+
+  Netlist out(nl.name());
+  std::vector<Signal> map(nl.num_gates(), Signal{});
+  const auto& gates = nl.gates();
+  std::size_t input_idx = 0;
+  for (std::uint32_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (g.kind == GateKind::kInput) {
+      // Inputs are interface: keep all of them, live or not.
+      map[i] = out.add_input(nl.inputs()[input_idx++].name);
+      continue;
+    }
+    if (!live[i]) continue;
+    switch (g.kind) {
+      case GateKind::kConst0:
+        map[i] = out.constant(false);
+        break;
+      case GateKind::kConst1:
+        map[i] = out.constant(true);
+        break;
+      default: {
+        const int pins = fanin_count(g.kind);
+        Signal f[3];
+        for (int pin = 0; pin < pins; ++pin) {
+          f[pin] = map[g.fanin[static_cast<std::size_t>(pin)].id];
+        }
+        map[i] = out.make_gate(g.kind, f[0], f[1], f[2]);
+        break;
+      }
+    }
+  }
+  for (const auto& port : nl.outputs()) {
+    out.add_output(port.name, map[port.signal.id], port.group);
+  }
+  return out;
+}
+
+Netlist optimize(const Netlist& nl, OptStats* stats) {
+  Netlist out = Optimizer(nl).run();
+  if (stats != nullptr) {
+    stats->gates_before = nl.logic_gate_count();
+    stats->gates_after = out.logic_gate_count();
+  }
+  return out;
+}
+
+}  // namespace vlcsa::netlist

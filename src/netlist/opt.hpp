@@ -1,0 +1,34 @@
+#pragma once
+// Netlist optimizer: constant folding, local algebraic rewrites, structural
+// hashing (common-subexpression merging) and dead-gate elimination.
+//
+// Generators in this library intentionally emit regular, readable structures
+// (e.g. the first SCSA window receives a constant carry-in; prefix networks
+// compute group-propagate signals nobody consumes).  The optimizer plays the
+// role Design Compiler plays in the paper's flow: it removes that slack
+// before timing/area are measured, so reported numbers reflect an optimized
+// implementation rather than template overhead.  Gray-cell pruning in the
+// prefix adders falls out of dead-gate elimination automatically.
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::netlist {
+
+struct OptStats {
+  std::uint32_t gates_before = 0;
+  std::uint32_t gates_after = 0;
+
+  [[nodiscard]] std::uint32_t removed() const { return gates_before - gates_after; }
+};
+
+/// Returns an optimized copy of `nl` with identical ports (names, order,
+/// output groups) and identical function on every input assignment.
+[[nodiscard]] Netlist optimize(const Netlist& nl, OptStats* stats = nullptr);
+
+/// Dead-gate elimination only: keeps every input port and the transitive
+/// fanin of the outputs.
+[[nodiscard]] Netlist prune(const Netlist& nl);
+
+}  // namespace vlcsa::netlist

@@ -1,0 +1,47 @@
+#include "netlist/simulator.hpp"
+
+#include <stdexcept>
+
+namespace vlcsa::netlist {
+
+Simulator::Simulator(const Netlist& nl) : nl_(nl), values_(nl.num_gates(), 0) {}
+
+void Simulator::set_input(std::size_t input_index, std::uint64_t word) {
+  values_.at(nl_.inputs().at(input_index).signal.id) = word;
+}
+
+void Simulator::set_input(const std::string& name, std::uint64_t word) {
+  const auto s = nl_.find_input(name);
+  if (!s) throw std::invalid_argument("Simulator: no input named " + name);
+  values_[s->id] = word;
+}
+
+void Simulator::run() {
+  const auto& gates = nl_.gates();
+  for (std::uint32_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    auto in = [&](int pin) { return values_[g.fanin[static_cast<std::size_t>(pin)].id]; };
+    switch (g.kind) {
+      case GateKind::kConst0: values_[i] = 0; break;
+      case GateKind::kConst1: values_[i] = ~std::uint64_t{0}; break;
+      case GateKind::kInput: break;  // set externally
+      case GateKind::kBuf: values_[i] = in(0); break;
+      case GateKind::kNot: values_[i] = ~in(0); break;
+      case GateKind::kAnd2: values_[i] = in(0) & in(1); break;
+      case GateKind::kOr2: values_[i] = in(0) | in(1); break;
+      case GateKind::kNand2: values_[i] = ~(in(0) & in(1)); break;
+      case GateKind::kNor2: values_[i] = ~(in(0) | in(1)); break;
+      case GateKind::kXor2: values_[i] = in(0) ^ in(1); break;
+      case GateKind::kXnor2: values_[i] = ~(in(0) ^ in(1)); break;
+      case GateKind::kMux2: values_[i] = (in(0) & in(2)) | (~in(0) & in(1)); break;
+    }
+  }
+}
+
+std::uint64_t Simulator::output(const std::string& name) const {
+  const auto s = nl_.find_output(name);
+  if (!s) throw std::invalid_argument("Simulator: no output named " + name);
+  return values_[s->id];
+}
+
+}  // namespace vlcsa::netlist

@@ -1,0 +1,82 @@
+#include "netlist/timing.hpp"
+
+#include <algorithm>
+
+namespace vlcsa::netlist {
+
+TimingReport analyze_timing(const Netlist& nl, const CellLibrary& lib) {
+  TimingReport report;
+  const auto fanout = nl.fanout_counts();
+  report.arrival.assign(nl.num_gates(), 0.0);
+
+  // Records, for critical-path extraction, which fanin determined the arrival.
+  std::vector<Signal> worst_fanin(nl.num_gates(), Signal{});
+
+  const auto& gates = nl.gates();
+  for (std::uint32_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    switch (g.kind) {
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        report.arrival[i] = 0.0;
+        break;
+      case GateKind::kInput:
+        // Primary inputs arrive behind a driver buffer, so PI fanout costs
+        // time (with the same buffer-chain relief as internal nets).
+        report.arrival[i] = lib.delay(GateKind::kBuf, static_cast<double>(fanout[i]));
+        break;
+      default: {
+        double worst = 0.0;
+        Signal worst_sig{};
+        const int pins = fanin_count(g.kind);
+        for (int pin = 0; pin < pins; ++pin) {
+          const Signal s = g.fanin[static_cast<std::size_t>(pin)];
+          if (report.arrival[s.id] >= worst) {
+            worst = report.arrival[s.id];
+            worst_sig = s;
+          }
+        }
+        report.arrival[i] = worst + lib.delay(g.kind, static_cast<double>(fanout[i]));
+        worst_fanin[i] = worst_sig;
+        break;
+      }
+    }
+  }
+
+  Signal critical_endpoint{};
+  for (const auto& port : nl.outputs()) {
+    const double t = report.arrival[port.signal.id];
+    auto [it, inserted] = report.group_delay.try_emplace(port.group, t);
+    if (!inserted) it->second = std::max(it->second, t);
+    if (t >= report.critical_delay) {
+      report.critical_delay = t;
+      critical_endpoint = port.signal;
+    }
+  }
+
+  if (critical_endpoint.valid()) {
+    std::vector<Signal> path;
+    for (Signal s = critical_endpoint; s.valid(); s = worst_fanin[s.id]) path.push_back(s);
+    report.critical_path.assign(path.rbegin(), path.rend());
+  }
+  return report;
+}
+
+AreaReport analyze_area(const Netlist& nl, const CellLibrary& lib) {
+  AreaReport report;
+  report.kind_counts = nl.kind_histogram();
+  for (const auto& g : nl.gates()) {
+    report.total += lib.area(g.kind);
+    switch (g.kind) {
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+      case GateKind::kInput:
+        break;
+      default:
+        ++report.logic_gates;
+    }
+  }
+  return report;
+}
+
+}  // namespace vlcsa::netlist

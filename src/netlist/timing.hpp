@@ -1,0 +1,48 @@
+#pragma once
+// Static timing analysis and area accounting over the netlist IR, using the
+// normalized logical-effort library.  This pair of numbers (critical-path
+// delay, cell area) is what every delay/area figure in Ch. 7 reports.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/library.hpp"
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::netlist {
+
+struct TimingReport {
+  /// Worst arrival over all primary outputs.
+  double critical_delay = 0.0;
+  /// Worst arrival per output group ("" = ungrouped outputs).
+  std::map<std::string, double> group_delay;
+  /// Arrival time of every signal.
+  std::vector<double> arrival;
+  /// Signals of the overall critical path, input first.
+  std::vector<Signal> critical_path;
+
+  /// Worst arrival of a group; 0 when the group has no outputs.
+  [[nodiscard]] double delay_of(const std::string& group) const {
+    const auto it = group_delay.find(group);
+    return it == group_delay.end() ? 0.0 : it->second;
+  }
+};
+
+/// Computes arrival times: arrival(gate) = max fanin arrival + d(gate),
+/// d(gate) = parasitic + effort * fanout.  Primary inputs arrive behind a
+/// driver buffer, so PI fanout costs time (the paper's per-bit speculative
+/// adders pay exactly this penalty).
+[[nodiscard]] TimingReport analyze_timing(const Netlist& nl,
+                                          const CellLibrary& lib = CellLibrary::standard());
+
+struct AreaReport {
+  double total = 0.0;                       // minimal-inverter units
+  std::array<std::uint32_t, kNumGateKinds> kind_counts{};
+  std::uint32_t logic_gates = 0;
+};
+
+[[nodiscard]] AreaReport analyze_area(const Netlist& nl,
+                                      const CellLibrary& lib = CellLibrary::standard());
+
+}  // namespace vlcsa::netlist

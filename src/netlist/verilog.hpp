@@ -1,0 +1,23 @@
+#pragma once
+// Structural Verilog-2001 emitter.
+//
+// The paper's flow is "C++ programs which take the adder width n and the
+// window size k, and generate Verilog files" (Ch. 7.1); this module is that
+// back-end.  Ports named like "a[3]" are collapsed into proper vector ports;
+// everything else becomes scalar ports.  The body is a flat sea of
+// primitive-gate continuous assignments, synthesizable by any tool.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::netlist {
+
+/// Writes a synthesizable structural Verilog module for `nl`.
+void emit_verilog(const Netlist& nl, std::ostream& os);
+
+/// Convenience: returns the module text as a string.
+[[nodiscard]] std::string to_verilog(const Netlist& nl);
+
+}  // namespace vlcsa::netlist

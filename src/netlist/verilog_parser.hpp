@@ -1,0 +1,20 @@
+#pragma once
+// Parser for the structural Verilog subset produced by emit_verilog,
+// closing the loop on the paper's generator flow: netlists can be emitted,
+// re-parsed, and formally checked equivalent (round-trip tests do exactly
+// that).  Supported constructs: scalar/vector input/output/wire
+// declarations and continuous assignments of the emitted shapes
+// (constants, buf, ~x, x OP y, ~(x OP y), s ? a : b).
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace vlcsa::netlist {
+
+/// Parses one module.  Throws std::invalid_argument with a line-numbered
+/// message on anything outside the supported subset.
+/// Output groups are not representable in Verilog and come back empty.
+[[nodiscard]] Netlist parse_verilog(const std::string& text);
+
+}  // namespace vlcsa::netlist

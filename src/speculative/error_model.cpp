@@ -1,0 +1,146 @@
+#include "speculative/error_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "speculative/window.hpp"
+
+namespace vlcsa::spec {
+
+namespace {
+
+/// P(group propagate = 1) for a window of `size` uniform bits: every bit
+/// propagates, each with probability 1/2.  (Eq. 3.10)
+double p_group_propagate(int size) { return std::ldexp(1.0, -size); }
+
+/// P(group generate = 1) for a window of `size` uniform bits.  (Eq. 3.11)
+double p_group_generate(int size) { return 0.5 * (1.0 - std::ldexp(1.0, -size)); }
+
+}  // namespace
+
+double scsa_error_rate(int n, int k) {
+  if (n < 1 || k < 1) throw std::invalid_argument("scsa_error_rate: bad parameters");
+  const int m = (n + k - 1) / k;
+  return static_cast<double>(m - 1) * std::ldexp(1.0, -(k + 1)) *
+         (1.0 - std::ldexp(1.0, -k));
+}
+
+double scsa_error_rate_exact_layout(int n, int k) {
+  const WindowLayout layout(n, std::min(k, 63));
+  double total = 0.0;
+  for (int i = 0; i + 1 < layout.count(); ++i) {
+    total += p_group_generate(layout.window(i).size) *
+             p_group_propagate(layout.window(i + 1).size);
+  }
+  return total;
+}
+
+double scsa_exact_error_rate(int n, int k) {
+  const WindowLayout layout(n, std::min(k, 63));
+  const int m = layout.count();
+  // Window classes: G (group generate), P (group propagate), K (neither).
+  // Error iff some window pair is (G, P).  Track P(no error so far, last
+  // window class = c).
+  double fg = 0.0, fp = 0.0, fk = 1.0;  // virtual window -1 is a kill
+  for (int i = 0; i < m; ++i) {
+    const double pg = p_group_generate(layout.window(i).size);
+    const double pp = p_group_propagate(layout.window(i).size);
+    const double pk = 1.0 - pg - pp;
+    const double safe = fg + fp + fk;
+    const double ng = safe * pg;
+    const double np = (fp + fk) * pp;  // G -> P is the error transition
+    const double nk = safe * pk;
+    fg = ng;
+    fp = np;
+    fk = nk;
+  }
+  return 1.0 - (fg + fp + fk);
+}
+
+int min_window_for_error_rate(int n, double target, double slack) {
+  if (target <= 0.0) throw std::invalid_argument("target error rate must be > 0");
+  for (int k = 1; k <= std::min(n, 63); ++k) {
+    if (scsa_error_rate(n, k) <= slack * target) return k;
+  }
+  return std::min(n, 63);
+}
+
+const std::vector<ScsaParameters>& published_scsa_parameters() {
+  static const std::vector<ScsaParameters> kTable = {
+      {64, 14, 10},
+      {128, 15, 11},
+      {256, 16, 12},
+      {512, 17, 13},
+  };
+  return kTable;
+}
+
+Vlcsa2Parameters published_vlcsa2_parameters() { return Vlcsa2Parameters{13, 9}; }
+
+double vlsa_error_rate(int n, int l) {
+  if (n < 1 || l < 1) throw std::invalid_argument("vlsa_error_rate: bad parameters");
+  if (l >= n) return 0.0;
+  return static_cast<double>(n - l) * std::ldexp(1.0, -(l + 1));
+}
+
+double vlsa_exact_error_rate(int n, int l) {
+  if (n < 1 || l < 1) throw std::invalid_argument("vlsa_exact_error_rate: bad parameters");
+  if (l >= n) return 0.0;
+  // DP over bit positions.  State: (carry out of current bit, trailing
+  // propagate-run length capped at l).  During an all-propagate run the
+  // carry out equals the carry that entered the run, so the spec carry for
+  // the bit above is wrong exactly when a run reaches length l while the
+  // carried value is 1.
+  const std::size_t states = static_cast<std::size_t>(l + 1) * 2;
+  std::vector<double> cur(states, 0.0), next(states, 0.0);
+  const auto idx = [l](int carry, int run) {
+    return static_cast<std::size_t>(run) * 2 + static_cast<std::size_t>(carry);
+  };
+  cur[idx(0, 0)] = 1.0;
+  double error = 0.0;
+  for (int bit = 0; bit < n; ++bit) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (int carry = 0; carry <= 1; ++carry) {
+      for (int run = 0; run <= l; ++run) {
+        const double prob = cur[idx(carry, run)];
+        if (prob == 0.0) continue;
+        // propagate (1/2): run grows, carry rides through
+        {
+          const int new_run = std::min(run + 1, l);
+          if (new_run == l && carry == 1) {
+            error += prob * 0.5;  // absorbed: speculation is wrong somewhere
+          } else {
+            next[idx(carry, new_run)] += prob * 0.5;
+          }
+        }
+        // generate (1/4): run resets, carry = 1
+        next[idx(1, 0)] += prob * 0.25;
+        // kill (1/4): run resets, carry = 0
+        next[idx(0, 0)] += prob * 0.25;
+      }
+    }
+    std::swap(cur, next);
+  }
+  return error;
+}
+
+int min_vlsa_chain_for_error_rate(int n, double target, double slack) {
+  if (target <= 0.0) throw std::invalid_argument("target error rate must be > 0");
+  for (int l = 1; l < n; ++l) {
+    if (vlsa_exact_error_rate(n, l) <= slack * target) return l;
+  }
+  return n;
+}
+
+int vlsa_published_chain_length(int n) {
+  switch (n) {
+    case 64: return 17;
+    case 128: return 18;
+    case 256: return 20;
+    case 512: return 21;
+    default:
+      throw std::invalid_argument("vlsa_published_chain_length: only 64/128/256/512");
+  }
+}
+
+}  // namespace vlcsa::spec

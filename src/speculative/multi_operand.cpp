@@ -1,0 +1,63 @@
+#include "speculative/multi_operand.hpp"
+
+#include <stdexcept>
+
+namespace vlcsa::spec {
+
+std::pair<ApInt, ApInt> carry_save_compress(const ApInt& a, const ApInt& b, const ApInt& c) {
+  const ApInt sum = a ^ b ^ c;
+  const ApInt majority = (a & b) | (a & c) | (b & c);
+  return {sum, majority.shl(1)};
+}
+
+std::pair<ApInt, ApInt> carry_save_reduce(std::span<const ApInt> operands, int width) {
+  std::vector<ApInt> level;
+  level.reserve(operands.size());
+  for (const ApInt& op : operands) {
+    if (op.width() != width) {
+      throw std::invalid_argument("carry_save_reduce: operand width mismatch");
+    }
+    level.push_back(op);
+  }
+  while (level.size() > 2) {
+    std::vector<ApInt> next;
+    next.reserve((level.size() * 2) / 3 + 2);
+    std::size_t i = 0;
+    while (i + 3 <= level.size()) {
+      auto [s, c] = carry_save_compress(level[i], level[i + 1], level[i + 2]);
+      next.push_back(std::move(s));
+      next.push_back(std::move(c));
+      i += 3;
+    }
+    for (; i < level.size(); ++i) next.push_back(level[i]);
+    level = std::move(next);
+  }
+  if (level.empty()) return {ApInt(width), ApInt(width)};
+  if (level.size() == 1) return {level[0], ApInt(width)};
+  return {level[0], level[1]};
+}
+
+int csa_tree_levels(int operands) {
+  int levels = 0;
+  int m = operands;
+  while (m > 2) {
+    m = m - (m / 3);  // each full 3:2 group turns 3 rows into 2
+    ++levels;
+  }
+  return levels;
+}
+
+MultiOperandResult MultiOperandAdder::add(std::span<const ApInt> operands) const {
+  const int width = final_adder_.config().width;
+  MultiOperandResult out;
+  out.tree_levels = csa_tree_levels(static_cast<int>(operands.size()));
+  const auto [s, c] = carry_save_reduce(operands, width);
+  const auto step = final_adder_.step(s, c);
+  out.sum = step.result;
+  out.cout = step.cout;
+  out.cycles = step.cycles;
+  out.stalled = step.stalled;
+  return out;
+}
+
+}  // namespace vlcsa::spec

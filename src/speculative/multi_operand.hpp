@@ -1,0 +1,55 @@
+#pragma once
+// Multi-operand variable-latency addition — the first of the paper's
+// future-work items (Ch. 8: "generalize the speculative and reliable
+// variable latency carry select addition for ... multi-operand addition").
+//
+// Classic structure: a carry-save (3:2 compressor) tree reduces m operands
+// to a sum/carry pair with no carry propagation at all, then one VLCSA
+// performs the single carry-propagate addition.  Only that final addition
+// can stall, so the multi-operand unit inherits VLCSA's 1-or-2-cycle
+// behaviour (plus the fixed tree latency) and its exactness guarantee.
+
+#include <span>
+#include <vector>
+
+#include "speculative/vlcsa.hpp"
+
+namespace vlcsa::spec {
+
+/// One carry-save reduction step: (a, b, c) -> (sum, carry) with
+/// sum = a ^ b ^ c and carry = majority(a,b,c) << 1, all modulo 2^width.
+[[nodiscard]] std::pair<ApInt, ApInt> carry_save_compress(const ApInt& a, const ApInt& b,
+                                                          const ApInt& c);
+
+/// Reduces any number of operands to a (sum, carry) pair via a 3:2 tree.
+/// 0 operands -> (0, 0); 1 -> (x, 0); 2 -> (x, y).
+[[nodiscard]] std::pair<ApInt, ApInt> carry_save_reduce(std::span<const ApInt> operands,
+                                                        int width);
+
+struct MultiOperandResult {
+  ApInt sum;          // always exact
+  bool cout = false;  // carry out of the final addition
+  int cycles = 1;     // final-adder cycles (1 or 2); the CSA tree is
+                      // carry-free and absorbed into the first cycle
+  bool stalled = false;
+  int tree_levels = 0;  // 3:2 levels used (for delay accounting)
+};
+
+/// Variable-latency multi-operand adder: CSA tree + VLCSA final adder.
+class MultiOperandAdder {
+ public:
+  explicit MultiOperandAdder(VlcsaConfig final_adder) : final_adder_(final_adder) {}
+
+  [[nodiscard]] const VlcsaModel& final_adder() const { return final_adder_; }
+
+  /// Adds operands (each of the configured width) modulo 2^width.
+  [[nodiscard]] MultiOperandResult add(std::span<const ApInt> operands) const;
+
+ private:
+  VlcsaModel final_adder_;
+};
+
+/// Number of 3:2 levels needed to reduce m operands to 2.
+[[nodiscard]] int csa_tree_levels(int operands);
+
+}  // namespace vlcsa::spec

@@ -1,0 +1,26 @@
+#include "speculative/multiplier.hpp"
+
+#include <stdexcept>
+
+namespace vlcsa::spec {
+
+MultiplierResult SpeculativeMultiplier::multiply(const ApInt& a, const ApInt& b) const {
+  if (a.width() != width_ || b.width() != width_) {
+    throw std::invalid_argument("SpeculativeMultiplier: operand width mismatch");
+  }
+  // Partial products: shifted copies of a gated by the bits of b.
+  std::vector<ApInt> partials;
+  partials.reserve(static_cast<std::size_t>(width_));
+  const ApInt wide_a = a.zext(2 * width_);
+  for (int j = 0; j < width_; ++j) {
+    if (b.bit(j)) partials.push_back(wide_a.shl(j));
+  }
+  const auto result = adder_.add(partials);
+  MultiplierResult out;
+  out.product = result.sum;
+  out.cycles = result.cycles;
+  out.stalled = result.stalled;
+  return out;
+}
+
+}  // namespace vlcsa::spec

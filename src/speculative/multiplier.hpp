@@ -1,0 +1,41 @@
+#pragma once
+// Speculative multiplication — the paper's second future-work item (Ch. 8:
+// "other arithmetic operations such as multiplication").
+//
+// Standard decomposition: n x n partial products, a carry-save tree, and one
+// 2n-bit carry-propagate addition at the end.  The final addition is the
+// only carry chain in the whole multiplier, so replacing it with a VLCSA
+// turns the multiplier into a reliable variable-latency unit: 1-cycle
+// products almost always, a recovery cycle when the final addition's
+// detector fires, exact output always.
+
+#include "speculative/multi_operand.hpp"
+
+namespace vlcsa::spec {
+
+struct MultiplierResult {
+  ApInt product;  // 2n bits, always exact
+  int cycles = 1;
+  bool stalled = false;
+};
+
+class SpeculativeMultiplier {
+ public:
+  /// `width` is the operand width; the final adder works at 2*width with
+  /// the given window size and variant.
+  SpeculativeMultiplier(int width, int window, ScsaVariant variant = ScsaVariant::kScsa2)
+      : width_(width),
+        adder_(VlcsaConfig{2 * width, window, variant}) {}
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] const MultiOperandAdder& final_adder() const { return adder_; }
+
+  /// Unsigned multiplication: a * b (mod 2^(2n), i.e. exact).
+  [[nodiscard]] MultiplierResult multiply(const ApInt& a, const ApInt& b) const;
+
+ private:
+  int width_;
+  MultiOperandAdder adder_;
+};
+
+}  // namespace vlcsa::spec

@@ -1,0 +1,111 @@
+#include "speculative/multiplier_netlist.hpp"
+
+#include <string>
+#include <vector>
+
+namespace vlcsa::spec {
+
+namespace {
+
+using netlist::Netlist;
+using netlist::Signal;
+
+struct FullAdderOut {
+  Signal sum;
+  Signal carry;
+};
+
+FullAdderOut full_adder(Netlist& nl, Signal a, Signal b, Signal c) {
+  const Signal ab = nl.xor_(a, b);
+  return {nl.xor_(ab, c), nl.or_(nl.and_(a, b), nl.and_(ab, c))};
+}
+
+FullAdderOut half_adder(Netlist& nl, Signal a, Signal b) {
+  return {nl.xor_(a, b), nl.and_(a, b)};
+}
+
+}  // namespace
+
+netlist::Netlist build_multiplier_netlist(const MultiplierNetlistConfig& config,
+                                          const ScsaNetlistOptions& opts) {
+  const int n = config.width;
+  const int product_bits = 2 * n;
+  Netlist nl("specmul_" + std::to_string(n) + "_k" + std::to_string(config.window));
+
+  std::vector<Signal> a, b;
+  for (int i = 0; i < n; ++i) a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+  for (int i = 0; i < n; ++i) b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+
+  // Partial-product array, organized by result column.
+  std::vector<std::vector<Signal>> columns(static_cast<std::size_t>(product_bits));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      columns[static_cast<std::size_t>(i + j)].push_back(
+          nl.and_(a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]));
+    }
+  }
+
+  // Wallace-style reduction: per pass, each column compresses groups of 3
+  // with full adders (carry into the next column of the next pass) and a
+  // leftover pair with a half adder, until every column holds at most 2.
+  auto needs_reduction = [&columns] {
+    for (const auto& col : columns) {
+      if (col.size() > 2) return true;
+    }
+    return false;
+  };
+  while (needs_reduction()) {
+    std::vector<std::vector<Signal>> next(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const auto& col = columns[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const auto fa = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+        next[c].push_back(fa.sum);
+        if (c + 1 < next.size()) next[c + 1].push_back(fa.carry);
+        i += 3;
+      }
+      if (col.size() - i == 2 && col.size() > 2) {
+        const auto ha = half_adder(nl, col[i], col[i + 1]);
+        next[c].push_back(ha.sum);
+        if (c + 1 < next.size()) next[c + 1].push_back(ha.carry);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) next[c].push_back(col[i]);
+    }
+    columns = std::move(next);
+  }
+
+  // Final two rows for the carry-propagate VLCSA.
+  std::vector<Signal> row0(static_cast<std::size_t>(product_bits));
+  std::vector<Signal> row1(static_cast<std::size_t>(product_bits));
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    row0[c] = columns[c].empty() ? nl.constant(false) : columns[c][0];
+    row1[c] = columns[c].size() < 2 ? nl.constant(false) : columns[c][1];
+  }
+
+  const VlcsaPorts ports =
+      build_vlcsa_on_signals(nl, row0, row1, config.window, config.variant, opts);
+
+  for (int i = 0; i < product_bits; ++i) {
+    nl.add_output("product[" + std::to_string(i) + "]",
+                  ports.sum0[static_cast<std::size_t>(i)], kGroupSpec);
+  }
+  if (config.variant == ScsaVariant::kScsa2) {
+    for (int i = 0; i < product_bits; ++i) {
+      nl.add_output("product1[" + std::to_string(i) + "]",
+                    ports.sum1[static_cast<std::size_t>(i)], kGroupSpec);
+    }
+  }
+  nl.add_output("err0", ports.err0, kGroupDetect);
+  if (config.variant == ScsaVariant::kScsa2) nl.add_output("err1", ports.err1, kGroupDetect);
+  nl.add_output("stall", ports.stall, kGroupDetect);
+  nl.add_output("valid", nl.not_(ports.stall), kGroupDetect);
+  for (int i = 0; i < product_bits; ++i) {
+    nl.add_output("rec[" + std::to_string(i) + "]",
+                  ports.recovered[static_cast<std::size_t>(i)], kGroupRecovery);
+  }
+  return nl;
+}
+
+}  // namespace vlcsa::spec

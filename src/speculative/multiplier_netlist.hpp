@@ -1,0 +1,28 @@
+#pragma once
+// Gate-level speculative multiplier (future work, Ch. 8): an n x n unsigned
+// array of partial products, a Wallace-style column-compression tree of
+// full/half adders, and a 2n-bit VLCSA as the final carry-propagate adder.
+// The VLCSA contributes output groups "spec"/"detect"/"recovery" exactly as
+// in the plain adder netlists, so the synthesis harness reports the
+// variable-latency delays of the complete multiplier.
+//
+// Outputs:
+//   group "spec":     product[i] (2n bits, S*,0 bank), product1[i] (variant 2)
+//   group "detect":   err0 (+ err1), stall, valid
+//   group "recovery": rec[i]
+
+#include "netlist/netlist.hpp"
+#include "speculative/scsa_netlist.hpp"
+
+namespace vlcsa::spec {
+
+struct MultiplierNetlistConfig {
+  int width = 16;      // operand width n (product is 2n bits)
+  int window = 9;      // VLCSA window size at 2n bits
+  ScsaVariant variant = ScsaVariant::kScsa2;
+};
+
+[[nodiscard]] netlist::Netlist build_multiplier_netlist(
+    const MultiplierNetlistConfig& config, const ScsaNetlistOptions& opts = {});
+
+}  // namespace vlcsa::spec

@@ -1,0 +1,22 @@
+#include "speculative/pipeline.hpp"
+
+namespace vlcsa::spec {
+
+PipelineStats VlcsaPipeline::run(arith::OperandSource& source, std::uint64_t count,
+                                 std::uint64_t seed) const {
+  std::mt19937_64 rng(seed);
+  PipelineStats stats;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto [a, b] = source.next(rng);
+    const auto step = model_.step(a, b);
+    ++stats.additions;
+    stats.cycles += static_cast<std::uint64_t>(step.cycles);
+    if (step.stalled) ++stats.stalls;
+    if (step.result != step.eval.exact || step.cout != step.eval.exact_cout) {
+      ++stats.wrong_results;
+    }
+  }
+  return stats;
+}
+
+}  // namespace vlcsa::spec

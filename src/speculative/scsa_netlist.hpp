@@ -1,0 +1,79 @@
+#pragma once
+// Netlist generators for the paper's structures:
+//
+//  * build_scsa_netlist    — the speculative adder alone (Ch. 4, Fig 4.1/4.2):
+//                            window adders with shared prefix trees and
+//                            carry-select output muxes.
+//  * build_vlcsa_netlist   — the full variable-latency adder (Figs 5.1–5.3,
+//                            6.6–6.8): speculative datapath + error detection
+//                            + error recovery, with output groups "spec",
+//                            "detect" and "recovery" so static timing reports
+//                            the three delays the paper plots separately.
+//
+// This module is the C++-to-netlist generator the paper describes in Ch. 7.1
+// ("C++ programs which take the adder width n and the window size k, and
+// generate Verilog files"); pair it with netlist::emit_verilog for the same
+// artifact.
+
+#include "adders/prefix.hpp"
+#include "netlist/netlist.hpp"
+#include "speculative/scsa.hpp"
+
+namespace vlcsa::spec {
+
+using adders::PrefixTopology;
+using netlist::Netlist;
+
+/// Output group names used by the generators.
+inline constexpr const char* kGroupSpec = "spec";
+inline constexpr const char* kGroupDetect = "detect";
+inline constexpr const char* kGroupRecovery = "recovery";
+
+struct ScsaNetlistOptions {
+  /// Prefix topology inside each window adder ("two small adders can be
+  /// implemented using any traditional adder"; Kogge-Stone by default as in
+  /// Ch. 4.1).
+  PrefixTopology window_topology = PrefixTopology::kKoggeStone;
+  /// Topology of the ceil(n/k)-bit recovery prefix adder (Fig 5.2).
+  PrefixTopology recovery_topology = PrefixTopology::kKoggeStone;
+};
+
+/// Speculative adder only (SCSA 1 datapath; for variant 2 both S*,0 and
+/// S*,1 banks are emitted).  Outputs: sum[i]/cout (group "spec"), plus
+/// sum1[i]/cout1 for variant 2.
+[[nodiscard]] Netlist build_scsa_netlist(const ScsaConfig& config, ScsaVariant variant,
+                                         const ScsaNetlistOptions& opts = {});
+
+/// Full VLCSA: speculative datapath + detection + recovery.
+/// Outputs:
+///   group "spec":     sum[i], cout           (S*,0)
+///                     sum1[i], cout1         (S*,1; variant 2 only)
+///   group "detect":   err0 (+ err1, variant 2), stall, valid
+///   group "recovery": rec[i], rec_cout
+[[nodiscard]] Netlist build_vlcsa_netlist(const ScsaConfig& config, ScsaVariant variant,
+                                          const ScsaNetlistOptions& opts = {});
+
+/// Signal-level view of a VLCSA built over *existing* operand signals, for
+/// composition into larger units (the speculative multiplier's final adder,
+/// multi-operand accumulators, ...).
+struct VlcsaPorts {
+  std::vector<netlist::Signal> sum0;  // S*,0 bank
+  netlist::Signal cout0{};
+  std::vector<netlist::Signal> sum1;  // S*,1 bank (== sum0 selects for variant 1)
+  netlist::Signal cout1{};
+  netlist::Signal err0{};
+  netlist::Signal err1{};   // constant 0 for variant 1
+  netlist::Signal stall{};  // err0 (v1) or err0 & err1 (v2)
+  std::vector<netlist::Signal> recovered;
+  netlist::Signal recovered_cout{};
+};
+
+/// Builds the complete VLCSA structure (speculation, detection, recovery)
+/// over operand signals already present in `nl`.  Adds no ports.
+[[nodiscard]] VlcsaPorts build_vlcsa_on_signals(Netlist& nl,
+                                                std::span<const netlist::Signal> a,
+                                                std::span<const netlist::Signal> b,
+                                                int window, ScsaVariant variant,
+                                                const ScsaNetlistOptions& opts = {});
+
+}  // namespace vlcsa::spec

@@ -1,0 +1,37 @@
+#include "speculative/vlcsa.hpp"
+
+namespace vlcsa::spec {
+
+VlcsaStep VlcsaModel::step(const ApInt& a, const ApInt& b) const {
+  VlcsaStep out;
+  out.eval = scsa_.evaluate(a, b);
+  const ScsaEvaluation& ev = out.eval;
+
+  if (config_.variant == ScsaVariant::kScsa1) {
+    out.stalled = ev.vlcsa1_stall();
+    if (out.stalled) {
+      out.result = ev.recovered;
+      out.cout = ev.recovered_cout;
+      out.cycles = 2;
+    } else {
+      out.result = ev.spec0;
+      out.cout = ev.spec0_cout;
+      out.cycles = 1;
+    }
+  } else {
+    out.stalled = ev.vlcsa2_stall();
+    if (out.stalled) {
+      out.result = ev.recovered;
+      out.cout = ev.recovered_cout;
+      out.cycles = 2;
+    } else {
+      // ERR0 = 0 -> S*,0; ERR0 = 1 & ERR1 = 0 -> S*,1 (Ch. 6.7).
+      out.result = ev.vlcsa2_selected();
+      out.cout = ev.vlcsa2_selected_cout();
+      out.cycles = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace vlcsa::spec

@@ -1,0 +1,72 @@
+#pragma once
+// VLCSA 1 / VLCSA 2 — the reliable variable-latency adders (Chs. 5, 6.7).
+//
+// Operation per the paper: inputs are applied; the speculative result and
+// the detection signals are ready within one clock.  If detection does not
+// stall, the speculative result is emitted (1 cycle).  Otherwise the adder
+// stalls one extra cycle and emits the recovery result (2 cycles).  The
+// recovery path is guaranteed exact, so the emitted result is always
+// correct — "reliable" in the paper's sense.  Average latency follows
+// eq. (5.2)/(6.1): T_ave = (1 + P_err) * T_clk with P_err the *stall* rate.
+
+#include <cstdint>
+
+#include "speculative/scsa.hpp"
+
+namespace vlcsa::spec {
+
+struct VlcsaConfig {
+  int width = 64;
+  int window = 14;
+  ScsaVariant variant = ScsaVariant::kScsa1;
+};
+
+/// One variable-latency addition.
+struct VlcsaStep {
+  ApInt result;
+  bool cout = false;
+  int cycles = 1;        // 1 (speculative) or 2 (recovered)
+  bool stalled = false;  // detection fired
+  ScsaEvaluation eval;   // full signal detail for tests/analysis
+};
+
+class VlcsaModel {
+ public:
+  explicit VlcsaModel(VlcsaConfig config)
+      : config_(config), scsa_(ScsaConfig{config.width, config.window}) {}
+
+  [[nodiscard]] const VlcsaConfig& config() const { return config_; }
+  [[nodiscard]] const ScsaModel& scsa() const { return scsa_; }
+
+  [[nodiscard]] VlcsaStep step(const ApInt& a, const ApInt& b) const;
+
+ private:
+  VlcsaConfig config_;
+  ScsaModel scsa_;
+};
+
+/// Aggregate latency bookkeeping for a stream of additions.
+struct LatencyStats {
+  std::uint64_t operations = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t total_cycles = 0;
+
+  void record(const VlcsaStep& step) {
+    ++operations;
+    if (step.stalled) ++stalls;
+    total_cycles += static_cast<std::uint64_t>(step.cycles);
+  }
+
+  [[nodiscard]] double stall_rate() const {
+    return operations == 0 ? 0.0
+                           : static_cast<double>(stalls) / static_cast<double>(operations);
+  }
+  /// Eq. (5.2): average cycles per addition, in units of T_clk.
+  [[nodiscard]] double average_cycles() const {
+    return operations == 0
+               ? 0.0
+               : static_cast<double>(total_cycles) / static_cast<double>(operations);
+  }
+};
+
+}  // namespace vlcsa::spec

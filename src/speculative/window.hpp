@@ -1,0 +1,51 @@
+#pragma once
+// Window segmentation shared by the behavioral models and the netlist
+// generators (Ch. 4): an n-bit addition is split into m = ceil(n/k) windows;
+// when n is not a multiple of k the *first* (least-significant) window takes
+// the remainder — the paper places the odd-sized window at the bottom "for
+// reducing the delay of the speculative adder", exactly like the classic
+// carry-select sizing argument.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vlcsa::spec {
+
+struct Window {
+  int pos = 0;   // bit position of the window's LSB
+  int size = 0;  // window width in bits
+};
+
+class WindowLayout {
+ public:
+  /// Builds the layout for an n-bit adder with window size k.
+  /// Constraints: 1 <= k <= 63 (window chunks must fit a machine word for
+  /// the behavioral models) and k <= n is not required — k >= n collapses to
+  /// a single window (no speculation).
+  WindowLayout(int width, int window_size) : width_(width), window_size_(window_size) {
+    if (width < 1) throw std::invalid_argument("adder width must be >= 1");
+    if (window_size < 1 || window_size > 63) {
+      throw std::invalid_argument("window size must be in [1, 63]");
+    }
+    const int k = std::min(window_size, width);
+    const int m = (width + k - 1) / k;
+    windows_.reserve(static_cast<std::size_t>(m));
+    const int first = width - k * (m - 1);
+    windows_.push_back(Window{0, first});
+    for (int i = 1; i < m; ++i) windows_.push_back(Window{first + k * (i - 1), k});
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int window_size() const { return window_size_; }
+  [[nodiscard]] int count() const { return static_cast<int>(windows_.size()); }
+  [[nodiscard]] const Window& window(int i) const { return windows_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const std::vector<Window>& windows() const { return windows_; }
+
+ private:
+  int width_;
+  int window_size_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace vlcsa::spec

@@ -1,0 +1,107 @@
+#include "adders/adders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/testutil.hpp"
+#include "netlist/opt.hpp"
+
+namespace vlcsa::adders {
+namespace {
+
+struct AdderCase {
+  AdderKind kind;
+  int width;
+  bool with_cin;
+};
+
+class AdderKindTest : public ::testing::TestWithParam<AdderCase> {};
+
+TEST_P(AdderKindTest, AddsExactly) {
+  const auto [kind, width, with_cin] = GetParam();
+  AdderOptions opts;
+  opts.with_cin = with_cin;
+  const auto nl = build_adder_netlist(kind, width, opts);
+  testutil::check_adder_netlist(nl, width, with_cin);
+}
+
+TEST_P(AdderKindTest, AddsExactlyAfterOptimization) {
+  const auto [kind, width, with_cin] = GetParam();
+  AdderOptions opts;
+  opts.with_cin = with_cin;
+  const auto nl = netlist::optimize(build_adder_netlist(kind, width, opts));
+  testutil::check_adder_netlist(nl, width, with_cin, 4, 77);
+}
+
+std::vector<AdderCase> adder_cases() {
+  std::vector<AdderCase> cases;
+  for (const auto kind :
+       {AdderKind::kRipple, AdderKind::kCarrySelect, AdderKind::kCarrySkip,
+        AdderKind::kKoggeStone, AdderKind::kBrentKung, AdderKind::kSklansky,
+        AdderKind::kHanCarlson, AdderKind::kHybridKsCarrySelect}) {
+    for (const int width : {1, 2, 3, 8, 15, 16, 33, 64}) {
+      cases.push_back({kind, width, false});
+    }
+    cases.push_back({kind, 24, true});  // one cin case per family
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, AdderKindTest, ::testing::ValuesIn(adder_cases()),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param.kind);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_w" + std::to_string(info.param.width) +
+                                  (info.param.with_cin ? "_cin" : "");
+                         });
+
+TEST(AdderNetlist, NamesFollowKindAndWidth) {
+  const auto nl = build_adder_netlist(AdderKind::kKoggeStone, 32);
+  EXPECT_EQ(nl.name(), "kogge-stone_32");
+  EXPECT_EQ(nl.inputs().size(), 64u);
+  EXPECT_EQ(nl.outputs().size(), 33u);  // 32 sums + cout
+}
+
+TEST(AdderNetlist, RejectsBadWidth) {
+  EXPECT_THROW(build_adder_netlist(AdderKind::kRipple, 0), std::invalid_argument);
+}
+
+TEST(AdderNetlist, BlockSizeOptionIsHonored) {
+  AdderOptions opts;
+  opts.block_size = 4;
+  const auto nl = build_adder_netlist(AdderKind::kCarrySelect, 16, opts);
+  testutil::check_adder_netlist(nl, 16, false);
+  // Extreme blocks also work.
+  opts.block_size = 16;
+  testutil::check_adder_netlist(build_adder_netlist(AdderKind::kCarrySelect, 16, opts), 16,
+                                false);
+  opts.block_size = 1;
+  testutil::check_adder_netlist(build_adder_netlist(AdderKind::kCarrySkip, 9, opts), 9, false);
+}
+
+TEST(AdderNetlist, RippleUsesLinearGates) {
+  const auto n64 = build_adder_netlist(AdderKind::kRipple, 64);
+  const auto n128 = build_adder_netlist(AdderKind::kRipple, 128);
+  // Linear growth: doubling width roughly doubles gates.
+  EXPECT_NEAR(static_cast<double>(n128.logic_gate_count()) /
+                  static_cast<double>(n64.logic_gate_count()),
+              2.0, 0.1);
+}
+
+TEST(AdderNetlist, KoggeStoneAreaIsSuperlinear) {
+  const auto n64 = netlist::optimize(build_adder_netlist(AdderKind::kKoggeStone, 64));
+  const auto n128 = netlist::optimize(build_adder_netlist(AdderKind::kKoggeStone, 128));
+  const double ratio = static_cast<double>(n128.logic_gate_count()) /
+                       static_cast<double>(n64.logic_gate_count());
+  EXPECT_GT(ratio, 2.05);  // n log n growth
+}
+
+TEST(ToString, CoversAllKinds) {
+  EXPECT_STREQ(to_string(AdderKind::kRipple), "ripple");
+  EXPECT_STREQ(to_string(AdderKind::kDesignWare), "designware");
+  EXPECT_STREQ(to_string(AdderKind::kHybridKsCarrySelect), "hybrid-ks-carry-select");
+}
+
+}  // namespace
+}  // namespace vlcsa::adders

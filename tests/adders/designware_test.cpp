@@ -1,0 +1,52 @@
+#include "adders/adders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/testutil.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/timing.hpp"
+
+namespace vlcsa::adders {
+namespace {
+
+class DesignWareTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DesignWareTest, AddsExactly) {
+  const int width = GetParam();
+  const auto nl = build_designware_adder(width);
+  testutil::check_adder_netlist(nl, width, /*with_cin=*/false);
+}
+
+TEST_P(DesignWareTest, IsNoSlowerThanEveryCandidate) {
+  const int width = GetParam();
+  DesignWareChoice choice;
+  const auto dw = build_designware_adder(width, &choice);
+  EXPECT_GT(choice.delay, 0.0);
+  EXPECT_GT(choice.area, 0.0);
+  for (const auto kind : {AdderKind::kKoggeStone, AdderKind::kSklansky,
+                          AdderKind::kBrentKung, AdderKind::kHanCarlson}) {
+    const auto candidate = netlist::optimize(build_adder_netlist(kind, width));
+    const double delay = netlist::analyze_timing(candidate).critical_delay;
+    EXPECT_LE(choice.delay, delay + 1e-9)
+        << "designware slower than " << to_string(kind) << " at width " << width;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DesignWareTest, ::testing::Values(8, 16, 32, 64));
+
+TEST(DesignWare, ReportsWinningFamily) {
+  DesignWareChoice choice;
+  (void)build_designware_adder(64, &choice);
+  // The winner must be one of the candidate set.
+  const char* name = to_string(choice.winner);
+  EXPECT_NE(name, nullptr);
+  EXPECT_STRNE(name, "?");
+}
+
+TEST(DesignWare, NetlistIsNamedByWidth) {
+  const auto nl = build_designware_adder(32);
+  EXPECT_EQ(nl.name(), "designware_32");
+}
+
+}  // namespace
+}  // namespace vlcsa::adders

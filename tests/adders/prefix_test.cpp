@@ -1,0 +1,159 @@
+#include "adders/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/testutil.hpp"
+#include "netlist/simulator.hpp"
+
+namespace vlcsa::adders {
+namespace {
+
+using arith::ApInt;
+using netlist::Netlist;
+using netlist::Signal;
+using netlist::Simulator;
+
+struct PrefixCase {
+  PrefixTopology topology;
+  int width;
+};
+
+class PrefixNetworkTest : public ::testing::TestWithParam<PrefixCase> {};
+
+TEST_P(PrefixNetworkTest, ComputesInclusivePrefixes) {
+  const auto [topology, width] = GetParam();
+  Netlist nl;
+  std::vector<Signal> a, b;
+  for (int i = 0; i < width; ++i) a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+  for (int i = 0; i < width; ++i) b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+  const auto prefix = build_prefix_network(nl, make_pg_leaves(nl, a, b), topology);
+  ASSERT_EQ(prefix.size(), static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    nl.add_output("G[" + std::to_string(i) + "]", prefix[static_cast<std::size_t>(i)].g);
+    nl.add_output("P[" + std::to_string(i) + "]", prefix[static_cast<std::size_t>(i)].p);
+  }
+
+  Simulator sim(nl);
+  std::mt19937_64 rng(10 + static_cast<unsigned>(width));
+  std::vector<ApInt> av, bv;
+  for (int v = 0; v < 64; ++v) {
+    av.push_back(ApInt::random(width, rng));
+    bv.push_back(ApInt::random(width, rng));
+  }
+  testutil::load_operands(sim, av, bv, width);
+  sim.run();
+
+  for (std::size_t v = 0; v < 64; ++v) {
+    const arith::PropagateGenerate pg(av[v], bv[v]);
+    for (int i = 0; i < width; ++i) {
+      const bool g = (sim.output("G[" + std::to_string(i) + "]") >> v) & 1;
+      const bool p = (sim.output("P[" + std::to_string(i) + "]") >> v) & 1;
+      ASSERT_EQ(g, pg.group_generate(0, i + 1))
+          << to_string(topology) << " width " << width << " bit " << i;
+      ASSERT_EQ(p, pg.group_propagate(0, i + 1))
+          << to_string(topology) << " width " << width << " bit " << i;
+    }
+  }
+}
+
+std::vector<PrefixCase> prefix_cases() {
+  std::vector<PrefixCase> cases;
+  for (const auto topo : all_prefix_topologies()) {
+    for (const int width : {1, 2, 3, 5, 8, 13, 16, 17, 31, 32, 33, 64}) {
+      cases.push_back({topo, width});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologiesAndWidths, PrefixNetworkTest,
+                         ::testing::ValuesIn(prefix_cases()),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param.topology);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name + "_w" + std::to_string(info.param.width);
+                         });
+
+TEST(PrefixNetworkDepth, KoggeStoneIsLogDepthBrentKungIsNot) {
+  // Structural sanity: count prefix levels by gate-depth proxy (gate count
+  // relations).  Kogge-Stone spends more area for its minimal depth.
+  auto gates_of = [](PrefixTopology topo) {
+    Netlist nl;
+    std::vector<Signal> a, b;
+    for (int i = 0; i < 64; ++i) a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+    for (int i = 0; i < 64; ++i) b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+    const auto prefix = build_prefix_network(nl, make_pg_leaves(nl, a, b), topo);
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      nl.add_output("G" + std::to_string(i), prefix[i].g);
+    }
+    return nl.logic_gate_count();
+  };
+  EXPECT_GT(gates_of(PrefixTopology::kKoggeStone), gates_of(PrefixTopology::kBrentKung));
+  EXPECT_GT(gates_of(PrefixTopology::kKoggeStone), gates_of(PrefixTopology::kHanCarlson));
+}
+
+TEST(PrefixSum, CinIsFoldedIntoBitZero) {
+  const int width = 16;
+  Netlist nl;
+  std::vector<Signal> a, b;
+  for (int i = 0; i < width; ++i) a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+  for (int i = 0; i < width; ++i) b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+  const Signal cin = nl.add_input("cin");
+  const auto result = prefix_sum(nl, a, b, cin, PrefixTopology::kKoggeStone);
+  for (int i = 0; i < width; ++i) {
+    nl.add_output("sum[" + std::to_string(i) + "]", result.sum[static_cast<std::size_t>(i)]);
+  }
+  nl.add_output("cout", result.cout);
+  testutil::check_adder_netlist(nl, width, /*with_cin=*/true);
+}
+
+class ConditionalSumsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConditionalSumsTest, BothBanksAndGroupSignalsAreExact) {
+  const int width = GetParam();
+  Netlist nl;
+  std::vector<Signal> a, b;
+  for (int i = 0; i < width; ++i) a.push_back(nl.add_input("a[" + std::to_string(i) + "]"));
+  for (int i = 0; i < width; ++i) b.push_back(nl.add_input("b[" + std::to_string(i) + "]"));
+  const auto cond = conditional_window_sums(nl, a, b, PrefixTopology::kKoggeStone);
+  for (int i = 0; i < width; ++i) {
+    nl.add_output("s0[" + std::to_string(i) + "]", cond.sum0[static_cast<std::size_t>(i)]);
+    nl.add_output("s1[" + std::to_string(i) + "]", cond.sum1[static_cast<std::size_t>(i)]);
+  }
+  nl.add_output("c0", cond.cout0);
+  nl.add_output("c1", cond.cout1);
+  nl.add_output("gg", cond.group_g);
+  nl.add_output("gp", cond.group_p);
+
+  Simulator sim(nl);
+  std::mt19937_64 rng(20 + static_cast<unsigned>(width));
+  std::vector<ApInt> av, bv;
+  for (int v = 0; v < 64; ++v) {
+    av.push_back(ApInt::random(width, rng));
+    bv.push_back(ApInt::random(width, rng));
+  }
+  testutil::load_operands(sim, av, bv, width);
+  sim.run();
+
+  for (std::size_t v = 0; v < 64; ++v) {
+    const auto r0 = ApInt::add(av[v], bv[v], false);
+    const auto r1 = ApInt::add(av[v], bv[v], true);
+    ASSERT_EQ(testutil::read_bus(sim, "s0", width, v), r0.sum);
+    ASSERT_EQ(testutil::read_bus(sim, "s1", width, v), r1.sum);
+    ASSERT_EQ(((sim.output("c0") >> v) & 1) != 0, r0.carry_out);
+    ASSERT_EQ(((sim.output("c1") >> v) & 1) != 0, r1.carry_out);
+    const arith::PropagateGenerate pg(av[v], bv[v]);
+    ASSERT_EQ(((sim.output("gg") >> v) & 1) != 0, pg.group_generate(0, width));
+    ASSERT_EQ(((sim.output("gp") >> v) & 1) != 0, pg.group_propagate(0, width));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowWidths, ConditionalSumsTest,
+                         ::testing::Values(1, 2, 5, 9, 13, 14, 16, 17, 21));
+
+}  // namespace
+}  // namespace vlcsa::adders

@@ -1,0 +1,154 @@
+#include "arith/carry_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace vlcsa::arith {
+namespace {
+
+ApInt bits8(const std::string& msb_first) { return ApInt::from_binary(8, msb_first); }
+
+TEST(CarryChainLengths, NoGeneratesNoChains) {
+  // p everywhere (a ^ b = 1, a & b = 0): no chain ever starts.
+  const auto lengths = carry_chain_lengths(bits8("11111111"), bits8("00000000"));
+  EXPECT_TRUE(lengths.empty());
+}
+
+TEST(CarryChainLengths, SingleGenerateNoPropagation) {
+  // g at bit 0 only, kill above: one chain of length 1.
+  const auto lengths = carry_chain_lengths(bits8("00000001"), bits8("00000001"));
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_EQ(lengths[0], 1);
+}
+
+TEST(CarryChainLengths, GenerateThenPropagateRun) {
+  // a = 00011101, b = 00000111 (MSB first):
+  //  bit0: 1,1 -> g   chain starts
+  //  bit1: 0,1 -> p   chain extends
+  //  bit2: 1,1 -> g   chain absorbed (length 2); a new chain starts here
+  //  bit3: 1,0 -> p   extends
+  //  bit4: 1,0 -> p   extends
+  //  bit5..7: 0,0 -> k  absorbed (length 3)
+  const auto lengths = carry_chain_lengths(bits8("00011101"), bits8("00000111"));
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_EQ(lengths[0], 2);
+  EXPECT_EQ(lengths[1], 3);
+}
+
+TEST(CarryChainLengths, DefinitionIsOriginPlusPropagateRun) {
+  // Explicit: g at bit 2, p at bits 3,4,5, k at 6.
+  // a = 00111100? Build directly from p/g masks instead:
+  //   a = g | p, b = g  gives a&b = g, a^b = p  (when g and p are disjoint).
+  ApInt g(16), p(16);
+  g.set_bit(2, true);
+  p.set_bit(3, true);
+  p.set_bit(4, true);
+  p.set_bit(5, true);
+  const ApInt a = g | p;
+  const ApInt b = g;
+  const auto lengths = carry_chain_lengths(a, b);
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_EQ(lengths[0], 4);  // origin + 3 propagating positions
+  EXPECT_EQ(longest_carry_chain(a, b), 4);
+}
+
+TEST(CarryChainLengths, BackToBackGenerates) {
+  ApInt g(8);
+  g.set_bit(1, true);
+  g.set_bit(2, true);
+  const auto lengths = carry_chain_lengths(g, g);  // a = b = g pattern
+  ASSERT_EQ(lengths.size(), 2u);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 1);
+}
+
+TEST(CarryChainLengths, ChainEndsAtWidth) {
+  ApInt g(8), p(8);
+  g.set_bit(5, true);
+  p.set_bit(6, true);
+  p.set_bit(7, true);
+  const auto lengths = carry_chain_lengths(g | p, g);
+  ASSERT_EQ(lengths.size(), 1u);
+  EXPECT_EQ(lengths[0], 3);
+}
+
+TEST(CarryChainLengths, SignExtensionChainSpansWholeAdder) {
+  // Small positive + small negative with positive result: the classic
+  // VLCSA 2 motivator.  a = 7, b = -3 in 32-bit two's complement.
+  // Bits: g@0, p@1, g@2, then p@3..p@31 (sign extension of b), so the long
+  // chain starts at bit 2 and covers 30 positions.
+  const auto a = ApInt::from_i64(32, 7);
+  const auto b = ApInt::from_i64(32, -3);
+  EXPECT_EQ(longest_carry_chain(a, b), 30);
+}
+
+TEST(CarryChainProfiler, RejectsBadWidth) {
+  EXPECT_THROW(CarryChainProfiler(0), std::invalid_argument);
+}
+
+TEST(CarryChainProfiler, CountsAndFractionsAreConsistent) {
+  CarryChainProfiler prof(16, ChainMetric::kAllChains);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    prof.record(ApInt::random(16, rng), ApInt::random(16, rng));
+  }
+  EXPECT_EQ(prof.additions(), 1000u);
+  double total_fraction = 0.0;
+  std::uint64_t total_count = 0;
+  for (int l = 0; l <= 16; ++l) {
+    total_fraction += prof.fraction(l);
+    total_count += prof.counts()[static_cast<std::size_t>(l)];
+  }
+  EXPECT_EQ(total_count, prof.total());
+  EXPECT_NEAR(total_fraction, 1.0, 1e-12);
+  EXPECT_NEAR(prof.fraction_at_least(0), 1.0, 1e-12);
+  EXPECT_GE(prof.fraction_at_least(1), prof.fraction_at_least(2));
+}
+
+TEST(CarryChainProfiler, UniformInputsMatchGeometricLaw) {
+  // For uniform bits: P(chain length = L | chain) = 2^-(L-1) * 1/2 ... the
+  // conditional run-length law.  Check the ratio of consecutive buckets ~ 2.
+  CarryChainProfiler prof(32, ChainMetric::kAllChains);
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 200000; ++i) {
+    prof.record(ApInt::random(32, rng), ApInt::random(32, rng));
+  }
+  const double f1 = prof.fraction(1);
+  const double f2 = prof.fraction(2);
+  const double f3 = prof.fraction(3);
+  EXPECT_NEAR(f1 / f2, 2.0, 0.15);
+  EXPECT_NEAR(f2 / f3, 2.0, 0.25);
+}
+
+TEST(CarryChainProfiler, LongestMetricRecordsOnePerAddition) {
+  CarryChainProfiler prof(16, ChainMetric::kLongestPerAdd);
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    prof.record(ApInt::random(16, rng), ApInt::random(16, rng));
+  }
+  EXPECT_EQ(prof.total(), 500u);
+  EXPECT_EQ(prof.additions(), 500u);
+}
+
+TEST(CarryChainProfiler, LongestMetricMeanIsLogarithmic) {
+  // Classic result: average longest chain in n-bit uniform addition is
+  // O(log n); for n = 64 it sits in the mid-single digits.
+  CarryChainProfiler prof(64, ChainMetric::kLongestPerAdd);
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    prof.record(ApInt::random(64, rng), ApInt::random(64, rng));
+  }
+  EXPECT_GT(prof.mean_length(), 3.0);
+  EXPECT_LT(prof.mean_length(), 9.0);
+}
+
+TEST(CarryChainProfiler, RecordLengthsClampsToWidth) {
+  CarryChainProfiler prof(8, ChainMetric::kAllChains);
+  prof.record_lengths({100});
+  EXPECT_EQ(prof.counts()[8], 1u);
+}
+
+}  // namespace
+}  // namespace vlcsa::arith

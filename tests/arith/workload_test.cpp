@@ -1,0 +1,150 @@
+#include "arith/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vlcsa::arith {
+namespace {
+
+TEST(BuiltinPrime, KnownValues) {
+  EXPECT_EQ(builtin_prime(16).to_u64(), 65521u);
+  EXPECT_EQ(builtin_prime(32).to_u64(), (std::uint64_t{1} << 31) - 1);
+  EXPECT_EQ(builtin_prime(64).to_u64(), (std::uint64_t{1} << 61) - 1);
+  EXPECT_EQ(builtin_prime(128).highest_set_bit(), 126);  // 2^127 - 1
+  // 2^255 - 19: bits 4..254 set except the pattern of -19's low bits.
+  const ApInt p256 = builtin_prime(256);
+  EXPECT_EQ(p256.highest_set_bit(), 254);
+  EXPECT_EQ(p256.extract(0, 8), 0xedu);  // 2^255 - 19 ends in ...11101101
+  EXPECT_THROW((void)builtin_prime(48), std::invalid_argument);
+}
+
+TEST(ModField, RejectsBadModulus) {
+  EXPECT_THROW(ModField(ApInt(32), nullptr), std::invalid_argument);
+  EXPECT_THROW(ModField(ApInt::all_ones(32), nullptr), std::invalid_argument);
+}
+
+class ModField32Test : public ::testing::Test {
+ protected:
+  static constexpr std::uint64_t kP = (std::uint64_t{1} << 31) - 1;
+  ModField field_{builtin_prime(32), nullptr};
+  std::mt19937_64 rng_{42};
+
+  ApInt elem(std::uint64_t v) { return ApInt::from_u64(32, v % kP); }
+};
+
+TEST_F(ModField32Test, AddMatchesNative) {
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t ua = rng_() % kP;
+    const std::uint64_t ub = rng_() % kP;
+    EXPECT_EQ(field_.add(elem(ua), elem(ub)).to_u64(), (ua + ub) % kP);
+  }
+}
+
+TEST_F(ModField32Test, SubMatchesNative) {
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t ua = rng_() % kP;
+    const std::uint64_t ub = rng_() % kP;
+    EXPECT_EQ(field_.sub(elem(ua), elem(ub)).to_u64(), (ua + kP - ub) % kP);
+  }
+}
+
+TEST_F(ModField32Test, MulMatchesNative) {
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t ua = rng_() % kP;
+    const std::uint64_t ub = rng_() % kP;
+    const unsigned __int128 ref = static_cast<unsigned __int128>(ua) * ub % kP;
+    EXPECT_EQ(field_.mul(elem(ua), elem(ub)).to_u64(), static_cast<std::uint64_t>(ref));
+  }
+}
+
+TEST_F(ModField32Test, PowMatchesSquareAndMultiplyReference) {
+  auto pow_ref = [](std::uint64_t base, std::uint64_t exp) {
+    unsigned __int128 acc = 1, b = base % kP;
+    while (exp != 0) {
+      if (exp & 1) acc = acc * b % kP;
+      b = b * b % kP;
+      exp >>= 1;
+    }
+    return static_cast<std::uint64_t>(acc);
+  };
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t base = rng_() % kP;
+    const std::uint64_t exp = rng_() % 10000;
+    EXPECT_EQ(field_.pow(elem(base), ApInt::from_u64(32, exp)).to_u64(), pow_ref(base, exp));
+  }
+}
+
+TEST_F(ModField32Test, FermatLittleTheorem) {
+  // 2^31 - 1 is prime: a^(p-1) = 1 (mod p) for a != 0.  This exercises the
+  // full square-and-multiply ladder end to end.
+  const ApInt p_minus_1 = ApInt::from_u64(32, kP - 1);
+  for (const std::uint64_t a : {2ull, 3ull, 65537ull, 123456789ull}) {
+    EXPECT_EQ(field_.pow(elem(a), p_minus_1).to_u64(), 1u) << "a = " << a;
+  }
+}
+
+TEST_F(ModField32Test, PowZeroExponentIsOne) {
+  EXPECT_EQ(field_.pow(elem(12345), ApInt(32)).to_u64(), 1u);
+}
+
+TEST_F(ModField32Test, RandomElementIsCanonical) {
+  for (int i = 0; i < 100; ++i) {
+    const ApInt e = field_.random_element(rng_);
+    EXPECT_LT(e.compare_unsigned(field_.modulus()), 0);
+  }
+}
+
+TEST(ModFieldObserver, EveryAdditionIsReported) {
+  std::uint64_t reported = 0;
+  ModField field(builtin_prime(32),
+                 [&reported](const ApInt&, const ApInt&) { ++reported; });
+  std::mt19937_64 rng(1);
+  const ApInt a = field.random_element(rng);
+  const ApInt b = field.random_element(rng);
+  (void)field.mul(a, b);
+  EXPECT_EQ(reported, field.additions());
+  EXPECT_GT(reported, 0u);
+}
+
+TEST(CryptoWorkload, RunsAndRecordsChains) {
+  for (const auto kind :
+       {CryptoKind::kRsaLike, CryptoKind::kDiffieHellmanLike, CryptoKind::kEcFieldLike}) {
+    CryptoWorkloadConfig config;
+    config.width = 64;
+    config.kind = kind;
+    config.operations = 1;
+    config.exponent_bits = 8;
+    CarryChainProfiler profiler(64, ChainMetric::kAllChains);
+    const auto additions = run_crypto_workload(config, profiler);
+    EXPECT_GT(additions, 0u) << to_string(kind);
+    EXPECT_EQ(profiler.additions(), additions);
+    EXPECT_GT(profiler.total(), 0u);
+  }
+}
+
+TEST(CryptoWorkload, ProducesLongSignExtensionChains) {
+  // The whole point of the Fig 6.2 substitute: modular reduction via
+  // two's-complement subtraction creates chains near the datapath width.
+  CryptoWorkloadConfig config;
+  config.width = 64;
+  config.kind = CryptoKind::kRsaLike;
+  config.operations = 2;
+  CarryChainProfiler profiler(64, ChainMetric::kAllChains);
+  run_crypto_workload(config, profiler);
+  EXPECT_GT(profiler.fraction_at_least(32), 0.001);
+}
+
+TEST(CryptoWorkload, DeterministicForSameSeed) {
+  CryptoWorkloadConfig config;
+  config.width = 32;
+  config.kind = CryptoKind::kEcFieldLike;
+  config.operations = 2;
+  config.seed = 77;
+  CarryChainProfiler p1(32), p2(32);
+  const auto n1 = run_crypto_workload(config, p1);
+  const auto n2 = run_crypto_workload(config, p2);
+  EXPECT_EQ(n1, n2);
+  EXPECT_EQ(p1.counts(), p2.counts());
+}
+
+}  // namespace
+}  // namespace vlcsa::arith

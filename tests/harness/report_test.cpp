@@ -1,0 +1,76 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vlcsa::harness {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_pct(0.0001), "0.01%");
+  EXPECT_EQ(fmt_pct(0.2501), "25.01%");
+  EXPECT_EQ(fmt_pct(0.5, 0), "50%");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(1.005, 2), "1.00");  // round-to-even banker-ish via printf
+  EXPECT_EQ(fmt_fixed(2.5, 1), "2.5");
+}
+
+TEST(Format, DeltaPercent) {
+  EXPECT_EQ(fmt_delta_pct(110.0, 100.0), "+10.0%");
+  EXPECT_EQ(fmt_delta_pct(81.0, 100.0), "-19.0%");
+  EXPECT_EQ(fmt_delta_pct(1.0, 0.0), "n/a");
+}
+
+TEST(Format, Scientific) { EXPECT_EQ(fmt_sci(0.000114), "1.14e-04"); }
+
+TEST(BenchArgs, DefaultsAndOverrides) {
+  const char* argv1[] = {"bench"};
+  auto args = BenchArgs::parse(1, const_cast<char**>(argv1), 1000);
+  EXPECT_EQ(args.samples, 1000u);
+  EXPECT_EQ(args.seed, 1u);
+
+  const char* argv2[] = {"bench", "--samples=5", "--seed=77"};
+  args = BenchArgs::parse(3, const_cast<char**>(argv2), 1000);
+  EXPECT_EQ(args.samples, 5u);
+  EXPECT_EQ(args.seed, 77u);
+}
+
+TEST(BenchArgs, UnknownArgumentThrows) {
+  const char* argv[] = {"bench", "--frobnicate"};
+  EXPECT_THROW(BenchArgs::parse(2, const_cast<char**>(argv), 1), std::invalid_argument);
+}
+
+TEST(BenchArgs, ToleratesGoogleBenchmarkFlags) {
+  const char* argv[] = {"bench", "--benchmark_filter=all"};
+  EXPECT_NO_THROW(BenchArgs::parse(2, const_cast<char**>(argv), 1));
+}
+
+TEST(Banner, ContainsArtifactAndDescription) {
+  std::ostringstream os;
+  print_banner(os, "Table 7.1", "error rates");
+  EXPECT_NE(os.str().find("Table 7.1"), std::string::npos);
+  EXPECT_NE(os.str().find("error rates"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlcsa::harness

@@ -1,0 +1,79 @@
+#include "harness/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adders/adders.hpp"
+#include "speculative/error_model.hpp"
+#include "speculative/scsa_netlist.hpp"
+
+namespace vlcsa::harness {
+namespace {
+
+TEST(Synthesis, ReportsDelayAreaGates) {
+  const auto nl = adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 32);
+  const auto result = synthesize(nl);
+  EXPECT_EQ(result.name, "kogge-stone_32");
+  EXPECT_GT(result.delay, 0.0);
+  EXPECT_GT(result.area, 0.0);
+  EXPECT_GT(result.gates, 0u);
+}
+
+TEST(Synthesis, OptimizerOnlyShrinks) {
+  const auto nl = adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 64);
+  const auto raw = synthesize(nl, /*run_optimizer=*/false);
+  const auto opt = synthesize(nl, /*run_optimizer=*/true);
+  EXPECT_LE(opt.area, raw.area);
+  EXPECT_LE(opt.delay, raw.delay + 1e-9);
+}
+
+TEST(Synthesis, KoggeStoneDelayGrowsLogarithmically) {
+  // Doubling the width should add roughly one prefix level, not double the
+  // delay.
+  const auto d64 =
+      synthesize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 64)).delay;
+  const auto d128 =
+      synthesize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 128)).delay;
+  const auto d256 =
+      synthesize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 256)).delay;
+  EXPECT_LT(d128 / d64, 1.5);
+  EXPECT_LT(d256 / d128, 1.5);
+  EXPECT_GT(d128, d64);
+  EXPECT_GT(d256, d128);
+}
+
+TEST(Synthesis, RippleIsMuchSlowerThanPrefix) {
+  const auto ripple =
+      synthesize(adders::build_adder_netlist(adders::AdderKind::kRipple, 64)).delay;
+  const auto ks =
+      synthesize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 64)).delay;
+  EXPECT_GT(ripple, 3.0 * ks);
+}
+
+TEST(Synthesis, ScsaIsFasterThanKoggeStoneAtPaperDesignPoints) {
+  // Fig 7.2's headline: the speculative adder beats the traditional one.
+  for (const auto& [n, k01, k25] : spec::published_scsa_parameters()) {
+    const auto scsa = synthesize(
+        spec::build_scsa_netlist(spec::ScsaConfig{n, k01}, spec::ScsaVariant::kScsa1));
+    const auto ks = synthesize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, n));
+    EXPECT_LT(scsa.delay, ks.delay) << "n = " << n;
+  }
+}
+
+TEST(Synthesis, GroupDelaysExposedForVlcsa) {
+  const auto nl =
+      spec::build_vlcsa_netlist(spec::ScsaConfig{64, 14}, spec::ScsaVariant::kScsa1);
+  const auto result = synthesize(nl);
+  EXPECT_GT(result.delay_of("spec"), 0.0);
+  EXPECT_GT(result.delay_of("detect"), 0.0);
+  EXPECT_GT(result.delay_of("recovery"), result.delay_of("spec"));
+  EXPECT_EQ(result.delay_of("nonexistent"), 0.0);
+}
+
+TEST(Synthesis, MaxInputFanoutIsTracked) {
+  const auto nl = adders::build_adder_netlist(adders::AdderKind::kKoggeStone, 32);
+  const auto result = synthesize(nl);
+  EXPECT_GE(result.max_input_fanout, 1u);
+}
+
+}  // namespace
+}  // namespace vlcsa::harness

@@ -1,0 +1,52 @@
+#include "netlist/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "speculative/scsa_netlist.hpp"
+
+namespace vlcsa::netlist {
+namespace {
+
+TEST(Dot, EmitsValidStructure) {
+  Netlist nl("half adder");
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  nl.add_output("s", nl.xor_(a, b), "spec");
+  nl.add_output("c", nl.and_(a, b), "detect");
+  const std::string dot = to_dot(nl);
+  EXPECT_NE(dot.find("digraph \"half adder\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"xor2\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"and2\""), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);   // spec group color
+  EXPECT_NE(dot.find("orange"), std::string::npos);      // detect group color
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"?\""), std::string::npos);  // inputs carry port names
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+}
+
+TEST(Dot, MuxEdgesAreAnnotated) {
+  Netlist nl;
+  const Signal s = nl.add_input("s");
+  const Signal d0 = nl.add_input("d0");
+  const Signal d1 = nl.add_input("d1");
+  nl.add_output("y", nl.mux(s, d0, d1));
+  const std::string dot = to_dot(nl);
+  EXPECT_NE(dot.find("label=\"sel\""), std::string::npos);
+}
+
+TEST(Dot, IndexedPortNamesStayInLabels) {
+  // Bracketed names must never leak into DOT node identifiers.
+  const auto nl = spec::build_scsa_netlist(spec::ScsaConfig{8, 4},
+                                           spec::ScsaVariant::kScsa1);
+  const std::string dot = to_dot(nl);
+  for (std::size_t pos = dot.find("  o"); pos != std::string::npos;
+       pos = dot.find("  o", pos + 1)) {
+    const std::size_t bracket = dot.find('[', pos);
+    const std::size_t space = dot.find(' ', pos + 2);
+    ASSERT_LT(space, bracket);  // node id ends before any attribute bracket
+  }
+  EXPECT_NE(dot.find("label=\"sum[0]\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlcsa::netlist

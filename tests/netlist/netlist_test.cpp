@@ -1,0 +1,118 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vlcsa::netlist {
+namespace {
+
+TEST(Netlist, InputsAndOutputsAreNamedPorts) {
+  Netlist nl("m");
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  const Signal y = nl.and_(a, b);
+  nl.add_output("y", y, "grp");
+  ASSERT_EQ(nl.inputs().size(), 2u);
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.inputs()[0].name, "a");
+  EXPECT_EQ(nl.outputs()[0].name, "y");
+  EXPECT_EQ(nl.outputs()[0].group, "grp");
+  EXPECT_EQ(nl.find_input("b"), b);
+  EXPECT_EQ(nl.find_output("y"), y);
+  EXPECT_FALSE(nl.find_input("zz").has_value());
+}
+
+TEST(Netlist, ConstantsAreCached) {
+  Netlist nl;
+  EXPECT_EQ(nl.constant(true), nl.constant(true));
+  EXPECT_EQ(nl.constant(false), nl.constant(false));
+  EXPECT_NE(nl.constant(true), nl.constant(false));
+}
+
+TEST(Netlist, RejectsInvalidFanin) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  EXPECT_THROW(nl.and_(a, Signal{}), std::invalid_argument);
+  EXPECT_THROW(nl.make_gate(GateKind::kNot, a, a), std::invalid_argument);
+  EXPECT_THROW(nl.make_gate(GateKind::kAnd2, a, Signal{9999}), std::invalid_argument);
+}
+
+TEST(Netlist, FaninsMustPrecedeGate) {
+  // Creation order is the topological order; a forward reference is a bug.
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal g = nl.not_(a);
+  EXPECT_EQ(nl.gate(g).fanin[0], a);
+  EXPECT_LT(a.id, g.id);
+}
+
+TEST(Netlist, LogicGateCountExcludesInputsAndConstants) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal c = nl.constant(true);
+  const Signal y = nl.and_(a, c);
+  nl.add_output("y", y);
+  EXPECT_EQ(nl.logic_gate_count(), 1u);
+  EXPECT_EQ(nl.num_gates(), 3u);
+}
+
+TEST(Netlist, KindHistogram) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  nl.add_output("o1", nl.and_(a, b));
+  nl.add_output("o2", nl.and_(a, b));
+  nl.add_output("o3", nl.xor_(a, b));
+  const auto h = nl.kind_histogram();
+  EXPECT_EQ(h[static_cast<int>(GateKind::kAnd2)], 2u);
+  EXPECT_EQ(h[static_cast<int>(GateKind::kXor2)], 1u);
+  EXPECT_EQ(h[static_cast<int>(GateKind::kInput)], 2u);
+}
+
+TEST(Netlist, FanoutCountsIncludeOutputs) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal n1 = nl.not_(a);
+  const Signal n2 = nl.not_(a);
+  nl.add_output("o", n1);
+  nl.add_output("o2", n1);
+  const auto fo = nl.fanout_counts();
+  EXPECT_EQ(fo[a.id], 2u);   // two NOT gates
+  EXPECT_EQ(fo[n1.id], 2u);  // two output ports
+  EXPECT_EQ(fo[n2.id], 0u);  // dangling
+  EXPECT_EQ(nl.max_input_fanout(), 2u);
+}
+
+TEST(Netlist, AndOrReduceTrees) {
+  Netlist nl;
+  std::vector<Signal> xs;
+  for (int i = 0; i < 5; ++i) xs.push_back(nl.add_input("x" + std::to_string(i)));
+  const Signal all = nl.and_reduce(xs);
+  const Signal any = nl.or_reduce(xs);
+  nl.add_output("all", all);
+  nl.add_output("any", any);
+  // 5 leaves -> 4 binary gates each.
+  EXPECT_EQ(nl.logic_gate_count(), 8u);
+}
+
+TEST(Netlist, EmptyReduceYieldsConstants) {
+  Netlist nl;
+  EXPECT_EQ(nl.gate(nl.and_reduce({})).kind, GateKind::kConst1);
+  EXPECT_EQ(nl.gate(nl.or_reduce({})).kind, GateKind::kConst0);
+}
+
+TEST(GateKind, FaninCounts) {
+  EXPECT_EQ(fanin_count(GateKind::kInput), 0);
+  EXPECT_EQ(fanin_count(GateKind::kNot), 1);
+  EXPECT_EQ(fanin_count(GateKind::kXor2), 2);
+  EXPECT_EQ(fanin_count(GateKind::kMux2), 3);
+}
+
+TEST(GateKind, Commutativity) {
+  EXPECT_TRUE(is_commutative(GateKind::kAnd2));
+  EXPECT_TRUE(is_commutative(GateKind::kXnor2));
+  EXPECT_FALSE(is_commutative(GateKind::kMux2));
+  EXPECT_FALSE(is_commutative(GateKind::kNot));
+}
+
+}  // namespace
+}  // namespace vlcsa::netlist

@@ -1,0 +1,196 @@
+#include "netlist/opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "netlist/simulator.hpp"
+
+namespace vlcsa::netlist {
+namespace {
+
+/// Checks functional equivalence of two netlists with identical input ports
+/// over `rounds` x 64 random vectors.
+void expect_equivalent(const Netlist& a, const Netlist& b, int rounds = 8,
+                       std::uint64_t seed = 1) {
+  ASSERT_EQ(a.inputs().size(), b.inputs().size());
+  ASSERT_EQ(a.outputs().size(), b.outputs().size());
+  std::mt19937_64 rng(seed);
+  Simulator sa(a), sb(b);
+  for (int round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+      const std::uint64_t word = rng();
+      sa.set_input(i, word);
+      sb.set_input(i, word);
+    }
+    sa.run();
+    sb.run();
+    for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+      EXPECT_EQ(sa.value(a.outputs()[o].signal), sb.value(b.outputs()[o].signal))
+          << "output " << a.outputs()[o].name;
+    }
+  }
+}
+
+TEST(Optimize, ConstantFoldingCollapsesToConstant) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal z = nl.and_(a, nl.constant(false));
+  const Signal y = nl.or_(z, nl.constant(false));
+  nl.add_output("y", y);
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.logic_gate_count(), 0u);
+  EXPECT_EQ(opt.gate(opt.outputs()[0].signal).kind, GateKind::kConst0);
+}
+
+TEST(Optimize, IdentityOperandsAreElided) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  nl.add_output("y", nl.and_(a, nl.constant(true)));
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.logic_gate_count(), 0u);
+  EXPECT_EQ(opt.outputs()[0].signal, opt.inputs()[0].signal);
+}
+
+TEST(Optimize, DoubleInversionCancels) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  nl.add_output("y", nl.not_(nl.not_(a)));
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.logic_gate_count(), 0u);
+}
+
+TEST(Optimize, StructuralHashingMergesDuplicates) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  const Signal x1 = nl.and_(a, b);
+  const Signal x2 = nl.and_(b, a);  // commuted duplicate
+  nl.add_output("y", nl.xor_(x1, x2));
+  const Netlist opt = optimize(nl);
+  // and(a,b) == and(b,a) -> xor(x,x) -> const0.
+  EXPECT_EQ(opt.gate(opt.outputs()[0].signal).kind, GateKind::kConst0);
+}
+
+TEST(Optimize, ComplementaryOperandsFold) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal na = nl.not_(a);
+  nl.add_output("and0", nl.and_(a, na));
+  nl.add_output("or1", nl.or_(a, na));
+  nl.add_output("xor1", nl.xor_(a, na));
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.gate(opt.find_output("and0").value()).kind, GateKind::kConst0);
+  EXPECT_EQ(opt.gate(opt.find_output("or1").value()).kind, GateKind::kConst1);
+  EXPECT_EQ(opt.gate(opt.find_output("xor1").value()).kind, GateKind::kConst1);
+}
+
+TEST(Optimize, MuxRewrites) {
+  Netlist nl;
+  const Signal s = nl.add_input("s");
+  const Signal d = nl.add_input("d");
+  nl.add_output("same", nl.mux(s, d, d));                                // -> d
+  nl.add_output("ident", nl.mux(s, nl.constant(false), nl.constant(true)));  // -> s
+  nl.add_output("inv", nl.mux(s, nl.constant(true), nl.constant(false)));    // -> !s
+  nl.add_output("or_", nl.mux(s, d, nl.constant(true)));                 // -> s | d
+  nl.add_output("and_", nl.mux(s, nl.constant(false), d));               // -> s & d
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.find_output("same"), opt.find_input("d"));
+  EXPECT_EQ(opt.find_output("ident"), opt.find_input("s"));
+  EXPECT_EQ(opt.gate(opt.find_output("inv").value()).kind, GateKind::kNot);
+  EXPECT_EQ(opt.gate(opt.find_output("or_").value()).kind, GateKind::kOr2);
+  EXPECT_EQ(opt.gate(opt.find_output("and_").value()).kind, GateKind::kAnd2);
+  expect_equivalent(nl, opt);
+}
+
+TEST(Optimize, DeadGatesAreRemovedButInputsKept) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  (void)nl.xor_(a, b);  // dangling
+  nl.add_output("y", nl.and_(a, b));
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.logic_gate_count(), 1u);
+  EXPECT_EQ(opt.inputs().size(), 2u);
+}
+
+TEST(Optimize, PreservesPortNamesOrderAndGroups) {
+  Netlist nl("mod");
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  nl.add_output("y0", nl.and_(a, b), "g0");
+  nl.add_output("y1", nl.or_(a, b), "g1");
+  const Netlist opt = optimize(nl);
+  EXPECT_EQ(opt.name(), "mod");
+  ASSERT_EQ(opt.outputs().size(), 2u);
+  EXPECT_EQ(opt.outputs()[0].name, "y0");
+  EXPECT_EQ(opt.outputs()[0].group, "g0");
+  EXPECT_EQ(opt.outputs()[1].name, "y1");
+  EXPECT_EQ(opt.outputs()[1].group, "g1");
+}
+
+TEST(Optimize, RandomNetlistsStayEquivalent) {
+  std::mt19937_64 rng(4242);
+  for (int netlist_trial = 0; netlist_trial < 10; ++netlist_trial) {
+    Netlist nl;
+    std::vector<Signal> pool;
+    for (int i = 0; i < 6; ++i) pool.push_back(nl.add_input("i" + std::to_string(i)));
+    pool.push_back(nl.constant(false));
+    pool.push_back(nl.constant(true));
+    for (int i = 0; i < 150; ++i) {
+      const auto pick = [&] { return pool[rng() % pool.size()]; };
+      const int kind = static_cast<int>(rng() % 9);
+      Signal s;
+      switch (kind) {
+        case 0: s = nl.and_(pick(), pick()); break;
+        case 1: s = nl.or_(pick(), pick()); break;
+        case 2: s = nl.xor_(pick(), pick()); break;
+        case 3: s = nl.nand_(pick(), pick()); break;
+        case 4: s = nl.nor_(pick(), pick()); break;
+        case 5: s = nl.xnor_(pick(), pick()); break;
+        case 6: s = nl.not_(pick()); break;
+        case 7: s = nl.buf(pick()); break;
+        default: s = nl.mux(pick(), pick(), pick()); break;
+      }
+      pool.push_back(s);
+    }
+    for (int o = 0; o < 5; ++o) {
+      nl.add_output("y" + std::to_string(o), pool[pool.size() - 1 - static_cast<std::size_t>(o)]);
+    }
+    OptStats stats;
+    const Netlist opt = optimize(nl, &stats);
+    EXPECT_LE(stats.gates_after, stats.gates_before);
+    expect_equivalent(nl, opt, 4, 1000 + static_cast<std::uint64_t>(netlist_trial));
+  }
+}
+
+TEST(Optimize, IsIdempotent) {
+  std::mt19937_64 rng(7);
+  Netlist nl;
+  std::vector<Signal> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(nl.add_input("i" + std::to_string(i)));
+  for (int i = 0; i < 60; ++i) {
+    const auto pick = [&] { return pool[rng() % pool.size()]; };
+    pool.push_back((i % 2 == 0) ? nl.and_(pick(), pick()) : nl.xor_(pick(), pick()));
+  }
+  nl.add_output("y", pool.back());
+  const Netlist once = optimize(nl);
+  const Netlist twice = optimize(once);
+  EXPECT_EQ(once.logic_gate_count(), twice.logic_gate_count());
+}
+
+TEST(Prune, KeepsOnlyReachableCone) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  const Signal keep = nl.and_(a, b);
+  (void)nl.or_(a, b);
+  (void)nl.xor_(keep, b);
+  nl.add_output("y", keep);
+  const Netlist pruned = prune(nl);
+  EXPECT_EQ(pruned.logic_gate_count(), 1u);
+  expect_equivalent(nl, pruned);
+}
+
+}  // namespace
+}  // namespace vlcsa::netlist

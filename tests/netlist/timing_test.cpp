@@ -1,0 +1,130 @@
+#include "netlist/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vlcsa::netlist {
+namespace {
+
+TEST(CellLibrary, StandardValuesAreSane) {
+  const auto& lib = CellLibrary::standard();
+  EXPECT_EQ(lib.params(GateKind::kNot).effort, 1.0);
+  EXPECT_EQ(lib.params(GateKind::kNot).parasitic, 1.0);
+  EXPECT_GT(lib.params(GateKind::kXor2).area, lib.params(GateKind::kNand2).area);
+  EXPECT_EQ(lib.area(GateKind::kInput), 0.0);
+  EXPECT_EQ(lib.delay(GateKind::kNot, 3.0), 1.0 + 3.0);  // p + g*h
+}
+
+TEST(Timing, SingleGateDelay) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal y = nl.not_(a);
+  nl.add_output("y", y);
+  const auto t = analyze_timing(nl);
+  const auto& lib = CellLibrary::standard();
+  // input driver: p=2 g=2, fanout 1 -> arrival 4; NOT driving 1 load: +2.
+  const double expected = lib.input_driver().parasitic + lib.input_driver().effort * 1.0 +
+                          lib.delay(GateKind::kNot, 1.0);
+  EXPECT_DOUBLE_EQ(t.critical_delay, expected);
+}
+
+TEST(Timing, ChainDelayAccumulates) {
+  Netlist nl;
+  Signal cur = nl.add_input("a");
+  for (int i = 0; i < 10; ++i) cur = nl.not_(cur);
+  nl.add_output("y", cur);
+  const auto t = analyze_timing(nl);
+  // Driver (fanout 1): 4.  Ten inverters each driving 1 load: 2 each.
+  EXPECT_DOUBLE_EQ(t.critical_delay, 4.0 + 10 * 2.0);
+  EXPECT_EQ(t.critical_path.size(), 11u);  // input + 10 inverters
+}
+
+TEST(Timing, FanoutSlowsTheDriver) {
+  Netlist small, big;
+  {
+    const Signal a = small.add_input("a");
+    small.add_output("y", small.not_(a));
+  }
+  {
+    const Signal a = big.add_input("a");
+    const Signal n = big.not_(a);
+    for (int i = 0; i < 8; ++i) big.add_output("y" + std::to_string(i), big.not_(n));
+  }
+  const double d_small = analyze_timing(small).critical_delay;
+  const double d_big = analyze_timing(big).critical_delay;
+  EXPECT_GT(d_big, d_small);
+}
+
+TEST(Timing, PrimaryInputFanoutCostsTime) {
+  // The paper calls out "large fanout at the primary inputs" as a cost of
+  // per-bit speculation; the model must charge for it.
+  Netlist lean, fat;
+  {
+    const Signal a = lean.add_input("a");
+    lean.add_output("y", lean.not_(a));
+  }
+  {
+    const Signal a = fat.add_input("a");
+    for (int i = 0; i < 16; ++i) fat.add_output("y" + std::to_string(i), fat.not_(a));
+  }
+  EXPECT_GT(analyze_timing(fat).critical_delay, analyze_timing(lean).critical_delay);
+}
+
+TEST(Timing, GroupDelaysAreTrackedSeparately) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  Signal slow = a;
+  for (int i = 0; i < 20; ++i) slow = nl.not_(slow);
+  nl.add_output("fast", nl.not_(a), "fast_grp");
+  nl.add_output("slow", slow, "slow_grp");
+  const auto t = analyze_timing(nl);
+  EXPECT_LT(t.delay_of("fast_grp"), t.delay_of("slow_grp"));
+  EXPECT_DOUBLE_EQ(t.critical_delay, t.delay_of("slow_grp"));
+  EXPECT_EQ(t.delay_of("missing"), 0.0);
+}
+
+TEST(Timing, CriticalPathEndsAtWorstOutput) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  Signal slow = nl.and_(a, b);
+  for (int i = 0; i < 5; ++i) slow = nl.not_(slow);
+  nl.add_output("y", slow);
+  const auto t = analyze_timing(nl);
+  ASSERT_FALSE(t.critical_path.empty());
+  EXPECT_EQ(t.critical_path.back(), nl.outputs()[0].signal);
+  // Path arrivals must be non-decreasing.
+  for (std::size_t i = 1; i < t.critical_path.size(); ++i) {
+    EXPECT_GE(t.arrival[t.critical_path[i].id], t.arrival[t.critical_path[i - 1].id]);
+  }
+}
+
+TEST(Timing, ConstantsArriveAtZero) {
+  Netlist nl;
+  nl.add_output("y", nl.constant(true));
+  const auto t = analyze_timing(nl);
+  EXPECT_DOUBLE_EQ(t.critical_delay, 0.0);
+}
+
+TEST(Area, SumsCellAreas) {
+  Netlist nl;
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  nl.add_output("x", nl.xor_(a, b));   // area 4
+  nl.add_output("n", nl.nand_(a, b));  // area 2
+  const auto r = analyze_area(nl);
+  EXPECT_DOUBLE_EQ(r.total, 6.0);
+  EXPECT_EQ(r.logic_gates, 2u);
+  EXPECT_EQ(r.kind_counts[static_cast<int>(GateKind::kXor2)], 1u);
+}
+
+TEST(Area, InputsAndConstantsAreFree) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.constant(true);
+  const auto r = analyze_area(nl);
+  EXPECT_DOUBLE_EQ(r.total, 0.0);
+  EXPECT_EQ(r.logic_gates, 0u);
+}
+
+}  // namespace
+}  // namespace vlcsa::netlist

@@ -1,0 +1,94 @@
+#include "netlist/verilog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vlcsa::netlist {
+namespace {
+
+TEST(Verilog, EmitsModuleWithScalarPorts) {
+  Netlist nl("half_adder");
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  nl.add_output("s", nl.xor_(a, b));
+  nl.add_output("c", nl.and_(a, b));
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module half_adder (a, b, s, c);"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output s;"), std::string::npos);
+  EXPECT_NE(v.find("^"), std::string::npos);
+  EXPECT_NE(v.find("&"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, CollapsesIndexedNamesIntoVectors) {
+  Netlist nl("vec");
+  const Signal a0 = nl.add_input("a[0]");
+  const Signal a1 = nl.add_input("a[1]");
+  nl.add_output("y[0]", nl.and_(a0, a1));
+  nl.add_output("y[1]", nl.or_(a0, a1));
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("input [1:0] a;"), std::string::npos);
+  EXPECT_NE(v.find("output [1:0] y;"), std::string::npos);
+  EXPECT_NE(v.find("assign y[0]"), std::string::npos);
+  EXPECT_NE(v.find("assign y[1]"), std::string::npos);
+}
+
+TEST(Verilog, ConstantsAndMux) {
+  Netlist nl("m");
+  const Signal s = nl.add_input("s");
+  const Signal d0 = nl.add_input("d0");
+  const Signal d1 = nl.add_input("d1");
+  nl.add_output("y", nl.mux(s, d0, d1));
+  nl.add_output("zero", nl.constant(false));
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("? "), std::string::npos);  // ternary mux
+  EXPECT_NE(v.find("1'b0"), std::string::npos);
+}
+
+TEST(Verilog, SanitizesHostileNames) {
+  Netlist nl("top-level design!");
+  const Signal a = nl.add_input("in put");
+  nl.add_output("out.put", nl.not_(a));
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("module top_level_design_"), std::string::npos);
+  EXPECT_NE(v.find("in_put"), std::string::npos);
+  EXPECT_NE(v.find("out_put"), std::string::npos);
+  EXPECT_EQ(v.find("in put"), std::string::npos);
+}
+
+TEST(Verilog, EveryGateKindEmits) {
+  Netlist nl("all_gates");
+  const Signal a = nl.add_input("a");
+  const Signal b = nl.add_input("b");
+  nl.add_output("o0", nl.buf(a));
+  nl.add_output("o1", nl.not_(a));
+  nl.add_output("o2", nl.and_(a, b));
+  nl.add_output("o3", nl.or_(a, b));
+  nl.add_output("o4", nl.nand_(a, b));
+  nl.add_output("o5", nl.nor_(a, b));
+  nl.add_output("o6", nl.xor_(a, b));
+  nl.add_output("o7", nl.xnor_(a, b));
+  nl.add_output("o8", nl.mux(a, b, nl.constant(true)));
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("~("), std::string::npos);   // nand/nor/xnor
+  EXPECT_NE(v.find("1'b1"), std::string::npos);
+  // Every output must be assigned exactly once.
+  for (int i = 0; i <= 8; ++i) {
+    const std::string needle = "assign o" + std::to_string(i) + " = ";
+    EXPECT_NE(v.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Verilog, VectorIndexGapsStillDeclareFullRange) {
+  Netlist nl("gap");
+  const Signal a = nl.add_input("a[0]");
+  const Signal b = nl.add_input("a[7]");  // sparse indices
+  nl.add_output("y", nl.and_(a, b));
+  const std::string v = to_verilog(nl);
+  EXPECT_NE(v.find("input [7:0] a;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlcsa::netlist

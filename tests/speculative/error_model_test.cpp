@@ -1,0 +1,164 @@
+#include "speculative/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "arith/apint.hpp"
+#include "speculative/scsa.hpp"
+#include "speculative/vlsa.hpp"
+
+namespace vlcsa::spec {
+namespace {
+
+TEST(ScsaErrorModel, MatchesHandComputedValues) {
+  // n = 256, k = 16 is the paper's worked example: P_err ~ 0.01%.
+  // (m-1) * 2^-(k+1) * (1 - 2^-k) = 15 * 2^-17 * (1 - 2^-16).
+  const double expected = 15.0 * std::ldexp(1.0, -17) * (1.0 - std::ldexp(1.0, -16));
+  EXPECT_DOUBLE_EQ(scsa_error_rate(256, 16), expected);
+  EXPECT_NEAR(scsa_error_rate(256, 16), 1.14e-4, 1e-6);
+}
+
+TEST(ScsaErrorModel, DecreasesInWindowSize) {
+  for (int k = 4; k < 20; ++k) {
+    EXPECT_GT(scsa_error_rate(256, k), scsa_error_rate(256, k + 1));
+  }
+}
+
+TEST(ScsaErrorModel, IncreasesInWidth) {
+  EXPECT_LT(scsa_error_rate(64, 12), scsa_error_rate(128, 12));
+  EXPECT_LT(scsa_error_rate(128, 12), scsa_error_rate(512, 12));
+}
+
+TEST(ScsaErrorModel, SingleWindowIsErrorFree) {
+  EXPECT_DOUBLE_EQ(scsa_error_rate(16, 16), 0.0);
+  EXPECT_DOUBLE_EQ(scsa_exact_error_rate(16, 16), 0.0);
+}
+
+TEST(ScsaErrorModel, ExactLayoutAccountsForSmallFirstWindow) {
+  // With n % k != 0 the first window is smaller, which changes both its
+  // group-generate probability and the pair sum slightly.
+  const double printed = scsa_error_rate(64, 14);
+  const double exact_layout = scsa_error_rate_exact_layout(64, 14);
+  EXPECT_NE(printed, exact_layout);
+  EXPECT_NEAR(printed, exact_layout, 0.3 * printed);
+}
+
+TEST(ScsaErrorModel, ExactDpIsBelowUnionBound) {
+  for (const int n : {64, 128, 256}) {
+    for (const int k : {8, 10, 12, 14}) {
+      const double exact = scsa_exact_error_rate(n, k);
+      const double bound = scsa_error_rate_exact_layout(n, k);
+      EXPECT_LE(exact, bound * (1.0 + 1e-12)) << "n=" << n << " k=" << k;
+      EXPECT_GT(exact, 0.5 * bound) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ScsaErrorModel, ExactDpMatchesMonteCarloNominalRate) {
+  // The DP models P(some window pair is generate-then-propagate) == P(ERR0).
+  const int n = 64, k = 6;
+  const ScsaModel model(ScsaConfig{n, k});
+  std::mt19937_64 rng(123);
+  const int samples = 200000;
+  int flagged = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto a = arith::ApInt::random(n, rng);
+    const auto b = arith::ApInt::random(n, rng);
+    if (model.evaluate(a, b).err0) ++flagged;
+  }
+  const double mc = static_cast<double>(flagged) / samples;
+  const double dp = scsa_exact_error_rate(n, k);
+  EXPECT_NEAR(mc, dp, 4.0 * std::sqrt(dp * (1 - dp) / samples) + 1e-4);
+}
+
+TEST(SizingRule, ReproducesTable74Exactly) {
+  // Paper Table 7.4: the eight published (n, k) pairs.
+  for (const auto& row : published_scsa_parameters()) {
+    EXPECT_EQ(min_window_for_error_rate(row.n, 1e-4), row.k_rate_01) << "n = " << row.n;
+    EXPECT_EQ(min_window_for_error_rate(row.n, 2.5e-3), row.k_rate_25) << "n = " << row.n;
+  }
+}
+
+TEST(SizingRule, RejectsNonPositiveTarget) {
+  EXPECT_THROW((void)min_window_for_error_rate(64, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)min_window_for_error_rate(64, -1.0), std::invalid_argument);
+}
+
+TEST(SizingRule, MonotoneInTarget) {
+  EXPECT_GE(min_window_for_error_rate(256, 1e-5), min_window_for_error_rate(256, 1e-4));
+  EXPECT_GE(min_window_for_error_rate(256, 1e-4), min_window_for_error_rate(256, 1e-2));
+}
+
+// ---- VLSA -------------------------------------------------------------------
+
+TEST(VlsaErrorModel, UnionBoundShape) {
+  EXPECT_DOUBLE_EQ(vlsa_error_rate(64, 64), 0.0);
+  EXPECT_NEAR(vlsa_error_rate(64, 17), 47.0 * std::ldexp(1.0, -18), 1e-12);
+  EXPECT_GT(vlsa_error_rate(128, 17), vlsa_error_rate(64, 17));
+  EXPECT_GT(vlsa_error_rate(64, 16), vlsa_error_rate(64, 17));
+}
+
+TEST(VlsaErrorModel, ExactDpIsBelowUnionBound) {
+  for (const int n : {32, 64, 128}) {
+    for (const int l : {6, 8, 10, 12}) {
+      EXPECT_LE(vlsa_exact_error_rate(n, l), vlsa_error_rate(n, l)) << n << "/" << l;
+      EXPECT_GT(vlsa_exact_error_rate(n, l), 0.0);
+    }
+  }
+}
+
+TEST(VlsaErrorModel, ExactDpMatchesBehavioralMonteCarlo) {
+  const int n = 48, l = 6;
+  const VlsaModel model(VlsaConfig{n, l});
+  std::mt19937_64 rng(321);
+  const int samples = 200000;
+  int wrong = 0;
+  for (int s = 0; s < samples; ++s) {
+    const auto a = arith::ApInt::random(n, rng);
+    const auto b = arith::ApInt::random(n, rng);
+    if (!model.evaluate(a, b).spec_correct()) ++wrong;
+  }
+  const double mc = static_cast<double>(wrong) / samples;
+  const double dp = vlsa_exact_error_rate(n, l);
+  EXPECT_NEAR(mc, dp, 4.0 * std::sqrt(dp * (1 - dp) / samples) + 1e-4);
+}
+
+TEST(VlsaErrorModel, PublishedChainLengths) {
+  EXPECT_EQ(vlsa_published_chain_length(64), 17);
+  EXPECT_EQ(vlsa_published_chain_length(128), 18);
+  EXPECT_EQ(vlsa_published_chain_length(256), 20);
+  EXPECT_EQ(vlsa_published_chain_length(512), 21);
+  EXPECT_THROW((void)vlsa_published_chain_length(100), std::invalid_argument);
+}
+
+TEST(VlsaErrorModel, PublishedLengthsAchieveTargetWithinSlack) {
+  // Our exact model should agree that [17]'s design points deliver ~0.01%.
+  for (const int n : {64, 128, 256, 512}) {
+    const int l = vlsa_published_chain_length(n);
+    const double rate = vlsa_exact_error_rate(n, l);
+    EXPECT_LT(rate, 2.5e-4) << "n = " << n;   // within ~2.5x of 0.01%
+    EXPECT_GT(rate, 1e-5) << "n = " << n;     // not absurdly conservative
+  }
+}
+
+TEST(VlsaErrorModel, SizingSearchIsConsistent) {
+  for (const int n : {64, 128}) {
+    const int l = min_vlsa_chain_for_error_rate(n, 1e-4);
+    EXPECT_LE(vlsa_exact_error_rate(n, l), 1.25e-4);
+    if (l > 1) {
+      EXPECT_GT(vlsa_exact_error_rate(n, l - 1), 1.25e-4);
+    }
+  }
+}
+
+TEST(ErrorModels, RejectBadParameters) {
+  EXPECT_THROW((void)scsa_error_rate(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)scsa_error_rate(64, 0), std::invalid_argument);
+  EXPECT_THROW((void)vlsa_error_rate(0, 4), std::invalid_argument);
+  EXPECT_THROW((void)vlsa_exact_error_rate(64, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlcsa::spec

@@ -1,0 +1,76 @@
+#include "speculative/multiplier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace vlcsa::spec {
+namespace {
+
+using arith::ApInt;
+
+TEST(SpeculativeMultiplier, MatchesNativeMultiplication32) {
+  const SpeculativeMultiplier mul(32, 9);
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t ua = rng() & 0xffffffffu;
+    const std::uint64_t ub = rng() & 0xffffffffu;
+    const auto result =
+        mul.multiply(ApInt::from_u64(32, ua), ApInt::from_u64(32, ub));
+    ASSERT_EQ(result.product.to_u64(), ua * ub) << ua << " * " << ub;
+    ASSERT_EQ(result.product.extract(32, 32), (static_cast<unsigned __int128>(ua) * ub) >> 32);
+  }
+}
+
+TEST(SpeculativeMultiplier, EdgeOperands) {
+  const SpeculativeMultiplier mul(16, 6);
+  const auto check = [&](std::uint64_t a, std::uint64_t b) {
+    const auto r = mul.multiply(ApInt::from_u64(16, a), ApInt::from_u64(16, b));
+    EXPECT_EQ(r.product.to_u64(), a * b) << a << " * " << b;
+  };
+  check(0, 0);
+  check(0, 0xffff);
+  check(1, 0xffff);
+  check(0xffff, 0xffff);
+  check(0x8000, 2);
+  check(3, 0x5555);
+}
+
+TEST(SpeculativeMultiplier, WideOperandsViaSchoolbookReference) {
+  const int n = 64;
+  const SpeculativeMultiplier mul(n, 12);
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = ApInt::random(n, rng);
+    const auto b = ApInt::random(n, rng);
+    // Schoolbook reference at 2n bits.
+    ApInt expected(2 * n);
+    const ApInt wide_a = a.zext(2 * n);
+    for (int j = 0; j < n; ++j) {
+      if (b.bit(j)) expected = expected + wide_a.shl(j);
+    }
+    const auto result = mul.multiply(a, b);
+    ASSERT_EQ(result.product, expected);
+  }
+}
+
+TEST(SpeculativeMultiplier, VariableLatencyBehaviour) {
+  const SpeculativeMultiplier mul(32, 6, ScsaVariant::kScsa1);
+  std::mt19937_64 rng(11);
+  int one_cycle = 0, two_cycle = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto r = mul.multiply(ApInt::random(32, rng), ApInt::random(32, rng));
+    (r.cycles == 1 ? one_cycle : two_cycle)++;
+    ASSERT_EQ(r.cycles, r.stalled ? 2 : 1);
+  }
+  EXPECT_GT(one_cycle, 0);
+  EXPECT_GT(two_cycle, 0);  // k = 6 at 64 bits stalls often enough
+}
+
+TEST(SpeculativeMultiplier, RejectsWidthMismatch) {
+  const SpeculativeMultiplier mul(32, 8);
+  EXPECT_THROW((void)mul.multiply(ApInt(16), ApInt(32)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vlcsa::spec

@@ -1,0 +1,67 @@
+#include "speculative/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "speculative/error_model.hpp"
+
+namespace vlcsa::spec {
+namespace {
+
+TEST(VlcsaPipeline, CyclesEqualAdditionsPlusStalls) {
+  const VlcsaPipeline pipe({64, 8, ScsaVariant::kScsa1});
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, 64);
+  const auto stats = pipe.run(*source, 20000, 3);
+  EXPECT_EQ(stats.additions, 20000u);
+  EXPECT_EQ(stats.cycles, stats.additions + stats.stalls);
+  EXPECT_EQ(stats.wrong_results, 0u);
+  EXPECT_NEAR(stats.cycles_per_add(), 1.0 + static_cast<double>(stats.stalls) / 20000.0,
+              1e-12);
+  EXPECT_NEAR(stats.throughput() * stats.cycles_per_add(), 1.0, 1e-12);
+}
+
+TEST(VlcsaPipeline, StallRateMatchesModel) {
+  const int n = 64, k = 7;
+  const VlcsaPipeline pipe({n, k, ScsaVariant::kScsa1});
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, n);
+  const auto stats = pipe.run(*source, 200000, 5);
+  const double expected = scsa_exact_error_rate(n, k);
+  const double sigma = std::sqrt(expected * (1 - expected) / 200000.0);
+  EXPECT_NEAR(static_cast<double>(stats.stalls) / 200000.0, expected, 5 * sigma + 1e-4);
+}
+
+TEST(VlcsaPipeline, TotalTimeScalesWithClockPeriod) {
+  const VlcsaPipeline pipe({32, 8, ScsaVariant::kScsa1});
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, 32);
+  const auto stats = pipe.run(*source, 1000, 7);
+  EXPECT_DOUBLE_EQ(stats.total_time(2.0), 2.0 * static_cast<double>(stats.cycles));
+}
+
+TEST(VlcsaPipeline, Variant2BeatsVariant1OnGaussian) {
+  auto make_source = [] {
+    return arith::make_source(arith::InputDistribution::kGaussianTwos, 64,
+                              arith::GaussianParams{0.0, std::ldexp(1.0, 32)});
+  };
+  const VlcsaPipeline p1({64, 14, ScsaVariant::kScsa1});
+  const VlcsaPipeline p2({64, 14, ScsaVariant::kScsa2});
+  auto s1 = make_source();
+  auto s2 = make_source();
+  const auto r1 = p1.run(*s1, 20000, 11);
+  const auto r2 = p2.run(*s2, 20000, 11);
+  EXPECT_LT(r2.cycles, r1.cycles);
+  EXPECT_EQ(r1.wrong_results, 0u);
+  EXPECT_EQ(r2.wrong_results, 0u);
+}
+
+TEST(VlcsaPipeline, EmptyStream) {
+  const VlcsaPipeline pipe({32, 8, ScsaVariant::kScsa2});
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, 32);
+  const auto stats = pipe.run(*source, 0, 1);
+  EXPECT_EQ(stats.cycles, 0u);
+  EXPECT_DOUBLE_EQ(stats.cycles_per_add(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.throughput(), 0.0);
+}
+
+}  // namespace
+}  // namespace vlcsa::spec

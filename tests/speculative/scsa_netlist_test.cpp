@@ -1,0 +1,183 @@
+#include "speculative/scsa_netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/testutil.hpp"
+#include "netlist/opt.hpp"
+#include "netlist/simulator.hpp"
+#include "netlist/timing.hpp"
+#include "speculative/error_model.hpp"
+
+namespace vlcsa::spec {
+namespace {
+
+using arith::ApInt;
+using netlist::Netlist;
+using netlist::Simulator;
+
+struct NetlistCase {
+  int width;
+  int window;
+  ScsaVariant variant;
+  bool optimize;
+};
+
+class ScsaNetlistTest : public ::testing::TestWithParam<NetlistCase> {};
+
+/// Drives 64 random vectors through the VLCSA netlist and checks every
+/// output group against the behavioral model.
+TEST_P(ScsaNetlistTest, MatchesBehavioralModelOnAllOutputGroups) {
+  const auto [n, k, variant, optimize] = GetParam();
+  const ScsaConfig config{n, k};
+  Netlist nl = build_vlcsa_netlist(config, variant);
+  if (optimize) nl = netlist::optimize(nl);
+  const ScsaModel model(config);
+
+  Simulator sim(nl);
+  std::mt19937_64 rng(static_cast<unsigned>(n * 131 + k));
+  for (int round = 0; round < 4; ++round) {
+    std::vector<ApInt> a, b;
+    for (int v = 0; v < 64; ++v) {
+      a.push_back(ApInt::random(n, rng));
+      b.push_back(ApInt::random(n, rng));
+    }
+    testutil::load_operands(sim, a, b, n);
+    sim.run();
+    for (std::size_t v = 0; v < 64; ++v) {
+      const auto ev = model.evaluate(a[v], b[v]);
+      ASSERT_EQ(testutil::read_bus(sim, "sum", n, v), ev.spec0) << "vector " << v;
+      ASSERT_EQ(((sim.output("cout") >> v) & 1) != 0, ev.spec0_cout);
+      ASSERT_EQ(((sim.output("err0") >> v) & 1) != 0, ev.err0);
+      ASSERT_EQ(testutil::read_bus(sim, "rec", n, v), ev.recovered);
+      ASSERT_EQ(((sim.output("rec_cout") >> v) & 1) != 0, ev.recovered_cout);
+      if (variant == ScsaVariant::kScsa2) {
+        ASSERT_EQ(testutil::read_bus(sim, "sum1", n, v), ev.spec1);
+        ASSERT_EQ(((sim.output("cout1") >> v) & 1) != 0, ev.spec1_cout);
+        ASSERT_EQ(((sim.output("err1") >> v) & 1) != 0, ev.err1);
+        ASSERT_EQ(((sim.output("stall") >> v) & 1) != 0, ev.vlcsa2_stall());
+      } else {
+        ASSERT_EQ(((sim.output("stall") >> v) & 1) != 0, ev.vlcsa1_stall());
+      }
+      ASSERT_EQ(((sim.output("valid") >> v) & 1) != 0, !((sim.output("stall") >> v) & 1));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, ScsaNetlistTest,
+    ::testing::Values(NetlistCase{16, 4, ScsaVariant::kScsa1, false},
+                      NetlistCase{16, 4, ScsaVariant::kScsa2, false},
+                      NetlistCase{24, 8, ScsaVariant::kScsa2, true},
+                      NetlistCase{32, 5, ScsaVariant::kScsa1, true},
+                      NetlistCase{64, 14, ScsaVariant::kScsa1, true},
+                      NetlistCase{64, 14, ScsaVariant::kScsa2, true},
+                      NetlistCase{65, 7, ScsaVariant::kScsa2, true},
+                      NetlistCase{128, 15, ScsaVariant::kScsa1, true}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.width) + "_k" +
+             std::to_string(info.param.window) + "_" + to_string(info.param.variant) +
+             (info.param.optimize ? "_opt" : "_raw");
+    });
+
+TEST(ScsaNetlist, SpecOnlyNetlistMatchesBehavioralSpec) {
+  const ScsaConfig config{48, 9};
+  const Netlist nl = netlist::optimize(build_scsa_netlist(config, ScsaVariant::kScsa1));
+  const ScsaModel model(config);
+  Simulator sim(nl);
+  std::mt19937_64 rng(999);
+  std::vector<ApInt> a, b;
+  for (int v = 0; v < 64; ++v) {
+    a.push_back(ApInt::random(48, rng));
+    b.push_back(ApInt::random(48, rng));
+  }
+  testutil::load_operands(sim, a, b, 48);
+  sim.run();
+  for (std::size_t v = 0; v < 64; ++v) {
+    const auto ev = model.evaluate(a[v], b[v]);
+    ASSERT_EQ(testutil::read_bus(sim, "sum", 48, v), ev.spec0);
+  }
+}
+
+TEST(ScsaNetlist, OutputGroupsArePresent) {
+  const Netlist nl = build_vlcsa_netlist(ScsaConfig{32, 8}, ScsaVariant::kScsa2);
+  bool has_spec = false, has_detect = false, has_recovery = false;
+  for (const auto& port : nl.outputs()) {
+    has_spec = has_spec || port.group == kGroupSpec;
+    has_detect = has_detect || port.group == kGroupDetect;
+    has_recovery = has_recovery || port.group == kGroupRecovery;
+  }
+  EXPECT_TRUE(has_spec);
+  EXPECT_TRUE(has_detect);
+  EXPECT_TRUE(has_recovery);
+}
+
+TEST(ScsaNetlist, DetectionDelayIsComparableToSpeculation) {
+  // The paper's headline structural claim (Ch. 5.1): VLCSA's detector is no
+  // slower than its speculative datapath (within a small margin), unlike
+  // VLSA's.  Check at the published design points.
+  for (const auto& [n, k01, k25] : published_scsa_parameters()) {
+    const auto nl =
+        netlist::optimize(build_vlcsa_netlist(ScsaConfig{n, k01}, ScsaVariant::kScsa1));
+    const auto timing = netlist::analyze_timing(nl);
+    const double spec = timing.delay_of(kGroupSpec);
+    const double detect = timing.delay_of(kGroupDetect);
+    EXPECT_GT(spec, 0.0);
+    EXPECT_GT(detect, 0.0);
+    EXPECT_LE(detect, spec * 1.15) << "n = " << n;
+  }
+}
+
+TEST(ScsaNetlist, RecoveryDelayIsUnderTwoCycles) {
+  // Ch. 5.2: with T_clk slightly above max(spec, detect), recovery finishes
+  // within the second cycle.
+  for (const auto& [n, k01, k25] : published_scsa_parameters()) {
+    const auto nl =
+        netlist::optimize(build_vlcsa_netlist(ScsaConfig{n, k01}, ScsaVariant::kScsa1));
+    const auto timing = netlist::analyze_timing(nl);
+    const double tclk = std::max(timing.delay_of(kGroupSpec), timing.delay_of(kGroupDetect));
+    EXPECT_LT(timing.delay_of(kGroupRecovery), 2.0 * tclk) << "n = " << n;
+  }
+}
+
+TEST(ScsaNetlist, Variant2AddsModestArea) {
+  // SCSA 2 adds one mux bank + ERR1: area overhead should be O(n) small,
+  // not a blowup (Ch. 6.5: complexity O(n/k) muxes of k bits each).
+  const ScsaConfig config{128, 15};
+  const auto v1 = netlist::optimize(build_vlcsa_netlist(config, ScsaVariant::kScsa1));
+  const auto v2 = netlist::optimize(build_vlcsa_netlist(config, ScsaVariant::kScsa2));
+  const auto a1 = netlist::analyze_area(v1).total;
+  const auto a2 = netlist::analyze_area(v2).total;
+  EXPECT_GT(a2, a1);
+  EXPECT_LT(a2, a1 * 1.6);
+}
+
+TEST(ScsaNetlist, GaussianVectorsExerciseAllPathsEquivalently) {
+  // Netlist-vs-behavioral equivalence specifically on sign-extension-heavy
+  // vectors (the VLCSA 2 case split).
+  const ScsaConfig config{64, 13};
+  const Netlist nl = netlist::optimize(build_vlcsa_netlist(config, ScsaVariant::kScsa2));
+  const ScsaModel model(config);
+  Simulator sim(nl);
+  std::mt19937_64 rng(31337);
+  std::vector<ApInt> a, b;
+  for (int v = 0; v < 64; ++v) {
+    // Small signed values: dense long-chain coverage.
+    a.push_back(ApInt::from_i64(64, static_cast<std::int64_t>(rng() % 4096) - 2048));
+    b.push_back(ApInt::from_i64(64, static_cast<std::int64_t>(rng() % 4096) - 2048));
+  }
+  testutil::load_operands(sim, a, b, 64);
+  sim.run();
+  for (std::size_t v = 0; v < 64; ++v) {
+    const auto ev = model.evaluate(a[v], b[v]);
+    ASSERT_EQ(testutil::read_bus(sim, "sum", 64, v), ev.spec0);
+    ASSERT_EQ(testutil::read_bus(sim, "sum1", 64, v), ev.spec1);
+    ASSERT_EQ(((sim.output("err0") >> v) & 1) != 0, ev.err0);
+    ASSERT_EQ(((sim.output("err1") >> v) & 1) != 0, ev.err1);
+    ASSERT_EQ(testutil::read_bus(sim, "rec", 64, v), ev.recovered);
+  }
+}
+
+}  // namespace
+}  // namespace vlcsa::spec

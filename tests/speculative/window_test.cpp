@@ -1,0 +1,68 @@
+#include "speculative/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vlcsa::spec {
+namespace {
+
+TEST(WindowLayout, EvenSplit) {
+  const WindowLayout layout(64, 16);
+  ASSERT_EQ(layout.count(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(layout.window(i).size, 16);
+    EXPECT_EQ(layout.window(i).pos, i * 16);
+  }
+}
+
+TEST(WindowLayout, RemainderGoesToFirstWindow) {
+  // 64 bits, k = 14: ceil = 5 windows; first gets 64 - 4*14 = 8 bits.
+  const WindowLayout layout(64, 14);
+  ASSERT_EQ(layout.count(), 5);
+  EXPECT_EQ(layout.window(0).size, 8);
+  EXPECT_EQ(layout.window(0).pos, 0);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(layout.window(i).size, 14);
+    EXPECT_EQ(layout.window(i).pos, 8 + (i - 1) * 14);
+  }
+}
+
+TEST(WindowLayout, WindowsTileTheWidthExactly) {
+  for (const int n : {1, 7, 32, 64, 100, 128, 256, 511, 512}) {
+    for (const int k : {1, 2, 5, 13, 14, 17, 63}) {
+      const WindowLayout layout(n, k);
+      int pos = 0;
+      for (int i = 0; i < layout.count(); ++i) {
+        EXPECT_EQ(layout.window(i).pos, pos);
+        EXPECT_GE(layout.window(i).size, 1);
+        EXPECT_LE(layout.window(i).size, k);
+        pos += layout.window(i).size;
+      }
+      EXPECT_EQ(pos, n);
+    }
+  }
+}
+
+TEST(WindowLayout, OversizedWindowCollapsesToSingle) {
+  const WindowLayout layout(16, 63);
+  ASSERT_EQ(layout.count(), 1);
+  EXPECT_EQ(layout.window(0).size, 16);
+}
+
+TEST(WindowLayout, RejectsBadParameters) {
+  EXPECT_THROW(WindowLayout(0, 4), std::invalid_argument);
+  EXPECT_THROW(WindowLayout(64, 0), std::invalid_argument);
+  EXPECT_THROW(WindowLayout(64, 64), std::invalid_argument);  // > 63 word limit
+}
+
+TEST(WindowLayout, PaperConfigurations) {
+  // Table 7.4 rows: every configuration must tile correctly.
+  const int ns[] = {64, 128, 256, 512};
+  const int ks[] = {14, 15, 16, 17};
+  for (int i = 0; i < 4; ++i) {
+    const WindowLayout layout(ns[i], ks[i]);
+    EXPECT_EQ(layout.count(), (ns[i] + ks[i] - 1) / ks[i]);
+  }
+}
+
+}  // namespace
+}  // namespace vlcsa::spec
