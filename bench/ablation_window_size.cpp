@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
     const double tclk = std::max(synth.delay_of("spec"), synth.delay_of("detect"));
     auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, n);
     const auto mc = harness::run_vlcsa(spec::VlcsaConfig{n, k, spec::ScsaVariant::kScsa1},
-                                       *source, args.samples, args.seed);
+                                       *source, args.samples, args.seed, args.threads);
     table.add_row({std::to_string(k), std::to_string((n + k - 1) / k),
                    harness::fmt_fixed(tclk, 1), harness::fmt_fixed(synth.area, 0),
                    harness::fmt_pct(spec::scsa_error_rate(n, k), 3),

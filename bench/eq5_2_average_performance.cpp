@@ -3,18 +3,19 @@
 // DesignWare adder".  This bench combines both halves of that claim:
 //   clock period  — from static timing: T_clk(VLCSA) = max(spec, detect),
 //                   T_clk(DW) = its critical path;
-//   cycle count   — from the pipeline model: N + stalls for VLCSA, N for DW.
+//   cycle count   — from the registry's "eq5.2/" Monte Carlo experiments:
+//                   one cycle per addition plus one bubble per stall, so
+//                   ErrorRateResult::average_cycles() is exactly the stream
+//                   model's cycles-per-add (N + stalls over N).
 // Wall-clock ratio = (1 + stall_rate) * T_clk(VLCSA) / T_clk(DW).
 
 #include <algorithm>
-#include <cmath>
 #include <iostream>
 
 #include "adders/adders.hpp"
+#include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "harness/synthesis.hpp"
-#include "speculative/error_model.hpp"
-#include "speculative/pipeline.hpp"
 #include "speculative/scsa_netlist.hpp"
 
 using namespace vlcsa;
@@ -31,30 +32,22 @@ int main(int argc, char** argv) {
   for (const int n : {64, 128, 256, 512}) {
     const auto dw = harness::synthesize(adders::build_designware_adder(n));
 
-    struct Case {
-      const char* label;
-      arith::InputDistribution dist;
-      spec::ScsaVariant variant;
-      int k;
-    };
-    const Case cases[] = {
-        {"uniform", arith::InputDistribution::kUniformUnsigned, spec::ScsaVariant::kScsa1,
-         spec::min_window_for_error_rate(n, 2.5e-3)},
-        {"gaussian-2c", arith::InputDistribution::kGaussianTwos, spec::ScsaVariant::kScsa2,
-         spec::published_vlcsa2_parameters().k_rate_25},
-    };
-    for (const auto& c : cases) {
+    for (const auto* experiment :
+         harness::error_rate_experiments_with_prefix("eq5.2/n" + std::to_string(n) + "-")) {
+      const auto variant = experiment->model == harness::ModelKind::kVlcsa1
+                               ? spec::ScsaVariant::kScsa1
+                               : spec::ScsaVariant::kScsa2;
       const auto synth = harness::synthesize(spec::build_vlcsa_netlist(
-          spec::ScsaConfig{n, c.k}, c.variant));
+          spec::ScsaConfig{experiment->width, experiment->window}, variant));
       const double tclk = std::max(synth.delay_of("spec"), synth.delay_of("detect"));
-      const spec::VlcsaPipeline pipe({n, c.k, c.variant});
-      auto source = arith::make_source(c.dist, n, arith::GaussianParams{0.0, std::ldexp(1.0, 32)});
-      const auto stats = pipe.run(*source, args.samples, args.seed);
-      const double time_per_add = stats.cycles_per_add() * tclk;
-      table.add_row({std::to_string(n), c.label,
-                     c.variant == spec::ScsaVariant::kScsa1 ? "VLCSA 1" : "VLCSA 2",
-                     std::to_string(c.k), harness::fmt_fixed(tclk, 1),
-                     harness::fmt_fixed(stats.cycles_per_add(), 4),
+      const auto result =
+          harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
+      const double time_per_add = result.average_cycles() * tclk;
+      const bool uniform = experiment->dist == arith::InputDistribution::kUniformUnsigned;
+      table.add_row({std::to_string(n), uniform ? "uniform" : "gaussian-2c",
+                     to_string(experiment->model), std::to_string(experiment->window),
+                     harness::fmt_fixed(tclk, 1),
+                     harness::fmt_fixed(result.average_cycles(), 4),
                      harness::fmt_fixed(time_per_add, 1),
                      harness::fmt_delta_pct(time_per_add, dw.delay)});
     }

@@ -1,11 +1,12 @@
 // Fig 6.1 — carry-chain length statistics for unsigned uniform inputs on a
 // 32-bit adder (paper: 10^6 additions; default here 10^6, override with
-// --samples=N).
+// --samples=N).  Runs the registry's "fig6.1/uniform-unsigned" experiment on
+// the parallel sharded engine (--threads=N).
 
 #include <iostream>
 
-#include "arith/distributions.hpp"
 #include "bench_util.hpp"
+#include "harness/experiments.hpp"
 
 using namespace vlcsa;
 
@@ -15,13 +16,13 @@ int main(int argc, char** argv) {
                         "Carry-chain length statistics, unsigned uniform inputs, 32-bit "
                         "adder, " + std::to_string(args.samples) + " additions.");
 
-  arith::CarryChainProfiler profiler(32, arith::ChainMetric::kAllChains);
-  arith::UniformUnsignedSource source(32);
-  std::mt19937_64 rng(args.seed);
-  for (std::uint64_t i = 0; i < args.samples; ++i) {
-    const auto [a, b] = source.next(rng);
-    profiler.record(a, b);
+  const auto* experiment = harness::find_chain_profile_experiment("fig6.1/uniform-unsigned");
+  if (experiment == nullptr) {
+    std::cerr << "fig6.1/uniform-unsigned missing from the registry\n";
+    return 1;
   }
+  const auto profiler =
+      harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
   bench::print_chain_histogram(profiler);
   std::cout << "\nExpected shape: geometric decay (P(len = L | chain) = 2^-L), chains\n"
                "concentrated at short lengths — the premise of speculation (Ch. 3).\n";

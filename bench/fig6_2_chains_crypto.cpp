@@ -8,11 +8,14 @@
 // figure exists to show — a *bimodal* distribution with a significant mass
 // of near-datapath-width chains — emerges from the two's-complement
 // subtractions of modular reduction.
+//
+// The three workloads are the registry's "fig6.2/" experiments; --samples=N
+// sets the number of top-level crypto operations per workload.
 
 #include <iostream>
 
-#include "arith/workload.hpp"
 #include "bench_util.hpp"
+#include "harness/experiments.hpp"
 
 using namespace vlcsa;
 
@@ -22,21 +25,11 @@ int main(int argc, char** argv) {
                         "Carry-chain statistics from instrumented cryptographic "
                         "workloads (16-bit prime field on a 32-bit datapath).");
 
-  for (const auto kind : {arith::CryptoKind::kRsaLike, arith::CryptoKind::kDiffieHellmanLike,
-                          arith::CryptoKind::kEcFieldLike}) {
-    arith::CryptoWorkloadConfig config;
-    config.width = 32;
-    config.field_bits = 16;
-    config.kind = kind;
-    config.operations = static_cast<int>(args.samples);
-    config.exponent_bits = 24;
-    config.seed = args.seed;
-
-    arith::CarryChainProfiler profiler(32, arith::ChainMetric::kAllChains);
-    const auto additions = run_crypto_workload(config, profiler);
-
-    std::cout << "---- workload: " << to_string(kind) << " (" << additions
-              << " datapath additions) ----\n";
+  for (const auto* experiment : harness::chain_profile_experiments_with_prefix("fig6.2/")) {
+    const auto profiler =
+        harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
+    std::cout << "---- workload: " << to_string(experiment->crypto_kind) << " ("
+              << profiler.additions() << " datapath additions) ----\n";
     bench::print_chain_histogram(profiler);
     std::cout << "fraction of chains reaching >= half the datapath: "
               << harness::fmt_pct(profiler.fraction_at_least(16), 2) << "\n\n";

@@ -1,10 +1,11 @@
 // Fig 6.3 — carry-chain length statistics for 2's-complement uniform inputs
-// (random sign x uniform magnitude) on a 32-bit adder.
+// (random sign x uniform magnitude) on a 32-bit adder.  Runs the registry's
+// "fig6.3/uniform-twos-complement" experiment on the parallel engine.
 
 #include <iostream>
 
-#include "arith/distributions.hpp"
 #include "bench_util.hpp"
+#include "harness/experiments.hpp"
 
 using namespace vlcsa;
 
@@ -14,13 +15,14 @@ int main(int argc, char** argv) {
                         "Carry-chain length statistics, 2's-complement uniform inputs, "
                         "32-bit adder, " + std::to_string(args.samples) + " additions.");
 
-  arith::CarryChainProfiler profiler(32, arith::ChainMetric::kAllChains);
-  arith::UniformTwosSource source(32);
-  std::mt19937_64 rng(args.seed);
-  for (std::uint64_t i = 0; i < args.samples; ++i) {
-    const auto [a, b] = source.next(rng);
-    profiler.record(a, b);
+  const auto* experiment =
+      harness::find_chain_profile_experiment("fig6.3/uniform-twos-complement");
+  if (experiment == nullptr) {
+    std::cerr << "fig6.3/uniform-twos-complement missing from the registry\n";
+    return 1;
   }
+  const auto profiler =
+      harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
   bench::print_chain_histogram(profiler);
   std::cout << "\nExpected shape: still short-chain dominated, similar to unsigned\n"
                "uniform (Ch. 6.3's first observation): uniform magnitudes rarely\n"

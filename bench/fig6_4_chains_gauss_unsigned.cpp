@@ -1,13 +1,13 @@
 // Fig 6.4 — carry-chain length statistics for unsigned Gaussian inputs on a
 // 32-bit adder.  sigma = 2^20 keeps |sample| well inside 32 bits (the paper
 // plots a 32-bit adder without stating sigma for this figure; the shape is
-// sigma-insensitive as long as samples fit).
+// sigma-insensitive as long as samples fit).  Runs the registry's
+// "fig6.4/gaussian-unsigned" experiment on the parallel engine.
 
-#include <cmath>
 #include <iostream>
 
-#include "arith/distributions.hpp"
 #include "bench_util.hpp"
+#include "harness/experiments.hpp"
 
 using namespace vlcsa;
 
@@ -18,13 +18,13 @@ int main(int argc, char** argv) {
                         "(mu=0, sigma=2^20), 32-bit adder, " +
                             std::to_string(args.samples) + " additions.");
 
-  arith::CarryChainProfiler profiler(32, arith::ChainMetric::kAllChains);
-  arith::GaussianUnsignedSource source(32, arith::GaussianParams{0.0, std::ldexp(1.0, 20)});
-  std::mt19937_64 rng(args.seed);
-  for (std::uint64_t i = 0; i < args.samples; ++i) {
-    const auto [a, b] = source.next(rng);
-    profiler.record(a, b);
+  const auto* experiment = harness::find_chain_profile_experiment("fig6.4/gaussian-unsigned");
+  if (experiment == nullptr) {
+    std::cerr << "fig6.4/gaussian-unsigned missing from the registry\n";
+    return 1;
   }
+  const auto profiler =
+      harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
   bench::print_chain_histogram(profiler);
   std::cout << "\nExpected shape: short-chain dominated, similar to unsigned uniform —\n"
                "magnitude alone does not create long chains (Ch. 6.3).\n";

@@ -1,13 +1,13 @@
 // Fig 6.5 — carry-chain length statistics for 2's-complement Gaussian inputs
 // on a 32-bit adder: the distribution that motivates VLCSA 2.  Expect a
 // second mode of chains reaching the MSB (small negative + small positive
-// operands whose sum flips sign).
+// operands whose sum flips sign).  Runs the registry's
+// "fig6.5/gaussian-twos-complement" experiment on the parallel engine.
 
-#include <cmath>
 #include <iostream>
 
-#include "arith/distributions.hpp"
 #include "bench_util.hpp"
+#include "harness/experiments.hpp"
 
 using namespace vlcsa;
 
@@ -18,13 +18,14 @@ int main(int argc, char** argv) {
                         "(mu=0, sigma=2^20), 32-bit adder, " +
                             std::to_string(args.samples) + " additions.");
 
-  arith::CarryChainProfiler profiler(32, arith::ChainMetric::kAllChains);
-  arith::GaussianTwosSource source(32, arith::GaussianParams{0.0, std::ldexp(1.0, 20)});
-  std::mt19937_64 rng(args.seed);
-  for (std::uint64_t i = 0; i < args.samples; ++i) {
-    const auto [a, b] = source.next(rng);
-    profiler.record(a, b);
+  const auto* experiment =
+      harness::find_chain_profile_experiment("fig6.5/gaussian-twos-complement");
+  if (experiment == nullptr) {
+    std::cerr << "fig6.5/gaussian-twos-complement missing from the registry\n";
+    return 1;
   }
+  const auto profiler =
+      harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
   bench::print_chain_histogram(profiler);
   std::cout << "\nfraction of chains reaching >= 24 bits: "
             << harness::fmt_pct(profiler.fraction_at_least(24), 2)

@@ -10,11 +10,13 @@
 // The simulated *actual* rate (speculative sum wrong) is also shown: it is
 // slightly lower because the top window pair can only corrupt the carry-out
 // (see error_model.hpp).
+//
+// Points come from the "fig7.1/" experiments in the registry and run on the
+// parallel sharded engine (--threads=N; results are thread-count-invariant).
 
 #include <iostream>
 
-#include "arith/distributions.hpp"
-#include "harness/montecarlo.hpp"
+#include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "speculative/error_model.hpp"
 
@@ -28,18 +30,16 @@ int main(int argc, char** argv) {
 
   harness::Table table(
       {"n", "k", "model (3.13)", "model (exact DP)", "sim nominal", "sim actual"});
-  for (const int n : {64, 128, 256, 512}) {
-    for (int k = 6; k <= 16; k += 2) {
-      auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, n);
-      const auto result = harness::run_vlcsa(
-          spec::VlcsaConfig{n, k, spec::ScsaVariant::kScsa1}, *source, args.samples,
-          args.seed);
-      table.add_row({std::to_string(n), std::to_string(k),
-                     harness::fmt_sci(spec::scsa_error_rate(n, k)),
-                     harness::fmt_sci(spec::scsa_exact_error_rate(n, k)),
-                     harness::fmt_sci(result.nominal_rate()),
-                     harness::fmt_sci(result.actual_rate())});
-    }
+  for (const auto* experiment : harness::error_rate_experiments_with_prefix("fig7.1/")) {
+    const auto result =
+        harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
+    table.add_row({std::to_string(experiment->width), std::to_string(experiment->window),
+                   harness::fmt_sci(spec::scsa_error_rate(experiment->width,
+                                                          experiment->window)),
+                   harness::fmt_sci(spec::scsa_exact_error_rate(experiment->width,
+                                                                experiment->window)),
+                   harness::fmt_sci(result.nominal_rate()),
+                   harness::fmt_sci(result.actual_rate())});
   }
   table.print(std::cout);
   std::cout << "\nExpected: sim-nominal tracks the exact DP within sampling noise at\n"

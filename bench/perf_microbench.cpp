@@ -101,11 +101,29 @@ void BM_MonteCarloVlcsa(benchmark::State& state) {
                                  spec::ScsaVariant::kScsa2};
   std::uint64_t seed = 5;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, 1000, seed++));
+    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, 1000, seed++, 1));
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_MonteCarloVlcsa)->Arg(64)->Arg(512);
+
+// The sharded engine end to end: 64k samples per iteration, thread count as
+// the sweep axis — wall-clock should drop near-linearly while the merged
+// result stays bit-identical (tests/harness/engine_test.cpp enforces that).
+void BM_MonteCarloVlcsaParallel(benchmark::State& state) {
+  const int width = 64;
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
+  const spec::VlcsaConfig config{width, spec::min_window_for_error_rate(width, 1e-4),
+                                 spec::ScsaVariant::kScsa2};
+  const int threads = static_cast<int>(state.range(0));
+  constexpr std::uint64_t kSamples = 1 << 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, kSamples, 7, threads));
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+}
+BENCHMARK(BM_MonteCarloVlcsaParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 

@@ -2,14 +2,14 @@
 // 2's-complement Gaussian inputs (mu = 0, sigma = 2^32), at the paper's
 // (n, k) design points.  Paper reports 25.01% for both columns at every
 // width (1M samples; default here 2*10^5, override with --samples).
+//
+// Rows come from the "table7.1/" experiments in the registry and run on the
+// parallel sharded engine (--threads=N; results are thread-count-invariant).
 
-#include <cmath>
 #include <iostream>
 
-#include "arith/distributions.hpp"
-#include "harness/montecarlo.hpp"
+#include "harness/experiments.hpp"
 #include "harness/report.hpp"
-#include "speculative/error_model.hpp"
 
 using namespace vlcsa;
 
@@ -20,16 +20,12 @@ int main(int argc, char** argv) {
                         "(mu=0, sigma=2^32), " + std::to_string(args.samples) +
                             " samples per row.  Paper: 25.01% everywhere.");
 
-  const arith::GaussianParams params{0.0, std::ldexp(1.0, 32)};
   harness::Table table({"adder width", "window size", "P_err (Monte Carlo)",
                         "P_err (ERR = 1)", "avg cycles"});
-  for (const auto& row : spec::published_scsa_parameters()) {
-    auto source =
-        arith::make_source(arith::InputDistribution::kGaussianTwos, row.n, params);
+  for (const auto* experiment : harness::error_rate_experiments_with_prefix("table7.1/")) {
     const auto result =
-        harness::run_vlcsa(spec::VlcsaConfig{row.n, row.k_rate_01, spec::ScsaVariant::kScsa1},
-                           *source, args.samples, args.seed);
-    table.add_row({std::to_string(row.n), std::to_string(row.k_rate_01),
+        harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
+    table.add_row({std::to_string(experiment->width), std::to_string(experiment->window),
                    harness::fmt_pct(result.actual_rate()),
                    harness::fmt_pct(result.nominal_rate()),
                    harness::fmt_fixed(result.average_cycles(), 4)});

@@ -1,11 +1,13 @@
 // Table 7.4 — SCSA/VLCSA 1 window sizes for target error rates 0.01% and
 // 0.25% (unsigned uniform inputs), from the analytical sizing rule, each
-// validated by Monte Carlo.
+// validated by Monte Carlo via the registry's "table7.4/" experiments on
+// the parallel sharded engine.
 
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "arith/distributions.hpp"
-#include "harness/montecarlo.hpp"
+#include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "speculative/error_model.hpp"
 
@@ -22,14 +24,17 @@ int main(int argc, char** argv) {
                         "model", "simulated"});
   for (const int n : {64, 128, 256, 512}) {
     std::vector<std::string> row{std::to_string(n)};
-    for (const double target : {1e-4, 2.5e-3}) {
-      const int k = spec::min_window_for_error_rate(n, target);
-      auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, n);
-      const auto result = harness::run_vlcsa(
-          spec::VlcsaConfig{n, k, spec::ScsaVariant::kScsa1}, *source, args.samples,
-          args.seed);
-      row.push_back(std::to_string(k));
-      row.push_back(harness::fmt_pct(spec::scsa_error_rate(n, k)));
+    for (const char* tag : {"rate0.01", "rate0.25"}) {
+      const auto* experiment = harness::find_error_rate_experiment(
+          "table7.4/n" + std::to_string(n) + "-" + tag);
+      if (experiment == nullptr) {
+        std::cerr << "table7.4/n" << n << "-" << tag << " missing from the registry\n";
+        return 1;
+      }
+      const auto result =
+          harness::run_experiment(*experiment, args.samples, args.seed, args.threads);
+      row.push_back(std::to_string(experiment->window));
+      row.push_back(harness::fmt_pct(spec::scsa_error_rate(n, experiment->window)));
       row.push_back(harness::fmt_pct(result.nominal_rate()));
     }
     table.add_row(std::move(row));

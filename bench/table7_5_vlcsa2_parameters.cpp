@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     for (const double target : {1e-4, 2.5e-3}) {
       const auto found = harness::find_window_for_nominal_rate(
           n, spec::ScsaVariant::kScsa2, arith::InputDistribution::kGaussianTwos, params,
-          target, 1.25, args.samples, args.seed, 4, 24);
+          target, 1.25, args.samples, args.seed, 4, 24, args.threads);
       row.push_back(std::to_string(found.window));
       row.push_back(harness::fmt_pct(found.result.nominal_rate()));
     }

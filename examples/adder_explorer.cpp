@@ -1,17 +1,21 @@
 // Adder explorer — the "C++ programs which ... generate Verilog files" flow
 // of Ch. 7.1 as a command-line tool.  Builds any generator in the library,
-// prints synthesis metrics, and optionally writes the structural Verilog.
+// prints synthesis metrics, optionally writes the structural Verilog, and
+// runs any named Monte Carlo experiment from the registry on the parallel
+// sharded engine.
 //
 //   $ ./build/examples/adder_explorer --design=vlcsa2 --width=64 --window=13
-//   $ ./build/examples/adder_explorer --design=kogge-stone --width=128 \
-//         --verilog=ks128.v
+//   $ ./build/examples/adder_explorer --design=kogge-stone --width=128 --verilog=ks128.v
 //   $ ./build/examples/adder_explorer --list
+//   $ ./build/examples/adder_explorer --list-experiments
+//   $ ./build/examples/adder_explorer --experiment=table7.1/n64 --threads=4
 
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "adders/adders.hpp"
+#include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "harness/synthesis.hpp"
 #include "netlist/verilog.hpp"
@@ -31,12 +35,19 @@ const char* kDesigns[] = {"ripple",      "carry-select", "carry-skip",  "kogge-s
 void print_usage() {
   std::cout << "usage: adder_explorer [--design=NAME] [--width=N] [--window=K]\n"
                "                      [--chain=L] [--verilog=FILE] [--list]\n"
-               "  --design   one of the generators (default kogge-stone)\n"
-               "  --width    adder width in bits (default 64)\n"
-               "  --window   SCSA/VLCSA window size (default: sized for 0.01%)\n"
-               "  --chain    VLSA speculative chain length (default: published)\n"
-               "  --verilog  write structural Verilog to FILE\n"
-               "  --list     list available designs\n";
+               "                      [--experiment=NAME] [--samples=N] [--seed=S]\n"
+               "                      [--threads=T] [--list-experiments]\n"
+               "  --design      one of the generators (default kogge-stone)\n"
+               "  --width       adder width in bits (default 64)\n"
+               "  --window      SCSA/VLCSA window size (default: sized for 0.01%)\n"
+               "  --chain       VLSA speculative chain length (default: published)\n"
+               "  --verilog     write structural Verilog to FILE\n"
+               "  --list        list available designs\n"
+               "  --experiment  run a registry experiment instead of building a design\n"
+               "  --samples     experiment sample count (default: the experiment's own)\n"
+               "  --seed        experiment seed (default 1)\n"
+               "  --threads     worker threads, 0 = all hardware threads (default 0)\n"
+               "  --list-experiments  list registry experiment names\n";
 }
 
 netlist::Netlist build(const std::string& design, int width, int window, int chain) {
@@ -59,11 +70,63 @@ netlist::Netlist build(const std::string& design, int width, int window, int cha
   throw std::invalid_argument("unknown design: " + design + " (try --list)");
 }
 
+void list_experiments() {
+  std::cout << "error-rate experiments:\n";
+  for (const auto& e : harness::error_rate_experiments()) {
+    std::cout << "  " << e.name << "  (" << to_string(e.model) << ", n=" << e.width
+              << ", k=" << e.window << ")\n";
+  }
+  std::cout << "carry-chain profile experiments:\n";
+  for (const auto& e : harness::chain_profile_experiments()) {
+    std::cout << "  " << e.name << "  (n=" << e.width << ")\n";
+  }
+}
+
+int run_experiment_by_name(const std::string& name, std::uint64_t samples, std::uint64_t seed,
+                           int threads) {
+  if (const auto* e = harness::find_error_rate_experiment(name)) {
+    const std::uint64_t n = samples == 0 ? e->default_samples : samples;
+    std::cout << e->name << ": " << e->description << "\n"
+              << n << " samples, seed " << seed << "\n\n";
+    const auto result = harness::run_experiment(*e, n, seed, threads);
+    harness::Table table({"metric", "value"});
+    table.add_row({"samples", std::to_string(result.samples)});
+    table.add_row({"actual error rate", harness::fmt_pct(result.actual_rate(), 3)});
+    table.add_row({"nominal (stall) rate", harness::fmt_pct(result.nominal_rate(), 3)});
+    table.add_row({"either-wrong rate", harness::fmt_pct(result.either_wrong_rate(), 3)});
+    table.add_row({"false negatives", std::to_string(result.false_negatives)});
+    table.add_row({"emitted wrong", std::to_string(result.emitted_wrong)});
+    table.add_row({"avg cycles (eq. 5.2)", harness::fmt_fixed(result.average_cycles(), 4)});
+    table.print(std::cout);
+    return 0;
+  }
+  if (const auto* e = harness::find_chain_profile_experiment(name)) {
+    const std::uint64_t n = samples == 0 ? e->default_samples : samples;
+    std::cout << e->name << ": " << e->description << "\n"
+              << n << " samples, seed " << seed << "\n\n";
+    const auto profiler = harness::run_experiment(*e, n, seed, threads);
+    harness::Table table({"metric", "value"});
+    table.add_row({"additions", std::to_string(profiler.additions())});
+    table.add_row({"chains", std::to_string(profiler.total())});
+    table.add_row({"mean chain length", harness::fmt_fixed(profiler.mean_length(), 2)});
+    table.add_row({"chains >= width/2",
+                   harness::fmt_pct(profiler.fraction_at_least(profiler.width() / 2), 2)});
+    table.print(std::cout);
+    return 0;
+  }
+  std::cerr << "unknown experiment: " << name << " (try --list-experiments)\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string design = "kogge-stone";
   std::string verilog_path;
+  std::string experiment;
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 1;
+  int threads = 0;
   int width = 64;
   int window = 0;
   int chain = 0;
@@ -71,6 +134,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--list") {
       for (const char* d : kDesigns) std::cout << "  " << d << "\n";
+      return 0;
+    }
+    if (arg == "--list-experiments") {
+      list_experiments();
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
@@ -88,6 +155,14 @@ int main(int argc, char** argv) {
       chain = std::stoi(value("--chain="));
     } else if (arg.rfind("--verilog=", 0) == 0) {
       verilog_path = value("--verilog=");
+    } else if (arg.rfind("--experiment=", 0) == 0) {
+      experiment = value("--experiment=");
+    } else if (arg.rfind("--samples=", 0) == 0) {
+      samples = std::stoull(value("--samples="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::stoull(value("--seed="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::stoi(value("--threads="));
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       print_usage();
@@ -96,6 +171,10 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!experiment.empty()) {
+      return run_experiment_by_name(experiment, samples, seed, threads);
+    }
+
     if (window == 0) window = spec::min_window_for_error_rate(width, 1e-4);
     if (chain == 0) {
       chain = (width == 64 || width == 128 || width == 256 || width == 512)

@@ -58,6 +58,16 @@ void CarryChainProfiler::record_lengths(const std::vector<int>& lengths) {
   }
 }
 
+CarryChainProfiler& CarryChainProfiler::operator+=(const CarryChainProfiler& other) {
+  if (other.width_ != width_ || other.metric_ != metric_) {
+    throw std::invalid_argument("CarryChainProfiler merge: width/metric mismatch");
+  }
+  for (std::size_t l = 0; l < counts_.size(); ++l) counts_[l] += other.counts_[l];
+  total_ += other.total_;
+  additions_ += other.additions_;
+  return *this;
+}
+
 double CarryChainProfiler::fraction(int length) const {
   if (total_ == 0 || length < 0 || length > width_) return 0.0;
   return static_cast<double>(counts_[static_cast<std::size_t>(length)]) /

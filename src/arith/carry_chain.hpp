@@ -46,6 +46,10 @@ class CarryChainProfiler {
   /// workloads that already walked the operands).
   void record_lengths(const std::vector<int>& lengths);
 
+  /// Merges another profiler's counts (the parallel engine's shard-merge
+  /// operation).  Throws std::invalid_argument on width/metric mismatch.
+  CarryChainProfiler& operator+=(const CarryChainProfiler& other);
+
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] ChainMetric metric() const { return metric_; }
 

@@ -28,6 +28,11 @@ class OperandSource {
   /// Draws the next operand pair.
   virtual std::pair<ApInt, ApInt> next(std::mt19937_64& rng) = 0;
 
+  /// Fresh source of the same distribution with pristine stream state (any
+  /// cached variates are discarded).  Must be safe to call concurrently from
+  /// multiple threads — the parallel engine clones one source per shard.
+  [[nodiscard]] virtual std::unique_ptr<OperandSource> clone() const = 0;
+
  private:
   int width_;
 };
@@ -38,6 +43,9 @@ class UniformUnsignedSource final : public OperandSource {
   explicit UniformUnsignedSource(int width) : OperandSource(width) {}
   [[nodiscard]] std::string name() const override { return "uniform-unsigned"; }
   std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
+    return std::make_unique<UniformUnsignedSource>(width());
+  }
 };
 
 /// Two's-complement uniform inputs (Fig 6.3): a uniformly random magnitude
@@ -50,6 +58,9 @@ class UniformTwosSource final : public OperandSource {
   explicit UniformTwosSource(int width) : OperandSource(width) {}
   [[nodiscard]] std::string name() const override { return "uniform-twos-complement"; }
   std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
+    return std::make_unique<UniformTwosSource>(width());
+  }
 };
 
 /// Parameters of the Gaussian operand model (Ch. 7 uses mu = 0, sigma = 2^32).
@@ -62,11 +73,15 @@ struct GaussianParams {
 class GaussianUnsignedSource final : public OperandSource {
  public:
   GaussianUnsignedSource(int width, GaussianParams params)
-      : OperandSource(width), dist_(params.mean, params.sigma) {}
+      : OperandSource(width), params_(params), dist_(params.mean, params.sigma) {}
   [[nodiscard]] std::string name() const override { return "gaussian-unsigned"; }
   std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
+    return std::make_unique<GaussianUnsignedSource>(width(), params_);
+  }
 
  private:
+  GaussianParams params_;
   std::normal_distribution<double> dist_;
 };
 
@@ -76,11 +91,15 @@ class GaussianUnsignedSource final : public OperandSource {
 class GaussianTwosSource final : public OperandSource {
  public:
   GaussianTwosSource(int width, GaussianParams params)
-      : OperandSource(width), dist_(params.mean, params.sigma) {}
+      : OperandSource(width), params_(params), dist_(params.mean, params.sigma) {}
   [[nodiscard]] std::string name() const override { return "gaussian-twos-complement"; }
   std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
+    return std::make_unique<GaussianTwosSource>(width(), params_);
+  }
 
  private:
+  GaussianParams params_;
   std::normal_distribution<double> dist_;
 };
 

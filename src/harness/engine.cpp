@@ -1,0 +1,18 @@
+#include "harness/engine.hpp"
+
+namespace vlcsa::harness {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mt19937_64 make_shard_rng(std::uint64_t seed, std::uint64_t shard_index) {
+  std::seed_seq sequence{
+      static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32),
+      static_cast<std::uint32_t>(shard_index), static_cast<std::uint32_t>(shard_index >> 32)};
+  return std::mt19937_64(sequence);
+}
+
+}  // namespace vlcsa::harness

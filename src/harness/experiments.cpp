@@ -1,0 +1,259 @@
+#include "harness/experiments.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "harness/engine.hpp"
+#include "speculative/error_model.hpp"
+
+namespace vlcsa::harness {
+
+namespace {
+
+const arith::GaussianParams kPaperGaussian{0.0, std::ldexp(1.0, 32)};   // Ch. 7 inputs
+const arith::GaussianParams kFig6Gaussian{0.0, std::ldexp(1.0, 20)};    // 32-bit figures
+
+std::string point_name(const std::string& artifact, const std::string& point) {
+  return artifact + "/" + point;
+}
+
+/// Tables 7.1 / 7.2 — the published (n, k) design points against
+/// 2's-complement Gaussian inputs, for each VLCSA variant.
+void register_table7_1_and_7_2(std::vector<ErrorRateExperiment>& out) {
+  for (const auto& row : spec::published_scsa_parameters()) {
+    out.push_back({point_name("table7.1", "n" + std::to_string(row.n)),
+                   "VLCSA 1 error rates, 2's-complement Gaussian (mu=0, sigma=2^32)",
+                   ModelKind::kVlcsa1, row.n, row.k_rate_01,
+                   arith::InputDistribution::kGaussianTwos, kPaperGaussian, 200000});
+  }
+  for (const auto& row : spec::published_scsa_parameters()) {
+    out.push_back({point_name("table7.2", "n" + std::to_string(row.n)),
+                   "VLCSA 2 error rates, 2's-complement Gaussian (mu=0, sigma=2^32)",
+                   ModelKind::kVlcsa2, row.n, row.k_rate_01,
+                   arith::InputDistribution::kGaussianTwos, kPaperGaussian, 200000});
+  }
+}
+
+/// Table 7.4 — analytical window sizing at both error-rate targets, checked
+/// against unsigned uniform inputs.
+void register_table7_4(std::vector<ErrorRateExperiment>& out) {
+  for (const int n : {64, 128, 256, 512}) {
+    for (const auto& [tag, target] :
+         {std::pair<const char*, double>{"rate0.01", 1e-4}, {"rate0.25", 2.5e-3}}) {
+      out.push_back({point_name("table7.4", "n" + std::to_string(n) + "-" + tag),
+                     "VLCSA 1 at the analytically sized window, unsigned uniform inputs",
+                     ModelKind::kVlcsa1, n, spec::min_window_for_error_rate(n, target),
+                     arith::InputDistribution::kUniformUnsigned, {}, 200000});
+    }
+  }
+}
+
+/// Fig 7.1 — the model-validation grid: widths × window sizes, uniform inputs.
+void register_fig7_1(std::vector<ErrorRateExperiment>& out) {
+  for (const int n : {64, 128, 256, 512}) {
+    for (int k = 6; k <= 16; k += 2) {
+      out.push_back({point_name("fig7.1", "n" + std::to_string(n) + "-k" + std::to_string(k)),
+                     "SCSA error-model validation point, unsigned uniform inputs",
+                     ModelKind::kVlcsa1, n, k, arith::InputDistribution::kUniformUnsigned,
+                     {},
+                     200000});
+    }
+  }
+}
+
+/// Eq. (5.2) — the average-latency streams behind the headline wall-clock
+/// comparison: VLCSA 1 on uniform inputs and VLCSA 2 on Gaussian inputs,
+/// both at the 0.25% design points.
+void register_eq5_2(std::vector<ErrorRateExperiment>& out) {
+  for (const int n : {64, 128, 256, 512}) {
+    out.push_back({point_name("eq5.2", "n" + std::to_string(n) + "-uniform"),
+                   "VLCSA 1 average latency, unsigned uniform inputs, 0.25% sizing",
+                   ModelKind::kVlcsa1, n, spec::min_window_for_error_rate(n, 2.5e-3),
+                   arith::InputDistribution::kUniformUnsigned, {}, 100000});
+    out.push_back({point_name("eq5.2", "n" + std::to_string(n) + "-gaussian-2c"),
+                   "VLCSA 2 average latency, 2's-complement Gaussian inputs, 0.25% sizing",
+                   ModelKind::kVlcsa2, n, spec::published_vlcsa2_parameters().k_rate_25,
+                   arith::InputDistribution::kGaussianTwos, kPaperGaussian, 100000});
+  }
+}
+
+/// VLSA baseline points (Table 7.3's published chain lengths).
+void register_vlsa_baseline(std::vector<ErrorRateExperiment>& out) {
+  for (const int n : {64, 128, 256, 512}) {
+    out.push_back({point_name("vlsa", "n" + std::to_string(n)),
+                   "VLSA [17] baseline at the published chain length, uniform inputs",
+                   ModelKind::kVlsa, n, spec::vlsa_published_chain_length(n),
+                   arith::InputDistribution::kUniformUnsigned, {}, 200000});
+  }
+}
+
+std::vector<ErrorRateExperiment> build_error_rate_registry() {
+  std::vector<ErrorRateExperiment> out;
+  register_table7_1_and_7_2(out);
+  register_table7_4(out);
+  register_fig7_1(out);
+  register_eq5_2(out);
+  register_vlsa_baseline(out);
+  return out;
+}
+
+std::vector<ChainProfileExperiment> build_chain_profile_registry() {
+  std::vector<ChainProfileExperiment> out;
+  ChainProfileExperiment base;
+  base.width = 32;
+
+  base.name = point_name("fig6.1", "uniform-unsigned");
+  base.description = "Carry-chain lengths, unsigned uniform inputs, 32-bit adder";
+  base.dist = arith::InputDistribution::kUniformUnsigned;
+  out.push_back(base);
+
+  for (const auto kind : {arith::CryptoKind::kRsaLike, arith::CryptoKind::kDiffieHellmanLike,
+                          arith::CryptoKind::kEcFieldLike}) {
+    ChainProfileExperiment crypto;
+    crypto.name = point_name("fig6.2", to_string(kind));
+    crypto.description =
+        "Carry-chain lengths from an instrumented crypto workload "
+        "(16-bit prime field on a 32-bit datapath)";
+    crypto.width = 32;
+    crypto.workload = ChainProfileExperiment::Workload::kCrypto;
+    crypto.crypto_kind = kind;
+    crypto.crypto_field_bits = 16;
+    crypto.crypto_exponent_bits = 24;
+    crypto.default_samples = 4;  // top-level crypto operations, not additions
+    out.push_back(crypto);
+  }
+
+  base.name = point_name("fig6.3", "uniform-twos-complement");
+  base.description = "Carry-chain lengths, 2's-complement uniform inputs, 32-bit adder";
+  base.dist = arith::InputDistribution::kUniformTwos;
+  out.push_back(base);
+
+  base.name = point_name("fig6.4", "gaussian-unsigned");
+  base.description =
+      "Carry-chain lengths, unsigned Gaussian inputs (mu=0, sigma=2^20), 32-bit adder";
+  base.dist = arith::InputDistribution::kGaussianUnsigned;
+  base.params = kFig6Gaussian;
+  out.push_back(base);
+
+  base.name = point_name("fig6.5", "gaussian-twos-complement");
+  base.description =
+      "Carry-chain lengths, 2's-complement Gaussian inputs (mu=0, sigma=2^20), 32-bit adder";
+  base.dist = arith::InputDistribution::kGaussianTwos;
+  out.push_back(base);
+  return out;
+}
+
+template <typename Experiment>
+const Experiment* find_by_name(const std::vector<Experiment>& experiments,
+                               std::string_view name) {
+  for (const auto& experiment : experiments) {
+    if (experiment.name == name) return &experiment;
+  }
+  return nullptr;
+}
+
+template <typename Experiment>
+std::vector<const Experiment*> find_by_prefix(const std::vector<Experiment>& experiments,
+                                              std::string_view prefix) {
+  std::vector<const Experiment*> out;
+  for (const auto& experiment : experiments) {
+    if (std::string_view(experiment.name).substr(0, prefix.size()) == prefix) {
+      out.push_back(&experiment);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kVlcsa1:
+      return "VLCSA 1";
+    case ModelKind::kVlcsa2:
+      return "VLCSA 2";
+    case ModelKind::kVlsa:
+      return "VLSA";
+  }
+  throw std::logic_error("unknown ModelKind");
+}
+
+ErrorRateResult run_experiment(const ErrorRateExperiment& experiment, std::uint64_t samples,
+                               std::uint64_t seed, int threads) {
+  const auto source = arith::make_source(experiment.dist, experiment.width, experiment.params);
+  switch (experiment.model) {
+    case ModelKind::kVlcsa1:
+      return run_vlcsa({experiment.width, experiment.window, spec::ScsaVariant::kScsa1},
+                       *source, samples, seed, threads);
+    case ModelKind::kVlcsa2:
+      return run_vlcsa({experiment.width, experiment.window, spec::ScsaVariant::kScsa2},
+                       *source, samples, seed, threads);
+    case ModelKind::kVlsa:
+      return run_vlsa({experiment.width, experiment.window}, *source, samples, seed, threads);
+  }
+  throw std::logic_error("unknown ModelKind");
+}
+
+arith::CarryChainProfiler run_experiment(const ChainProfileExperiment& experiment,
+                                         std::uint64_t samples, std::uint64_t seed,
+                                         int threads) {
+  const RunOptions options{samples, seed, threads, kDefaultShardSize};
+  const auto make_profiler = [&] {
+    return arith::CarryChainProfiler(experiment.width, arith::ChainMetric::kAllChains);
+  };
+  if (experiment.workload == ChainProfileExperiment::Workload::kCrypto) {
+    // One sample = one top-level crypto operation; the shard RNG seeds each
+    // operation's workload, so the profile is thread-count-invariant like
+    // every other experiment.
+    return run_sharded(options, make_profiler, [&] {
+      return [&experiment](std::mt19937_64& rng, arith::CarryChainProfiler& acc) {
+        arith::CryptoWorkloadConfig config;
+        config.width = experiment.width;
+        config.field_bits = experiment.crypto_field_bits;
+        config.kind = experiment.crypto_kind;
+        config.operations = 1;
+        config.exponent_bits = experiment.crypto_exponent_bits;
+        config.seed = rng();
+        run_crypto_workload(config, acc);
+      };
+    });
+  }
+  return run_sharded(options, make_profiler, [&] {
+    return [shard_source = arith::make_source(experiment.dist, experiment.width,
+                                              experiment.params)](
+               std::mt19937_64& rng, arith::CarryChainProfiler& acc) {
+      const auto [a, b] = shard_source->next(rng);
+      acc.record(a, b);
+    };
+  });
+}
+
+const std::vector<ErrorRateExperiment>& error_rate_experiments() {
+  static const std::vector<ErrorRateExperiment> registry = build_error_rate_registry();
+  return registry;
+}
+
+const std::vector<ChainProfileExperiment>& chain_profile_experiments() {
+  static const std::vector<ChainProfileExperiment> registry = build_chain_profile_registry();
+  return registry;
+}
+
+const ErrorRateExperiment* find_error_rate_experiment(std::string_view name) {
+  return find_by_name(error_rate_experiments(), name);
+}
+
+const ChainProfileExperiment* find_chain_profile_experiment(std::string_view name) {
+  return find_by_name(chain_profile_experiments(), name);
+}
+
+std::vector<const ErrorRateExperiment*> error_rate_experiments_with_prefix(
+    std::string_view prefix) {
+  return find_by_prefix(error_rate_experiments(), prefix);
+}
+
+std::vector<const ChainProfileExperiment*> chain_profile_experiments_with_prefix(
+    std::string_view prefix) {
+  return find_by_prefix(chain_profile_experiments(), prefix);
+}
+
+}  // namespace vlcsa::harness

@@ -1,0 +1,92 @@
+#pragma once
+// Experiment registry: every Monte Carlo experiment the paper's tables and
+// figures need, as named (adder variant × width × window × operand
+// distribution) configurations.  Bench binaries and the adder_explorer
+// example look experiments up here instead of hand-rolling sampling loops;
+// new workloads are added by appending a registration, and immediately
+// become runnable from every front end.
+//
+// Naming convention: "<artifact>/<point>", e.g. "table7.1/n64" or
+// "fig6.5/gaussian-twos-complement".  Prefix queries ("table7.1/") return
+// all points of one artifact in registration (= presentation) order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arith/carry_chain.hpp"
+#include "arith/distributions.hpp"
+#include "arith/workload.hpp"
+#include "harness/montecarlo.hpp"
+
+namespace vlcsa::harness {
+
+/// Which behavioral model an error-rate experiment drives.
+enum class ModelKind {
+  kVlcsa1,
+  kVlcsa2,
+  kVlsa,
+};
+
+[[nodiscard]] const char* to_string(ModelKind kind);
+
+/// One error-rate/latency experiment: a variable-latency adder configuration
+/// pitted against an operand distribution.
+struct ErrorRateExperiment {
+  std::string name;
+  std::string description;
+  ModelKind model = ModelKind::kVlcsa1;
+  int width = 64;
+  int window = 14;  // SCSA window size k, or VLSA speculative chain length l
+  arith::InputDistribution dist = arith::InputDistribution::kUniformUnsigned;
+  arith::GaussianParams params;
+  std::uint64_t default_samples = 200000;
+};
+
+/// Runs an error-rate experiment on the parallel engine (`threads` as in
+/// engine.hpp: 0 = all hardware threads, result thread-count-invariant).
+[[nodiscard]] ErrorRateResult run_experiment(const ErrorRateExperiment& experiment,
+                                             std::uint64_t samples, std::uint64_t seed,
+                                             int threads = 0);
+
+/// One carry-chain-statistics experiment (the Figs 6.1–6.5 family): a
+/// workload whose additions feed a CarryChainProfiler.
+struct ChainProfileExperiment {
+  enum class Workload {
+    kDistribution,  // one sample = one operand pair from `dist`
+    kCrypto,        // one sample = one top-level instrumented crypto op
+  };
+
+  std::string name;
+  std::string description;
+  int width = 32;
+  Workload workload = Workload::kDistribution;
+  arith::InputDistribution dist = arith::InputDistribution::kUniformUnsigned;
+  arith::GaussianParams params;
+  arith::CryptoKind crypto_kind = arith::CryptoKind::kRsaLike;
+  int crypto_field_bits = 16;
+  int crypto_exponent_bits = 24;
+  std::uint64_t default_samples = 1000000;
+};
+
+[[nodiscard]] arith::CarryChainProfiler run_experiment(
+    const ChainProfileExperiment& experiment, std::uint64_t samples, std::uint64_t seed,
+    int threads = 0);
+
+/// All registered experiments, in registration order.
+[[nodiscard]] const std::vector<ErrorRateExperiment>& error_rate_experiments();
+[[nodiscard]] const std::vector<ChainProfileExperiment>& chain_profile_experiments();
+
+/// Exact-name lookup; nullptr when absent.
+[[nodiscard]] const ErrorRateExperiment* find_error_rate_experiment(std::string_view name);
+[[nodiscard]] const ChainProfileExperiment* find_chain_profile_experiment(
+    std::string_view name);
+
+/// All experiments whose name starts with `prefix`, in registration order.
+[[nodiscard]] std::vector<const ErrorRateExperiment*> error_rate_experiments_with_prefix(
+    std::string_view prefix);
+[[nodiscard]] std::vector<const ChainProfileExperiment*> chain_profile_experiments_with_prefix(
+    std::string_view prefix);
+
+}  // namespace vlcsa::harness

@@ -1,63 +1,76 @@
 #include "harness/montecarlo.hpp"
 
+#include "harness/engine.hpp"
+
 namespace vlcsa::harness {
 
-ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
-                          std::uint64_t samples, std::uint64_t seed) {
-  const spec::VlcsaModel model(config);
-  std::mt19937_64 rng(seed);
-  ErrorRateResult out;
-  out.samples = samples;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const auto [a, b] = source.next(rng);
-    const auto step = model.step(a, b);
-    const auto& ev = step.eval;
+void accumulate_vlcsa(const spec::VlcsaStep& step, spec::ScsaVariant variant,
+                      ErrorRateResult& out) {
+  const auto& ev = step.eval;
+  const bool primary_wrong = variant == spec::ScsaVariant::kScsa1 ? !ev.spec0_correct()
+                                                                  : !ev.either_correct();
+  ++out.samples;
+  if (primary_wrong) ++out.actual_errors;
+  if (step.stalled) ++out.nominal_errors;
+  if (primary_wrong && !step.stalled) ++out.false_negatives;
+  if (!ev.either_correct()) ++out.either_wrong;
+  if (step.result != ev.exact || step.cout != ev.exact_cout) ++out.emitted_wrong;
+  out.total_cycles += static_cast<std::uint64_t>(step.cycles);
+}
 
-    const bool primary_wrong = config.variant == spec::ScsaVariant::kScsa1
-                                   ? !ev.spec0_correct()
-                                   : !ev.either_correct();
-    if (primary_wrong) ++out.actual_errors;
-    if (step.stalled) ++out.nominal_errors;
-    if (primary_wrong && !step.stalled) ++out.false_negatives;
-    if (!ev.either_correct()) ++out.either_wrong;
-    if (step.result != ev.exact || step.cout != ev.exact_cout) ++out.emitted_wrong;
-    out.total_cycles += static_cast<std::uint64_t>(step.cycles);
-  }
-  return out;
+void accumulate_vlsa(const spec::VlsaEvaluation& ev, ErrorRateResult& out) {
+  const bool wrong = !ev.spec_correct();
+  ++out.samples;
+  if (wrong) ++out.actual_errors;
+  if (ev.err) ++out.nominal_errors;
+  if (wrong && !ev.err) ++out.false_negatives;
+  if (wrong) ++out.either_wrong;
+  // Recovery is exact: emitted result is spec when !err else recovered.
+  if (wrong && !ev.err) ++out.emitted_wrong;
+  out.total_cycles += ev.err ? 2 : 1;
+}
+
+ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
+                          std::uint64_t samples, std::uint64_t seed, int threads) {
+  const spec::VlcsaModel model(config);
+  return run_sharded(
+      RunOptions{samples, seed, threads, kDefaultShardSize},
+      [] { return ErrorRateResult{}; },
+      [&] {
+        return [&model, variant = config.variant,
+                shard_source = source.clone()](std::mt19937_64& rng, ErrorRateResult& out) {
+          const auto [a, b] = shard_source->next(rng);
+          accumulate_vlcsa(model.step(a, b), variant, out);
+        };
+      });
 }
 
 ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
-                         std::uint64_t samples, std::uint64_t seed) {
+                         std::uint64_t samples, std::uint64_t seed, int threads) {
   const spec::VlsaModel model(config);
-  std::mt19937_64 rng(seed);
-  ErrorRateResult out;
-  out.samples = samples;
-  for (std::uint64_t s = 0; s < samples; ++s) {
-    const auto [a, b] = source.next(rng);
-    const auto ev = model.evaluate(a, b);
-    const bool wrong = !ev.spec_correct();
-    if (wrong) ++out.actual_errors;
-    if (ev.err) ++out.nominal_errors;
-    if (wrong && !ev.err) ++out.false_negatives;
-    if (wrong) ++out.either_wrong;
-    // Recovery is exact: emitted result is spec when !err else recovered.
-    const bool emitted_wrong = ev.err ? false : wrong;
-    if (emitted_wrong) ++out.emitted_wrong;
-    out.total_cycles += ev.err ? 2 : 1;
-  }
-  return out;
+  return run_sharded(
+      RunOptions{samples, seed, threads, kDefaultShardSize},
+      [] { return ErrorRateResult{}; },
+      [&] {
+        return [&model, shard_source = source.clone()](std::mt19937_64& rng,
+                                                       ErrorRateResult& out) {
+          const auto [a, b] = shard_source->next(rng);
+          accumulate_vlsa(model.evaluate(a, b), out);
+        };
+      });
 }
 
 EmpiricalWindowSearch find_window_for_nominal_rate(int width, spec::ScsaVariant variant,
                                                    arith::InputDistribution dist,
                                                    arith::GaussianParams params, double target,
                                                    double slack, std::uint64_t samples,
-                                                   std::uint64_t seed, int k_lo, int k_hi) {
+                                                   std::uint64_t seed, int k_lo, int k_hi,
+                                                   int threads) {
   EmpiricalWindowSearch best;
   for (int k = k_lo; k <= k_hi; ++k) {
     auto source = arith::make_source(dist, width, params);
     const spec::VlcsaConfig config{width, k, variant};
-    const auto result = run_vlcsa(config, *source, samples, seed);
+    const auto result = run_vlcsa(config, *source, samples, seed, threads);
     if (result.nominal_rate() <= slack * target) {
       best.window = k;
       best.result = result;

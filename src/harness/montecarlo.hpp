@@ -33,6 +33,20 @@ struct ErrorRateResult {
   std::uint64_t emitted_wrong = 0;      // final emitted result wrong (must be 0)
   std::uint64_t total_cycles = 0;
 
+  /// Shard-merge for the parallel engine: plain counter addition, so merging
+  /// is exact and order-independent in value (the engine still merges in
+  /// shard order for a fixed, documented reduction).
+  ErrorRateResult& operator+=(const ErrorRateResult& other) {
+    samples += other.samples;
+    actual_errors += other.actual_errors;
+    nominal_errors += other.nominal_errors;
+    false_negatives += other.false_negatives;
+    either_wrong += other.either_wrong;
+    emitted_wrong += other.emitted_wrong;
+    total_cycles += other.total_cycles;
+    return *this;
+  }
+
   [[nodiscard]] double actual_rate() const {
     return samples == 0 ? 0.0
                         : static_cast<double>(actual_errors) / static_cast<double>(samples);
@@ -52,13 +66,26 @@ struct ErrorRateResult {
   }
 };
 
-/// Runs `samples` additions of a VLCSA configuration over an operand source.
-[[nodiscard]] ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
-                                        std::uint64_t samples, std::uint64_t seed);
+/// Folds one VLCSA step into the accumulator — the single per-sample kernel
+/// every VLCSA experiment (registry, benches, window search) shares.
+void accumulate_vlcsa(const spec::VlcsaStep& step, spec::ScsaVariant variant,
+                      ErrorRateResult& out);
 
-/// Runs the VLSA baseline the same way (actual = spec wrong, nominal = ERR).
+/// Folds one VLSA evaluation the same way (actual = spec wrong, nominal = ERR).
+void accumulate_vlsa(const spec::VlsaEvaluation& eval, ErrorRateResult& out);
+
+/// Runs `samples` additions of a VLCSA configuration over an operand source,
+/// sharded across `threads` worker threads (0 = all hardware threads).  The
+/// result is bit-identical for any thread count (see engine.hpp); `source`
+/// itself is never drawn from — each shard draws from a fresh clone.
+[[nodiscard]] ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
+                                        std::uint64_t samples, std::uint64_t seed,
+                                        int threads = 0);
+
+/// Runs the VLSA baseline the same way.
 [[nodiscard]] ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
-                                       std::uint64_t samples, std::uint64_t seed);
+                                       std::uint64_t samples, std::uint64_t seed,
+                                       int threads = 0);
 
 /// Finds the smallest window size whose *nominal* (stall) rate over the given
 /// distribution stays within slack * target — the simulation-driven sizing
@@ -70,6 +97,6 @@ struct EmpiricalWindowSearch {
 [[nodiscard]] EmpiricalWindowSearch find_window_for_nominal_rate(
     int width, spec::ScsaVariant variant, arith::InputDistribution dist,
     arith::GaussianParams params, double target, double slack, std::uint64_t samples,
-    std::uint64_t seed, int k_lo = 4, int k_hi = 32);
+    std::uint64_t seed, int k_lo = 4, int k_hi = 32, int threads = 0);
 
 }  // namespace vlcsa::harness

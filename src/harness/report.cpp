@@ -78,13 +78,15 @@ BenchArgs BenchArgs::parse(int argc, char** argv, std::uint64_t default_samples)
       args.samples = parse_value("--samples=");
     } else if (arg.rfind("--seed=", 0) == 0) {
       args.seed = parse_value("--seed=");
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      args.threads = static_cast<int>(parse_value("--threads="));
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // Tolerated so google-benchmark style flags don't kill table benches
       // when the whole bench directory is run with common flags.
       continue;
     } else {
       throw std::invalid_argument("unknown argument: " + arg +
-                                  " (expected --samples=N or --seed=S)");
+                                  " (expected --samples=N, --seed=S or --threads=T)");
     }
   }
   return args;

@@ -36,10 +36,12 @@ class Table {
 /// Formats a probability in scientific notation ("1.14e-04").
 [[nodiscard]] std::string fmt_sci(double value);
 
-/// Common bench CLI: --samples=N --seed=S (order-free; unknown args fatal).
+/// Common bench CLI: --samples=N --seed=S --threads=T (order-free; unknown
+/// args fatal).  threads = 0 means "all hardware threads" (engine.hpp).
 struct BenchArgs {
   std::uint64_t samples = 0;
   std::uint64_t seed = 1;
+  int threads = 0;
 
   /// Parses argv; `default_samples` applies when --samples is absent.
   static BenchArgs parse(int argc, char** argv, std::uint64_t default_samples);

@@ -143,7 +143,9 @@ TEST_P(ApIntWidthTest, CompareUnsignedIsTotalOrder) {
     const int ab = a.compare_unsigned(b);
     const int ba = b.compare_unsigned(a);
     EXPECT_EQ(ab, -ba);
-    if (ab == 0) EXPECT_EQ(a, b);
+    if (ab == 0) {
+      EXPECT_EQ(a, b);
+    }
   }
 }
 

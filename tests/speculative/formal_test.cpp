@@ -107,9 +107,15 @@ TEST(ScsaFormal, ExhaustiveTinyWidthBehavioralAgreement) {
       const auto ev = model.evaluate(a, b);
       ASSERT_EQ(ev.exact.to_u64(), (ua + ub) & 0x3fu);
       ASSERT_EQ(ev.recovered, ev.exact);
-      if (!ev.spec0_correct()) ASSERT_TRUE(ev.err0);
-      if (ev.err0 && !ev.err1) ASSERT_TRUE(ev.spec1_correct());
-      if (!ev.vlcsa2_stall()) ASSERT_TRUE(ev.vlcsa2_selected_correct());
+      if (!ev.spec0_correct()) {
+        ASSERT_TRUE(ev.err0);
+      }
+      if (ev.err0 && !ev.err1) {
+        ASSERT_TRUE(ev.spec1_correct());
+      }
+      if (!ev.vlcsa2_stall()) {
+        ASSERT_TRUE(ev.vlcsa2_selected_correct());
+      }
     }
   }
 }

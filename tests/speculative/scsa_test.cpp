@@ -134,7 +134,9 @@ TEST_P(ScsaSweepTest, DetectionNeverMissesAnError) {
   std::mt19937_64 rng(200 + static_cast<unsigned>(n * k));
   for (int i = 0; i < kSamples; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
-    if (!ev.spec0_correct()) ASSERT_TRUE(ev.err0);
+    if (!ev.spec0_correct()) {
+      ASSERT_TRUE(ev.err0);
+    }
   }
 }
 
@@ -148,8 +150,12 @@ TEST_P(ScsaSweepTest, Vlcsa2SelectionTheorem) {
   std::mt19937_64 rng(300 + static_cast<unsigned>(n * k));
   for (int i = 0; i < kSamples; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
-    if (ev.err0 && !ev.err1) ASSERT_TRUE(ev.spec1_correct());
-    if (!ev.vlcsa2_stall()) ASSERT_TRUE(ev.vlcsa2_selected_correct());
+    if (ev.err0 && !ev.err1) {
+      ASSERT_TRUE(ev.spec1_correct());
+    }
+    if (!ev.vlcsa2_stall()) {
+      ASSERT_TRUE(ev.vlcsa2_selected_correct());
+    }
   }
 }
 
@@ -164,9 +170,15 @@ TEST_P(ScsaSweepTest, Vlcsa2SelectionTheoremOnGaussianInputs) {
   for (int i = 0; i < kSamples; ++i) {
     const auto [a, b] = source.next(rng);
     const auto ev = model.evaluate(a, b);
-    if (!ev.spec0_correct()) ASSERT_TRUE(ev.err0);
-    if (ev.err0 && !ev.err1) ASSERT_TRUE(ev.spec1_correct());
-    if (!ev.vlcsa2_stall()) ASSERT_TRUE(ev.vlcsa2_selected_correct());
+    if (!ev.spec0_correct()) {
+      ASSERT_TRUE(ev.err0);
+    }
+    if (ev.err0 && !ev.err1) {
+      ASSERT_TRUE(ev.spec1_correct());
+    }
+    if (!ev.vlcsa2_stall()) {
+      ASSERT_TRUE(ev.vlcsa2_selected_correct());
+    }
     ASSERT_EQ(ev.recovered, ev.exact);
   }
 }

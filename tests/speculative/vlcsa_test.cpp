@@ -66,7 +66,9 @@ TEST(VlcsaModel, Variant2NeverStallsMoreThanVariant1) {
     const auto b = ApInt::random(64, rng);
     const bool s1 = v1.step(a, b).stalled;
     const bool s2 = v2.step(a, b).stalled;
-    if (s2) ASSERT_TRUE(s1);
+    if (s2) {
+      ASSERT_TRUE(s1);
+    }
   }
 }
 

@@ -64,7 +64,9 @@ TEST(VlsaModel, DetectionNeverMissesAnError) {
   std::mt19937_64 rng(5);
   for (int i = 0; i < 50000; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
-    if (!ev.spec_correct()) ASSERT_TRUE(ev.err);
+    if (!ev.spec_correct()) {
+      ASSERT_TRUE(ev.err);
+    }
   }
 }
 
