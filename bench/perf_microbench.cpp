@@ -9,6 +9,7 @@
 
 #include "adders/adders.hpp"
 #include "arith/apint.hpp"
+#include "arith/bitslice.hpp"
 #include "arith/distributions.hpp"
 #include "harness/montecarlo.hpp"
 #include "netlist/opt.hpp"
@@ -44,8 +45,28 @@ void BM_ScsaEvaluate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.evaluate(a, b));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ScsaEvaluate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// The bit-sliced counterpart: one pass evaluates 64 samples, so items/sec is
+// directly comparable with BM_ScsaEvaluate.
+void BM_ScsaEvaluateBatch64(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const spec::ScsaModel model(
+      spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
+  std::mt19937_64 rng(2);
+  arith::BitSlicedBatch batch(width);
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
+  source->fill_batch(rng, batch);
+  spec::ScsaBatchEvaluation ev;
+  for (auto _ : state) {
+    model.evaluate_batch(batch, ev);
+    benchmark::DoNotOptimize(ev.spec0_wrong);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_ScsaEvaluateBatch64)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_VlsaEvaluate(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -57,8 +78,26 @@ void BM_VlsaEvaluate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(model.evaluate(a, b));
   }
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VlsaEvaluate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_VlsaEvaluateBatch64(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const spec::VlsaModel model(
+      spec::VlsaConfig{width, spec::vlsa_published_chain_length(width)});
+  std::mt19937_64 rng(3);
+  arith::BitSlicedBatch batch(width);
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
+  source->fill_batch(rng, batch);
+  spec::VlsaBatchEvaluation ev;
+  for (auto _ : state) {
+    model.evaluate_batch(batch, ev);
+    benchmark::DoNotOptimize(ev.spec_wrong);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_VlsaEvaluateBatch64)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_NetlistSimulate64Vectors(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -93,6 +132,47 @@ void BM_StaticTiming(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StaticTiming)->Arg(64)->Arg(256);
+
+// The acceptance benchmark for the batch pipeline: the full error-rate
+// sampling loop (operand generation + model + counters) per EvalPath.
+// items/sec between the Scalar and Batched variants is the end-to-end
+// speedup; the target is >= 5x (ISSUE 2 / ROADMAP batching item).
+template <harness::EvalPath kPath>
+void BM_ErrorRateSamples(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
+  const spec::VlcsaConfig config{width, spec::min_window_for_error_rate(width, 1e-4),
+                                 spec::ScsaVariant::kScsa2};
+  constexpr std::uint64_t kSamples = 1 << 13;
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, kSamples, seed++, 1, kPath));
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+}
+BENCHMARK(BM_ErrorRateSamples<harness::EvalPath::kScalar>)
+    ->Name("BM_ErrorRateSamplesScalar")->Arg(64)->Arg(512);
+BENCHMARK(BM_ErrorRateSamples<harness::EvalPath::kBatched>)
+    ->Name("BM_ErrorRateSamplesBatched")->Arg(64)->Arg(512);
+
+// Same comparison on the Ch. 7 workload (Gaussian two's-complement
+// operands), where sample generation is the larger share of the cost.
+template <harness::EvalPath kPath>
+void BM_ErrorRateSamplesGauss(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  auto source = arith::make_source(arith::InputDistribution::kGaussianTwos, width);
+  const spec::VlcsaConfig config{width, 13, spec::ScsaVariant::kScsa2};
+  constexpr std::uint64_t kSamples = 1 << 13;
+  std::uint64_t seed = 6;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, kSamples, seed++, 1, kPath));
+  }
+  state.SetItemsProcessed(state.iterations() * kSamples);
+}
+BENCHMARK(BM_ErrorRateSamplesGauss<harness::EvalPath::kScalar>)
+    ->Name("BM_ErrorRateSamplesGaussScalar")->Arg(64)->Arg(512);
+BENCHMARK(BM_ErrorRateSamplesGauss<harness::EvalPath::kBatched>)
+    ->Name("BM_ErrorRateSamplesGaussBatched")->Arg(64)->Arg(512);
 
 void BM_MonteCarloVlcsa(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));

@@ -2,19 +2,27 @@
 // of Ch. 7.1 as a command-line tool.  Builds any generator in the library,
 // prints synthesis metrics, optionally writes the structural Verilog, and
 // runs any named Monte Carlo experiment from the registry on the parallel
-// sharded engine.
+// sharded engine (bit-sliced batch pipeline by default; --batch=off selects
+// the scalar oracle, byte-identical counters either way).
 //
 //   $ ./build/examples/adder_explorer --design=vlcsa2 --width=64 --window=13
 //   $ ./build/examples/adder_explorer --design=kogge-stone --width=128 --verilog=ks128.v
 //   $ ./build/examples/adder_explorer --list
 //   $ ./build/examples/adder_explorer --list-experiments
 //   $ ./build/examples/adder_explorer --experiment=table7.1/n64 --threads=4
+//   $ ./build/examples/adder_explorer --experiment=table7.1/n64 --json=BENCH_t71_n64.json
+//
+// Argument parsing lives in harness/cli.{hpp,cpp} so it is unit-testable;
+// unknown or malformed flags are hard errors, never silently ignored.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "adders/adders.hpp"
+#include "harness/cli.hpp"
+#include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "harness/synthesis.hpp"
@@ -36,7 +44,8 @@ void print_usage() {
   std::cout << "usage: adder_explorer [--design=NAME] [--width=N] [--window=K]\n"
                "                      [--chain=L] [--verilog=FILE] [--list]\n"
                "                      [--experiment=NAME] [--samples=N] [--seed=S]\n"
-               "                      [--threads=T] [--list-experiments]\n"
+               "                      [--threads=T] [--batch=on|off] [--json=FILE]\n"
+               "                      [--list-experiments]\n"
                "  --design      one of the generators (default kogge-stone)\n"
                "  --width       adder width in bits (default 64)\n"
                "  --window      SCSA/VLCSA window size (default: sized for 0.01%)\n"
@@ -47,6 +56,9 @@ void print_usage() {
                "  --samples     experiment sample count (default: the experiment's own)\n"
                "  --seed        experiment seed (default 1)\n"
                "  --threads     worker threads, 0 = all hardware threads (default 0)\n"
+               "  --batch       bit-sliced 64-samples-per-word pipeline (default on;\n"
+               "                off = scalar oracle, byte-identical counters)\n"
+               "  --json        also write a machine-readable result record to FILE\n"
                "  --list-experiments  list registry experiment names\n";
 }
 
@@ -82,13 +94,25 @@ void list_experiments() {
   }
 }
 
-int run_experiment_by_name(const std::string& name, std::uint64_t samples, std::uint64_t seed,
-                           int threads) {
-  if (const auto* e = harness::find_error_rate_experiment(name)) {
-    const std::uint64_t n = samples == 0 ? e->default_samples : samples;
+void write_json(const std::string& path, const harness::JsonObject& record) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  record.write(out);
+  std::cout << "wrote result record to " << path << "\n";
+}
+
+int run_experiment_by_name(const harness::ExplorerOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  if (const auto* e = harness::find_error_rate_experiment(opt.experiment)) {
+    const std::uint64_t n = opt.samples == 0 ? e->default_samples : opt.samples;
     std::cout << e->name << ": " << e->description << "\n"
-              << n << " samples, seed " << seed << "\n\n";
-    const auto result = harness::run_experiment(*e, n, seed, threads);
+              << n << " samples, seed " << opt.seed << ", " << to_string(opt.path)
+              << " evaluation\n\n";
+    const auto start = Clock::now();
+    const auto result = harness::run_experiment(*e, n, opt.seed, opt.threads, opt.path);
+    const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+    const double rate = wall > 0.0 ? static_cast<double>(result.samples) / wall : 0.0;
+
     harness::Table table({"metric", "value"});
     table.add_row({"samples", std::to_string(result.samples)});
     table.add_row({"actual error rate", harness::fmt_pct(result.actual_rate(), 3)});
@@ -97,92 +121,119 @@ int run_experiment_by_name(const std::string& name, std::uint64_t samples, std::
     table.add_row({"false negatives", std::to_string(result.false_negatives)});
     table.add_row({"emitted wrong", std::to_string(result.emitted_wrong)});
     table.add_row({"avg cycles (eq. 5.2)", harness::fmt_fixed(result.average_cycles(), 4)});
+    table.add_row({"wall time [s]", harness::fmt_fixed(wall, 3)});
+    table.add_row({"samples/sec", harness::fmt_fixed(rate, 0)});
     table.print(std::cout);
+
+    if (!opt.json_path.empty()) {
+      harness::JsonObject record;
+      record.add("experiment", e->name);
+      record.add("kind", "error-rate");
+      record.add("model", to_string(e->model));
+      record.add("width", e->width);
+      record.add("window", e->window);
+      record.add("distribution", arith::to_string(e->dist));
+      record.add("samples", result.samples);
+      record.add("seed", opt.seed);
+      record.add("threads", harness::resolve_threads(opt.threads));
+      record.add("eval_path", to_string(opt.path));
+      record.add("actual_errors", result.actual_errors);
+      record.add("nominal_errors", result.nominal_errors);
+      record.add("false_negatives", result.false_negatives);
+      record.add("either_wrong", result.either_wrong);
+      record.add("emitted_wrong", result.emitted_wrong);
+      record.add("actual_rate", result.actual_rate());
+      record.add("nominal_rate", result.nominal_rate());
+      record.add("either_wrong_rate", result.either_wrong_rate());
+      record.add("avg_cycles", result.average_cycles());
+      record.add("wall_seconds", wall);
+      record.add("samples_per_sec", rate);
+      write_json(opt.json_path, record);
+    }
     return 0;
   }
-  if (const auto* e = harness::find_chain_profile_experiment(name)) {
-    const std::uint64_t n = samples == 0 ? e->default_samples : samples;
+  if (const auto* e = harness::find_chain_profile_experiment(opt.experiment)) {
+    if (opt.path_explicit) {
+      std::cerr << "error: --batch only applies to error-rate experiments; "
+                << e->name << " is a chain-profile experiment\n";
+      return 2;
+    }
+    const std::uint64_t n = opt.samples == 0 ? e->default_samples : opt.samples;
     std::cout << e->name << ": " << e->description << "\n"
-              << n << " samples, seed " << seed << "\n\n";
-    const auto profiler = harness::run_experiment(*e, n, seed, threads);
+              << n << " samples, seed " << opt.seed << "\n\n";
+    const auto start = Clock::now();
+    const auto profiler = harness::run_experiment(*e, n, opt.seed, opt.threads);
+    const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+    const double rate = wall > 0.0 ? static_cast<double>(n) / wall : 0.0;
+
     harness::Table table({"metric", "value"});
     table.add_row({"additions", std::to_string(profiler.additions())});
     table.add_row({"chains", std::to_string(profiler.total())});
     table.add_row({"mean chain length", harness::fmt_fixed(profiler.mean_length(), 2)});
     table.add_row({"chains >= width/2",
                    harness::fmt_pct(profiler.fraction_at_least(profiler.width() / 2), 2)});
+    table.add_row({"wall time [s]", harness::fmt_fixed(wall, 3)});
     table.print(std::cout);
+
+    if (!opt.json_path.empty()) {
+      harness::JsonObject record;
+      record.add("experiment", e->name);
+      record.add("kind", "chain-profile");
+      record.add("width", e->width);
+      record.add("samples", n);
+      record.add("seed", opt.seed);
+      record.add("threads", harness::resolve_threads(opt.threads));
+      record.add("additions", profiler.additions());
+      record.add("chains", profiler.total());
+      record.add("mean_chain_length", profiler.mean_length());
+      record.add("wall_seconds", wall);
+      record.add("samples_per_sec", rate);
+      write_json(opt.json_path, record);
+    }
     return 0;
   }
-  std::cerr << "unknown experiment: " << name << " (try --list-experiments)\n";
+  std::cerr << "unknown experiment: " << opt.experiment << " (try --list-experiments)\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string design = "kogge-stone";
-  std::string verilog_path;
-  std::string experiment;
-  std::uint64_t samples = 0;
-  std::uint64_t seed = 1;
-  int threads = 0;
-  int width = 64;
-  int window = 0;
-  int chain = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--list") {
-      for (const char* d : kDesigns) std::cout << "  " << d << "\n";
-      return 0;
-    }
-    if (arg == "--list-experiments") {
-      list_experiments();
-      return 0;
-    }
-    if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    }
-    const auto value = [&arg](const std::string& prefix) { return arg.substr(prefix.size()); };
-    if (arg.rfind("--design=", 0) == 0) {
-      design = value("--design=");
-    } else if (arg.rfind("--width=", 0) == 0) {
-      width = std::stoi(value("--width="));
-    } else if (arg.rfind("--window=", 0) == 0) {
-      window = std::stoi(value("--window="));
-    } else if (arg.rfind("--chain=", 0) == 0) {
-      chain = std::stoi(value("--chain="));
-    } else if (arg.rfind("--verilog=", 0) == 0) {
-      verilog_path = value("--verilog=");
-    } else if (arg.rfind("--experiment=", 0) == 0) {
-      experiment = value("--experiment=");
-    } else if (arg.rfind("--samples=", 0) == 0) {
-      samples = std::stoull(value("--samples="));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      seed = std::stoull(value("--seed="));
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      threads = std::stoi(value("--threads="));
-    } else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      print_usage();
-      return 2;
-    }
+  const auto parse = harness::parse_explorer_args(argc, argv);
+  if (!parse.ok()) {
+    std::cerr << "error: " << parse.error << "\n";
+    print_usage();
+    return 2;
+  }
+  const harness::ExplorerOptions& opt = parse.options;
+  if (opt.show_help) {
+    print_usage();
+    return 0;
+  }
+  if (opt.list_designs) {
+    for (const char* d : kDesigns) std::cout << "  " << d << "\n";
+    return 0;
+  }
+  if (opt.list_experiments) {
+    list_experiments();
+    return 0;
   }
 
   try {
-    if (!experiment.empty()) {
-      return run_experiment_by_name(experiment, samples, seed, threads);
+    if (!opt.experiment.empty()) {
+      return run_experiment_by_name(opt);
     }
 
-    if (window == 0) window = spec::min_window_for_error_rate(width, 1e-4);
+    int window = opt.window;
+    int chain = opt.chain;
+    if (window == 0) window = spec::min_window_for_error_rate(opt.width, 1e-4);
     if (chain == 0) {
-      chain = (width == 64 || width == 128 || width == 256 || width == 512)
-                  ? spec::vlsa_published_chain_length(width)
-                  : std::min(width, window + 3);
+      chain = (opt.width == 64 || opt.width == 128 || opt.width == 256 || opt.width == 512)
+                  ? spec::vlsa_published_chain_length(opt.width)
+                  : std::min(opt.width, window + 3);
     }
 
-    const auto netlist = build(design, width, window, chain);
+    const auto netlist = build(opt.design, opt.width, window, chain);
     const auto result = harness::synthesize(netlist);
 
     harness::Table table({"metric", "value"});
@@ -198,11 +249,11 @@ int main(int argc, char** argv) {
     table.add_row({"max primary-input fanout", std::to_string(result.max_input_fanout)});
     table.print(std::cout);
 
-    if (!verilog_path.empty()) {
-      std::ofstream out(verilog_path);
-      if (!out) throw std::runtime_error("cannot open " + verilog_path);
+    if (!opt.verilog_path.empty()) {
+      std::ofstream out(opt.verilog_path);
+      if (!out) throw std::runtime_error("cannot open " + opt.verilog_path);
       netlist::emit_verilog(netlist::optimize(netlist), out);
-      std::cout << "wrote Verilog to " << verilog_path << "\n";
+      std::cout << "wrote Verilog to " << opt.verilog_path << "\n";
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -1,0 +1,89 @@
+#include "arith/bitslice.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace vlcsa::arith {
+
+void transpose_64x64(std::uint64_t block[64]) {
+  // Recursive block swap (Hacker's Delight 7-3 style, oriented for a true
+  // main-diagonal transpose): at each level, swap the high-column half of
+  // the upper row group with the low-column half of the lower row group,
+  // for sub-block sizes 32, 16, ..., 1.
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((block[k] >> j) ^ block[k | j]) & m;
+      block[k] ^= t << j;
+      block[k | j] ^= t;
+    }
+  }
+}
+
+void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes) {
+  if (count < 0 || count > kBatchLanes) {
+    throw std::invalid_argument("transpose_to_planes: count must be in [0, 64]");
+  }
+  for (int j = 0; j < count; ++j) {
+    if (samples[j].width() != width) {
+      throw std::invalid_argument("transpose_to_planes: sample width mismatch");
+    }
+  }
+  const int limbs = (width + ApInt::kLimbBits - 1) / ApInt::kLimbBits;
+  std::uint64_t block[64];
+  for (int limb = 0; limb < limbs; ++limb) {
+    for (int j = 0; j < count; ++j) block[j] = samples[j].limb(limb);
+    for (int j = count; j < 64; ++j) block[j] = 0;
+    transpose_64x64(block);
+    block_to_planes(block, limb, width, planes);
+  }
+}
+
+void block_to_planes(const std::uint64_t block[64], int limb, int width,
+                     std::uint64_t* planes) {
+  const int base = limb * ApInt::kLimbBits;
+  const int top = std::min(width - base, ApInt::kLimbBits);
+  for (int bit = 0; bit < top; ++bit) planes[base + bit] = block[bit];
+}
+
+ApInt plane_lane(const std::uint64_t* planes, int width, int lane) {
+  ApInt out(width);
+  for (int bit = 0; bit < width; ++bit) {
+    out.set_bit(bit, ((planes[bit] >> lane) & 1) != 0);
+  }
+  return out;
+}
+
+void BitSlicedBatch::load(const std::vector<ApInt>& a, const std::vector<ApInt>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("BitSlicedBatch::load: operand counts differ");
+  }
+  const int count = static_cast<int>(a.size());
+  transpose_to_planes(a.data(), count, width_, a_.data());
+  transpose_to_planes(b.data(), count, width_, b_.data());
+}
+
+std::pair<ApInt, ApInt> BitSlicedBatch::lane(int lane) const {
+  return {plane_lane(a_.data(), width_, lane), plane_lane(b_.data(), width_, lane)};
+}
+
+void kogge_stone_carries(const std::uint64_t* g, const std::uint64_t* p, int n,
+                         std::uint64_t* carry, std::vector<std::uint64_t>& pp_scratch) {
+  // carry[] starts as the per-bit generate planes and is widened in log
+  // steps; pp[] tracks the matching group propagate.  After the last step
+  // carry[i] spans [0, i], i.e. the exact carry out of bit i with cin 0.
+  pp_scratch.resize(static_cast<std::size_t>(n));
+  std::uint64_t* pp = pp_scratch.data();
+  for (int i = 0; i < n; ++i) {
+    carry[i] = g[i];
+    pp[i] = p[i];
+  }
+  for (int d = 1; d < n; d <<= 1) {
+    for (int i = n - 1; i >= d; --i) {
+      carry[i] |= pp[i] & carry[i - d];
+      pp[i] &= pp[i - d];
+    }
+  }
+}
+
+}  // namespace vlcsa::arith

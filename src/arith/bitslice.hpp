@@ -1,0 +1,90 @@
+#pragma once
+// Bit-sliced sample batches: 64 Monte Carlo samples per machine word.
+//
+// The netlist simulator has always been 64-way bit-sliced (one word = one
+// net's value across 64 test vectors).  This header brings the same layout
+// to the *behavioral* models: a BitSlicedBatch stores 64 operand pairs as
+// bit-planes — plane[bit] is a word whose bit j is sample j's value of
+// operand bit `bit` — so window generate/propagate, speculative carries and
+// detection flags become word-parallel boolean algebra over the planes.
+//
+// Layout ("bit-plane" = column of the 64 x width sample matrix):
+//
+//            bit 0   bit 1   ...   bit n-1
+//  sample 0 [  .       .              .   ]   row    = one operand (ApInt)
+//  sample 1 [  .       .              .   ]   column = one plane (uint64_t)
+//    ...
+//  sample 63[  .       .              .   ]
+//
+// The row<->column conversion is the classic 64x64 bit-matrix transpose
+// (6 log-steps per block), shared with the netlist-simulator test harness.
+
+#include <cstdint>
+#include <vector>
+
+#include "arith/apint.hpp"
+
+namespace vlcsa::arith {
+
+/// Number of samples carried per word — one lane per bit.
+inline constexpr int kBatchLanes = 64;
+
+/// In-place transpose of a 64x64 bit matrix.  block[i] is row i; bit j of
+/// row i moves to bit i of row j.
+void transpose_64x64(std::uint64_t block[64]);
+
+/// Transposes `count` (<= 64) width-bit samples into bit-planes:
+/// planes[bit] bit j = samples[j].bit(bit) for j < count, 0 for j >= count.
+/// `planes` must hold `width` words.
+void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes);
+
+/// Copies an already-transposed 64x64 block (rows = bits of limb `limb`)
+/// into the plane array of a `width`-bit layout, dropping rows beyond the
+/// width.  Shared by transpose_to_planes and the operand sources' direct
+/// raw-limb fill paths.
+void block_to_planes(const std::uint64_t block[64], int limb, int width,
+                     std::uint64_t* planes);
+
+/// Reads lane `lane` of a plane array back into an ApInt (the inverse of
+/// transpose_to_planes for one sample; used by tests and diagnostics).
+[[nodiscard]] ApInt plane_lane(const std::uint64_t* planes, int width, int lane);
+
+/// 64 operand pairs in bit-plane form, ready for word-parallel evaluation.
+class BitSlicedBatch {
+ public:
+  explicit BitSlicedBatch(int width)
+      : width_(width),
+        a_(static_cast<std::size_t>(width), 0),
+        b_(static_cast<std::size_t>(width), 0) {}
+
+  [[nodiscard]] int width() const { return width_; }
+
+  [[nodiscard]] const std::uint64_t* a() const { return a_.data(); }
+  [[nodiscard]] const std::uint64_t* b() const { return b_.data(); }
+  [[nodiscard]] std::uint64_t* a() { return a_.data(); }
+  [[nodiscard]] std::uint64_t* b() { return b_.data(); }
+
+  /// Loads operand pairs row-wise (sample j = (a[j], b[j])); pairs beyond
+  /// `count` are zero.  Both vectors must have the same size <= 64.
+  void load(const std::vector<ApInt>& a, const std::vector<ApInt>& b);
+
+  /// Sample `lane` reconstructed as an ApInt pair (tests/diagnostics).
+  [[nodiscard]] std::pair<ApInt, ApInt> lane(int lane) const;
+
+ private:
+  int width_;
+  std::vector<std::uint64_t> a_;  // a_[bit] = plane of operand-a bit `bit`
+  std::vector<std::uint64_t> b_;
+};
+
+/// Word-level Kogge-Stone prefix over bit-planes: given per-bit generate and
+/// propagate planes g/p (each `n` words), writes carry[i] = carry *out* of
+/// bit i assuming carry-in 0 at bit 0, independently in each of the 64
+/// lanes.  This is the batch pipeline's exact-adder reference.
+/// `carry` must hold n words and may not alias g or p.  `pp_scratch` is the
+/// group-propagate working array — callers keep one per evaluation state so
+/// the hot loop never allocates; it is resized as needed and clobbered.
+void kogge_stone_carries(const std::uint64_t* g, const std::uint64_t* p, int n,
+                         std::uint64_t* carry, std::vector<std::uint64_t>& pp_scratch);
+
+}  // namespace vlcsa::arith

@@ -4,12 +4,15 @@
 // Gaussian and two's-complement Gaussian (the practical-input proxy), plus a
 // common interface so the Monte Carlo harness can run any of them.
 
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "arith/apint.hpp"
+#include "arith/bitslice.hpp"
 
 namespace vlcsa::arith {
 
@@ -28,6 +31,14 @@ class OperandSource {
   /// Draws the next operand pair.
   virtual std::pair<ApInt, ApInt> next(std::mt19937_64& rng) = 0;
 
+  /// Draws the next 64 operand pairs and transposes them into bit-planes.
+  /// CONTRACT: consumes the RNG exactly like 64 successive next() calls and
+  /// produces the same samples (lane j = the j-th pair) — this is what keeps
+  /// the batched Monte Carlo path bit-identical to the scalar one.  The
+  /// default implementation literally calls next(); overrides may generate
+  /// straight into the planes as long as the stream is preserved.
+  virtual void fill_batch(std::mt19937_64& rng, BitSlicedBatch& out);
+
   /// Fresh source of the same distribution with pristine stream state (any
   /// cached variates are discarded).  Must be safe to call concurrently from
   /// multiple threads — the parallel engine clones one source per shard.
@@ -43,9 +54,15 @@ class UniformUnsignedSource final : public OperandSource {
   explicit UniformUnsignedSource(int width) : OperandSource(width) {}
   [[nodiscard]] std::string name() const override { return "uniform-unsigned"; }
   std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  /// Fast path: draws raw limbs straight into the transpose blocks (same
+  /// rng() call order as ApInt::random, so the stream contract holds).
+  void fill_batch(std::mt19937_64& rng, BitSlicedBatch& out) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<UniformUnsignedSource>(width());
   }
+
+ private:
+  std::vector<std::uint64_t> rows_;  // fill_batch transpose scratch
 };
 
 /// Two's-complement uniform inputs (Fig 6.3): a uniformly random magnitude

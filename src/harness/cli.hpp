@@ -1,0 +1,58 @@
+#pragma once
+// Command-line parsing for the adder_explorer front end, extracted into the
+// library so the parser is unit-testable.  Parsing is strict: unknown flags,
+// missing "=value" parts, non-numeric or out-of-range numbers, and bad enum
+// values are all hard errors with a message naming the offending argument —
+// a typo'd flag must never be silently ignored (it would quietly change
+// which experiment ran).
+
+#include <cstdint>
+#include <string>
+
+#include "harness/montecarlo.hpp"
+
+namespace vlcsa::harness {
+
+/// Everything the adder_explorer front end can be asked to do.
+struct ExplorerOptions {
+  // Mode flags (checked in this order by the front end).
+  bool show_help = false;
+  bool list_designs = false;
+  bool list_experiments = false;
+
+  // Netlist-building mode.
+  std::string design = "kogge-stone";
+  std::string verilog_path;  // --verilog=FILE
+  int width = 64;
+  int window = 0;  // 0 = sized for 0.01%
+  int chain = 0;   // 0 = published VLSA chain length
+
+  // Experiment mode.
+  std::string experiment;  // --experiment=NAME
+  std::string json_path;   // --json=FILE: machine-readable result record
+  std::uint64_t samples = 0;  // 0 = the experiment's default
+  std::uint64_t seed = 1;
+  int threads = 0;  // 0 = all hardware threads
+  EvalPath path = EvalPath::kBatched;  // --batch=on|off
+  bool path_explicit = false;  // --batch was given (vs defaulted) — lets the
+                               // front end reject it where it cannot apply
+};
+
+/// Result of parsing an argv; `error` is empty on success.
+struct ExplorerParse {
+  ExplorerOptions options;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return error.empty(); }
+};
+
+/// Parses adder_explorer arguments (argv[0] is skipped).  Never throws;
+/// every malformed input is reported through `error`.
+[[nodiscard]] ExplorerParse parse_explorer_args(int argc, const char* const* argv);
+
+/// Strict full-string parses used by the CLI (exposed for testing): the
+/// entire string must be a base-10 number in range, else false.
+[[nodiscard]] bool parse_u64(const std::string& text, std::uint64_t& out);
+[[nodiscard]] bool parse_nonnegative_int(const std::string& text, int& out);
+
+}  // namespace vlcsa::harness

@@ -24,6 +24,7 @@
 #include <random>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace vlcsa::harness {
@@ -49,21 +50,26 @@ struct RunOptions {
 /// seed_seq, so distinct shards and distinct seeds never collide.
 [[nodiscard]] std::mt19937_64 make_shard_rng(std::uint64_t seed, std::uint64_t shard_index);
 
-/// Runs `options.samples` kernel invocations sharded across a thread pool.
+/// Runs `options.samples` samples sharded across a thread pool, handing each
+/// shard to its kernel as one block.
 ///
 /// `make_accumulator()` produces an empty accumulator; the accumulator type
 /// must be copyable and define `operator+=` as the merge.  `make_kernel()`
 /// is invoked once per *shard* (from worker threads — it must be safe to
 /// call concurrently) and must return a callable
 ///
-///     void kernel(std::mt19937_64& rng, Accumulator& acc)
+///     void kernel(std::mt19937_64& rng, Accumulator& acc, std::uint64_t count)
 ///
-/// that draws one sample and folds it in.  Per-shard kernel construction is
+/// that draws and folds in exactly `count` samples.  Block granularity is
+/// what lets the bit-sliced pipeline consume 64 samples per machine word
+/// inside a shard (with its own scalar tail for count % 64); per-sample
+/// kernels should use run_sharded below.  Per-shard kernel construction is
 /// what keeps stateful sample sources (e.g. std::normal_distribution's
 /// cached second variate) from leaking state across shard boundaries.
-template <typename AccumulatorFactory, typename KernelFactory>
-[[nodiscard]] auto run_sharded(const RunOptions& options, AccumulatorFactory&& make_accumulator,
-                               KernelFactory&& make_kernel)
+template <typename AccumulatorFactory, typename BlockKernelFactory>
+[[nodiscard]] auto run_sharded_blocks(const RunOptions& options,
+                                      AccumulatorFactory&& make_accumulator,
+                                      BlockKernelFactory&& make_kernel)
     -> std::decay_t<std::invoke_result_t<AccumulatorFactory&>> {
   using Accumulator = std::decay_t<std::invoke_result_t<AccumulatorFactory&>>;
 
@@ -90,7 +96,7 @@ template <typename AccumulatorFactory, typename KernelFactory>
         // shard accumulators share cache lines, so writing partials[] per
         // sample would false-share between workers.
         Accumulator acc = partials[static_cast<std::size_t>(shard)];
-        for (std::uint64_t i = 0; i < count; ++i) kernel(rng, acc);
+        kernel(rng, acc, count);
         partials[static_cast<std::size_t>(shard)] = std::move(acc);
       }
     } catch (...) {
@@ -113,6 +119,26 @@ template <typename AccumulatorFactory, typename KernelFactory>
 
   for (const Accumulator& partial : partials) merged += partial;
   return merged;
+}
+
+/// Per-sample variant: `make_kernel()` returns
+///
+///     void kernel(std::mt19937_64& rng, Accumulator& acc)
+///
+/// drawing one sample per call.  Thin wrapper over run_sharded_blocks, so
+/// both granularities share the same sharding/merge machinery and therefore
+/// the same reproducibility contract.
+template <typename AccumulatorFactory, typename KernelFactory>
+[[nodiscard]] auto run_sharded(const RunOptions& options, AccumulatorFactory&& make_accumulator,
+                               KernelFactory&& make_kernel)
+    -> std::decay_t<std::invoke_result_t<AccumulatorFactory&>> {
+  using Accumulator = std::decay_t<std::invoke_result_t<AccumulatorFactory&>>;
+  return run_sharded_blocks(options, std::forward<AccumulatorFactory>(make_accumulator), [&] {
+    return [kernel = make_kernel()](std::mt19937_64& rng, Accumulator& acc,
+                                    std::uint64_t count) mutable {
+      for (std::uint64_t i = 0; i < count; ++i) kernel(rng, acc);
+    };
+  });
 }
 
 }  // namespace vlcsa::harness

@@ -179,17 +179,18 @@ const char* to_string(ModelKind kind) {
 }
 
 ErrorRateResult run_experiment(const ErrorRateExperiment& experiment, std::uint64_t samples,
-                               std::uint64_t seed, int threads) {
+                               std::uint64_t seed, int threads, EvalPath path) {
   const auto source = arith::make_source(experiment.dist, experiment.width, experiment.params);
   switch (experiment.model) {
     case ModelKind::kVlcsa1:
       return run_vlcsa({experiment.width, experiment.window, spec::ScsaVariant::kScsa1},
-                       *source, samples, seed, threads);
+                       *source, samples, seed, threads, path);
     case ModelKind::kVlcsa2:
       return run_vlcsa({experiment.width, experiment.window, spec::ScsaVariant::kScsa2},
-                       *source, samples, seed, threads);
+                       *source, samples, seed, threads, path);
     case ModelKind::kVlsa:
-      return run_vlsa({experiment.width, experiment.window}, *source, samples, seed, threads);
+      return run_vlsa({experiment.width, experiment.window}, *source, samples, seed, threads,
+                      path);
   }
   throw std::logic_error("unknown ModelKind");
 }

@@ -46,9 +46,12 @@ struct ErrorRateExperiment {
 
 /// Runs an error-rate experiment on the parallel engine (`threads` as in
 /// engine.hpp: 0 = all hardware threads, result thread-count-invariant).
+/// `path` selects the bit-sliced batch pipeline (default) or the scalar
+/// oracle; both produce bit-identical counters (see montecarlo.hpp).
 [[nodiscard]] ErrorRateResult run_experiment(const ErrorRateExperiment& experiment,
                                              std::uint64_t samples, std::uint64_t seed,
-                                             int threads = 0);
+                                             int threads = 0,
+                                             EvalPath path = EvalPath::kBatched);
 
 /// One carry-chain-statistics experiment (the Figs 6.1–6.5 family): a
 /// workload whose additions feed a CarryChainProfiler.

@@ -1,8 +1,26 @@
 #include "harness/montecarlo.hpp"
 
+#include <bit>
+
 #include "harness/engine.hpp"
 
 namespace vlcsa::harness {
+
+namespace {
+
+inline std::uint64_t lanes(std::uint64_t mask) {
+  return static_cast<std::uint64_t>(std::popcount(mask));
+}
+
+}  // namespace
+
+const char* to_string(EvalPath path) {
+  switch (path) {
+    case EvalPath::kBatched: return "batched";
+    case EvalPath::kScalar: return "scalar";
+  }
+  return "?";
+}
 
 void accumulate_vlcsa(const spec::VlcsaStep& step, spec::ScsaVariant variant,
                       ErrorRateResult& out) {
@@ -30,34 +48,106 @@ void accumulate_vlsa(const spec::VlsaEvaluation& ev, ErrorRateResult& out) {
   out.total_cycles += ev.err ? 2 : 1;
 }
 
+void accumulate_vlcsa_batch(const spec::VlcsaBatchStep& step, spec::ScsaVariant variant,
+                            ErrorRateResult& out) {
+  const auto& ev = step.eval;
+  const std::uint64_t primary_wrong =
+      variant == spec::ScsaVariant::kScsa1 ? ev.spec0_wrong : ev.either_wrong();
+  out.samples += arith::kBatchLanes;
+  out.actual_errors += lanes(primary_wrong);
+  out.nominal_errors += lanes(step.stalled);
+  out.false_negatives += lanes(primary_wrong & ~step.stalled);
+  out.either_wrong += lanes(ev.either_wrong());
+  out.emitted_wrong += lanes(step.emitted_wrong);
+  // 1 cycle per lane + 1 extra per stall (eq. 5.2/6.1).
+  out.total_cycles += arith::kBatchLanes + lanes(step.stalled);
+}
+
+void accumulate_vlsa_batch(const spec::VlsaBatchEvaluation& ev, ErrorRateResult& out) {
+  out.samples += arith::kBatchLanes;
+  out.actual_errors += lanes(ev.spec_wrong);
+  out.nominal_errors += lanes(ev.err);
+  out.false_negatives += lanes(ev.spec_wrong & ~ev.err);
+  out.either_wrong += lanes(ev.spec_wrong);
+  out.emitted_wrong += lanes(ev.spec_wrong & ~ev.err);
+  out.total_cycles += arith::kBatchLanes + lanes(ev.err);
+}
+
 ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
-                          std::uint64_t samples, std::uint64_t seed, int threads) {
+                          const RunOptions& options, EvalPath path) {
   const spec::VlcsaModel model(config);
-  return run_sharded(
-      RunOptions{samples, seed, threads, kDefaultShardSize},
-      [] { return ErrorRateResult{}; },
-      [&] {
-        return [&model, variant = config.variant,
-                shard_source = source.clone()](std::mt19937_64& rng, ErrorRateResult& out) {
-          const auto [a, b] = shard_source->next(rng);
-          accumulate_vlcsa(model.step(a, b), variant, out);
-        };
-      });
+  const auto make_result = [] { return ErrorRateResult{}; };
+  if (path == EvalPath::kScalar) {
+    return run_sharded(options, make_result, [&] {
+      return [&model, variant = config.variant,
+              shard_source = source.clone()](std::mt19937_64& rng, ErrorRateResult& out) {
+        const auto [a, b] = shard_source->next(rng);
+        accumulate_vlcsa(model.step(a, b), variant, out);
+      };
+    });
+  }
+  return run_sharded_blocks(options, make_result, [&] {
+    return [&model, variant = config.variant, shard_source = source.clone(),
+            batch = arith::BitSlicedBatch(config.width), step = spec::VlcsaBatchStep{}](
+               std::mt19937_64& rng, ErrorRateResult& out, std::uint64_t count) mutable {
+      std::uint64_t done = 0;
+      for (; done + arith::kBatchLanes <= count; done += arith::kBatchLanes) {
+        shard_source->fill_batch(rng, batch);
+        model.step_batch(batch, step);
+        accumulate_vlcsa_batch(step, variant, out);
+      }
+      // Scalar tail: same draws in the same order, so the shard's RNG stream
+      // (and therefore the merged counters) match the scalar path exactly.
+      for (; done < count; ++done) {
+        const auto [a, b] = shard_source->next(rng);
+        accumulate_vlcsa(model.step(a, b), variant, out);
+      }
+    };
+  });
+}
+
+ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
+                          std::uint64_t samples, std::uint64_t seed, int threads,
+                          EvalPath path) {
+  return run_vlcsa(config, source, RunOptions{samples, seed, threads, kDefaultShardSize},
+                   path);
 }
 
 ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
-                         std::uint64_t samples, std::uint64_t seed, int threads) {
+                         const RunOptions& options, EvalPath path) {
   const spec::VlsaModel model(config);
-  return run_sharded(
-      RunOptions{samples, seed, threads, kDefaultShardSize},
-      [] { return ErrorRateResult{}; },
-      [&] {
-        return [&model, shard_source = source.clone()](std::mt19937_64& rng,
-                                                       ErrorRateResult& out) {
-          const auto [a, b] = shard_source->next(rng);
-          accumulate_vlsa(model.evaluate(a, b), out);
-        };
-      });
+  const auto make_result = [] { return ErrorRateResult{}; };
+  if (path == EvalPath::kScalar) {
+    return run_sharded(options, make_result, [&] {
+      return [&model, shard_source = source.clone()](std::mt19937_64& rng,
+                                                     ErrorRateResult& out) {
+        const auto [a, b] = shard_source->next(rng);
+        accumulate_vlsa(model.evaluate(a, b), out);
+      };
+    });
+  }
+  return run_sharded_blocks(options, make_result, [&] {
+    return [&model, shard_source = source.clone(),
+            batch = arith::BitSlicedBatch(config.width), ev = spec::VlsaBatchEvaluation{}](
+               std::mt19937_64& rng, ErrorRateResult& out, std::uint64_t count) mutable {
+      std::uint64_t done = 0;
+      for (; done + arith::kBatchLanes <= count; done += arith::kBatchLanes) {
+        shard_source->fill_batch(rng, batch);
+        model.evaluate_batch(batch, ev);
+        accumulate_vlsa_batch(ev, out);
+      }
+      for (; done < count; ++done) {
+        const auto [a, b] = shard_source->next(rng);
+        accumulate_vlsa(model.evaluate(a, b), out);
+      }
+    };
+  });
+}
+
+ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
+                         std::uint64_t samples, std::uint64_t seed, int threads,
+                         EvalPath path) {
+  return run_vlsa(config, source, RunOptions{samples, seed, threads, kDefaultShardSize}, path);
 }
 
 EmpiricalWindowSearch find_window_for_nominal_rate(int width, spec::ScsaVariant variant,

@@ -16,6 +16,7 @@
 #include <random>
 
 #include "arith/distributions.hpp"
+#include "harness/engine.hpp"
 #include "speculative/scsa.hpp"
 #include "speculative/vlcsa.hpp"
 #include "speculative/vlsa.hpp"
@@ -23,6 +24,20 @@
 namespace vlcsa::harness {
 
 using arith::OperandSource;
+
+/// How an experiment pushes samples through the behavioral model.
+///  * kBatched — bit-sliced: 64 samples per machine word per model pass
+///    (with a scalar tail for shard sizes not divisible by 64);
+///  * kScalar  — one sample at a time (the original path, kept as the
+///    differential-testing oracle).
+/// Both produce bit-identical ErrorRateResult counters at any thread count —
+/// a tested invariant.
+enum class EvalPath {
+  kBatched,
+  kScalar,
+};
+
+[[nodiscard]] const char* to_string(EvalPath path);
 
 struct ErrorRateResult {
   std::uint64_t samples = 0;
@@ -46,6 +61,10 @@ struct ErrorRateResult {
     total_cycles += other.total_cycles;
     return *this;
   }
+
+  /// Counter-exact comparison — what the batch-vs-scalar differential tests
+  /// and the thread-count-invariance tests assert.
+  [[nodiscard]] friend bool operator==(const ErrorRateResult&, const ErrorRateResult&) = default;
 
   [[nodiscard]] double actual_rate() const {
     return samples == 0 ? 0.0
@@ -74,18 +93,36 @@ void accumulate_vlcsa(const spec::VlcsaStep& step, spec::ScsaVariant variant,
 /// Folds one VLSA evaluation the same way (actual = spec wrong, nominal = ERR).
 void accumulate_vlsa(const spec::VlsaEvaluation& eval, ErrorRateResult& out);
 
-/// Runs `samples` additions of a VLCSA configuration over an operand source,
-/// sharded across `threads` worker threads (0 = all hardware threads).  The
-/// result is bit-identical for any thread count (see engine.hpp); `source`
-/// itself is never drawn from — each shard draws from a fresh clone.
+/// Folds 64 bit-sliced VLCSA steps at once: each counter advances by the
+/// popcount of the corresponding lane mask, so the totals match 64 scalar
+/// accumulate_vlcsa calls exactly.
+void accumulate_vlcsa_batch(const spec::VlcsaBatchStep& step, spec::ScsaVariant variant,
+                            ErrorRateResult& out);
+
+/// Folds 64 bit-sliced VLSA evaluations the same way.
+void accumulate_vlsa_batch(const spec::VlsaBatchEvaluation& eval, ErrorRateResult& out);
+
+/// Runs `options.samples` additions of a VLCSA configuration over an operand
+/// source on the sharded engine.  The result is bit-identical for any thread
+/// count AND either EvalPath (see engine.hpp and EvalPath); `source` itself
+/// is never drawn from — each shard draws from a fresh clone.
+[[nodiscard]] ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
+                                        const RunOptions& options,
+                                        EvalPath path = EvalPath::kBatched);
+
+/// Convenience overload with the default shard size.
 [[nodiscard]] ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
                                         std::uint64_t samples, std::uint64_t seed,
-                                        int threads = 0);
+                                        int threads = 0, EvalPath path = EvalPath::kBatched);
 
 /// Runs the VLSA baseline the same way.
 [[nodiscard]] ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
+                                       const RunOptions& options,
+                                       EvalPath path = EvalPath::kBatched);
+
+[[nodiscard]] ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
                                        std::uint64_t samples, std::uint64_t seed,
-                                       int threads = 0);
+                                       int threads = 0, EvalPath path = EvalPath::kBatched);
 
 /// Finds the smallest window size whose *nominal* (stall) rate over the given
 /// distribution stays within slack * target — the simulation-driven sizing

@@ -40,6 +40,70 @@ void Table::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonObject::add_raw(const std::string& key, std::string rendered) {
+  fields_.emplace_back(key, std::move(rendered));
+}
+
+void JsonObject::add(const std::string& key, const std::string& value) {
+  add_raw(key, "\"" + json_escape(value) + "\"");
+}
+
+void JsonObject::add(const std::string& key, const char* value) {
+  add(key, std::string(value));
+}
+
+void JsonObject::add(const std::string& key, std::uint64_t value) {
+  add_raw(key, std::to_string(value));
+}
+
+void JsonObject::add(const std::string& key, double value) {
+  if (!std::isfinite(value)) {
+    add_raw(key, "null");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  add_raw(key, buf);
+}
+
+void JsonObject::add(const std::string& key, int value) { add_raw(key, std::to_string(value)); }
+
+void JsonObject::add(const std::string& key, bool value) {
+  add_raw(key, value ? "true" : "false");
+}
+
+void JsonObject::write(std::ostream& os) const {
+  os << "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    os << "  \"" << json_escape(fields_[i].first) << "\": " << fields_[i].second;
+    os << (i + 1 < fields_.size() ? ",\n" : "\n");
+  }
+  os << "}\n";
+}
+
 std::string fmt_pct(double fraction, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vlcsa::harness {
@@ -23,6 +24,31 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Minimal ordered JSON object writer, enough for the machine-readable
+/// result records the explorer's --json flag emits (BENCH_*.json).  Fields
+/// are written in insertion order; no nesting (flat records diff cleanly
+/// across perf-trajectory runs).
+class JsonObject {
+ public:
+  void add(const std::string& key, const std::string& value);
+  void add(const std::string& key, const char* value);
+  void add(const std::string& key, std::uint64_t value);
+  void add(const std::string& key, double value);
+  void add(const std::string& key, int value);
+  void add(const std::string& key, bool value);
+
+  /// Writes "{...}\n", one field per line.
+  void write(std::ostream& os) const;
+
+ private:
+  void add_raw(const std::string& key, std::string rendered);
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
 
 /// Formats a probability as a percentage with `decimals` digits ("0.01%").
 [[nodiscard]] std::string fmt_pct(double fraction, int decimals = 2);

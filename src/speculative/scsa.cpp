@@ -84,4 +84,60 @@ ScsaEvaluation ScsaModel::evaluate(const ApInt& a, const ApInt& b) const {
   return ev;
 }
 
+void ScsaModel::evaluate_batch(const BitSlicedBatch& batch, ScsaBatchEvaluation& out) const {
+  if (batch.width() != config_.width) {
+    throw std::invalid_argument("ScsaModel: batch width mismatch");
+  }
+  const int n = config_.width;
+  const int m = layout_.count();
+  const std::uint64_t* a = batch.a();
+  const std::uint64_t* b = batch.b();
+
+  out.g.resize(static_cast<std::size_t>(n));
+  out.p.resize(static_cast<std::size_t>(n));
+  out.carry.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.g[static_cast<std::size_t>(i)] = a[i] & b[i];
+    out.p[static_cast<std::size_t>(i)] = a[i] ^ b[i];
+  }
+  arith::kogge_stone_carries(out.g.data(), out.p.data(), n, out.carry.data(), out.pp);
+
+  // One sweep over the windows.  A speculative result differs from the
+  // exact sum iff some window's carry-in select differs from the true carry
+  // into that window: a select mismatch flips that window's conditional sum
+  // (adding 1 modulo 2^size always changes it), and when every select
+  // matches, the carry-out expression G | (P & c) matches too.  Selects per
+  // scsa.hpp: S*,0 uses G_{i-1}; S*,1 uses G_0 for window 1 (the window-0
+  // carry-out is exact) and G_{i-1} | P_{i-1} beyond.
+  std::uint64_t spec0_wrong = 0, spec1_wrong = 0, err0 = 0, err1 = 0;
+  std::uint64_t prev_g = 0, prev_p = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto [pos, size] = layout_.window(i);
+    std::uint64_t wg = 0;
+    std::uint64_t wp = ~std::uint64_t{0};
+    for (int bit = pos; bit < pos + size; ++bit) {
+      const std::size_t idx = static_cast<std::size_t>(bit);
+      wg = out.g[idx] | (out.p[idx] & wg);
+      wp &= out.p[idx];
+    }
+    if (i > 0) {
+      const std::uint64_t exact_in = out.carry[static_cast<std::size_t>(pos - 1)];
+      const std::uint64_t sel0 = prev_g;
+      const std::uint64_t sel1 = i == 1 ? prev_g : (prev_g | prev_p);
+      spec0_wrong |= sel0 ^ exact_in;
+      spec1_wrong |= sel1 ^ exact_in;
+      // Detection pairs (Figs 5.1 and 6.7), same indexing as the scalar
+      // loop: ERR0 over pairs (0,1)..(m-2,m-1), ERR1 starting at (1,2).
+      err0 |= prev_g & wp;
+      if (i >= 2) err1 |= prev_p & ~wp;
+    }
+    prev_g = wg;
+    prev_p = wp;
+  }
+  out.spec0_wrong = spec0_wrong;
+  out.spec1_wrong = spec1_wrong;
+  out.err0 = err0;
+  out.err1 = err1;
+}
+
 }  // namespace vlcsa::spec

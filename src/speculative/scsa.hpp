@@ -12,14 +12,17 @@
 //  * "Result" includes the carry-out bit, so the detection identity
 //    ERR0 == (S*,0 wrong) holds exactly for SCSA 1 (see error_model.hpp).
 
+#include <cstdint>
 #include <vector>
 
 #include "arith/apint.hpp"
+#include "arith/bitslice.hpp"
 #include "speculative/window.hpp"
 
 namespace vlcsa::spec {
 
 using arith::ApInt;
+using arith::BitSlicedBatch;
 
 enum class ScsaVariant {
   kScsa1,  // single speculative result, detector ERR0 (Ch. 5)
@@ -81,6 +84,35 @@ struct ScsaEvaluation {
   }
 };
 
+/// Word-parallel SCSA evaluation of 64 samples: every field is a lane mask
+/// whose bit j refers to sample j of the batch.  Only correctness/detection
+/// *predicates* are materialized (not the speculative sums themselves) —
+/// S*,0 differs from the exact sum iff some window's speculative carry-in
+/// select differs from the true carry into that window, so the per-sample
+/// comparison collapses to boolean algebra over window G/P planes.  The
+/// scalar evaluate() remains the oracle; the differential tests pin the two
+/// paths bit-identical.
+struct ScsaBatchEvaluation {
+  std::uint64_t spec0_wrong = 0;  // S*,0 (incl. carry-out) != exact
+  std::uint64_t spec1_wrong = 0;  // S*,1 (incl. carry-out) != exact
+  std::uint64_t err0 = 0;         // detector ERR0 fired
+  std::uint64_t err1 = 0;         // detector ERR1 fired
+
+  /// Table 7.2 correctness notion, negated: neither result matches.
+  [[nodiscard]] std::uint64_t either_wrong() const { return spec0_wrong & spec1_wrong; }
+  [[nodiscard]] std::uint64_t vlcsa1_stall() const { return err0; }
+  [[nodiscard]] std::uint64_t vlcsa2_stall() const { return err0 & err1; }
+  /// Wrongness of the result VLCSA 2 emits when it does not stall
+  /// (S*,0 if ERR0 = 0, else S*,1).
+  [[nodiscard]] std::uint64_t vlcsa2_selected_wrong() const {
+    return (err0 & spec1_wrong) | (~err0 & spec0_wrong);
+  }
+
+  // Reused scratch planes (sized on first evaluate_batch; callers keep one
+  // ScsaBatchEvaluation per shard so the hot loop does not allocate).
+  std::vector<std::uint64_t> g, p, carry, pp;
+};
+
 /// Behavioral SCSA evaluator.  One instance is reusable across calls and
 /// cheap to evaluate (a few machine-word operations per window).
 class ScsaModel {
@@ -92,6 +124,11 @@ class ScsaModel {
 
   /// Full evaluation (both variants' signals are always produced).
   [[nodiscard]] ScsaEvaluation evaluate(const ApInt& a, const ApInt& b) const;
+
+  /// Bit-sliced evaluation of 64 samples in one pass (thread-safe: all
+  /// mutable state lives in `out`).  Produces exactly the lane masks the
+  /// Monte Carlo counters need; see ScsaBatchEvaluation.
+  void evaluate_batch(const BitSlicedBatch& batch, ScsaBatchEvaluation& out) const;
 
  private:
   ScsaConfig config_;

@@ -34,4 +34,17 @@ VlcsaStep VlcsaModel::step(const ApInt& a, const ApInt& b) const {
   return out;
 }
 
+void VlcsaModel::step_batch(const BitSlicedBatch& batch, VlcsaBatchStep& out) const {
+  scsa_.evaluate_batch(batch, out.eval);
+  const ScsaBatchEvaluation& ev = out.eval;
+  if (config_.variant == ScsaVariant::kScsa1) {
+    out.stalled = ev.vlcsa1_stall();
+    // Stalled lanes emit the (always exact) recovery result; the rest S*,0.
+    out.emitted_wrong = ~out.stalled & ev.spec0_wrong;
+  } else {
+    out.stalled = ev.vlcsa2_stall();
+    out.emitted_wrong = ~out.stalled & ev.vlcsa2_selected_wrong();
+  }
+}
+
 }  // namespace vlcsa::spec

@@ -30,6 +30,14 @@ struct VlcsaStep {
   ScsaEvaluation eval;   // full signal detail for tests/analysis
 };
 
+/// 64 variable-latency additions, as lane masks (bit j = sample j).
+/// Cycle counts per lane follow from `stalled`: 2 where set, 1 elsewhere.
+struct VlcsaBatchStep {
+  std::uint64_t stalled = 0;        // detection fired -> recovery cycle
+  std::uint64_t emitted_wrong = 0;  // final emitted result wrong (must be 0)
+  ScsaBatchEvaluation eval;
+};
+
 class VlcsaModel {
  public:
   explicit VlcsaModel(VlcsaConfig config)
@@ -39,6 +47,9 @@ class VlcsaModel {
   [[nodiscard]] const ScsaModel& scsa() const { return scsa_; }
 
   [[nodiscard]] VlcsaStep step(const ApInt& a, const ApInt& b) const;
+
+  /// Bit-sliced step over 64 operand pairs (thread-safe; scratch in `out`).
+  void step_batch(const BitSlicedBatch& batch, VlcsaBatchStep& out) const;
 
  private:
   VlcsaConfig config_;

@@ -1,5 +1,6 @@
 #include "speculative/vlsa.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -68,6 +69,58 @@ VlsaEvaluation VlsaModel::evaluate(const ApInt& a, const ApInt& b) const {
 
   ev.err = !runs.is_zero();
   return ev;
+}
+
+void VlsaModel::evaluate_batch(const arith::BitSlicedBatch& batch,
+                               VlsaBatchEvaluation& out) const {
+  if (batch.width() != config_.width) {
+    throw std::invalid_argument("VlsaModel: batch width mismatch");
+  }
+  const int n = config_.width;
+  const int l = config_.chain;
+  const std::uint64_t* a = batch.a();
+  const std::uint64_t* b = batch.b();
+
+  out.g.resize(static_cast<std::size_t>(n));
+  out.p.resize(static_cast<std::size_t>(n));
+  out.carry.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.g[static_cast<std::size_t>(i)] = a[i] & b[i];
+    out.p[static_cast<std::size_t>(i)] = a[i] ^ b[i];
+  }
+  // Exact per-bit carries via the word-level Kogge-Stone prefix; carry[j] is
+  // the carry *out* of bit j, so the carry *into* bit j is carry[j - 1].
+  arith::kogge_stone_carries(out.g.data(), out.p.data(), n, out.carry.data(), out.pp);
+
+  // Sliding all-propagate mask over the planes, same doubling scheme as the
+  // scalar propagate_runs(): runs[j] = all of p[j-l+1 .. j], zero when the
+  // window would overhang bit 0.
+  out.runs = out.p;
+  int covered = 1;
+  while (covered < l) {
+    const int step = std::min(covered, l - covered);
+    for (int j = n - 1; j >= step; --j) {
+      out.runs[static_cast<std::size_t>(j)] &= out.runs[static_cast<std::size_t>(j - step)];
+    }
+    for (int j = 0; j < step; ++j) out.runs[static_cast<std::size_t>(j)] = 0;
+    covered += step;
+  }
+
+  // The speculative carry out of bit j differs from the exact one iff the
+  // window ending at j is all-propagate and the true carry entering it is 1
+  // (carry into bit j-l+1).  Any such difference flips a sum bit (j <= n-2)
+  // or the reported carry-out (j = n-1), so spec_wrong is their OR.
+  std::uint64_t spec_wrong = 0, err = 0;
+  for (int j = l - 1; j < n; ++j) {
+    const std::uint64_t run = out.runs[static_cast<std::size_t>(j)];
+    const int into = j - l + 1;  // window's lowest bit
+    const std::uint64_t carry_in =
+        into == 0 ? 0 : out.carry[static_cast<std::size_t>(into - 1)];
+    spec_wrong |= run & carry_in;
+    err |= run;
+  }
+  out.spec_wrong = spec_wrong;
+  out.err = err;
 }
 
 // ---- netlist generator ------------------------------------------------------

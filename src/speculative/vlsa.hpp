@@ -15,8 +15,12 @@
 //  * speculation errs on any carry chain longer than l, so error rates match
 //    the published design points (Table 7.3).
 
+#include <cstdint>
+#include <vector>
+
 #include "adders/prefix.hpp"
 #include "arith/apint.hpp"
+#include "arith/bitslice.hpp"
 #include "netlist/netlist.hpp"
 
 namespace vlcsa::spec {
@@ -41,12 +45,26 @@ struct VlsaEvaluation {
   [[nodiscard]] bool stall() const { return err; }
 };
 
+/// Word-parallel VLSA evaluation of 64 samples (lane masks, bit j =
+/// sample j).  Like ScsaBatchEvaluation, only the predicates the Monte
+/// Carlo counters consume are materialized; evaluate() stays the oracle.
+struct VlsaBatchEvaluation {
+  std::uint64_t spec_wrong = 0;  // speculative result (incl. cout) != exact
+  std::uint64_t err = 0;         // detection: some l-long propagate run
+
+  // Reused scratch planes (see ScsaBatchEvaluation).
+  std::vector<std::uint64_t> g, p, carry, runs, pp;
+};
+
 class VlsaModel {
  public:
   explicit VlsaModel(VlsaConfig config);
 
   [[nodiscard]] const VlsaConfig& config() const { return config_; }
   [[nodiscard]] VlsaEvaluation evaluate(const ApInt& a, const ApInt& b) const;
+
+  /// Bit-sliced evaluation of 64 samples (thread-safe; scratch in `out`).
+  void evaluate_batch(const arith::BitSlicedBatch& batch, VlsaBatchEvaluation& out) const;
 
  private:
   VlsaConfig config_;

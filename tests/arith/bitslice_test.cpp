@@ -1,0 +1,182 @@
+// Tests for the bit-sliced batch layer: the 64x64 bit-matrix transpose, the
+// ApInt <-> bit-plane conversions, the word-level Kogge-Stone prefix, and
+// the OperandSource::fill_batch stream contract (fill_batch must consume
+// the RNG exactly like 64 next() calls and produce the same samples — the
+// foundation of the batched pipeline's bit-identical-counters guarantee).
+
+#include "arith/bitslice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "arith/apint.hpp"
+#include "arith/distributions.hpp"
+
+namespace vlcsa::arith {
+namespace {
+
+TEST(Transpose64x64Test, SingleBitLandsTransposed) {
+  for (const auto& [r, c] : {std::pair{0, 0}, {0, 63}, {63, 0}, {3, 5}, {31, 32}, {40, 17}}) {
+    std::uint64_t block[64] = {};
+    block[r] = std::uint64_t{1} << c;
+    transpose_64x64(block);
+    for (int row = 0; row < 64; ++row) {
+      EXPECT_EQ(block[row], row == c ? std::uint64_t{1} << r : 0)
+          << "bit (" << r << "," << c << "), row " << row;
+    }
+  }
+}
+
+TEST(Transpose64x64Test, DoubleTransposeIsIdentity) {
+  std::mt19937_64 rng(1);
+  std::uint64_t block[64], orig[64];
+  for (int i = 0; i < 64; ++i) orig[i] = block[i] = rng();
+  transpose_64x64(block);
+  transpose_64x64(block);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], orig[i]);
+}
+
+TEST(Transpose64x64Test, MatchesNaiveBitGather) {
+  std::mt19937_64 rng(2);
+  std::uint64_t block[64];
+  for (auto& row : block) row = rng();
+  std::uint64_t expected[64] = {};
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      expected[c] |= ((block[r] >> c) & 1) << r;
+    }
+  }
+  transpose_64x64(block);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], expected[i]);
+}
+
+class TransposeToPlanesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransposeToPlanesTest, PlanesMatchSampleBits) {
+  const int width = GetParam();
+  std::mt19937_64 rng(3);
+  std::vector<ApInt> samples;
+  for (int j = 0; j < 64; ++j) samples.push_back(ApInt::random(width, rng));
+  std::vector<std::uint64_t> planes(static_cast<std::size_t>(width));
+  transpose_to_planes(samples.data(), 64, width, planes.data());
+  for (int bit = 0; bit < width; ++bit) {
+    for (int j = 0; j < 64; ++j) {
+      ASSERT_EQ((planes[static_cast<std::size_t>(bit)] >> j) & 1,
+                static_cast<std::uint64_t>(samples[static_cast<std::size_t>(j)].bit(bit)))
+          << "bit " << bit << " lane " << j;
+    }
+  }
+}
+
+TEST_P(TransposeToPlanesTest, ShortCountZeroPadsHighLanes) {
+  const int width = GetParam();
+  std::mt19937_64 rng(4);
+  std::vector<ApInt> samples;
+  for (int j = 0; j < 10; ++j) samples.push_back(ApInt::random(width, rng));
+  std::vector<std::uint64_t> planes(static_cast<std::size_t>(width), ~std::uint64_t{0});
+  transpose_to_planes(samples.data(), 10, width, planes.data());
+  for (int bit = 0; bit < width; ++bit) {
+    EXPECT_EQ(planes[static_cast<std::size_t>(bit)] >> 10, 0u) << "bit " << bit;
+  }
+  EXPECT_EQ(plane_lane(planes.data(), width, 3), samples[3]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, TransposeToPlanesTest,
+                         ::testing::Values(1, 13, 63, 64, 65, 128, 130));
+
+TEST(BitSlicedBatchTest, LoadLaneRoundtrip) {
+  const int width = 100;
+  std::mt19937_64 rng(5);
+  std::vector<ApInt> a, b;
+  for (int j = 0; j < 64; ++j) {
+    a.push_back(ApInt::random(width, rng));
+    b.push_back(ApInt::random(width, rng));
+  }
+  BitSlicedBatch batch(width);
+  batch.load(a, b);
+  for (int j = 0; j < 64; ++j) {
+    const auto [la, lb] = batch.lane(j);
+    ASSERT_EQ(la, a[static_cast<std::size_t>(j)]) << "lane " << j;
+    ASSERT_EQ(lb, b[static_cast<std::size_t>(j)]) << "lane " << j;
+  }
+}
+
+TEST(BitSlicedBatchTest, LoadRejectsMismatchedCounts) {
+  BitSlicedBatch batch(8);
+  std::vector<ApInt> a(3, ApInt(8)), b(2, ApInt(8));
+  EXPECT_THROW(batch.load(a, b), std::invalid_argument);
+}
+
+class KoggeStoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KoggeStoneTest, LaneCarriesMatchApIntAdd) {
+  const int width = GetParam();
+  std::mt19937_64 rng(6);
+  std::vector<ApInt> a, b;
+  for (int j = 0; j < 64; ++j) {
+    a.push_back(ApInt::random(width, rng));
+    b.push_back(ApInt::random(width, rng));
+  }
+  BitSlicedBatch batch(width);
+  batch.load(a, b);
+  std::vector<std::uint64_t> g(static_cast<std::size_t>(width)),
+      p(static_cast<std::size_t>(width)), carry(static_cast<std::size_t>(width)), scratch;
+  for (int i = 0; i < width; ++i) {
+    g[static_cast<std::size_t>(i)] = batch.a()[i] & batch.b()[i];
+    p[static_cast<std::size_t>(i)] = batch.a()[i] ^ batch.b()[i];
+  }
+  kogge_stone_carries(g.data(), p.data(), width, carry.data(), scratch);
+  for (int j = 0; j < 64; ++j) {
+    const auto exact = ApInt::add(a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(j)]);
+    const ApInt& aj = a[static_cast<std::size_t>(j)];
+    const ApInt& bj = b[static_cast<std::size_t>(j)];
+    for (int i = 0; i < width; ++i) {
+      // Carry out of bit i == carry into bit i+1 == p(i+1) ^ sum(i+1); the
+      // top bit's carry-out is the reported carry_out.
+      const bool expected =
+          i == width - 1 ? exact.carry_out
+                         : (aj.bit(i + 1) ^ bj.bit(i + 1) ^ exact.sum.bit(i + 1));
+      ASSERT_EQ((carry[static_cast<std::size_t>(i)] >> j) & 1,
+                static_cast<std::uint64_t>(expected))
+          << "width " << width << " lane " << j << " bit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, KoggeStoneTest, ::testing::Values(1, 2, 7, 64, 65, 130));
+
+// fill_batch contract: same samples, same RNG consumption as 64 x next().
+class FillBatchTest
+    : public ::testing::TestWithParam<std::tuple<InputDistribution, int>> {};
+
+TEST_P(FillBatchTest, MatchesScalarStreamAndRngState) {
+  const auto [dist, width] = GetParam();
+  const auto proto = make_source(dist, width);
+
+  std::mt19937_64 rng_batch(99), rng_scalar(99);
+  BitSlicedBatch batch(width);
+  const auto batch_source = proto->clone();
+  batch_source->fill_batch(rng_batch, batch);
+
+  const auto scalar_source = proto->clone();
+  for (int j = 0; j < kBatchLanes; ++j) {
+    const auto [a, b] = scalar_source->next(rng_scalar);
+    const auto [la, lb] = batch.lane(j);
+    ASSERT_EQ(la, a) << proto->name() << " width " << width << " lane " << j;
+    ASSERT_EQ(lb, b) << proto->name() << " width " << width << " lane " << j;
+  }
+  // Identical consumption: the next raw draw must agree.
+  EXPECT_EQ(rng_batch(), rng_scalar()) << proto->name() << " width " << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsByWidth, FillBatchTest,
+    ::testing::Combine(::testing::Values(InputDistribution::kUniformUnsigned,
+                                         InputDistribution::kUniformTwos,
+                                         InputDistribution::kGaussianUnsigned,
+                                         InputDistribution::kGaussianTwos),
+                       ::testing::Values(12, 32, 64, 128)));
+
+}  // namespace
+}  // namespace vlcsa::arith

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "arith/apint.hpp"
+#include "arith/bitslice.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/simulator.hpp"
 
@@ -17,17 +18,16 @@ namespace vlcsa::testutil {
 
 using arith::ApInt;
 
-/// Loads 64 operand pairs into the "a[i]"/"b[i]" input ports of `sim`.
+/// Loads 64 operand pairs into the "a[i]"/"b[i]" input ports of `sim`,
+/// via the same 64x64 bit-matrix transpose the batch pipeline uses
+/// (arith/bitslice.hpp): simulator input words ARE bit-planes.
 inline void load_operands(netlist::Simulator& sim, const std::vector<ApInt>& a,
                           const std::vector<ApInt>& b, int width) {
+  arith::BitSlicedBatch batch(width);
+  batch.load(a, b);
   for (int bit = 0; bit < width; ++bit) {
-    std::uint64_t wa = 0, wb = 0;
-    for (std::size_t v = 0; v < a.size(); ++v) {
-      wa |= static_cast<std::uint64_t>(a[v].bit(bit)) << v;
-      wb |= static_cast<std::uint64_t>(b[v].bit(bit)) << v;
-    }
-    sim.set_input("a[" + std::to_string(bit) + "]", wa);
-    sim.set_input("b[" + std::to_string(bit) + "]", wb);
+    sim.set_input("a[" + std::to_string(bit) + "]", batch.a()[bit]);
+    sim.set_input("b[" + std::to_string(bit) + "]", batch.b()[bit]);
   }
 }
 

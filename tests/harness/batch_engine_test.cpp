@@ -1,0 +1,80 @@
+// End-to-end guarantees of the batched Monte Carlo pipeline:
+//  * every registered error-rate experiment produces bit-identical
+//    ErrorRateResult counters under EvalPath::kBatched vs kScalar;
+//  * the scalar tail path (shard sizes not divisible by 64, incl. < 64)
+//    preserves that equality;
+//  * the thread-count-invariance contract of engine.hpp holds on the
+//    batched path too.
+
+#include <gtest/gtest.h>
+
+#include "arith/distributions.hpp"
+#include "harness/engine.hpp"
+#include "harness/experiments.hpp"
+#include "harness/montecarlo.hpp"
+
+namespace vlcsa::harness {
+namespace {
+
+TEST(BatchEngineTest, EveryRegistryExperimentBitIdenticalBatchVsScalar) {
+  // 1031 samples: prime, so the last shard carries a scalar tail of
+  // 1031 % 64 = 7 samples on top of 16 full batches.
+  constexpr std::uint64_t kSamples = 1031;
+  for (const auto& experiment : error_rate_experiments()) {
+    const auto batched = run_experiment(experiment, kSamples, 3, 1, EvalPath::kBatched);
+    const auto scalar = run_experiment(experiment, kSamples, 3, 1, EvalPath::kScalar);
+    EXPECT_EQ(batched, scalar) << experiment.name;
+    EXPECT_EQ(batched.samples, kSamples) << experiment.name;
+  }
+}
+
+TEST(BatchEngineTest, TailOnlyShardSizesStayBitIdentical) {
+  const auto source = arith::make_source(arith::InputDistribution::kGaussianTwos, 64);
+  const spec::VlcsaConfig config{64, 9, spec::ScsaVariant::kScsa2};
+  // Shard sizes straddling the 64-lane boundary: 1 and 63 are pure scalar
+  // tail, 65 and 127 are one batch + tail, 128 is batch-only.
+  for (const std::uint64_t shard_size : {1ull, 63ull, 65ull, 127ull, 128ull}) {
+    const RunOptions options{300, 11, 2, shard_size};
+    const auto batched = run_vlcsa(config, *source, options, EvalPath::kBatched);
+    const auto scalar = run_vlcsa(config, *source, options, EvalPath::kScalar);
+    EXPECT_EQ(batched, scalar) << "shard size " << shard_size;
+    EXPECT_EQ(batched.samples, 300u) << "shard size " << shard_size;
+  }
+}
+
+TEST(BatchEngineTest, BatchedPathIsThreadCountInvariant) {
+  const auto* experiment = find_error_rate_experiment("table7.1/n64");
+  ASSERT_NE(experiment, nullptr);
+  const auto one = run_experiment(*experiment, 5000, 17, 1, EvalPath::kBatched);
+  const auto four = run_experiment(*experiment, 5000, 17, 4, EvalPath::kBatched);
+  const auto all = run_experiment(*experiment, 5000, 17, 0, EvalPath::kBatched);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, all);
+}
+
+TEST(BatchEngineTest, VlsaBatchedMatchesScalarAcrossShardSizes) {
+  const auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, 64);
+  const spec::VlsaConfig config{64, 9};
+  for (const std::uint64_t shard_size : {1ull, 63ull, 65ull, 127ull}) {
+    const RunOptions options{257, 5, 1, shard_size};
+    const auto batched = run_vlsa(config, *source, options, EvalPath::kBatched);
+    const auto scalar = run_vlsa(config, *source, options, EvalPath::kScalar);
+    EXPECT_EQ(batched, scalar) << "shard size " << shard_size;
+  }
+}
+
+TEST(BatchEngineTest, InvariantsHoldOnBatchedPath) {
+  // Detection over-approximates and recovery is exact, on the batched path
+  // exactly as on the scalar one.
+  for (const auto* name : {"table7.1/n64", "table7.2/n64", "vlsa/n64"}) {
+    const auto* experiment = find_error_rate_experiment(name);
+    ASSERT_NE(experiment, nullptr) << name;
+    const auto result = run_experiment(*experiment, 20000, 1, 0, EvalPath::kBatched);
+    EXPECT_EQ(result.false_negatives, 0u) << name;
+    EXPECT_EQ(result.emitted_wrong, 0u) << name;
+    EXPECT_GE(result.nominal_errors, result.actual_errors) << name;
+  }
+}
+
+}  // namespace
+}  // namespace vlcsa::harness
