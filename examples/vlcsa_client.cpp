@@ -1,0 +1,158 @@
+// vlcsa_client — command-line client for the experiment service daemon
+// (vlcsa_serve): builds one protocol request from flags, sends it over the
+// Unix domain socket, prints the response line to stdout, and exits 0 iff
+// the response says "status": "ok".  Protocol reference in DESIGN.md.
+//
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=run
+//         --experiment=table7.1/n64 --samples=200000 --seed=7
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=list
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=cache-stats
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=shutdown
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock
+//         --send='{"request": "describe", "experiment": "eq5.2/n64-uniform"}'
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/json.hpp"
+#include "harness/montecarlo.hpp"
+#include "harness/report.hpp"
+#include "service/server.hpp"
+
+using namespace vlcsa;
+
+namespace {
+
+void print_usage() {
+  std::cout
+      << "usage: vlcsa_client --socket=PATH\n"
+         "                    (--request=run|list|describe|cache-stats|shutdown\n"
+         "                     [--experiment=NAME] [--samples=N] [--seed=S]\n"
+         "                     [--eval-path=batched|scalar] [--prefix=P]\n"
+         "                     | --send=JSONLINE)\n"
+         "                    [--connect-timeout-ms=N]\n"
+         "  --socket    Unix domain socket vlcsa_serve listens on\n"
+         "  --request   protocol request to build from the flags below\n"
+         "  --experiment, --samples, --seed, --eval-path   run/describe fields\n"
+         "  --prefix    list filter (experiment-name prefix)\n"
+         "  --send      send this raw request line instead of building one\n"
+         "  --connect-timeout-ms   keep retrying the connect this long\n"
+         "                         (default 0 = single attempt)\n"
+         "exit status: 0 response ok, 1 response/transport error, 2 usage error\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string request;
+  std::string experiment;
+  std::string eval_path;
+  std::string prefix;
+  std::string raw_line;
+  std::uint64_t samples = 0;
+  bool samples_given = false;
+  std::uint64_t seed = 1;
+  bool seed_given = false;
+  int connect_timeout_ms = 0;
+
+  const auto store_string = [](std::string& field) {
+    return [&field](const std::string& value) {
+      if (value.empty()) return false;
+      field = value;
+      return true;
+    };
+  };
+  const std::vector<harness::ValueFlag> flags = {
+      {"--socket", store_string(socket_path)},
+      {"--request", store_string(request)},
+      {"--experiment", store_string(experiment)},
+      {"--eval-path",
+       [&](const std::string& value) {
+         harness::EvalPath parsed;  // validate now, forward the text verbatim
+         if (!harness::parse_eval_path(value, parsed)) return false;
+         eval_path = value;
+         return true;
+       }},
+      {"--prefix", store_string(prefix)},
+      {"--send", store_string(raw_line)},
+      {"--samples",
+       [&](const std::string& value) {
+         samples_given = true;
+         return harness::parse_u64(value, samples);
+       }},
+      {"--seed",
+       [&](const std::string& value) {
+         seed_given = true;
+         return harness::parse_u64(value, seed);
+       }},
+      {"--connect-timeout-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, connect_timeout_ms);
+       }},
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+  }
+  if (const std::string error = harness::parse_value_flags(
+          argc, const_cast<const char* const*>(argv), flags);
+      !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    print_usage();
+    return 2;
+  }
+  if (socket_path.empty()) {
+    std::cerr << "error: --socket=PATH is required\n";
+    return 2;
+  }
+  if (request.empty() == raw_line.empty()) {
+    std::cerr << "error: exactly one of --request or --send is required\n";
+    return 2;
+  }
+
+  std::string line = raw_line;
+  if (!request.empty()) {
+    // Only fields the user supplied go into the request — the service is
+    // strict and rejects fields a request type does not take.
+    harness::JsonObject object;
+    object.add("request", request);
+    if (!experiment.empty()) object.add("experiment", experiment);
+    if (samples_given) object.add("samples", samples);
+    if (seed_given) object.add("seed", seed);
+    if (!eval_path.empty()) object.add("eval_path", eval_path);
+    if (!prefix.empty()) object.add("prefix", prefix);
+    line = object.render_line();
+  }
+
+  service::UnixClient client;
+  if (const std::string error = client.connect_or_error(socket_path, connect_timeout_ms);
+      !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::string response;
+  if (const std::string error = client.roundtrip(line, response); !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << response << "\n";
+
+  const harness::JsonParse parsed = harness::parse_json(response);
+  if (!parsed.ok()) {
+    std::cerr << "error: malformed response: " << parsed.error << "\n";
+    return 1;
+  }
+  const harness::JsonValue* status = parsed.value.find("status");
+  return status != nullptr && status->kind() == harness::JsonValue::Kind::kString &&
+                 status->as_string() == "ok"
+             ? 0
+             : 1;
+}

@@ -1,0 +1,143 @@
+// vlcsa_serve — the experiment service daemon (src/service): a long-running
+// front end over the experiment registry with a two-tier result cache, so
+// repeated table/figure reproductions and wide adder-comparison sweeps stop
+// paying cold-start and re-sampling costs.  Speaks newline-delimited JSON
+// over a Unix domain socket (or stdin/stdout with --stdio); protocol
+// reference in DESIGN.md.
+//
+//   $ ./build/examples/vlcsa_serve --socket=/tmp/vlcsa.sock --cache-dir=.vlcsa-cache &
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=run
+//         --experiment=table7.1/n64 --samples=200000
+//   $ echo '{"request": "run", "experiment": "table7.1/n64"}'
+//         | ./build/examples/vlcsa_serve --stdio --cache-dir=.vlcsa-cache
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+using namespace vlcsa;
+
+namespace {
+
+void print_usage() {
+  std::cout << "usage: vlcsa_serve [--socket=PATH | --stdio] [--cache-dir=DIR]\n"
+               "                   [--memory-entries=N] [--threads=T] [--workers=N]\n"
+               "  --socket          Unix domain socket path to listen on\n"
+               "  --stdio           serve stdin/stdout instead of a socket (one-shot\n"
+               "                    pipelines and tests)\n"
+               "  --cache-dir       on-disk result cache directory (created if absent;\n"
+               "                    default: no disk tier)\n"
+               "  --memory-entries  in-memory LRU capacity (default 64; 0 disables)\n"
+               "  --threads         engine threads per experiment run, 0 = all\n"
+               "                    hardware threads (default 0)\n"
+               "  --workers         warm connection-worker pool size (default 2)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  bool stdio = false;
+  bool show_help = false;
+  service::ServiceConfig config;
+  int memory_entries = 64;
+  int workers = 2;
+  bool workers_given = false;
+
+  const std::vector<harness::ValueFlag> flags = {
+      {"--socket",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         socket_path = value;
+         return true;
+       }},
+      {"--cache-dir",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         config.cache_dir = value;
+         return true;
+       }},
+      {"--memory-entries",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, memory_entries);
+       }},
+      {"--threads",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, config.threads);
+       }},
+      {"--workers",
+       [&](const std::string& value) {
+         workers_given = true;
+         return harness::parse_nonnegative_int(value, workers) && workers > 0;
+       }},
+  };
+
+  // --stdio and --help take no value, so they sit outside the ValueFlag set.
+  std::vector<const char*> value_args;
+  value_args.push_back(argc > 0 ? argv[0] : "vlcsa_serve");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--help" || arg == "-h") {
+      show_help = true;
+    } else {
+      value_args.push_back(argv[i]);
+    }
+  }
+  if (show_help) {
+    print_usage();
+    return 0;
+  }
+  if (const std::string error = harness::parse_value_flags(
+          static_cast<int>(value_args.size()), value_args.data(), flags);
+      !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    print_usage();
+    return 2;
+  }
+  if (!stdio && socket_path.empty()) {
+    std::cerr << "error: exactly one of --socket=PATH or --stdio is required\n";
+    print_usage();
+    return 2;
+  }
+  if (stdio && !socket_path.empty()) {
+    std::cerr << "error: --socket and --stdio are mutually exclusive\n";
+    print_usage();
+    return 2;
+  }
+  if (stdio && workers_given) {
+    // Stdio serving is one conversation on one stream; a silently dead
+    // --workers would suggest parallelism that isn't there.
+    std::cerr << "error: --workers only applies to socket mode\n";
+    print_usage();
+    return 2;
+  }
+  config.memory_entries = static_cast<std::size_t>(memory_entries);
+
+  service::ExperimentService service(config);
+  if (stdio) {
+    service::serve_stdio(std::cin, std::cout, service);
+    return 0;
+  }
+
+  service::SocketServer server(socket_path, service, workers);
+  if (const std::string error = server.listen_or_error(); !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "vlcsa_serve: listening on " << socket_path
+            << (config.cache_dir.empty() ? " (memory cache only)"
+                                         : ", cache dir " + config.cache_dir)
+            << "\n";
+  if (const std::string error = server.serve(); !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -26,26 +26,12 @@ bool parse_nonnegative_int(const std::string& text, int& out) {
   return true;
 }
 
-namespace {
-
-/// Which front-end mode a value flag belongs to — flags given in the wrong
-/// mode are rejected, not silently ignored (e.g. `--design=... --json=f`
-/// would otherwise run the netlist path and never write f).
-enum class FlagMode { kEither, kBuild, kExperiment };
-
-struct ValueFlag {
-  const char* name;
-  FlagMode mode;
-  std::function<bool(const std::string&)> apply;  // validates and stores
-};
-
-/// Matches "--name=value" / bare "--name" against one flag spec.  Returns
-/// true when `arg` addressed this flag (possibly setting `error`).
-bool match_value_flag(const std::string& arg, const ValueFlag& flag, std::string& error) {
-  const std::string name(flag.name);
+bool match_value_flag(const std::string& arg, const std::string& name,
+                      const std::function<bool(const std::string&)>& apply,
+                      std::string& error) {
   if (arg.rfind(name + "=", 0) == 0) {
     const std::string value = arg.substr(name.size() + 1);
-    if (!flag.apply(value) && error.empty()) {
+    if (!apply(value) && error.empty()) {
       error = "invalid value for " + name + ": '" + value + "'";
     }
     return true;
@@ -56,6 +42,39 @@ bool match_value_flag(const std::string& arg, const ValueFlag& flag, std::string
   }
   return false;
 }
+
+std::string parse_value_flags(int argc, const char* const* argv,
+                              const std::vector<ValueFlag>& flags,
+                              std::string_view tolerate_prefix) {
+  std::string error;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!tolerate_prefix.empty() && arg.rfind(tolerate_prefix, 0) == 0) continue;
+    bool handled = false;
+    for (const ValueFlag& flag : flags) {
+      if (match_value_flag(arg, flag.name, flag.apply, error)) {
+        if (!error.empty()) return error;
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) return "unknown argument: " + arg;
+  }
+  return {};
+}
+
+namespace {
+
+/// Which front-end mode a value flag belongs to — flags given in the wrong
+/// mode are rejected, not silently ignored (e.g. `--design=... --json=f`
+/// would otherwise run the netlist path and never write f).
+enum class FlagMode { kEither, kBuild, kExperiment };
+
+struct ModeFlag {
+  const char* name;
+  FlagMode mode;
+  std::function<bool(const std::string&)> apply;  // validates and stores
+};
 
 }  // namespace
 
@@ -77,7 +96,7 @@ ExplorerParse parse_explorer_args(int argc, const char* const* argv) {
     return [&field](const std::string& value) { return parse_u64(value, field); };
   };
 
-  const std::vector<ValueFlag> flags = {
+  const std::vector<ModeFlag> flags = {
       {"--experiment", FlagMode::kEither, store_string(opt.experiment)},
       {"--design", FlagMode::kBuild, store_string(opt.design)},
       {"--width", FlagMode::kBuild, store_int(opt.width)},
@@ -90,19 +109,23 @@ ExplorerParse parse_explorer_args(int argc, const char* const* argv) {
       {"--json", FlagMode::kExperiment, store_string(opt.json_path)},
       {"--batch", FlagMode::kExperiment,
        [&opt](const std::string& value) {
+         // "on"/"off" toggles; the canonical EvalPath names ("batched",
+         // "scalar" — the service protocol's eval_path spelling) also work.
+         EvalPath path = opt.path;
          if (value == "on") {
-           opt.path = EvalPath::kBatched;
+           path = EvalPath::kBatched;
          } else if (value == "off") {
-           opt.path = EvalPath::kScalar;
-         } else {
+           path = EvalPath::kScalar;
+         } else if (!parse_eval_path(value, path)) {
            return false;
          }
+         opt.path = path;
          opt.path_explicit = true;
          return true;
        }},
   };
 
-  std::vector<const ValueFlag*> seen;
+  std::vector<const ModeFlag*> seen;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -118,8 +141,8 @@ ExplorerParse parse_explorer_args(int argc, const char* const* argv) {
       continue;
     }
     bool handled = false;
-    for (const ValueFlag& flag : flags) {
-      if (match_value_flag(arg, flag, parse.error)) {
+    for (const ModeFlag& flag : flags) {
+      if (match_value_flag(arg, flag.name, flag.apply, parse.error)) {
         if (!parse.error.empty()) return parse;
         seen.push_back(&flag);
         handled = true;
@@ -137,7 +160,7 @@ ExplorerParse parse_explorer_args(int argc, const char* const* argv) {
 
   // Mode consistency: a flag for the mode that is not running is a mistake.
   const bool experiment_mode = !opt.experiment.empty();
-  for (const ValueFlag* flag : seen) {
+  for (const ModeFlag* flag : seen) {
     if (flag->mode == FlagMode::kBuild && experiment_mode) {
       parse.error = std::string(flag->name) +
                     " only applies when building a design; it has no effect with --experiment";

@@ -7,11 +7,40 @@
 // which experiment ran).
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "harness/montecarlo.hpp"
 
 namespace vlcsa::harness {
+
+/// One strict "--name=value" flag: `apply` validates and stores the value,
+/// returning false to reject it.  This is the single flag-matching
+/// implementation in the repo — the explorer parser, BenchArgs (report.hpp)
+/// and the service binaries all build on it, so every front end reports
+/// malformed input the same way.
+struct ValueFlag {
+  const char* name;
+  std::function<bool(const std::string&)> apply;
+};
+
+/// Matches `arg` against "--name=value" / bare "--name".  Returns true when
+/// `arg` addressed this flag (possibly setting `error`: bad value, or a bare
+/// flag missing its "=value" part).
+[[nodiscard]] bool match_value_flag(const std::string& arg, const std::string& name,
+                                    const std::function<bool(const std::string&)>& apply,
+                                    std::string& error);
+
+/// Parses argv[1..] strictly against `flags`: every argument must address
+/// exactly one flag (unknown arguments are errors), except arguments
+/// starting with `tolerate_prefix` when non-empty (e.g. "--benchmark" so
+/// google-benchmark flags don't kill table benches).  Returns "" on success,
+/// else the error message naming the offending argument.
+[[nodiscard]] std::string parse_value_flags(int argc, const char* const* argv,
+                                            const std::vector<ValueFlag>& flags,
+                                            std::string_view tolerate_prefix = {});
 
 /// Everything the adder_explorer front end can be asked to do.
 struct ExplorerOptions {

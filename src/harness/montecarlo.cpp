@@ -22,6 +22,16 @@ const char* to_string(EvalPath path) {
   return "?";
 }
 
+bool parse_eval_path(std::string_view text, EvalPath& out) {
+  for (const EvalPath path : {EvalPath::kBatched, EvalPath::kScalar}) {
+    if (text == to_string(path)) {
+      out = path;
+      return true;
+    }
+  }
+  return false;
+}
+
 void accumulate_vlcsa(const spec::VlcsaStep& step, spec::ScsaVariant variant,
                       ErrorRateResult& out) {
   const auto& ev = step.eval;

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 
 #include "arith/distributions.hpp"
 #include "harness/engine.hpp"
@@ -38,6 +39,11 @@ enum class EvalPath {
 };
 
 [[nodiscard]] const char* to_string(EvalPath path);
+
+/// Inverse of to_string(EvalPath) ("batched"/"scalar" — the spelling the
+/// service protocol and cache keys use).  Returns false on unknown text
+/// without touching `out`.
+[[nodiscard]] bool parse_eval_path(std::string_view text, EvalPath& out);
 
 struct ErrorRateResult {
   std::uint64_t samples = 0;

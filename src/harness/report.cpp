@@ -6,6 +6,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "harness/cli.hpp"
+
 namespace vlcsa::harness {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
@@ -95,6 +97,10 @@ void JsonObject::add(const std::string& key, bool value) {
   add_raw(key, value ? "true" : "false");
 }
 
+void JsonObject::add_json(const std::string& key, std::string rendered_json) {
+  add_raw(key, std::move(rendered_json));
+}
+
 void JsonObject::write(std::ostream& os) const {
   os << "{\n";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
@@ -102,6 +108,16 @@ void JsonObject::write(std::ostream& os) const {
     os << (i + 1 < fields_.size() ? ",\n" : "\n");
   }
   os << "}\n";
+}
+
+std::string JsonObject::render_line() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(fields_[i].first) + "\": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
 }
 
 std::string fmt_pct(double fraction, int decimals) {
@@ -133,25 +149,18 @@ std::string fmt_sci(double value) {
 BenchArgs BenchArgs::parse(int argc, char** argv, std::uint64_t default_samples) {
   BenchArgs args;
   args.samples = default_samples;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto parse_value = [&](const std::string& prefix) -> std::uint64_t {
-      return std::stoull(arg.substr(prefix.size()));
-    };
-    if (arg.rfind("--samples=", 0) == 0) {
-      args.samples = parse_value("--samples=");
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      args.seed = parse_value("--seed=");
-    } else if (arg.rfind("--threads=", 0) == 0) {
-      args.threads = static_cast<int>(parse_value("--threads="));
-    } else if (arg.rfind("--benchmark", 0) == 0) {
-      // Tolerated so google-benchmark style flags don't kill table benches
-      // when the whole bench directory is run with common flags.
-      continue;
-    } else {
-      throw std::invalid_argument("unknown argument: " + arg +
-                                  " (expected --samples=N, --seed=S or --threads=T)");
-    }
+  const std::vector<ValueFlag> flags = {
+      {"--samples", [&args](const std::string& v) { return parse_u64(v, args.samples); }},
+      {"--seed", [&args](const std::string& v) { return parse_u64(v, args.seed); }},
+      {"--threads",
+       [&args](const std::string& v) { return parse_nonnegative_int(v, args.threads); }},
+  };
+  // "--benchmark*" is tolerated so google-benchmark style flags don't kill
+  // table benches when the whole bench directory is run with common flags.
+  const std::string error =
+      parse_value_flags(argc, const_cast<const char* const*>(argv), flags, "--benchmark");
+  if (!error.empty()) {
+    throw std::invalid_argument(error + " (expected --samples=N, --seed=S or --threads=T)");
   }
   return args;
 }

@@ -25,10 +25,14 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Minimal ordered JSON object writer, enough for the machine-readable
-/// result records the explorer's --json flag emits (BENCH_*.json).  Fields
-/// are written in insertion order; no nesting (flat records diff cleanly
-/// across perf-trajectory runs).
+/// Minimal ordered JSON object writer: the machine-readable result records
+/// the explorer's --json flag emits (BENCH_*.json) and the service protocol's
+/// request/response/cache-record lines (src/service).  Fields are written in
+/// insertion order; records stay flat so they diff cleanly across
+/// perf-trajectory runs, while add_json embeds one pre-rendered sub-value
+/// where the protocol nests a record inside a response.  Rendering is a pure
+/// function of the added fields — byte-identical output for identical fields
+/// is what makes cached records comparable against fresh recomputation.
 class JsonObject {
  public:
   void add(const std::string& key, const std::string& value);
@@ -38,8 +42,16 @@ class JsonObject {
   void add(const std::string& key, int value);
   void add(const std::string& key, bool value);
 
+  /// Embeds `rendered_json` verbatim as the value (caller guarantees it is
+  /// one valid JSON value, e.g. another JsonObject's render_line()).
+  void add_json(const std::string& key, std::string rendered_json);
+
   /// Writes "{...}\n", one field per line.
   void write(std::ostream& os) const;
+
+  /// Renders the object on a single line: {"a": 1, "b": "x"} — the
+  /// newline-delimited service protocol's framing unit.
+  [[nodiscard]] std::string render_line() const;
 
  private:
   void add_raw(const std::string& key, std::string rendered);
@@ -64,12 +76,16 @@ class JsonObject {
 
 /// Common bench CLI: --samples=N --seed=S --threads=T (order-free; unknown
 /// args fatal).  threads = 0 means "all hardware threads" (engine.hpp).
+/// Built on the strict cli.hpp flag parser, so malformed values
+/// ("--samples=12x") are rejected exactly like every other front end.
 struct BenchArgs {
   std::uint64_t samples = 0;
   std::uint64_t seed = 1;
   int threads = 0;
 
   /// Parses argv; `default_samples` applies when --samples is absent.
+  /// Throws std::invalid_argument on unknown arguments or malformed values
+  /// (google-benchmark's --benchmark* flags are tolerated).
   static BenchArgs parse(int argc, char** argv, std::uint64_t default_samples);
 };
 

@@ -1,0 +1,173 @@
+#include "service/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#include "harness/json.hpp"
+
+namespace vlcsa::service {
+
+namespace {
+
+/// FNV-1a over the canonical key encoding: stable across runs (unlike
+/// std::hash), so file names are reproducible for the CI smoke step.
+std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+/// Keeps [A-Za-z0-9.-] of an experiment name, maps everything else to '_',
+/// so "table7.1/n64" files as "table7.1_n64-..." — readable in `ls`.
+std::string sanitize(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out += keep ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cache_map_key(const CacheKey& key) {
+  return key.experiment + "|" + std::to_string(key.samples) + "|" + std::to_string(key.seed) +
+         "|" + key.eval_path;
+}
+
+bool record_matches_key(const std::string& record, const CacheKey& key) {
+  const harness::JsonParse parse = harness::parse_json(record);
+  if (!parse.ok() || parse.value.kind() != harness::JsonValue::Kind::kObject) return false;
+  const harness::JsonValue* experiment = parse.value.find("experiment");
+  const harness::JsonValue* samples = parse.value.find("samples");
+  const harness::JsonValue* seed = parse.value.find("seed");
+  const harness::JsonValue* eval_path = parse.value.find("eval_path");
+  if (experiment == nullptr || experiment->kind() != harness::JsonValue::Kind::kString ||
+      experiment->as_string() != key.experiment) {
+    return false;
+  }
+  std::uint64_t value = 0;
+  if (samples == nullptr || !samples->to_u64(value) || value != key.samples) return false;
+  if (seed == nullptr || !seed->to_u64(value) || value != key.seed) return false;
+  if (eval_path == nullptr || eval_path->kind() != harness::JsonValue::Kind::kString ||
+      eval_path->as_string() != key.eval_path) {
+    return false;
+  }
+  return true;
+}
+
+ResultCache::ResultCache(std::string disk_dir, std::size_t memory_capacity)
+    : disk_dir_(std::move(disk_dir)), memory_capacity_(memory_capacity) {
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(disk_dir_, ec);
+    // An uncreatable directory degrades every put/get to the memory tier;
+    // reads/writes below handle the failure per file.
+  }
+}
+
+std::string ResultCache::file_path(const CacheKey& key) const {
+  const std::string map_key = cache_map_key(key);
+  return disk_dir_ + "/" + sanitize(key.experiment) + "-s" + std::to_string(key.samples) +
+         "-seed" + std::to_string(key.seed) + "-" + sanitize(key.eval_path) + "-" +
+         hex64(fnv1a64(map_key)) + ".json";
+}
+
+void ResultCache::promote_locked(const std::string& map_key, const std::string& record) {
+  if (memory_capacity_ == 0) return;
+  const auto it = index_.find(map_key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = record;
+    return;
+  }
+  lru_.emplace_front(map_key, record);
+  index_[map_key] = lru_.begin();
+  if (lru_.size() > memory_capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Lookup ResultCache::get(const CacheKey& key) {
+  const std::string map_key = cache_map_key(key);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(map_key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.memory_hits;
+      return {Tier::kMemory, it->second->second};
+    }
+  }
+  if (!disk_dir_.empty()) {
+    std::ifstream in(file_path(key), std::ios::binary);
+    if (in) {
+      std::ostringstream content;
+      content << in.rdbuf();
+      std::string record = content.str();
+      // File content is record + '\n'; strip exactly the framing newline.
+      if (!record.empty() && record.back() == '\n') record.pop_back();
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (record_matches_key(record, key)) {
+        promote_locked(map_key, record);
+        ++stats_.disk_hits;
+        return {Tier::kDisk, std::move(record)};
+      }
+      ++stats_.invalid_disk_records;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  return {Tier::kMiss, {}};
+}
+
+void ResultCache::put(const CacheKey& key, const std::string& record) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    promote_locked(cache_map_key(key), record);
+    ++stats_.stores;
+  }
+  if (disk_dir_.empty()) return;
+  // Write-then-rename so a concurrent reader (or a crash) never sees a
+  // truncated record — it would be rejected by validation anyway, but a
+  // rename keeps the disk tier hit rate clean.
+  const std::string path = file_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // unwritable dir: memory tier still serves
+    out << record << '\n';
+    if (!out.good()) return;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = stats_;
+  out.memory_entries = lru_.size();
+  return out;
+}
+
+}  // namespace vlcsa::service

@@ -1,0 +1,98 @@
+#pragma once
+// Two-tier result cache for the experiment service daemon (service.hpp).
+//
+// A cache value is one rendered result record (a single-line JSON object,
+// JsonObject::render_line()) keyed on the four inputs a record is a pure
+// function of: (experiment name, resolved sample count, seed, eval path).
+// The registry + sharded engine guarantee records are deterministic and
+// thread-count-invariant, so a hit may be returned byte-for-byte in place of
+// recomputation — the contract the service smoke test enforces with cmp.
+//
+// Tier 1 is an in-memory LRU of bounded entry count.  Tier 2 is an on-disk
+// store (one file per key, file content = record + '\n') that survives
+// daemon restarts; a disk hit is validated by re-parsing the record with the
+// strict JSON parser and checking that its embedded key fields match the
+// request, so a corrupted or foreign file degrades to a miss instead of
+// serving wrong results.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace vlcsa::service {
+
+/// What a result record is a pure function of.
+struct CacheKey {
+  std::string experiment;
+  std::uint64_t samples = 0;
+  std::uint64_t seed = 1;
+  std::string eval_path;  // "batched" / "scalar" (to_string(EvalPath))
+};
+
+/// Monotonic counters, exposed through the protocol's cache-stats request.
+struct CacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalid_disk_records = 0;  // corrupt/mismatched files seen
+  std::uint64_t memory_entries = 0;  // current, not monotonic; filled by stats()
+};
+
+class ResultCache {
+ public:
+  /// `disk_dir` empty disables the disk tier; otherwise the directory is
+  /// created if absent.  `memory_capacity` 0 disables the memory tier.
+  ResultCache(std::string disk_dir, std::size_t memory_capacity);
+
+  enum class Tier { kMemory, kDisk, kMiss };
+
+  struct Lookup {
+    Tier tier = Tier::kMiss;
+    std::string record;  // set on hits, byte-identical to what put() stored
+  };
+
+  /// Looks `key` up memory-first; a disk hit is promoted into memory.
+  [[nodiscard]] Lookup get(const CacheKey& key);
+
+  /// Stores `record` in both tiers (best effort on disk: an unwritable
+  /// directory degrades the cache, never the result).
+  void put(const CacheKey& key, const std::string& record);
+
+  [[nodiscard]] CacheStats stats() const;
+
+  [[nodiscard]] const std::string& disk_dir() const { return disk_dir_; }
+  [[nodiscard]] std::size_t memory_capacity() const { return memory_capacity_; }
+
+  /// The file a key is stored under: "<sanitized-key>-<fnv1a64>.json" inside
+  /// disk_dir.  Exposed so tests and the CI smoke step can find records.
+  [[nodiscard]] std::string file_path(const CacheKey& key) const;
+
+ private:
+  void promote_locked(const std::string& map_key, const std::string& record);
+
+  std::string disk_dir_;
+  std::size_t memory_capacity_;
+
+  mutable std::mutex mutex_;
+  // LRU: most recent at the front; map values point into the list.
+  std::list<std::pair<std::string, std::string>> lru_;
+  std::unordered_map<std::string, std::list<std::pair<std::string, std::string>>::iterator>
+      index_;
+  CacheStats stats_;
+};
+
+/// The canonical flat encoding of a key ("experiment|samples|seed|path") —
+/// the memory tier's map key.  Exposed for testing.
+[[nodiscard]] std::string cache_map_key(const CacheKey& key);
+
+/// True when `record` is a valid single JSON object whose "experiment",
+/// "samples", "seed" and "eval_path" fields match `key` exactly — the disk
+/// tier's validation predicate.  Exposed for testing.
+[[nodiscard]] bool record_matches_key(const std::string& record, const CacheKey& key);
+
+}  // namespace vlcsa::service

@@ -1,0 +1,231 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace vlcsa::service {
+
+namespace {
+
+std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Blocking full-buffer send; MSG_NOSIGNAL so a peer that hung up yields an
+/// error return instead of SIGPIPE killing the daemon.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until `buffer` contains a '\n'; returns false on EOF/error before
+/// a complete line.  On success `line` holds the line without the newline.
+bool recv_line(int fd, std::string& buffer, std::string& line) {
+  while (true) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-line
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool fill_sockaddr(const std::string& path, sockaddr_un& addr, std::string& error) {
+  if (path.empty()) {
+    error = "socket path is empty";
+    return false;
+  }
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long (max " + std::to_string(sizeof(addr.sun_path) - 1) +
+            " bytes): " + path;
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string socket_path, ExperimentService& service, int workers)
+    : socket_path_(std::move(socket_path)),
+      service_(service),
+      workers_(workers < 1 ? 1 : workers) {}
+
+SocketServer::~SocketServer() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+  }
+}
+
+std::string SocketServer::listen_or_error() {
+  sockaddr_un addr{};
+  std::string error;
+  if (!fill_sockaddr(socket_path_, addr, error)) return error;
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return errno_message("socket");
+  ::unlink(socket_path_.c_str());  // stale socket from a previous daemon
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return errno_message("bind " + socket_path_);
+  }
+  if (::listen(listen_fd_, 16) < 0) return errno_message("listen " + socket_path_);
+  return {};
+}
+
+void SocketServer::request_stop() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stopping_ = true;
+  // Workers may be blocked in recv() on an open conversation and would
+  // otherwise never observe the stop; half-closing every active connection
+  // makes their next recv() return 0, ending the conversation.  Safe under
+  // the lock: an fd is removed from active_ (and closed) under this same
+  // lock, so no shutdown() can hit a recycled descriptor.
+  for (const int fd : active_) ::shutdown(fd, SHUT_RDWR);
+  queue_cv_.notify_all();
+}
+
+void SocketServer::handle_connection(int fd) {
+  std::string buffer;
+  std::string line;
+  while (recv_line(fd, buffer, line)) {
+    if (line.empty()) continue;
+    const ExperimentService::Reply reply = service_.handle_line(line);
+    if (!send_all(fd, reply.line + "\n")) break;
+    if (reply.shutdown) {
+      request_stop();
+      break;
+    }
+  }
+}
+
+void SocketServer::worker_loop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;  // queued connections are closed unserved by serve()
+      fd = pending_.front();
+      pending_.pop_front();
+      active_.push_back(fd);
+    }
+    handle_connection(fd);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      active_.erase(std::find(active_.begin(), active_.end(), fd));
+      ::close(fd);
+    }
+  }
+}
+
+std::string SocketServer::serve() {
+  if (listen_fd_ < 0) {
+    if (std::string error = listen_or_error(); !error.empty()) return error;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) pool.emplace_back([this] { worker_loop(); });
+
+  // Accept with a poll timeout so a stop requested from a worker (shutdown
+  // request) is noticed within one tick even with no incoming connection.
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) break;
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      request_stop();
+      for (auto& worker : pool) worker.join();
+      return errno_message("poll");
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      request_stop();
+      for (auto& worker : pool) worker.join();
+      return errno_message("accept");
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(fd);
+    }
+    queue_cv_.notify_one();
+  }
+
+  queue_cv_.notify_all();
+  for (auto& worker : pool) worker.join();
+  // Connections still queued after stop are closed unserved.
+  for (const int fd : pending_) ::close(fd);
+  pending_.clear();
+  return {};
+}
+
+UnixClient::~UnixClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string UnixClient::connect_or_error(const std::string& socket_path, int timeout_ms) {
+  sockaddr_un addr{};
+  std::string error;
+  if (!fill_sockaddr(socket_path, addr, error)) return error;
+
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return errno_message("socket");
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return {};
+    }
+    const std::string connect_error = errno_message("connect " + socket_path);
+    ::close(fd_);
+    fd_ = -1;
+    if (Clock::now() >= deadline) return connect_error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+std::string UnixClient::roundtrip(const std::string& request_line, std::string& response) {
+  if (fd_ < 0) return "not connected";
+  if (!send_all(fd_, request_line + "\n")) return errno_message("send");
+  if (!recv_line(fd_, buffer_, response)) {
+    return "connection closed before a response line arrived";
+  }
+  return {};
+}
+
+}  // namespace vlcsa::service

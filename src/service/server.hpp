@@ -1,0 +1,88 @@
+#pragma once
+// Unix-domain-socket transport for the experiment service: a long-running
+// daemon loop (SocketServer, used by examples/vlcsa_serve.cpp) and the
+// matching client connection (UnixClient, used by examples/vlcsa_client.cpp
+// and the tests).  Framing is the same newline-delimited JSON as the --stdio
+// transport: one request object per line in, one response object per line
+// out, any number of requests per connection.
+//
+// The server keeps a warm pool of worker threads: accepted connections queue
+// onto the pool, each worker converses with its connection until the peer
+// hangs up, and experiment runs inside a request reuse the sharded engine
+// (service.hpp).  A "shutdown" request answers the requester, then stops the
+// accept loop and drains the pool.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace vlcsa::service {
+
+class SocketServer {
+ public:
+  /// `workers` = size of the warm connection pool (clamped to >= 1).
+  SocketServer(std::string socket_path, ExperimentService& service, int workers = 2);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds and listens on the socket path (unlinking a stale socket first).
+  /// Returns "" on success, else the error.
+  [[nodiscard]] std::string listen_or_error();
+
+  /// Runs the accept loop until a shutdown request (or request_stop) and
+  /// drains the worker pool.  Returns "" on a clean stop, else the error.
+  [[nodiscard]] std::string serve();
+
+  /// Thread-safe external stop (e.g. from a signal handler's helper thread).
+  void request_stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void worker_loop();
+  void handle_connection(int fd);
+
+  std::string socket_path_;
+  ExperimentService& service_;
+  int workers_;
+  int listen_fd_ = -1;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;     // accepted fds awaiting a worker
+  std::vector<int> active_;     // fds currently conversing with a worker
+  bool stopping_ = false;
+};
+
+/// One client connection speaking the line protocol.
+class UnixClient {
+ public:
+  UnixClient() = default;
+  ~UnixClient();
+
+  UnixClient(const UnixClient&) = delete;
+  UnixClient& operator=(const UnixClient&) = delete;
+
+  /// Connects, retrying until `timeout_ms` elapses (covers the daemon's
+  /// startup race in scripts: start vlcsa_serve &, connect immediately).
+  /// Returns "" on success, else the error.
+  [[nodiscard]] std::string connect_or_error(const std::string& socket_path,
+                                             int timeout_ms = 0);
+
+  /// Sends one request line and reads one response line (without trailing
+  /// newline) into `response`.  Returns "" on success, else the error.
+  [[nodiscard]] std::string roundtrip(const std::string& request_line, std::string& response);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes received past the last complete line
+};
+
+}  // namespace vlcsa::service

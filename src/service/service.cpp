@@ -1,0 +1,432 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <initializer_list>
+#include <istream>
+#include <ostream>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "harness/experiments.hpp"
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+
+namespace vlcsa::service {
+
+namespace {
+
+using harness::JsonObject;
+using harness::JsonValue;
+
+ExperimentService::Reply error_reply(const std::string& message) {
+  JsonObject response;
+  response.add("status", "error");
+  response.add("error", message);
+  return {response.render_line(), false};
+}
+
+/// Strictness: every member of the request object must be expected for its
+/// request type — a typo'd field is an error, never silently ignored.
+std::string check_fields(const JsonValue& request,
+                         std::initializer_list<std::string_view> allowed) {
+  for (const auto& [key, value] : request.members()) {
+    bool known = false;
+    for (const std::string_view name : allowed) {
+      if (key == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return "unknown field '" + key + "' for this request";
+  }
+  return {};
+}
+
+/// Optional unsigned-integer field; "" or an error message.
+std::string read_u64_field(const JsonValue& request, const char* name, std::uint64_t& out,
+                           bool& given) {
+  const JsonValue* field = request.find(name);
+  given = field != nullptr;
+  if (field == nullptr) return {};
+  if (!field->to_u64(out)) {
+    return std::string("field '") + name + "' must be a non-negative integer";
+  }
+  return {};
+}
+
+/// Optional string field; "" or an error message.
+std::string read_string_field(const JsonValue& request, const char* name, std::string& out,
+                              bool& given) {
+  const JsonValue* field = request.find(name);
+  given = field != nullptr;
+  if (field == nullptr) return {};
+  if (field->kind() != JsonValue::Kind::kString) {
+    return std::string("field '") + name + "' must be a string";
+  }
+  out = field->as_string();
+  return {};
+}
+
+/// ["a", "b", ...] — the one place the protocol needs a JSON array.
+std::string render_string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + harness::json_escape(values[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+const char* tier_name(ResultCache::Tier tier) {
+  switch (tier) {
+    case ResultCache::Tier::kMemory: return "hit-memory";
+    case ResultCache::Tier::kDisk: return "hit-disk";
+    case ResultCache::Tier::kMiss: return "miss";
+  }
+  return "?";
+}
+
+// The cached result record: a pure function of (experiment, samples, seed,
+// eval path) — no wall time, no thread count — so a fresh recomputation at
+// any --threads setting reproduces it byte-for-byte.  The embedded
+// experiment/samples/seed/eval_path fields are what the disk tier validates
+// against the key (cache.hpp).
+std::string error_rate_record(const harness::ErrorRateExperiment& experiment,
+                              std::uint64_t seed, harness::EvalPath path,
+                              const harness::ErrorRateResult& result) {
+  JsonObject record;
+  record.add("experiment", experiment.name);
+  record.add("kind", "error-rate");
+  record.add("model", to_string(experiment.model));
+  record.add("width", experiment.width);
+  record.add("window", experiment.window);
+  record.add("distribution", arith::to_string(experiment.dist));
+  record.add("samples", result.samples);
+  record.add("seed", seed);
+  record.add("eval_path", to_string(path));
+  record.add("actual_errors", result.actual_errors);
+  record.add("nominal_errors", result.nominal_errors);
+  record.add("false_negatives", result.false_negatives);
+  record.add("either_wrong", result.either_wrong);
+  record.add("emitted_wrong", result.emitted_wrong);
+  record.add("total_cycles", result.total_cycles);
+  record.add("actual_rate", result.actual_rate());
+  record.add("nominal_rate", result.nominal_rate());
+  record.add("either_wrong_rate", result.either_wrong_rate());
+  record.add("avg_cycles", result.average_cycles());
+  return record.render_line();
+}
+
+std::string chain_profile_record(const harness::ChainProfileExperiment& experiment,
+                                 std::uint64_t samples, std::uint64_t seed,
+                                 const arith::CarryChainProfiler& profiler) {
+  JsonObject record;
+  record.add("experiment", experiment.name);
+  record.add("kind", "chain-profile");
+  record.add("width", experiment.width);
+  const bool crypto = experiment.workload == harness::ChainProfileExperiment::Workload::kCrypto;
+  record.add("workload", crypto ? "crypto" : "distribution");
+  record.add("source",
+             crypto ? std::string(to_string(experiment.crypto_kind))
+                    : arith::to_string(experiment.dist));
+  record.add("samples", samples);
+  record.add("seed", seed);
+  // Chain profiling has no batched pipeline; key the scalar path so the
+  // cache key shape is uniform across both families.
+  record.add("eval_path", to_string(harness::EvalPath::kScalar));
+  record.add("additions", profiler.additions());
+  record.add("chains", profiler.total());
+  record.add("mean_chain_length", profiler.mean_length());
+  record.add("fraction_at_least_half_width",
+             profiler.fraction_at_least(experiment.width / 2));
+  return record.render_line();
+}
+
+struct RunRequest {
+  std::string experiment;
+  std::uint64_t samples = 0;
+  bool samples_given = false;
+  std::uint64_t seed = 1;
+  harness::EvalPath path = harness::EvalPath::kBatched;
+  bool path_given = false;
+};
+
+/// Parses/validates the run request fields; "" or an error message.
+std::string read_run_request(const JsonValue& request, RunRequest& out) {
+  if (std::string error =
+          check_fields(request, {"request", "experiment", "samples", "seed", "eval_path"});
+      !error.empty()) {
+    return error;
+  }
+  bool given = false;
+  if (std::string error = read_string_field(request, "experiment", out.experiment, given);
+      !error.empty()) {
+    return error;
+  }
+  if (!given || out.experiment.empty()) return "run requires field 'experiment'";
+  if (std::string error = read_u64_field(request, "samples", out.samples, out.samples_given);
+      !error.empty()) {
+    return error;
+  }
+  if (out.samples_given && out.samples == 0) {
+    return "field 'samples' must be positive (omit it for the experiment default)";
+  }
+  if (std::string error = read_u64_field(request, "seed", out.seed, given); !error.empty()) {
+    return error;
+  }
+  std::string path_text;
+  if (std::string error = read_string_field(request, "eval_path", path_text, out.path_given);
+      !error.empty()) {
+    return error;
+  }
+  if (out.path_given && !harness::parse_eval_path(path_text, out.path)) {
+    return "field 'eval_path' must be \"batched\" or \"scalar\"";
+  }
+  return {};
+}
+
+}  // namespace
+
+ExperimentService::ExperimentService(ServiceConfig config)
+    : config_(std::move(config)), cache_(config_.cache_dir, config_.memory_entries) {}
+
+ExperimentService::Reply ExperimentService::handle_line(const std::string& line) {
+  const harness::JsonParse parse = harness::parse_json(line);
+  if (!parse.ok()) return error_reply("malformed request: " + parse.error);
+  if (parse.value.kind() != JsonValue::Kind::kObject) {
+    return error_reply("request must be a JSON object");
+  }
+  const JsonValue* request_field = parse.value.find("request");
+  if (request_field == nullptr || request_field->kind() != JsonValue::Kind::kString) {
+    return error_reply("missing string field 'request'");
+  }
+  const std::string& request = request_field->as_string();
+
+  // A daemon must outlive any single request: anything a handler throws
+  // (engine failures, rethrown leader exceptions from the single-flight
+  // latch) becomes an error reply, never a dead server.
+  try {
+    if (request == "run") return handle_run(parse.value);
+    if (request == "list") return handle_list(parse.value);
+    if (request == "describe") return handle_describe(parse.value);
+    if (request == "cache-stats") return handle_cache_stats(parse.value);
+  } catch (const std::exception& error) {
+    return error_reply(std::string("internal error: ") + error.what());
+  }
+  if (request == "shutdown") {
+    if (std::string error = check_fields(parse.value, {"request"}); !error.empty()) {
+      return error_reply(error);
+    }
+    JsonObject response;
+    response.add("status", "ok");
+    response.add("request", "shutdown");
+    return {response.render_line(), true};
+  }
+  return error_reply("unknown request '" + request +
+                     "' (expected run, list, describe, cache-stats or shutdown)");
+}
+
+ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request) {
+  RunRequest run;
+  if (std::string error = read_run_request(request, run); !error.empty()) {
+    return error_reply(error);
+  }
+
+  const auto* error_rate = harness::find_error_rate_experiment(run.experiment);
+  const auto* chain_profile =
+      error_rate == nullptr ? harness::find_chain_profile_experiment(run.experiment) : nullptr;
+  if (error_rate == nullptr && chain_profile == nullptr) {
+    return error_reply("unknown experiment '" + run.experiment + "' (try \"list\")");
+  }
+  if (chain_profile != nullptr && run.path_given) {
+    return error_reply("field 'eval_path' only applies to error-rate experiments; '" +
+                       run.experiment + "' is a chain-profile experiment");
+  }
+
+  CacheKey key;
+  key.experiment = run.experiment;
+  key.samples = run.samples_given
+                    ? run.samples
+                    : (error_rate != nullptr ? error_rate->default_samples
+                                             : chain_profile->default_samples);
+  key.seed = run.seed;
+  key.eval_path =
+      to_string(error_rate != nullptr ? run.path : harness::EvalPath::kScalar);
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  // Single-flight: one leader per key does the cache lookup and (on a miss)
+  // the one computation; requests arriving while that is in flight wait on
+  // the leader's future instead of re-sampling the same experiment in
+  // parallel.  The latch is taken before the lookup so the cache counters
+  // see exactly one event per non-coalesced request.
+  const std::string map_key = cache_map_key(key);
+  std::promise<std::string> promise;
+  std::shared_future<std::string> future;
+  bool leader = false;
+  {
+    const std::lock_guard<std::mutex> lock(inflight_mutex_);
+    const auto it = inflight_.find(map_key);
+    if (it != inflight_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      inflight_.emplace(map_key, future);
+      leader = true;
+    }
+  }
+
+  ResultCache::Lookup lookup;
+  bool coalesced = false;
+  if (leader) {
+    try {
+      lookup = cache_.get(key);
+      if (lookup.tier == ResultCache::Tier::kMiss) {
+        if (error_rate != nullptr) {
+          const auto result = harness::run_experiment(*error_rate, key.samples, key.seed,
+                                                      config_.threads, run.path);
+          lookup.record = error_rate_record(*error_rate, key.seed, run.path, result);
+        } else {
+          const auto profiler = harness::run_experiment(*chain_profile, key.samples, key.seed,
+                                                        config_.threads);
+          lookup.record = chain_profile_record(*chain_profile, key.samples, key.seed, profiler);
+        }
+        cache_.put(key, lookup.record);
+      }
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(map_key);
+      }
+      promise.set_exception(std::current_exception());
+      throw;  // handle_line turns it into an error reply
+    }
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(map_key);
+    }
+    promise.set_value(lookup.record);
+  } else {
+    lookup.record = future.get();  // rethrows if the leader failed
+    coalesced = true;
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "run");
+  response.add("experiment", run.experiment);
+  response.add("cache", coalesced ? "coalesced" : tier_name(lookup.tier));
+  response.add("wall_seconds", wall);
+  response.add_json("record", lookup.record);
+  return {response.render_line(), false};
+}
+
+ExperimentService::Reply ExperimentService::handle_list(const JsonValue& request) {
+  if (std::string error = check_fields(request, {"request", "prefix"}); !error.empty()) {
+    return error_reply(error);
+  }
+  std::string prefix;
+  bool given = false;
+  if (std::string error = read_string_field(request, "prefix", prefix, given);
+      !error.empty()) {
+    return error_reply(error);
+  }
+
+  std::vector<std::string> error_rate;
+  for (const auto* experiment : harness::error_rate_experiments_with_prefix(prefix)) {
+    error_rate.push_back(experiment->name);
+  }
+  std::vector<std::string> chain_profile;
+  for (const auto* experiment : harness::chain_profile_experiments_with_prefix(prefix)) {
+    chain_profile.push_back(experiment->name);
+  }
+
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "list");
+  response.add_json("error_rate", render_string_array(error_rate));
+  response.add_json("chain_profile", render_string_array(chain_profile));
+  return {response.render_line(), false};
+}
+
+ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& request) {
+  if (std::string error = check_fields(request, {"request", "experiment"}); !error.empty()) {
+    return error_reply(error);
+  }
+  std::string name;
+  bool given = false;
+  if (std::string error = read_string_field(request, "experiment", name, given);
+      !error.empty()) {
+    return error_reply(error);
+  }
+  if (!given || name.empty()) return error_reply("describe requires field 'experiment'");
+
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "describe");
+  if (const auto* experiment = harness::find_error_rate_experiment(name)) {
+    response.add("experiment", experiment->name);
+    response.add("kind", "error-rate");
+    response.add("model", to_string(experiment->model));
+    response.add("width", experiment->width);
+    response.add("window", experiment->window);
+    response.add("distribution", arith::to_string(experiment->dist));
+    response.add("default_samples", experiment->default_samples);
+    response.add("description", experiment->description);
+    return {response.render_line(), false};
+  }
+  if (const auto* experiment = harness::find_chain_profile_experiment(name)) {
+    const bool crypto =
+        experiment->workload == harness::ChainProfileExperiment::Workload::kCrypto;
+    response.add("experiment", experiment->name);
+    response.add("kind", "chain-profile");
+    response.add("width", experiment->width);
+    response.add("workload", crypto ? "crypto" : "distribution");
+    response.add("source", crypto ? std::string(to_string(experiment->crypto_kind))
+                                  : arith::to_string(experiment->dist));
+    response.add("default_samples", experiment->default_samples);
+    response.add("description", experiment->description);
+    return {response.render_line(), false};
+  }
+  return error_reply("unknown experiment '" + name + "' (try \"list\")");
+}
+
+ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& request) {
+  if (std::string error = check_fields(request, {"request"}); !error.empty()) {
+    return error_reply(error);
+  }
+  const CacheStats stats = cache_.stats();
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "cache-stats");
+  response.add("memory_hits", stats.memory_hits);
+  response.add("disk_hits", stats.disk_hits);
+  response.add("misses", stats.misses);
+  response.add("stores", stats.stores);
+  response.add("evictions", stats.evictions);
+  response.add("invalid_disk_records", stats.invalid_disk_records);
+  response.add("memory_entries", stats.memory_entries);
+  response.add("memory_capacity", static_cast<std::uint64_t>(cache_.memory_capacity()));
+  response.add("disk_dir", cache_.disk_dir());
+  return {response.render_line(), false};
+}
+
+std::uint64_t serve_stdio(std::istream& in, std::ostream& out, ExperimentService& service) {
+  std::uint64_t handled = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;  // tolerate blank lines between requests
+    const ExperimentService::Reply reply = service.handle_line(line);
+    out << reply.line << '\n' << std::flush;
+    ++handled;
+    if (reply.shutdown) break;
+  }
+  return handled;
+}
+
+}  // namespace vlcsa::service

@@ -1,0 +1,87 @@
+#pragma once
+// Experiment service: the long-running front end over the experiment
+// registry (ROADMAP item 1).  One instance owns the two-tier result cache
+// and routes newline-delimited JSON requests:
+//
+//   {"request": "run", "experiment": NAME, "samples": N?, "seed": S?,
+//    "eval_path": "batched"|"scalar"?}
+//   {"request": "list", "prefix": P?}
+//   {"request": "describe", "experiment": NAME}
+//   {"request": "cache-stats"}
+//   {"request": "shutdown"}
+//
+// over both experiment families (error-rate and chain-profile).  Request
+// parsing is strict in the cli.hpp tradition: unknown request names, unknown
+// fields, wrong field types and malformed JSON are all errors — a typo'd
+// field must never silently run a different experiment.  Responses are
+// single-line JSON objects with "status": "ok"|"error"; a run response
+// embeds the result record verbatim, so the record bytes a client sees are
+// exactly the bytes the cache stores (DESIGN.md has the full protocol
+// reference).
+//
+// handle_line is thread-safe — the socket server's worker pool calls it
+// concurrently; cache access is internally locked and experiment runs
+// themselves are independent sharded-engine invocations.
+
+#include <cstdint>
+#include <future>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "service/cache.hpp"
+
+namespace vlcsa::harness {
+class JsonValue;
+}
+
+namespace vlcsa::service {
+
+struct ServiceConfig {
+  std::string cache_dir;            // empty = memory tier only
+  std::size_t memory_entries = 64;  // LRU capacity; 0 disables the tier
+  int threads = 0;                  // engine threads per run (0 = all cores)
+};
+
+class ExperimentService {
+ public:
+  explicit ExperimentService(ServiceConfig config);
+
+  struct Reply {
+    std::string line;       // one response object, no trailing newline
+    bool shutdown = false;  // the request asked the daemon to stop
+  };
+
+  /// Handles one request line, returning one response line.  Never throws on
+  /// malformed input — errors come back as {"status": "error", ...}.
+  [[nodiscard]] Reply handle_line(const std::string& line);
+
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+
+ private:
+  [[nodiscard]] Reply handle_run(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_list(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_describe(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_cache_stats(const harness::JsonValue& request);
+
+  ServiceConfig config_;
+  ResultCache cache_;
+
+  // Single-flight latch: concurrent run requests for the same cold key
+  // compute once — the first request (leader) runs the experiment, the rest
+  // wait on its future and answer "cache": "coalesced".  Keyed on
+  // cache_map_key; entries live only while a computation is in flight.
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_future<std::string>> inflight_;
+};
+
+/// The --stdio transport: reads request lines from `in` until EOF or a
+/// shutdown request, writing one response line each to `out` (flushed per
+/// line, so a pipe peer can converse).  Returns the number of requests
+/// handled.  This is the mode tests and one-shot pipelines use; the Unix
+/// socket transport lives in server.hpp.
+std::uint64_t serve_stdio(std::istream& in, std::ostream& out, ExperimentService& service);
+
+}  // namespace vlcsa::service

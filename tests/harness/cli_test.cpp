@@ -97,6 +97,55 @@ TEST(ExplorerCliTest, RejectsBadBatchValue) {
   EXPECT_EQ(parse({"--experiment=x", "--batch=off"}).options.path, EvalPath::kScalar);
 }
 
+TEST(ExplorerCliTest, BatchAcceptsCanonicalEvalPathNames) {
+  // The service protocol's eval_path spelling works everywhere.
+  EXPECT_EQ(parse({"--experiment=x", "--batch=batched"}).options.path, EvalPath::kBatched);
+  EXPECT_EQ(parse({"--experiment=x", "--batch=scalar"}).options.path, EvalPath::kScalar);
+  EXPECT_TRUE(parse({"--experiment=x", "--batch=scalar"}).options.path_explicit);
+}
+
+TEST(ParseValueFlagsTest, MatchesStoresAndRejects) {
+  std::string name;
+  int count = 0;
+  const std::vector<ValueFlag> flags = {
+      {"--name",
+       [&name](const std::string& value) {
+         name = value;
+         return !value.empty();
+       }},
+      {"--count", [&count](const std::string& value) { return parse_nonnegative_int(value, count); }},
+  };
+  const char* good[] = {"tool", "--name=x", "--count=3"};
+  EXPECT_EQ(parse_value_flags(3, good, flags), "");
+  EXPECT_EQ(name, "x");
+  EXPECT_EQ(count, 3);
+
+  const char* unknown[] = {"tool", "--nmae=x"};
+  EXPECT_NE(parse_value_flags(2, unknown, flags).find("unknown argument: --nmae=x"),
+            std::string::npos);
+
+  const char* bad_value[] = {"tool", "--count=x"};
+  EXPECT_NE(parse_value_flags(2, bad_value, flags).find("invalid value for --count"),
+            std::string::npos);
+
+  const char* missing_value[] = {"tool", "--count"};
+  EXPECT_NE(parse_value_flags(2, missing_value, flags).find("requires a value"),
+            std::string::npos);
+
+  const char* tolerated[] = {"tool", "--benchmark_min_time=1", "--count=4"};
+  EXPECT_EQ(parse_value_flags(3, tolerated, flags, "--benchmark"), "");
+  EXPECT_EQ(count, 4);
+}
+
+TEST(ParseValueFlagsTest, PrefixOfAFlagNameIsNotAMatch) {
+  int count = 0;
+  const std::vector<ValueFlag> flags = {
+      {"--count", [&count](const std::string& value) { return parse_nonnegative_int(value, count); }},
+  };
+  const char* argv[] = {"tool", "--counts=3"};
+  EXPECT_NE(parse_value_flags(2, argv, flags).find("unknown argument"), std::string::npos);
+}
+
 TEST(ExplorerCliTest, RejectsExperimentFlagsInBuildMode) {
   // Without --experiment these flags would be silently dead — hard error.
   for (const char* arg : {"--samples=10", "--seed=2", "--threads=4", "--batch=off",

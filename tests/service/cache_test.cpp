@@ -1,0 +1,152 @@
+// Tests for the two-tier result cache (service/cache.hpp): LRU semantics,
+// disk persistence across instances, validation of corrupt or mismatched
+// disk records, and the stats counters the protocol's cache-stats request
+// reports.
+
+#include "service/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace vlcsa::service {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / ("vlcsa_cache_test_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// A minimal record carrying exactly the fields disk validation checks.
+std::string record_for(const CacheKey& key, const std::string& payload = "x") {
+  return "{\"experiment\": \"" + key.experiment +
+         "\", \"samples\": " + std::to_string(key.samples) +
+         ", \"seed\": " + std::to_string(key.seed) + ", \"eval_path\": \"" + key.eval_path +
+         "\", \"payload\": \"" + payload + "\"}";
+}
+
+TEST(ResultCache, MissThenMemoryHit) {
+  ResultCache cache("", 4);
+  const CacheKey key{"table7.1/n64", 1000, 1, "batched"};
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
+  cache.put(key, record_for(key));
+  const auto hit = cache.get(key);
+  EXPECT_EQ(hit.tier, ResultCache::Tier::kMemory);
+  EXPECT_EQ(hit.record, record_for(key));
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.memory_hits, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.memory_entries, 1u);
+}
+
+TEST(ResultCache, KeyComponentsAllDiscriminate) {
+  ResultCache cache("", 8);
+  const CacheKey key{"table7.1/n64", 1000, 1, "batched"};
+  cache.put(key, record_for(key));
+  for (const CacheKey& other :
+       {CacheKey{"table7.1/n128", 1000, 1, "batched"}, CacheKey{"table7.1/n64", 1001, 1, "batched"},
+        CacheKey{"table7.1/n64", 1000, 2, "batched"}, CacheKey{"table7.1/n64", 1000, 1, "scalar"}}) {
+    EXPECT_EQ(cache.get(other).tier, ResultCache::Tier::kMiss) << cache_map_key(other);
+  }
+}
+
+TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
+  ResultCache cache("", 2);
+  const CacheKey a{"a", 1, 1, "batched"};
+  const CacheKey b{"b", 1, 1, "batched"};
+  const CacheKey c{"c", 1, 1, "batched"};
+  cache.put(a, record_for(a));
+  cache.put(b, record_for(b));
+  EXPECT_EQ(cache.get(a).tier, ResultCache::Tier::kMemory);  // a is now most recent
+  cache.put(c, record_for(c));                               // evicts b, not a
+  EXPECT_EQ(cache.get(b).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.get(a).tier, ResultCache::Tier::kMemory);
+  EXPECT_EQ(cache.get(c).tier, ResultCache::Tier::kMemory);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().memory_entries, 2u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesMemoryTier) {
+  ResultCache cache("", 0);
+  const CacheKey key{"a", 1, 1, "batched"};
+  cache.put(key, record_for(key));
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
+}
+
+TEST(ResultCache, DiskTierSurvivesInstances) {
+  const std::string dir = temp_dir("persist");
+  const CacheKey key{"table7.1/n64", 2000, 7, "scalar"};
+  const std::string record = record_for(key, "persisted");
+  {
+    ResultCache writer(dir, 4);
+    writer.put(key, record);
+    ASSERT_TRUE(std::filesystem::exists(writer.file_path(key)));
+  }
+  ResultCache reader(dir, 4);
+  const auto hit = reader.get(key);
+  EXPECT_EQ(hit.tier, ResultCache::Tier::kDisk);
+  EXPECT_EQ(hit.record, record);  // byte-identical through the file round-trip
+  // The disk hit was promoted: the second lookup is a memory hit.
+  EXPECT_EQ(reader.get(key).tier, ResultCache::Tier::kMemory);
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().memory_hits, 1u);
+}
+
+TEST(ResultCache, CorruptDiskFileIsAMiss) {
+  const std::string dir = temp_dir("corrupt");
+  ResultCache cache(dir, 0);  // memory off so every get goes to disk
+  const CacheKey key{"table7.1/n64", 2000, 7, "batched"};
+  cache.put(key, record_for(key));
+  {
+    std::ofstream out(cache.file_path(key), std::ios::trunc);
+    out << "{\"experiment\": \"table7.1/n64\", \"samples\": 2000, truncated";
+  }
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().invalid_disk_records, 1u);
+}
+
+TEST(ResultCache, MismatchedRecordIsAMiss) {
+  const std::string dir = temp_dir("mismatch");
+  ResultCache cache(dir, 0);
+  const CacheKey key{"table7.1/n64", 2000, 7, "batched"};
+  const CacheKey other{"table7.1/n64", 2000, 8, "batched"};  // different seed
+  {
+    std::ofstream out(cache.file_path(key), std::ios::trunc);
+    out << record_for(other) << "\n";  // valid JSON, wrong key fields
+  }
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().invalid_disk_records, 1u);
+}
+
+TEST(ResultCache, RecordMatchesKeyPredicate) {
+  const CacheKey key{"e/p", 10, 2, "batched"};
+  EXPECT_TRUE(record_matches_key(record_for(key), key));
+  EXPECT_FALSE(record_matches_key("not json", key));
+  EXPECT_FALSE(record_matches_key("[1, 2]", key));
+  EXPECT_FALSE(record_matches_key("{\"experiment\": \"e/p\"}", key));  // fields missing
+  CacheKey wrong = key;
+  wrong.samples = 11;
+  EXPECT_FALSE(record_matches_key(record_for(key), wrong));
+}
+
+TEST(ResultCache, FilePathIsReadableAndKeyed) {
+  ResultCache cache("/tmp/cache", 1);
+  const CacheKey key{"table7.1/n64", 200000, 1, "batched"};
+  const std::string path = cache.file_path(key);
+  EXPECT_NE(path.find("/tmp/cache/table7.1_n64-s200000-seed1-batched-"), std::string::npos)
+      << path;
+  EXPECT_EQ(path.substr(path.size() - 5), ".json");
+  // Different keys map to different files.
+  CacheKey other = key;
+  other.seed = 2;
+  EXPECT_NE(cache.file_path(other), path);
+}
+
+}  // namespace
+}  // namespace vlcsa::service

@@ -1,0 +1,344 @@
+// Tests for the experiment service (service/service.hpp + server.hpp): the
+// protocol router's strictness, the cache-hit contract the ISSUE acceptance
+// criteria pin down — a repeated run request is served from cache without
+// re-sampling, and the cached record is byte-identical to a fresh
+// recomputation at any thread count — plus the stdio and Unix-socket
+// transports end to end.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/json.hpp"
+#include "service/server.hpp"
+
+namespace vlcsa::service {
+namespace {
+
+using harness::JsonParse;
+using harness::JsonValue;
+using harness::parse_json;
+
+// Small but real registry experiments, so runs stay fast.
+constexpr const char* kErrorRateRun =
+    R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000})";
+constexpr const char* kChainProfileRun =
+    R"({"request": "run", "experiment": "fig6.1/uniform-unsigned", "samples": 2000})";
+
+std::string temp_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() / ("vlcsa_service_test_" + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+JsonValue parse_reply(const ExperimentService::Reply& reply) {
+  JsonParse parse = parse_json(reply.line);
+  EXPECT_TRUE(parse.ok()) << reply.line << " -> " << parse.error;
+  EXPECT_EQ(parse.value.kind(), JsonValue::Kind::kObject);
+  return parse.value;
+}
+
+std::string field(const JsonValue& response, const char* name) {
+  const JsonValue* value = response.find(name);
+  return value != nullptr && value->kind() == JsonValue::Kind::kString ? value->as_string()
+                                                                       : std::string();
+}
+
+void expect_error_containing(ExperimentService& service, const std::string& line,
+                             const std::string& needle) {
+  const JsonValue response = parse_reply(service.handle_line(line));
+  EXPECT_EQ(field(response, "status"), "error") << line;
+  EXPECT_NE(field(response, "error").find(needle), std::string::npos)
+      << line << " -> " << field(response, "error");
+}
+
+/// Extracts the embedded record's bytes by re-rendering is forbidden (it
+/// must stay byte-identical), so runs compare records through the cache
+/// file, whose content is exactly record + '\n'.
+std::string read_single_cache_file(const std::string& dir) {
+  std::string found;
+  int count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++count;
+    found = entry.path().string();
+  }
+  EXPECT_EQ(count, 1) << "expected exactly one cache file in " << dir;
+  std::ifstream in(found, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(ExperimentService, RunMissThenMemoryHitWithoutResampling) {
+  ExperimentService service({temp_dir("hit"), 64, 1});
+
+  const JsonValue first = parse_reply(service.handle_line(kErrorRateRun));
+  EXPECT_EQ(field(first, "status"), "ok");
+  EXPECT_EQ(field(first, "cache"), "miss");
+  ASSERT_NE(first.find("record"), nullptr);
+  EXPECT_EQ(field(*first.find("record"), "experiment"), "fig7.1/n64-k6");
+
+  const JsonValue second = parse_reply(service.handle_line(kErrorRateRun));
+  EXPECT_EQ(field(second, "cache"), "hit-memory");
+
+  // "Without re-sampling" is observable through the counters: one miss (the
+  // only compute), one memory hit, one store.
+  const CacheStats stats = service.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.memory_hits, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+
+  // And the hit carried the identical record.
+  std::uint64_t errors_first = 0, errors_second = 0;
+  ASSERT_TRUE(first.find("record")->find("actual_errors")->to_u64(errors_first));
+  ASSERT_TRUE(second.find("record")->find("actual_errors")->to_u64(errors_second));
+  EXPECT_EQ(errors_first, errors_second);
+}
+
+TEST(ExperimentService, CachedRecordByteIdenticalAcrossThreadCounts) {
+  // The acceptance criterion: the record cached by one service must be
+  // byte-identical to a fresh recomputation at any --threads setting, for
+  // both eval paths.
+  const std::string dir_a = temp_dir("threads1");
+  const std::string dir_b = temp_dir("threads4");
+  {
+    ExperimentService service({dir_a, 64, 1});
+    EXPECT_EQ(field(parse_reply(service.handle_line(kErrorRateRun)), "cache"), "miss");
+  }
+  {
+    ExperimentService service({dir_b, 64, 4});
+    EXPECT_EQ(field(parse_reply(service.handle_line(kErrorRateRun)), "cache"), "miss");
+  }
+  EXPECT_EQ(read_single_cache_file(dir_a), read_single_cache_file(dir_b));
+}
+
+TEST(ExperimentService, ScalarAndBatchedPathsCacheSeparatelyButAgreeOnCounters) {
+  ExperimentService service({"", 64, 1});
+  const std::string batched =
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000, "eval_path": "batched"})";
+  const std::string scalar =
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000, "eval_path": "scalar"})";
+  const JsonValue first = parse_reply(service.handle_line(batched));
+  const JsonValue second = parse_reply(service.handle_line(scalar));
+  EXPECT_EQ(field(second, "cache"), "miss");  // distinct key: no false sharing
+  // The batch-vs-scalar differential contract holds through the service too.
+  std::uint64_t batched_errors = 0, scalar_errors = 0;
+  ASSERT_TRUE(first.find("record")->find("actual_errors")->to_u64(batched_errors));
+  ASSERT_TRUE(second.find("record")->find("actual_errors")->to_u64(scalar_errors));
+  EXPECT_EQ(batched_errors, scalar_errors);
+}
+
+TEST(ExperimentService, DiskHitAfterRestart) {
+  const std::string dir = temp_dir("restart");
+  {
+    ExperimentService service({dir, 64, 1});
+    EXPECT_EQ(field(parse_reply(service.handle_line(kChainProfileRun)), "cache"), "miss");
+  }
+  ExperimentService service({dir, 64, 1});
+  EXPECT_EQ(field(parse_reply(service.handle_line(kChainProfileRun)), "cache"), "hit-disk");
+  EXPECT_EQ(field(parse_reply(service.handle_line(kChainProfileRun)), "cache"), "hit-memory");
+}
+
+TEST(ExperimentService, DefaultSamplesAndExplicitDefaultShareOneKey) {
+  ExperimentService service({"", 64, 1});
+  // fig6.2 crypto experiments default to 4 samples — cheap enough to run.
+  const JsonValue first = parse_reply(
+      service.handle_line(R"({"request": "run", "experiment": "fig6.2/rsa-like"})"));
+  EXPECT_EQ(field(first, "status"), "ok");
+  const JsonValue second = parse_reply(service.handle_line(
+      R"({"request": "run", "experiment": "fig6.2/rsa-like", "samples": 4, "seed": 1})"));
+  EXPECT_EQ(field(second, "cache"), "hit-memory");
+}
+
+TEST(ExperimentService, StrictRequestValidation) {
+  ExperimentService service({"", 4, 1});
+  expect_error_containing(service, "not json", "malformed request");
+  expect_error_containing(service, "[1]", "must be a JSON object");
+  expect_error_containing(service, R"({"experiment": "x"})", "request");
+  expect_error_containing(service, R"({"request": "frobnicate"})", "unknown request");
+  expect_error_containing(service, R"({"request": "run"})", "requires field 'experiment'");
+  expect_error_containing(service, R"({"request": "run", "experiment": "no/such"})",
+                          "unknown experiment");
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": -1})",
+      "non-negative integer");
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 0})",
+      "must be positive");
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig7.1/n64-k6", "eval_path": "simd"})",
+      "eval_path");
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig7.1/n64-k6", "widht": 64})",
+      "unknown field 'widht'");
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig6.1/uniform-unsigned", "eval_path": "scalar"})",
+      "chain-profile");
+  expect_error_containing(service, R"({"request": "cache-stats", "experiment": "x"})",
+                          "unknown field");
+  expect_error_containing(service, R"({"request": "shutdown", "now": true})", "unknown field");
+  // Validation failures never touch the cache.
+  EXPECT_EQ(service.cache_stats().misses, 0u);
+}
+
+TEST(ExperimentService, ListAndDescribe) {
+  ExperimentService service({"", 4, 1});
+  const JsonValue list = parse_reply(service.handle_line(R"({"request": "list"})"));
+  EXPECT_EQ(field(list, "status"), "ok");
+  bool saw_table71 = false;
+  for (const JsonValue& name : list.find("error_rate")->items()) {
+    saw_table71 = saw_table71 || name.as_string() == "table7.1/n64";
+  }
+  EXPECT_TRUE(saw_table71);
+  EXPECT_FALSE(list.find("chain_profile")->items().empty());
+
+  const JsonValue filtered =
+      parse_reply(service.handle_line(R"({"request": "list", "prefix": "fig6."})"));
+  EXPECT_TRUE(filtered.find("error_rate")->items().empty());
+  for (const JsonValue& name : filtered.find("chain_profile")->items()) {
+    EXPECT_EQ(name.as_string().substr(0, 5), "fig6.");
+  }
+
+  const JsonValue describe = parse_reply(
+      service.handle_line(R"({"request": "describe", "experiment": "table7.2/n64"})"));
+  EXPECT_EQ(field(describe, "kind"), "error-rate");
+  EXPECT_EQ(field(describe, "model"), "VLCSA 2");
+  EXPECT_EQ(field(describe, "distribution"), "gaussian-twos-complement");
+  std::uint64_t default_samples = 0;
+  ASSERT_TRUE(describe.find("default_samples")->to_u64(default_samples));
+  EXPECT_EQ(default_samples, 200000u);
+
+  const JsonValue crypto = parse_reply(
+      service.handle_line(R"({"request": "describe", "experiment": "fig6.2/rsa-like"})"));
+  EXPECT_EQ(field(crypto, "kind"), "chain-profile");
+  EXPECT_EQ(field(crypto, "workload"), "crypto");
+}
+
+TEST(ExperimentService, ShutdownReply) {
+  ExperimentService service({"", 4, 1});
+  const ExperimentService::Reply reply = service.handle_line(R"({"request": "shutdown"})");
+  EXPECT_TRUE(reply.shutdown);
+  EXPECT_EQ(field(parse_reply(reply), "status"), "ok");
+  // Errors and normal requests never set the flag.
+  EXPECT_FALSE(service.handle_line(R"({"request": "list"})").shutdown);
+  EXPECT_FALSE(service.handle_line("garbage").shutdown);
+}
+
+TEST(ServeStdio, ConversationEndsOnShutdown) {
+  ExperimentService service({"", 4, 1});
+  std::istringstream in(
+      "{\"request\": \"list\"}\n"
+      "\n"  // blank lines tolerated
+      "{\"request\": \"cache-stats\"}\n"
+      "{\"request\": \"shutdown\"}\n"
+      "{\"request\": \"list\"}\n");  // after shutdown: unread
+  std::ostringstream out;
+  EXPECT_EQ(serve_stdio(in, out, service), 3u);
+  // Three response lines, each valid JSON.
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(parse_json(line).ok()) << line;
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ExperimentService, ConcurrentIdenticalColdRequestsComputeOnce) {
+  // Single-flight: N threads racing on the same cold key must trigger
+  // exactly one computation (one store) — the rest are memory hits or
+  // coalesced waiters, never independent re-samplings.
+  ExperimentService service({"", 16, 1});
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<std::string> caches(kThreads);
+  std::vector<std::uint64_t> errors(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &caches, &errors, t] {
+      const JsonValue response = parse_reply(service.handle_line(kErrorRateRun));
+      caches[static_cast<std::size_t>(t)] = field(response, "cache");
+      (void)response.find("record")->find("actual_errors")->to_u64(
+          errors[static_cast<std::size_t>(t)]);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(service.cache_stats().stores, 1u);  // exactly one computation
+  int miss_count = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(caches[t] == "miss" || caches[t] == "coalesced" || caches[t] == "hit-memory")
+        << caches[t];
+    miss_count += caches[t] == "miss" ? 1 : 0;
+    EXPECT_EQ(errors[t], errors[0]);  // everyone saw the same record
+  }
+  EXPECT_EQ(miss_count, 1);  // exactly the leader of the cold generation
+}
+
+TEST(SocketServer, ShutdownCompletesWithAnotherConnectionOpen) {
+  // Regression: a worker blocked in recv() on an idle connection must not
+  // keep serve() from returning after another client requests shutdown.
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "vlcsa_service_shutdown_test.sock").string();
+  ExperimentService service({"", 4, 1});
+  SocketServer server(socket_path, service, /*workers=*/2);
+  ASSERT_EQ(server.listen_or_error(), "");
+  std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
+
+  UnixClient idle;  // connects, sends nothing, stays open
+  ASSERT_EQ(idle.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+  std::string response;
+  ASSERT_EQ(idle.roundtrip(R"({"request": "list"})", response), "");  // worker now owns it
+
+  UnixClient requester;
+  ASSERT_EQ(requester.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+  ASSERT_EQ(requester.roundtrip(R"({"request": "shutdown"})", response), "");
+  EXPECT_EQ(field(parse_json(response).value, "status"), "ok");
+
+  serving.join();  // must return despite the idle connection (hung pre-fix)
+}
+
+TEST(SocketServer, EndToEndOverUnixSocket) {
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "vlcsa_service_test.sock").string();
+  ExperimentService service({"", 16, 1});
+  SocketServer server(socket_path, service, /*workers=*/2);
+  ASSERT_EQ(server.listen_or_error(), "");
+  std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
+
+  {
+    UnixClient client;
+    ASSERT_EQ(client.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+    std::string response;
+    // Several requests over one connection.
+    ASSERT_EQ(client.roundtrip(kErrorRateRun, response), "");
+    JsonParse first = parse_json(response);
+    ASSERT_TRUE(first.ok()) << response;
+    EXPECT_EQ(field(first.value, "cache"), "miss");
+    ASSERT_EQ(client.roundtrip(kErrorRateRun, response), "");
+    JsonParse second = parse_json(response);
+    ASSERT_TRUE(second.ok()) << response;
+    EXPECT_EQ(field(second.value, "cache"), "hit-memory");
+  }
+  {
+    // A second connection sees the same warm cache.
+    UnixClient client;
+    ASSERT_EQ(client.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+    std::string response;
+    ASSERT_EQ(client.roundtrip(kErrorRateRun, response), "");
+    EXPECT_EQ(field(parse_json(response).value, "cache"), "hit-memory");
+    ASSERT_EQ(client.roundtrip(R"({"request": "shutdown"})", response), "");
+    EXPECT_EQ(field(parse_json(response).value, "status"), "ok");
+  }
+  serving.join();
+}
+
+}  // namespace
+}  // namespace vlcsa::service
