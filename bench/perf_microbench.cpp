@@ -1,17 +1,36 @@
 // Google-benchmark microbenches for the library's hot paths: big-integer
-// addition, behavioral SCSA/VLSA evaluation, bit-sliced netlist simulation,
-// the optimizer, and static timing — the costs that bound every Monte Carlo
-// and synthesis experiment above.
+// addition, behavioral SCSA/VLSA evaluation (scalar and bit-sliced at
+// several lane widths), the plane-kernel layer per backend, bit-sliced
+// netlist simulation, the optimizer, and static timing — the costs that
+// bound every Monte Carlo and synthesis experiment above.
+//
+// --json=FILE switches to the machine-readable perf record instead of the
+// google-benchmark run: a curated suite timing each plane kernel (scalar vs
+// the best dispatched backend) and the end-to-end batched sampling loop
+// against the PR 2 baseline (single lane word, scalar backend), written as
+// one JSON object.  CI uploads this as the BENCH_batch.json artifact so the
+// perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <optional>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "adders/adders.hpp"
 #include "arith/apint.hpp"
 #include "arith/bitslice.hpp"
 #include "arith/distributions.hpp"
+#include "arith/planeops.hpp"
 #include "harness/montecarlo.hpp"
+#include "harness/report.hpp"
 #include "netlist/opt.hpp"
 #include "netlist/simulator.hpp"
 #include "netlist/timing.hpp"
@@ -23,6 +42,7 @@ namespace {
 
 using namespace vlcsa;
 using arith::ApInt;
+namespace planeops = arith::planeops;
 
 void BM_ApIntAdd(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -49,24 +69,28 @@ void BM_ScsaEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_ScsaEvaluate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
-// The bit-sliced counterpart: one pass evaluates 64 samples, so items/sec is
-// directly comparable with BM_ScsaEvaluate.
-void BM_ScsaEvaluateBatch64(benchmark::State& state) {
+// The bit-sliced counterpart: one pass evaluates 64 * lane_words samples, so
+// items/sec is directly comparable with BM_ScsaEvaluate.  Args: (width,
+// lane_words); runs on whatever planeops backend dispatch selected.
+void BM_ScsaEvaluateBatch(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
+  const int lane_words = static_cast<int>(state.range(1));
   const spec::ScsaModel model(
       spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
   std::mt19937_64 rng(2);
-  arith::BitSlicedBatch batch(width);
+  arith::BitSlicedBatch batch(width, lane_words);
   auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
   source->fill_batch(rng, batch);
   spec::ScsaBatchEvaluation ev;
   for (auto _ : state) {
     model.evaluate_batch(batch, ev);
-    benchmark::DoNotOptimize(ev.spec0_wrong);
+    benchmark::DoNotOptimize(ev.spec0_wrong.data());
   }
-  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetItemsProcessed(state.iterations() * 64 * lane_words);
 }
-BENCHMARK(BM_ScsaEvaluateBatch64)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_ScsaEvaluateBatch)
+    ->Args({64, 1})->Args({64, 4})->Args({128, 4})->Args({256, 4})
+    ->Args({512, 1})->Args({512, 4})->Args({512, 8});
 
 void BM_VlsaEvaluate(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -82,22 +106,104 @@ void BM_VlsaEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_VlsaEvaluate)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
-void BM_VlsaEvaluateBatch64(benchmark::State& state) {
+void BM_VlsaEvaluateBatch(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
+  const int lane_words = static_cast<int>(state.range(1));
   const spec::VlsaModel model(
       spec::VlsaConfig{width, spec::vlsa_published_chain_length(width)});
   std::mt19937_64 rng(3);
-  arith::BitSlicedBatch batch(width);
+  arith::BitSlicedBatch batch(width, lane_words);
   auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
   source->fill_batch(rng, batch);
   spec::VlsaBatchEvaluation ev;
   for (auto _ : state) {
     model.evaluate_batch(batch, ev);
-    benchmark::DoNotOptimize(ev.spec_wrong);
+    benchmark::DoNotOptimize(ev.spec_wrong.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * lane_words);
+}
+BENCHMARK(BM_VlsaEvaluateBatch)->Args({64, 1})->Args({64, 4})->Args({512, 1})->Args({512, 4});
+
+// ---- plane-kernel layer, per backend ---------------------------------------
+// Args: (plane words, 0 = scalar backend / 1 = auto-dispatched best).  Each
+// bench pins the requested backend for its own run and restores dispatch on
+// exit, so orderings never leak between benches.
+
+class BackendScope {
+ public:
+  explicit BackendScope(const char* name) : prev_(planeops::active_backend()) {
+    planeops::set_backend(name);
+  }
+  explicit BackendScope(bool best) : BackendScope(best ? "auto" : "scalar") {}
+  // Restore the pre-bench backend, so a VLCSA_FORCE_BACKEND pin survives.
+  ~BackendScope() { planeops::set_backend(prev_); }
+
+ private:
+  planeops::Backend prev_;
+};
+
+void BM_PlaneKoggeStone(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int lane_words = static_cast<int>(state.range(1));
+  const BackendScope scope(state.range(2) != 0);
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  std::mt19937_64 rng(7);
+  planeops::PlaneVec g(m), p(m), carry(m), pp(m);
+  for (auto& word : g) word = rng();
+  for (auto& word : p) word = rng();
+  for (auto _ : state) {
+    planeops::kogge_stone(g.data(), p.data(), n, lane_words, carry.data(), pp.data());
+    benchmark::DoNotOptimize(carry.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * lane_words);
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_PlaneKoggeStone)
+    ->Args({64, 4, 0})->Args({64, 4, 1})->Args({512, 4, 0})->Args({512, 4, 1});
+
+void BM_PlaneBulkGp(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const BackendScope scope(state.range(1) != 0);
+  std::mt19937_64 rng(8);
+  planeops::PlaneVec a(m), b(m), g(m), p(m);
+  for (auto& word : a) word = rng();
+  for (auto& word : b) word = rng();
+  for (auto _ : state) {
+    planeops::bulk_gp(a.data(), b.data(), g.data(), p.data(), m);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(m) * 8 * 2);
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_PlaneBulkGp)->Args({2048, 0})->Args({2048, 1});
+
+void BM_PlaneTranspose64x64(benchmark::State& state) {
+  const BackendScope scope(state.range(0) != 0);
+  std::mt19937_64 rng(9);
+  alignas(64) std::uint64_t block[64];
+  for (auto& row : block) row = rng();
+  for (auto _ : state) {
+    planeops::transpose_64x64(block);
+    benchmark::DoNotOptimize(&block[0]);
   }
   state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(to_string(planeops::active_backend()));
 }
-BENCHMARK(BM_VlsaEvaluateBatch64)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_PlaneTranspose64x64)->Arg(0)->Arg(1);
+
+void BM_PlanePopcountSum(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  const BackendScope scope(state.range(1) != 0);
+  std::mt19937_64 rng(10);
+  planeops::PlaneVec x(m);
+  for (auto& word : x) word = rng();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planeops::popcount_sum(x.data(), m));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m) * 64);
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_PlanePopcountSum)->Args({4, 0})->Args({4, 1})->Args({2048, 0})->Args({2048, 1});
 
 void BM_NetlistSimulate64Vectors(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -134,45 +240,50 @@ void BM_StaticTiming(benchmark::State& state) {
 BENCHMARK(BM_StaticTiming)->Arg(64)->Arg(256);
 
 // The acceptance benchmark for the batch pipeline: the full error-rate
-// sampling loop (operand generation + model + counters) per EvalPath.
-// items/sec between the Scalar and Batched variants is the end-to-end
-// speedup; the target is >= 5x (ISSUE 2 / ROADMAP batching item).
-template <harness::EvalPath kPath>
-void BM_ErrorRateSamples(benchmark::State& state) {
+// sampling loop (operand generation + model + counters), one body for all
+// four distribution x eval-path variants.  Batched args: (width, lane_words,
+// backend: 0 scalar / 1 auto) — (W=1, scalar backend) is how PR 2 ran the
+// batched pipeline, (kDefaultLaneWords, auto) is the current default, and
+// the items/sec ratio between them is the SIMD layer's end-to-end delta.
+// Scalar-path args: (width) only.  `window` 0 = sized for 0.01%.
+void error_rate_samples(benchmark::State& state, arith::InputDistribution dist, int window,
+                        std::uint64_t seed, harness::EvalPath path) {
   const int width = static_cast<int>(state.range(0));
-  auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
-  const spec::VlcsaConfig config{width, spec::min_window_for_error_rate(width, 1e-4),
-                                 spec::ScsaVariant::kScsa2};
+  const bool batched = path == harness::EvalPath::kBatched;
+  std::optional<BackendScope> scope;
+  if (batched) scope.emplace(state.range(2) != 0);
+  auto source = arith::make_source(dist, width);
+  const spec::VlcsaConfig config{
+      width, window > 0 ? window : spec::min_window_for_error_rate(width, 1e-4),
+      spec::ScsaVariant::kScsa2};
   constexpr std::uint64_t kSamples = 1 << 13;
-  std::uint64_t seed = 5;
+  harness::RunOptions options;
+  options.samples = kSamples;
+  options.threads = 1;
+  options.lane_words = batched ? static_cast<int>(state.range(1)) : 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, kSamples, seed++, 1, kPath));
+    options.seed = seed++;
+    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, options, path));
   }
   state.SetItemsProcessed(state.iterations() * kSamples);
+  if (batched) state.SetLabel(to_string(planeops::active_backend()));
 }
-BENCHMARK(BM_ErrorRateSamples<harness::EvalPath::kScalar>)
+BENCHMARK_CAPTURE(error_rate_samples, Batched, arith::InputDistribution::kUniformUnsigned, 0,
+                  5, harness::EvalPath::kBatched)
+    ->Name("BM_ErrorRateSamplesBatched")
+    ->Args({64, 1, 0})->Args({64, 4, 1})->Args({512, 1, 0})->Args({512, 4, 1});
+BENCHMARK_CAPTURE(error_rate_samples, Scalar, arith::InputDistribution::kUniformUnsigned, 0,
+                  5, harness::EvalPath::kScalar)
     ->Name("BM_ErrorRateSamplesScalar")->Arg(64)->Arg(512);
-BENCHMARK(BM_ErrorRateSamples<harness::EvalPath::kBatched>)
-    ->Name("BM_ErrorRateSamplesBatched")->Arg(64)->Arg(512);
-
 // Same comparison on the Ch. 7 workload (Gaussian two's-complement
 // operands), where sample generation is the larger share of the cost.
-template <harness::EvalPath kPath>
-void BM_ErrorRateSamplesGauss(benchmark::State& state) {
-  const int width = static_cast<int>(state.range(0));
-  auto source = arith::make_source(arith::InputDistribution::kGaussianTwos, width);
-  const spec::VlcsaConfig config{width, 13, spec::ScsaVariant::kScsa2};
-  constexpr std::uint64_t kSamples = 1 << 13;
-  std::uint64_t seed = 6;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(harness::run_vlcsa(config, *source, kSamples, seed++, 1, kPath));
-  }
-  state.SetItemsProcessed(state.iterations() * kSamples);
-}
-BENCHMARK(BM_ErrorRateSamplesGauss<harness::EvalPath::kScalar>)
+BENCHMARK_CAPTURE(error_rate_samples, GaussBatched, arith::InputDistribution::kGaussianTwos,
+                  13, 6, harness::EvalPath::kBatched)
+    ->Name("BM_ErrorRateSamplesGaussBatched")
+    ->Args({64, 1, 0})->Args({64, 4, 1})->Args({512, 1, 0})->Args({512, 4, 1});
+BENCHMARK_CAPTURE(error_rate_samples, GaussScalar, arith::InputDistribution::kGaussianTwos,
+                  13, 6, harness::EvalPath::kScalar)
     ->Name("BM_ErrorRateSamplesGaussScalar")->Arg(64)->Arg(512);
-BENCHMARK(BM_ErrorRateSamplesGauss<harness::EvalPath::kBatched>)
-    ->Name("BM_ErrorRateSamplesGaussBatched")->Arg(64)->Arg(512);
 
 void BM_MonteCarloVlcsa(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
@@ -205,6 +316,220 @@ void BM_MonteCarloVlcsaParallel(benchmark::State& state) {
 BENCHMARK(BM_MonteCarloVlcsaParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
 
+// ---- --json=FILE: the machine-readable perf record --------------------------
+
+/// Wall-clock of `body` amortized over enough repetitions to cross ~60 ms,
+/// reported as nanoseconds per inner item.
+template <typename Body>
+double time_ns_per_item(std::uint64_t items_per_rep, const Body& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // warm-up (allocations, dispatch resolution, caches)
+  std::uint64_t reps = 1;
+  for (;;) {
+    const auto start = clock::now();
+    for (std::uint64_t r = 0; r < reps; ++r) body();
+    const double elapsed =
+        std::chrono::duration<double, std::nano>(clock::now() - start).count();
+    if (elapsed >= 6e7 || reps > (1u << 24)) {
+      return elapsed / (static_cast<double>(reps) * static_cast<double>(items_per_rep));
+    }
+    reps *= 4;
+  }
+}
+
+harness::JsonObject kernel_record(const std::string& name, double scalar_ns,
+                                  double best_ns) {
+  harness::JsonObject record;
+  record.add("kernel", name);
+  record.add("scalar_ns_per_sample", scalar_ns);
+  record.add("best_ns_per_sample", best_ns);
+  record.add("speedup_vs_scalar", best_ns > 0 ? scalar_ns / best_ns : 0.0);
+  return record;
+}
+
+/// ns/sample of the full batched error-rate loop at one configuration.
+double end_to_end_ns(int width, arith::InputDistribution dist, int lane_words,
+                     const char* backend) {
+  const BackendScope scope(backend);
+  auto source = arith::make_source(dist, width);
+  const spec::VlcsaConfig config{width, spec::min_window_for_error_rate(width, 1e-4),
+                                 spec::ScsaVariant::kScsa2};
+  constexpr std::uint64_t kSamples = 1 << 13;
+  harness::RunOptions options;
+  options.samples = kSamples;
+  options.threads = 1;
+  options.lane_words = lane_words;
+  std::uint64_t seed = 11;
+  return time_ns_per_item(kSamples, [&] {
+    options.seed = seed++;
+    benchmark::DoNotOptimize(
+        harness::run_vlcsa(config, *source, options, harness::EvalPath::kBatched));
+  });
+}
+
+int write_perf_json(const std::string& path) {
+  // The record's "best" rows are always measured under auto dispatch (that
+  // is the comparison the artifact tracks), so label them with what auto
+  // resolves to — not with a VLCSA_FORCE_BACKEND pin, which the scopes
+  // below deliberately step around and then restore.
+  const char* best = nullptr;
+  {
+    const BackendScope scope("auto");
+    best = to_string(planeops::active_backend());
+  }
+  std::string kernels;
+  {
+    // Per-kernel scalar-vs-best at the hot shape: n=512 planes, 4 lane words.
+    constexpr int kN = 512;
+    constexpr int kW = 4;
+    constexpr std::size_t kM = static_cast<std::size_t>(kN) * kW;
+    constexpr std::uint64_t kSamplesPerPass = 64 * kW;
+    std::mt19937_64 rng(13);
+    planeops::PlaneVec a(kM), b(kM), g(kM), p(kM), carry(kM), pp(kM);
+    for (auto& word : a) word = rng();
+    for (auto& word : b) word = rng();
+    struct Kernel {
+      const char* name;
+      std::function<void()> body;
+      std::uint64_t items;
+    };
+    alignas(64) std::uint64_t block[64];
+    for (auto& row : block) row = rng();
+    const std::vector<Kernel> suite = {
+        {"bulk_gp_n512_w4",
+         [&] { planeops::bulk_gp(a.data(), b.data(), g.data(), p.data(), kM); },
+         kSamplesPerPass},
+        {"kogge_stone_n512_w4",
+         [&] { planeops::kogge_stone(g.data(), p.data(), kN, kW, carry.data(), pp.data()); },
+         kSamplesPerPass},
+        {"popcount_sum_2048",
+         [&] { benchmark::DoNotOptimize(planeops::popcount_sum(a.data(), kM)); },
+         kSamplesPerPass},
+        {"transpose_64x64", [&] { planeops::transpose_64x64(block); }, 64},
+    };
+    bool first = true;
+    for (const auto& kernel : suite) {
+      double scalar_ns = 0, best_ns = 0;
+      {
+        const BackendScope scope("scalar");
+        scalar_ns = time_ns_per_item(kernel.items, kernel.body);
+      }
+      {
+        const BackendScope scope("auto");
+        best_ns = time_ns_per_item(kernel.items, kernel.body);
+      }
+      if (!first) kernels += ", ";
+      kernels += kernel_record(kernel.name, scalar_ns, best_ns).render_line();
+      first = false;
+    }
+  }
+
+  // The batched model evaluation alone (no operand generation): this is the
+  // layer the SIMD plane kernels accelerate, compared against the single
+  // lane word + scalar backend configuration (how PR 2 evaluated batches).
+  std::string model_eval;
+  double model_speedup_n512 = 0.0;
+  {
+    bool first = true;
+    for (const int width : {64, 512}) {
+      const spec::ScsaModel model(
+          spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
+      std::mt19937_64 rng(17);
+      auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
+      spec::ScsaBatchEvaluation ev;
+      const auto time_model = [&](int lane_words, const char* backend) {
+        const BackendScope scope(backend);
+        arith::BitSlicedBatch batch(width, lane_words);
+        source->fill_batch(rng, batch);
+        return time_ns_per_item(static_cast<std::uint64_t>(batch.lanes()), [&] {
+          model.evaluate_batch(batch, ev);
+          benchmark::DoNotOptimize(ev.err0.data());
+        });
+      };
+      const double base_ns = time_model(1, "scalar");
+      const double now_ns = time_model(arith::kDefaultLaneWords, "auto");
+      harness::JsonObject record;
+      record.add("workload", "scsa-evaluate-batch-n" + std::to_string(width));
+      record.add("w1_scalar_backend_ns_per_sample", base_ns);
+      record.add("ns_per_sample", now_ns);
+      const double speedup = now_ns > 0 ? base_ns / now_ns : 0.0;
+      record.add("speedup", speedup);
+      if (width == 512) model_speedup_n512 = speedup;
+      if (!first) model_eval += ", ";
+      model_eval += record.render_line();
+      first = false;
+    }
+  }
+
+  // The full sampling loop (operand generation + model + counters).  The
+  // baseline configuration (1 lane word, scalar backend) is how PR 2 ran the
+  // batched pipeline; std::mt19937_64 draws and the bit-matrix transpose
+  // bound this number (Amdahl), so it moves far less than the model row.
+  std::string end_to_end;
+  double end_to_end_speedup_n512 = 0.0;
+  {
+    bool first = true;
+    for (const int width : {64, 512}) {
+      const double base_ns =
+          end_to_end_ns(width, arith::InputDistribution::kUniformUnsigned, 1, "scalar");
+      const double now_ns = end_to_end_ns(width, arith::InputDistribution::kUniformUnsigned,
+                                          arith::kDefaultLaneWords, "auto");
+      harness::JsonObject record;
+      record.add("workload", "vlcsa2-uniform-n" + std::to_string(width));
+      record.add("w1_scalar_backend_ns_per_sample", base_ns);
+      record.add("ns_per_sample", now_ns);  // default lane words, dispatched backend
+      const double speedup = now_ns > 0 ? base_ns / now_ns : 0.0;
+      record.add("speedup", speedup);
+      if (width == 512) end_to_end_speedup_n512 = speedup;
+      if (!first) end_to_end += ", ";
+      end_to_end += record.render_line();
+      first = false;
+    }
+  }
+
+  harness::JsonObject root;
+  root.add("schema", "vlcsa-perf-2");
+  root.add("backend_best", best);
+  root.add("lane_words_default", arith::kDefaultLaneWords);
+  root.add_json("kernels", "[" + kernels + "]");
+  root.add_json("model_eval", "[" + model_eval + "]");
+  root.add_json("end_to_end", "[" + end_to_end + "]");
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  out << root.render_line() << "\n";
+  std::cout << "wrote " << path << " (backend " << best << "; n512 model-eval speedup "
+            << model_speedup_n512 << "x, end-to-end " << end_to_end_speedup_n512 << "x)\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strict --json=FILE extraction; everything else goes to google-benchmark.
+  std::string json_path;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      if (json_path.empty()) {
+        std::cerr << "error: --json requires a file path\n";
+        return 2;
+      }
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  if (!json_path.empty()) return write_perf_json(json_path);
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,16 +26,19 @@ namespace {
 
 void print_usage() {
   std::cout << "usage: vlcsa_serve [--socket=PATH | --stdio] [--cache-dir=DIR]\n"
-               "                   [--memory-entries=N] [--threads=T] [--workers=N]\n"
-               "  --socket          Unix domain socket path to listen on\n"
-               "  --stdio           serve stdin/stdout instead of a socket (one-shot\n"
-               "                    pipelines and tests)\n"
-               "  --cache-dir       on-disk result cache directory (created if absent;\n"
-               "                    default: no disk tier)\n"
-               "  --memory-entries  in-memory LRU capacity (default 64; 0 disables)\n"
-               "  --threads         engine threads per experiment run, 0 = all\n"
-               "                    hardware threads (default 0)\n"
-               "  --workers         warm connection-worker pool size (default 2)\n";
+               "                   [--cache-max-bytes=N] [--memory-entries=N]\n"
+               "                   [--threads=T] [--workers=N]\n"
+               "  --socket           Unix domain socket path to listen on\n"
+               "  --stdio            serve stdin/stdout instead of a socket (one-shot\n"
+               "                     pipelines and tests)\n"
+               "  --cache-dir        on-disk result cache directory (created if absent;\n"
+               "                     default: no disk tier)\n"
+               "  --cache-max-bytes  disk-tier byte cap: stores evict the oldest record\n"
+               "                     files until the tier fits (default 0 = unbounded)\n"
+               "  --memory-entries   in-memory LRU capacity (default 64; 0 disables)\n"
+               "  --threads          engine threads per experiment run, 0 = all\n"
+               "                     hardware threads (default 0)\n"
+               "  --workers          warm connection-worker pool size (default 2)\n";
 }
 
 }  // namespace
@@ -61,6 +64,10 @@ int main(int argc, char** argv) {
          if (value.empty()) return false;
          config.cache_dir = value;
          return true;
+       }},
+      {"--cache-max-bytes",
+       [&](const std::string& value) {
+         return harness::parse_u64(value, config.cache_max_bytes);
        }},
       {"--memory-entries",
        [&](const std::string& value) {
@@ -108,6 +115,12 @@ int main(int argc, char** argv) {
   }
   if (stdio && !socket_path.empty()) {
     std::cerr << "error: --socket and --stdio are mutually exclusive\n";
+    print_usage();
+    return 2;
+  }
+  if (config.cache_max_bytes != 0 && config.cache_dir.empty()) {
+    // A silently dead cap would suggest bounded disk usage that isn't there.
+    std::cerr << "error: --cache-max-bytes requires --cache-dir\n";
     print_usage();
     return 2;
   }

@@ -5,24 +5,15 @@
 
 namespace vlcsa::arith {
 
-void transpose_64x64(std::uint64_t block[64]) {
-  // Recursive block swap (Hacker's Delight 7-3 style, oriented for a true
-  // main-diagonal transpose): at each level, swap the high-column half of
-  // the upper row group with the low-column half of the lower row group,
-  // for sub-block sizes 32, 16, ..., 1.
-  std::uint64_t m = 0x00000000FFFFFFFFULL;
-  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t t = ((block[k] >> j) ^ block[k | j]) & m;
-      block[k] ^= t << j;
-      block[k | j] ^= t;
-    }
-  }
-}
+void transpose_64x64(std::uint64_t block[64]) { planeops::transpose_64x64(block); }
 
-void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes) {
+void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes,
+                         int lane_words, int lane_word) {
   if (count < 0 || count > kBatchLanes) {
     throw std::invalid_argument("transpose_to_planes: count must be in [0, 64]");
+  }
+  if (lane_words < 1 || lane_word < 0 || lane_word >= lane_words) {
+    throw std::invalid_argument("transpose_to_planes: lane word out of range");
   }
   for (int j = 0; j < count; ++j) {
     if (samples[j].width() != width) {
@@ -35,55 +26,83 @@ void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64
     for (int j = 0; j < count; ++j) block[j] = samples[j].limb(limb);
     for (int j = count; j < 64; ++j) block[j] = 0;
     transpose_64x64(block);
-    block_to_planes(block, limb, width, planes);
+    block_to_planes(block, limb, width, planes, lane_words, lane_word);
   }
 }
 
 void block_to_planes(const std::uint64_t block[64], int limb, int width,
-                     std::uint64_t* planes) {
+                     std::uint64_t* planes, int lane_words, int lane_word) {
   const int base = limb * ApInt::kLimbBits;
   const int top = std::min(width - base, ApInt::kLimbBits);
-  for (int bit = 0; bit < top; ++bit) planes[base + bit] = block[bit];
+  for (int bit = 0; bit < top; ++bit) {
+    planes[static_cast<std::size_t>(base + bit) * static_cast<std::size_t>(lane_words) +
+           static_cast<std::size_t>(lane_word)] = block[bit];
+  }
 }
 
-ApInt plane_lane(const std::uint64_t* planes, int width, int lane) {
+ApInt plane_lane(const std::uint64_t* planes, int width, int lane, int lane_words) {
+  if (lane < 0 || lane >= kBatchLanes * lane_words) {
+    throw std::invalid_argument("plane_lane: lane out of range");
+  }
+  const int lane_word = lane / kBatchLanes;
+  const int lane_bit = lane % kBatchLanes;
   ApInt out(width);
   for (int bit = 0; bit < width; ++bit) {
-    out.set_bit(bit, ((planes[bit] >> lane) & 1) != 0);
+    const std::uint64_t word =
+        planes[static_cast<std::size_t>(bit) * static_cast<std::size_t>(lane_words) +
+               static_cast<std::size_t>(lane_word)];
+    out.set_bit(bit, ((word >> lane_bit) & 1) != 0);
   }
   return out;
 }
+
+namespace {
+
+/// Validates the batch shape BEFORE the member initializers allocate, so a
+/// negative argument throws invalid_argument instead of attempting a
+/// wrapped-around near-2^64 allocation.
+std::size_t checked_plane_words(int width, int lane_words) {
+  if (width < 1) throw std::invalid_argument("BitSlicedBatch: width must be >= 1");
+  if (lane_words < 1 || lane_words > kMaxLaneWords) {
+    throw std::invalid_argument("BitSlicedBatch: lane_words must be in [1, 16]");
+  }
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(lane_words);
+}
+
+}  // namespace
+
+BitSlicedBatch::BitSlicedBatch(int width, int lane_words)
+    : width_(width),
+      lane_words_(lane_words),
+      a_(checked_plane_words(width, lane_words), 0),
+      b_(a_.size(), 0) {}
 
 void BitSlicedBatch::load(const std::vector<ApInt>& a, const std::vector<ApInt>& b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("BitSlicedBatch::load: operand counts differ");
   }
+  if (a.size() > static_cast<std::size_t>(lanes())) {
+    throw std::invalid_argument("BitSlicedBatch::load: more samples than lanes");
+  }
   const int count = static_cast<int>(a.size());
-  transpose_to_planes(a.data(), count, width_, a_.data());
-  transpose_to_planes(b.data(), count, width_, b_.data());
+  for (int w = 0; w < lane_words_; ++w) {
+    const int begin = std::min(w * kBatchLanes, count);
+    const int group = std::min(count - begin, kBatchLanes);
+    transpose_to_planes(a.data() + begin, group, width_, a_.data(), lane_words_, w);
+    transpose_to_planes(b.data() + begin, group, width_, b_.data(), lane_words_, w);
+  }
 }
 
 std::pair<ApInt, ApInt> BitSlicedBatch::lane(int lane) const {
-  return {plane_lane(a_.data(), width_, lane), plane_lane(b_.data(), width_, lane)};
+  return {plane_lane(a_.data(), width_, lane, lane_words_),
+          plane_lane(b_.data(), width_, lane, lane_words_)};
 }
 
 void kogge_stone_carries(const std::uint64_t* g, const std::uint64_t* p, int n,
-                         std::uint64_t* carry, std::vector<std::uint64_t>& pp_scratch) {
-  // carry[] starts as the per-bit generate planes and is widened in log
-  // steps; pp[] tracks the matching group propagate.  After the last step
-  // carry[i] spans [0, i], i.e. the exact carry out of bit i with cin 0.
-  pp_scratch.resize(static_cast<std::size_t>(n));
-  std::uint64_t* pp = pp_scratch.data();
-  for (int i = 0; i < n; ++i) {
-    carry[i] = g[i];
-    pp[i] = p[i];
-  }
-  for (int d = 1; d < n; d <<= 1) {
-    for (int i = n - 1; i >= d; --i) {
-      carry[i] |= pp[i] & carry[i - d];
-      pp[i] &= pp[i - d];
-    }
-  }
+                         int lane_words, std::uint64_t* carry,
+                         planeops::PlaneVec& pp_scratch) {
+  pp_scratch.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words));
+  planeops::kogge_stone(g, p, n, lane_words, carry, pp_scratch.data());
 }
 
 }  // namespace vlcsa::arith

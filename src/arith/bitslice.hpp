@@ -1,63 +1,85 @@
 #pragma once
-// Bit-sliced sample batches: 64 Monte Carlo samples per machine word.
+// Bit-sliced sample batches: 64 Monte Carlo samples per machine word, and
+// `lane_words` words per bit-plane — so one batch carries 64 * lane_words
+// samples (256 at the default lane width).
 //
 // The netlist simulator has always been 64-way bit-sliced (one word = one
 // net's value across 64 test vectors).  This header brings the same layout
-// to the *behavioral* models: a BitSlicedBatch stores 64 operand pairs as
-// bit-planes — plane[bit] is a word whose bit j is sample j's value of
-// operand bit `bit` — so window generate/propagate, speculative carries and
-// detection flags become word-parallel boolean algebra over the planes.
+// to the *behavioral* models: a BitSlicedBatch stores operand pairs as
+// bit-planes — plane group `bit` is `lane_words` words whose bit j of word w
+// is sample (w*64 + j)'s value of operand bit `bit` — so window
+// generate/propagate, speculative carries and detection flags become
+// word-parallel boolean algebra over the planes, and the plane-kernel layer
+// (arith/planeops.hpp) streams them through SIMD registers.
 //
-// Layout ("bit-plane" = column of the 64 x width sample matrix):
+// Layout ("bit-plane group" = lane_words columns of the samples x width
+// matrix, flat array index = bit * lane_words + w):
 //
 //            bit 0   bit 1   ...   bit n-1
 //  sample 0 [  .       .              .   ]   row    = one operand (ApInt)
-//  sample 1 [  .       .              .   ]   column = one plane (uint64_t)
-//    ...
-//  sample 63[  .       .              .   ]
+//    ...                                      column = one plane group
+//  sample 64*W-1 [ .    .              .   ]           (lane_words words)
 //
 // The row<->column conversion is the classic 64x64 bit-matrix transpose
 // (6 log-steps per block), shared with the netlist-simulator test harness.
+// Plane storage is 64-byte aligned (planeops::PlaneVec) so the SIMD
+// backends stream whole cache lines.
 
 #include <cstdint>
 #include <vector>
 
 #include "arith/apint.hpp"
+#include "arith/planeops.hpp"
 
 namespace vlcsa::arith {
 
-/// Number of samples carried per word — one lane per bit.
+/// Number of samples carried per plane word — one lane per bit.
 inline constexpr int kBatchLanes = 64;
 
+/// Default plane-group width: 4 words = 256 samples per evaluation, one full
+/// AVX2 register per bit-plane.  The batched Monte Carlo paths use this
+/// unless RunOptions::lane_words overrides it; results are bit-identical at
+/// any width (a tested invariant), so it is purely a throughput knob.
+inline constexpr int kDefaultLaneWords = 4;
+
+/// Upper bound on lane_words — lets the models keep per-window lane groups
+/// in fixed-size stack buffers inside their hot sweeps.
+inline constexpr int kMaxLaneWords = 16;
+
 /// In-place transpose of a 64x64 bit matrix.  block[i] is row i; bit j of
-/// row i moves to bit i of row j.
+/// row i moves to bit i of row j.  Dispatches through the plane-kernel layer.
 void transpose_64x64(std::uint64_t block[64]);
 
-/// Transposes `count` (<= 64) width-bit samples into bit-planes:
-/// planes[bit] bit j = samples[j].bit(bit) for j < count, 0 for j >= count.
-/// `planes` must hold `width` words.
-void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes);
+/// Transposes `count` (<= 64) width-bit samples into lane word `lane_word`
+/// of a plane array with `lane_words` words per bit:
+/// planes[bit * lane_words + lane_word] bit j = samples[j].bit(bit) for
+/// j < count, 0 for j >= count.  `planes` must hold width * lane_words words.
+void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes,
+                         int lane_words = 1, int lane_word = 0);
 
 /// Copies an already-transposed 64x64 block (rows = bits of limb `limb`)
-/// into the plane array of a `width`-bit layout, dropping rows beyond the
-/// width.  Shared by transpose_to_planes and the operand sources' direct
-/// raw-limb fill paths.
+/// into lane word `lane_word` of the plane array of a `width`-bit layout,
+/// dropping rows beyond the width.  Shared by transpose_to_planes and the
+/// operand sources' direct raw-limb fill paths.
 void block_to_planes(const std::uint64_t block[64], int limb, int width,
-                     std::uint64_t* planes);
+                     std::uint64_t* planes, int lane_words = 1, int lane_word = 0);
 
 /// Reads lane `lane` of a plane array back into an ApInt (the inverse of
-/// transpose_to_planes for one sample; used by tests and diagnostics).
-[[nodiscard]] ApInt plane_lane(const std::uint64_t* planes, int width, int lane);
+/// transpose_to_planes for one sample; tests/diagnostics).  Throws when
+/// `lane` is outside [0, 64 * lane_words).
+[[nodiscard]] ApInt plane_lane(const std::uint64_t* planes, int width, int lane,
+                               int lane_words = 1);
 
-/// 64 operand pairs in bit-plane form, ready for word-parallel evaluation.
+/// 64 * lane_words operand pairs in bit-plane form, ready for word-parallel
+/// evaluation.  Plane storage is 64-byte aligned.
 class BitSlicedBatch {
  public:
-  explicit BitSlicedBatch(int width)
-      : width_(width),
-        a_(static_cast<std::size_t>(width), 0),
-        b_(static_cast<std::size_t>(width), 0) {}
+  explicit BitSlicedBatch(int width, int lane_words = 1);
 
   [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int lane_words() const { return lane_words_; }
+  /// Samples per batch: 64 * lane_words().
+  [[nodiscard]] int lanes() const { return kBatchLanes * lane_words_; }
 
   [[nodiscard]] const std::uint64_t* a() const { return a_.data(); }
   [[nodiscard]] const std::uint64_t* b() const { return b_.data(); }
@@ -65,7 +87,7 @@ class BitSlicedBatch {
   [[nodiscard]] std::uint64_t* b() { return b_.data(); }
 
   /// Loads operand pairs row-wise (sample j = (a[j], b[j])); pairs beyond
-  /// `count` are zero.  Both vectors must have the same size <= 64.
+  /// `count` are zero.  Both vectors must have the same size <= lanes().
   void load(const std::vector<ApInt>& a, const std::vector<ApInt>& b);
 
   /// Sample `lane` reconstructed as an ApInt pair (tests/diagnostics).
@@ -73,18 +95,22 @@ class BitSlicedBatch {
 
  private:
   int width_;
-  std::vector<std::uint64_t> a_;  // a_[bit] = plane of operand-a bit `bit`
-  std::vector<std::uint64_t> b_;
+  int lane_words_;
+  planeops::PlaneVec a_;  // a_[bit * lane_words + w] = plane word w of bit `bit`
+  planeops::PlaneVec b_;
 };
 
-/// Word-level Kogge-Stone prefix over bit-planes: given per-bit generate and
-/// propagate planes g/p (each `n` words), writes carry[i] = carry *out* of
-/// bit i assuming carry-in 0 at bit 0, independently in each of the 64
-/// lanes.  This is the batch pipeline's exact-adder reference.
-/// `carry` must hold n words and may not alias g or p.  `pp_scratch` is the
-/// group-propagate working array — callers keep one per evaluation state so
-/// the hot loop never allocates; it is resized as needed and clobbered.
+/// Word-level Kogge-Stone prefix over bit-planes with `lane_words` words per
+/// bit: given per-bit generate and propagate planes g/p (each n * lane_words
+/// words), writes carry[bit] = carry *out* of that bit assuming carry-in 0,
+/// independently in each lane.  This is the batch pipeline's exact-adder
+/// reference; the heavy lifting dispatches through planeops::kogge_stone.
+/// `carry` must hold n * lane_words words and may not alias g or p.
+/// `pp_scratch` is the group-propagate working array — callers keep one per
+/// evaluation state so the hot loop never allocates; it is resized as needed
+/// and clobbered.
 void kogge_stone_carries(const std::uint64_t* g, const std::uint64_t* p, int n,
-                         std::uint64_t* carry, std::vector<std::uint64_t>& pp_scratch);
+                         int lane_words, std::uint64_t* carry,
+                         planeops::PlaneVec& pp_scratch);
 
 }  // namespace vlcsa::arith

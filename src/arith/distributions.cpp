@@ -11,14 +11,18 @@ void OperandSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out) {
   if (out.width() != width()) {
     throw std::invalid_argument("OperandSource::fill_batch: batch width mismatch");
   }
+  // One 64-sample group per lane word, in sample order, so the RNG stream is
+  // exactly out.lanes() next() calls.
   ApInt a[kBatchLanes], b[kBatchLanes];
-  for (int j = 0; j < kBatchLanes; ++j) {
-    auto [aj, bj] = next(rng);
-    a[j] = std::move(aj);
-    b[j] = std::move(bj);
+  for (int w = 0; w < out.lane_words(); ++w) {
+    for (int j = 0; j < kBatchLanes; ++j) {
+      auto [aj, bj] = next(rng);
+      a[j] = std::move(aj);
+      b[j] = std::move(bj);
+    }
+    transpose_to_planes(a, kBatchLanes, width(), out.a(), out.lane_words(), w);
+    transpose_to_planes(b, kBatchLanes, width(), out.b(), out.lane_words(), w);
   }
-  transpose_to_planes(a, kBatchLanes, width(), out.a());
-  transpose_to_planes(b, kBatchLanes, width(), out.b());
 }
 
 std::pair<ApInt, ApInt> UniformUnsignedSource::next(std::mt19937_64& rng) {
@@ -29,11 +33,12 @@ void UniformUnsignedSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out
   if (out.width() != width()) {
     throw std::invalid_argument("UniformUnsignedSource::fill_batch: batch width mismatch");
   }
-  // Mirror of 64 x next(): per sample, a's limbs then b's limbs, one rng()
-  // call per limb in limb order, top limb masked — exactly ApInt::random's
-  // consumption — but written into per-limb 64x64 transpose blocks instead
-  // of heap-allocated ApInts.
+  // Mirror of out.lanes() x next(): per sample, a's limbs then b's limbs, one
+  // rng() call per limb in limb order, top limb masked — exactly
+  // ApInt::random's consumption — but written into per-limb 64x64 transpose
+  // blocks instead of heap-allocated ApInts, one block round per lane word.
   const int n = width();
+  const int lane_words = out.lane_words();
   const int limbs = (n + ApInt::kLimbBits - 1) / ApInt::kLimbBits;
   const int top_bits = n - (limbs - 1) * ApInt::kLimbBits;
   const std::uint64_t top_mask =
@@ -41,21 +46,24 @@ void UniformUnsignedSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out
   rows_.resize(static_cast<std::size_t>(2 * limbs) * 64);  // member scratch: no
                                                            // allocation after the
                                                            // first batch
-  for (int j = 0; j < kBatchLanes; ++j) {
-    for (int op = 0; op < 2; ++op) {
-      for (int limb = 0; limb < limbs; ++limb) {
-        std::uint64_t word = rng();
-        if (limb == limbs - 1) word &= top_mask;
-        rows_[static_cast<std::size_t>((op * limbs + limb) * 64 + j)] = word;
+  for (int w = 0; w < lane_words; ++w) {
+    for (int j = 0; j < kBatchLanes; ++j) {
+      for (int op = 0; op < 2; ++op) {
+        for (int limb = 0; limb < limbs; ++limb) {
+          std::uint64_t word = rng();
+          if (limb == limbs - 1) word &= top_mask;
+          rows_[static_cast<std::size_t>((op * limbs + limb) * 64 + j)] = word;
+        }
       }
     }
-  }
-  for (int op = 0; op < 2; ++op) {
-    std::uint64_t* planes = op == 0 ? out.a() : out.b();
-    for (int limb = 0; limb < limbs; ++limb) {
-      std::uint64_t* block = rows_.data() + static_cast<std::size_t>(op * limbs + limb) * 64;
-      transpose_64x64(block);
-      block_to_planes(block, limb, n, planes);
+    for (int op = 0; op < 2; ++op) {
+      std::uint64_t* planes = op == 0 ? out.a() : out.b();
+      for (int limb = 0; limb < limbs; ++limb) {
+        std::uint64_t* block =
+            rows_.data() + static_cast<std::size_t>(op * limbs + limb) * 64;
+        transpose_64x64(block);
+        block_to_planes(block, limb, n, planes, lane_words, w);
+      }
     }
   }
 }

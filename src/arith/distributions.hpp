@@ -32,12 +32,13 @@ class OperandSource {
   /// Draws the next operand pair.
   virtual std::pair<ApInt, ApInt> next(std::mt19937_64& rng) = 0;
 
-  /// Draws the next 64 operand pairs and transposes them into bit-planes.
-  /// CONTRACT: consumes the RNG exactly like 64 successive next() calls and
-  /// produces the same samples (lane j = the j-th pair) — this is what keeps
-  /// the batched Monte Carlo path bit-identical to the scalar one.  The
-  /// default implementation literally calls next(); overrides may generate
-  /// straight into the planes as long as the stream is preserved.
+  /// Draws the next out.lanes() (= 64 * lane_words) operand pairs and
+  /// transposes them into bit-planes.  CONTRACT: consumes the RNG exactly
+  /// like out.lanes() successive next() calls and produces the same samples
+  /// (lane j = the j-th pair) — this is what keeps the batched Monte Carlo
+  /// path bit-identical to the scalar one at every lane width.  The default
+  /// implementation literally calls next(); overrides may generate straight
+  /// into the planes as long as the stream is preserved.
   virtual void fill_batch(std::mt19937_64& rng, BitSlicedBatch& out);
 
   /// Fresh source of the same distribution with pristine stream state (any

@@ -1,0 +1,569 @@
+#include "arith/planeops.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VLCSA_HAVE_AVX2_BACKEND 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) && (defined(__GNUC__) || defined(__clang__))
+#define VLCSA_HAVE_NEON_BACKEND 1
+#include <arm_neon.h>
+#endif
+
+namespace vlcsa::arith::planeops {
+
+namespace {
+
+inline bool aligned64(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) % kPlaneAlignment) == 0;
+}
+
+// ---- scalar backend (the oracle every other backend is pinned to) ----------
+
+void and_scalar(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+                std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) dst[i] = x[i] & y[i];
+}
+
+void or_scalar(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+               std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) dst[i] = x[i] | y[i];
+}
+
+void xor_scalar(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+                std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) dst[i] = x[i] ^ y[i];
+}
+
+void andnot_scalar(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+                   std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) dst[i] = x[i] & ~y[i];
+}
+
+void select_scalar(const std::uint64_t* mask, const std::uint64_t* t, const std::uint64_t* f,
+                   std::uint64_t* dst, std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) dst[i] = (mask[i] & t[i]) | (~mask[i] & f[i]);
+}
+
+void gp_scalar(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* g,
+               std::uint64_t* p, std::size_t m) {
+  for (std::size_t i = 0; i < m; ++i) {
+    g[i] = a[i] & b[i];
+    p[i] = a[i] ^ b[i];
+  }
+}
+
+std::uint64_t popcount_scalar(const std::uint64_t* x, std::size_t m) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    sum += static_cast<std::uint64_t>(std::popcount(x[i]));
+  }
+  return sum;
+}
+
+// One doubling round of the prefix: carry'[i] = carry[i] | (pp[i] & carry[i-off]),
+// pp'[i] = pp[i] & pp[i-off], all reads pre-round.  Processing the flat array
+// top-down with loads before stores realizes exactly that for any off.
+void kogge_scalar(const std::uint64_t* g, const std::uint64_t* p, int n, int lane_words,
+                  std::uint64_t* carry, std::uint64_t* pp) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  std::memcpy(carry, g, m * sizeof(std::uint64_t));
+  std::memcpy(pp, p, m * sizeof(std::uint64_t));
+  for (int d = 1; d < n; d <<= 1) {
+    const std::size_t off =
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(lane_words);
+    for (std::size_t i = m; i-- > off;) {
+      carry[i] |= pp[i] & carry[i - off];
+      pp[i] &= pp[i - off];
+    }
+  }
+}
+
+void ssand_scalar(std::uint64_t* x, int n, int lane_words, int step) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  const std::size_t off =
+      static_cast<std::size_t>(step) * static_cast<std::size_t>(lane_words);
+  for (std::size_t i = m; i-- > off;) x[i] &= x[i - off];
+  std::memset(x, 0, off * sizeof(std::uint64_t));
+}
+
+void transpose_scalar(std::uint64_t block[64]) {
+  // Recursive block swap (Hacker's Delight 7-3 style, oriented for a true
+  // main-diagonal transpose): at each level, swap the high-column half of
+  // the upper row group with the low-column half of the lower row group,
+  // for sub-block sizes 32, 16, ..., 1.
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((block[k] >> j) ^ block[k | j]) & m;
+      block[k] ^= t << j;
+      block[k | j] ^= t;
+    }
+  }
+}
+
+// ---- AVX2 backend ----------------------------------------------------------
+//
+// Built with per-function target attributes so the stock (non -march=native)
+// build still carries the AVX2 code paths and runtime dispatch picks them on
+// capable hosts.  All memory accesses are unaligned-safe loadu/storeu.
+
+#if VLCSA_HAVE_AVX2_BACKEND
+
+__attribute__((target("avx2"))) void and_avx2(const std::uint64_t* x, const std::uint64_t* y,
+                                              std::uint64_t* dst, std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_and_si256(vx, vy));
+  }
+  for (; i < m; ++i) dst[i] = x[i] & y[i];
+}
+
+__attribute__((target("avx2"))) void or_avx2(const std::uint64_t* x, const std::uint64_t* y,
+                                             std::uint64_t* dst, std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_or_si256(vx, vy));
+  }
+  for (; i < m; ++i) dst[i] = x[i] | y[i];
+}
+
+__attribute__((target("avx2"))) void xor_avx2(const std::uint64_t* x, const std::uint64_t* y,
+                                              std::uint64_t* dst, std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_xor_si256(vx, vy));
+  }
+  for (; i < m; ++i) dst[i] = x[i] ^ y[i];
+}
+
+__attribute__((target("avx2"))) void andnot_avx2(const std::uint64_t* x,
+                                                 const std::uint64_t* y, std::uint64_t* dst,
+                                                 std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i vx = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i vy = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + i));
+    // _mm256_andnot_si256(a, b) = ~a & b.
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), _mm256_andnot_si256(vy, vx));
+  }
+  for (; i < m; ++i) dst[i] = x[i] & ~y[i];
+}
+
+__attribute__((target("avx2"))) void select_avx2(const std::uint64_t* mask,
+                                                 const std::uint64_t* t,
+                                                 const std::uint64_t* f, std::uint64_t* dst,
+                                                 std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i vm = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mask + i));
+    const __m256i vt = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i));
+    const __m256i vf = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(f + i));
+    const __m256i sel =
+        _mm256_or_si256(_mm256_and_si256(vm, vt), _mm256_andnot_si256(vm, vf));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), sel);
+  }
+  for (; i < m; ++i) dst[i] = (mask[i] & t[i]) | (~mask[i] & f[i]);
+}
+
+__attribute__((target("avx2"))) void gp_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                                             std::uint64_t* g, std::uint64_t* p,
+                                             std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(g + i), _mm256_and_si256(va, vb));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p + i), _mm256_xor_si256(va, vb));
+  }
+  for (; i < m; ++i) {
+    g[i] = a[i] & b[i];
+    p[i] = a[i] ^ b[i];
+  }
+}
+
+__attribute__((target("avx2,popcnt"))) std::uint64_t popcount_avx2(const std::uint64_t* x,
+                                                                   std::size_t m) {
+  // Lane masks are short (a handful of words); the hardware popcnt loop beats
+  // a pshufb reduction until far larger m than the accumulators ever pass.
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    sum += static_cast<std::uint64_t>(__builtin_popcountll(x[i]));
+  }
+  return sum;
+}
+
+// Top-down chunked doubling rounds; within one 4-word chunk all loads happen
+// before the stores, and chunks run from the top of the array downward, so
+// every read observes the pre-round value for any offset — the same
+// pre-round-read semantics as the scalar loop (see kogge_scalar).
+__attribute__((target("avx2"))) void kogge_avx2(const std::uint64_t* g, const std::uint64_t* p,
+                                                int n, int lane_words, std::uint64_t* carry,
+                                                std::uint64_t* pp) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  std::memcpy(carry, g, m * sizeof(std::uint64_t));
+  std::memcpy(pp, p, m * sizeof(std::uint64_t));
+  for (int d = 1; d < n; d <<= 1) {
+    const std::size_t off =
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(lane_words);
+    std::size_t i = m;
+    while (i - off >= 4 && i >= 4) {
+      i -= 4;
+      const __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(carry + i));
+      const __m256i q = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pp + i));
+      const __m256i cl =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(carry + i - off));
+      const __m256i ql = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pp + i - off));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(carry + i),
+                          _mm256_or_si256(c, _mm256_and_si256(q, cl)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(pp + i), _mm256_and_si256(q, ql));
+    }
+    while (i > off) {
+      --i;
+      carry[i] |= pp[i] & carry[i - off];
+      pp[i] &= pp[i - off];
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void ssand_avx2(std::uint64_t* x, int n, int lane_words,
+                                                int step) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  const std::size_t off =
+      static_cast<std::size_t>(step) * static_cast<std::size_t>(lane_words);
+  std::size_t i = m;
+  while (i - off >= 4 && i >= 4) {
+    i -= 4;
+    const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i));
+    const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i - off));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(x + i), _mm256_and_si256(hi, lo));
+  }
+  while (i > off) {
+    --i;
+    x[i] &= x[i - off];
+  }
+  std::memset(x, 0, off * sizeof(std::uint64_t));
+}
+
+// Same recursive block swap as the scalar transpose; sub-block sizes >= 4
+// handle four rows per vector op (runs of consecutive k with bit j clear have
+// length j, a multiple of 4 there), sizes 2 and 1 finish scalar.
+__attribute__((target("avx2"))) void transpose_avx2(std::uint64_t block[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  int j = 32;
+  for (; j >= 4; m ^= m << (j >>= 1)) {
+    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
+    for (int base = 0; base < 64; base += 2 * j) {
+      for (int k = base; k < base + j; k += 4) {
+        const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + k));
+        const __m256i hi =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + k + j));
+        const __m256i t =
+            _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(lo, j), hi), vm);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + k),
+                            _mm256_xor_si256(lo, _mm256_slli_epi64(t, j)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + k + j),
+                            _mm256_xor_si256(hi, t));
+      }
+    }
+  }
+  for (; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((block[k] >> j) ^ block[k | j]) & m;
+      block[k] ^= t << j;
+      block[k | j] ^= t;
+    }
+  }
+}
+
+#endif  // VLCSA_HAVE_AVX2_BACKEND
+
+// ---- NEON backend ----------------------------------------------------------
+//
+// aarch64 only (NEON is baseline there, so no runtime CPU check is needed).
+// Only the trivially translatable kernels get vector bodies; the structured
+// ones reuse the scalar implementations.
+
+#if VLCSA_HAVE_NEON_BACKEND
+
+void and_neon(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+              std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) vst1q_u64(dst + i, vandq_u64(vld1q_u64(x + i), vld1q_u64(y + i)));
+  for (; i < m; ++i) dst[i] = x[i] & y[i];
+}
+
+void or_neon(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+             std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) vst1q_u64(dst + i, vorrq_u64(vld1q_u64(x + i), vld1q_u64(y + i)));
+  for (; i < m; ++i) dst[i] = x[i] | y[i];
+}
+
+void xor_neon(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+              std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) vst1q_u64(dst + i, veorq_u64(vld1q_u64(x + i), vld1q_u64(y + i)));
+  for (; i < m; ++i) dst[i] = x[i] ^ y[i];
+}
+
+void andnot_neon(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+                 std::size_t m) {
+  std::size_t i = 0;
+  // vbicq_u64(a, b) = a & ~b.
+  for (; i + 2 <= m; i += 2) vst1q_u64(dst + i, vbicq_u64(vld1q_u64(x + i), vld1q_u64(y + i)));
+  for (; i < m; ++i) dst[i] = x[i] & ~y[i];
+}
+
+void select_neon(const std::uint64_t* mask, const std::uint64_t* t, const std::uint64_t* f,
+                 std::uint64_t* dst, std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    vst1q_u64(dst + i, vbslq_u64(vld1q_u64(mask + i), vld1q_u64(t + i), vld1q_u64(f + i)));
+  }
+  for (; i < m; ++i) dst[i] = (mask[i] & t[i]) | (~mask[i] & f[i]);
+}
+
+void gp_neon(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* g,
+             std::uint64_t* p, std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    vst1q_u64(g + i, vandq_u64(va, vb));
+    vst1q_u64(p + i, veorq_u64(va, vb));
+  }
+  for (; i < m; ++i) {
+    g[i] = a[i] & b[i];
+    p[i] = a[i] ^ b[i];
+  }
+}
+
+void kogge_neon(const std::uint64_t* g, const std::uint64_t* p, int n, int lane_words,
+                std::uint64_t* carry, std::uint64_t* pp) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  std::memcpy(carry, g, m * sizeof(std::uint64_t));
+  std::memcpy(pp, p, m * sizeof(std::uint64_t));
+  for (int d = 1; d < n; d <<= 1) {
+    const std::size_t off =
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(lane_words);
+    std::size_t i = m;
+    while (i - off >= 2 && i >= 2) {
+      i -= 2;
+      const uint64x2_t c = vld1q_u64(carry + i);
+      const uint64x2_t q = vld1q_u64(pp + i);
+      const uint64x2_t cl = vld1q_u64(carry + i - off);
+      const uint64x2_t ql = vld1q_u64(pp + i - off);
+      vst1q_u64(carry + i, vorrq_u64(c, vandq_u64(q, cl)));
+      vst1q_u64(pp + i, vandq_u64(q, ql));
+    }
+    while (i > off) {
+      --i;
+      carry[i] |= pp[i] & carry[i - off];
+      pp[i] &= pp[i - off];
+    }
+  }
+}
+
+#endif  // VLCSA_HAVE_NEON_BACKEND
+
+// ---- dispatch --------------------------------------------------------------
+
+struct Kernels {
+  Backend backend;
+  void (*and_)(const std::uint64_t*, const std::uint64_t*, std::uint64_t*, std::size_t);
+  void (*or_)(const std::uint64_t*, const std::uint64_t*, std::uint64_t*, std::size_t);
+  void (*xor_)(const std::uint64_t*, const std::uint64_t*, std::uint64_t*, std::size_t);
+  void (*andnot)(const std::uint64_t*, const std::uint64_t*, std::uint64_t*, std::size_t);
+  void (*select)(const std::uint64_t*, const std::uint64_t*, const std::uint64_t*,
+                 std::uint64_t*, std::size_t);
+  void (*gp)(const std::uint64_t*, const std::uint64_t*, std::uint64_t*, std::uint64_t*,
+             std::size_t);
+  std::uint64_t (*popcount)(const std::uint64_t*, std::size_t);
+  void (*kogge)(const std::uint64_t*, const std::uint64_t*, int, int, std::uint64_t*,
+                std::uint64_t*);
+  void (*ssand)(std::uint64_t*, int, int, int);
+  void (*transpose)(std::uint64_t*);
+};
+
+constexpr Kernels kScalarKernels = {
+    Backend::kScalar, and_scalar,      or_scalar,  xor_scalar, andnot_scalar,
+    select_scalar,    gp_scalar,       popcount_scalar,
+    kogge_scalar,     ssand_scalar,    transpose_scalar,
+};
+
+#if VLCSA_HAVE_AVX2_BACKEND
+constexpr Kernels kAvx2Kernels = {
+    Backend::kAvx2, and_avx2,      or_avx2,  xor_avx2, andnot_avx2,
+    select_avx2,    gp_avx2,       popcount_avx2,
+    kogge_avx2,     ssand_avx2,    transpose_avx2,
+};
+#endif
+
+#if VLCSA_HAVE_NEON_BACKEND
+constexpr Kernels kNeonKernels = {
+    Backend::kNeon, and_neon,      or_neon,  xor_neon, andnot_neon,
+    select_neon,    gp_neon,       popcount_scalar,
+    kogge_neon,     ssand_scalar,  transpose_scalar,
+};
+#endif
+
+const Kernels* kernels_for(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return &kScalarKernels;
+    case Backend::kAvx2:
+#if VLCSA_HAVE_AVX2_BACKEND
+      if (__builtin_cpu_supports("avx2")) return &kAvx2Kernels;
+#endif
+      return nullptr;
+    case Backend::kNeon:
+#if VLCSA_HAVE_NEON_BACKEND
+      return &kNeonKernels;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+const Kernels* best_kernels() {
+  if (const Kernels* k = kernels_for(Backend::kAvx2)) return k;
+  if (const Kernels* k = kernels_for(Backend::kNeon)) return k;
+  return &kScalarKernels;
+}
+
+const Kernels* resolve_initial() {
+  const char* forced = std::getenv("VLCSA_FORCE_BACKEND");
+  if (forced == nullptr || std::string_view(forced) == "auto") return best_kernels();
+  const std::string_view name(forced);
+  Backend backend;
+  if (name == "scalar") {
+    backend = Backend::kScalar;
+  } else if (name == "avx2") {
+    backend = Backend::kAvx2;
+  } else if (name == "neon") {
+    backend = Backend::kNeon;
+  } else {
+    std::fprintf(stderr,
+                 "vlcsa: VLCSA_FORCE_BACKEND=%s is not scalar/avx2/neon/auto; "
+                 "using auto dispatch\n",
+                 forced);
+    return best_kernels();
+  }
+  if (const Kernels* k = kernels_for(backend)) return k;
+  std::fprintf(stderr,
+               "vlcsa: VLCSA_FORCE_BACKEND=%s is unsupported on this CPU/build; "
+               "falling back to scalar\n",
+               forced);
+  return &kScalarKernels;
+}
+
+std::atomic<const Kernels*>& active_slot() {
+  // Function-local so the env override resolves exactly once, on first use,
+  // regardless of static-initialization order.
+  static std::atomic<const Kernels*> slot{resolve_initial()};
+  return slot;
+}
+
+inline const Kernels& active() {
+  return *active_slot().load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kAvx2: return "avx2";
+    case Backend::kNeon: return "neon";
+  }
+  return "?";
+}
+
+Backend active_backend() { return active().backend; }
+
+bool backend_available(Backend backend) { return kernels_for(backend) != nullptr; }
+
+bool set_backend(Backend backend) {
+  const Kernels* k = kernels_for(backend);
+  if (k == nullptr) return false;
+  active_slot().store(k, std::memory_order_relaxed);
+  return true;
+}
+
+bool set_backend(std::string_view name) {
+  if (name == "auto") {
+    active_slot().store(best_kernels(), std::memory_order_relaxed);
+    return true;
+  }
+  if (name == "scalar") return set_backend(Backend::kScalar);
+  if (name == "avx2") return set_backend(Backend::kAvx2);
+  if (name == "neon") return set_backend(Backend::kNeon);
+  return false;
+}
+
+void bulk_and(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+              std::size_t m) {
+  active().and_(x, y, dst, m);
+}
+
+void bulk_or(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+             std::size_t m) {
+  active().or_(x, y, dst, m);
+}
+
+void bulk_xor(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+              std::size_t m) {
+  active().xor_(x, y, dst, m);
+}
+
+void bulk_andnot(const std::uint64_t* x, const std::uint64_t* y, std::uint64_t* dst,
+                 std::size_t m) {
+  active().andnot(x, y, dst, m);
+}
+
+void bulk_select(const std::uint64_t* mask, const std::uint64_t* t, const std::uint64_t* f,
+                 std::uint64_t* dst, std::size_t m) {
+  active().select(mask, t, f, dst, m);
+}
+
+void bulk_gp(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* g,
+             std::uint64_t* p, std::size_t m) {
+  active().gp(a, b, g, p, m);
+}
+
+std::uint64_t popcount_sum(const std::uint64_t* x, std::size_t m) {
+  return active().popcount(x, m);
+}
+
+void kogge_stone(const std::uint64_t* g, const std::uint64_t* p, int n, int lane_words,
+                 std::uint64_t* carry, std::uint64_t* pp) {
+  assert(n >= 1 && lane_words >= 1);
+  // Whole-plane kernel: bases must sit on the PlaneVec alignment contract.
+  assert(aligned64(g) && aligned64(p) && aligned64(carry) && aligned64(pp));
+  (void)aligned64;
+  active().kogge(g, p, n, lane_words, carry, pp);
+}
+
+void shifted_self_and(std::uint64_t* x, int n, int lane_words, int step) {
+  assert(n >= 1 && lane_words >= 1 && step >= 1 && step <= n);
+  assert(aligned64(x));
+  active().ssand(x, n, lane_words, step);
+}
+
+void transpose_64x64(std::uint64_t block[64]) { active().transpose(block); }
+
+}  // namespace vlcsa::arith::planeops

@@ -35,11 +35,16 @@ namespace vlcsa::harness {
 inline constexpr std::uint64_t kDefaultShardSize = 1 << 14;
 
 /// Controls one sharded run.  `threads == 0` means "all hardware threads".
+/// `lane_words == 0` means "the default batch width" (arith::kDefaultLaneWords);
+/// like `threads`, it is purely a throughput knob — merged counters are
+/// bit-identical at any lane width (scalar tails keep the RNG stream equal
+/// to per-sample draws).
 struct RunOptions {
   std::uint64_t samples = 0;
   std::uint64_t seed = 1;
   int threads = 0;
   std::uint64_t shard_size = kDefaultShardSize;
+  int lane_words = 0;
 };
 
 /// `requested` if positive, else std::thread::hardware_concurrency()

@@ -61,26 +61,38 @@ void accumulate_vlsa(const spec::VlsaEvaluation& ev, ErrorRateResult& out) {
 void accumulate_vlcsa_batch(const spec::VlcsaBatchStep& step, spec::ScsaVariant variant,
                             ErrorRateResult& out) {
   const auto& ev = step.eval;
-  const std::uint64_t primary_wrong =
-      variant == spec::ScsaVariant::kScsa1 ? ev.spec0_wrong : ev.either_wrong();
-  out.samples += arith::kBatchLanes;
-  out.actual_errors += lanes(primary_wrong);
-  out.nominal_errors += lanes(step.stalled);
-  out.false_negatives += lanes(primary_wrong & ~step.stalled);
-  out.either_wrong += lanes(ev.either_wrong());
-  out.emitted_wrong += lanes(step.emitted_wrong);
+  const int lw = step.lane_words();
+  const std::uint64_t stalls =
+      arith::planeops::popcount_sum(step.stalled.data(), step.stalled.size());
+  for (int w = 0; w < lw; ++w) {
+    const std::size_t ws = static_cast<std::size_t>(w);
+    const std::uint64_t primary_wrong =
+        variant == spec::ScsaVariant::kScsa1 ? ev.spec0_wrong[ws] : ev.either_wrong(w);
+    out.actual_errors += lanes(primary_wrong);
+    out.false_negatives += lanes(primary_wrong & ~step.stalled[ws]);
+    out.either_wrong += lanes(ev.either_wrong(w));
+  }
+  out.samples += static_cast<std::uint64_t>(arith::kBatchLanes) * lw;
+  out.nominal_errors += stalls;
+  out.emitted_wrong +=
+      arith::planeops::popcount_sum(step.emitted_wrong.data(), step.emitted_wrong.size());
   // 1 cycle per lane + 1 extra per stall (eq. 5.2/6.1).
-  out.total_cycles += arith::kBatchLanes + lanes(step.stalled);
+  out.total_cycles += static_cast<std::uint64_t>(arith::kBatchLanes) * lw + stalls;
 }
 
 void accumulate_vlsa_batch(const spec::VlsaBatchEvaluation& ev, ErrorRateResult& out) {
-  out.samples += arith::kBatchLanes;
-  out.actual_errors += lanes(ev.spec_wrong);
-  out.nominal_errors += lanes(ev.err);
-  out.false_negatives += lanes(ev.spec_wrong & ~ev.err);
-  out.either_wrong += lanes(ev.spec_wrong);
-  out.emitted_wrong += lanes(ev.spec_wrong & ~ev.err);
-  out.total_cycles += arith::kBatchLanes + lanes(ev.err);
+  const int lw = ev.lane_words();
+  const std::uint64_t errs = arith::planeops::popcount_sum(ev.err.data(), ev.err.size());
+  for (int w = 0; w < lw; ++w) {
+    const std::size_t ws = static_cast<std::size_t>(w);
+    out.actual_errors += lanes(ev.spec_wrong[ws]);
+    out.false_negatives += lanes(ev.spec_wrong[ws] & ~ev.err[ws]);
+    out.either_wrong += lanes(ev.spec_wrong[ws]);
+    out.emitted_wrong += lanes(ev.spec_wrong[ws] & ~ev.err[ws]);
+  }
+  out.samples += static_cast<std::uint64_t>(arith::kBatchLanes) * lw;
+  out.nominal_errors += errs;
+  out.total_cycles += static_cast<std::uint64_t>(arith::kBatchLanes) * lw + errs;
 }
 
 ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source,
@@ -96,12 +108,15 @@ ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source
       };
     });
   }
-  return run_sharded_blocks(options, make_result, [&] {
+  const int lane_words = options.lane_words > 0 ? options.lane_words : arith::kDefaultLaneWords;
+  return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, variant = config.variant, shard_source = source.clone(),
-            batch = arith::BitSlicedBatch(config.width), step = spec::VlcsaBatchStep{}](
-               std::mt19937_64& rng, ErrorRateResult& out, std::uint64_t count) mutable {
+            batch = arith::BitSlicedBatch(config.width, lane_words),
+            step = spec::VlcsaBatchStep{}](std::mt19937_64& rng, ErrorRateResult& out,
+                                           std::uint64_t count) mutable {
+      const std::uint64_t batch_lanes = static_cast<std::uint64_t>(batch.lanes());
       std::uint64_t done = 0;
-      for (; done + arith::kBatchLanes <= count; done += arith::kBatchLanes) {
+      for (; done + batch_lanes <= count; done += batch_lanes) {
         shard_source->fill_batch(rng, batch);
         model.step_batch(batch, step);
         accumulate_vlcsa_batch(step, variant, out);
@@ -136,12 +151,15 @@ ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
       };
     });
   }
-  return run_sharded_blocks(options, make_result, [&] {
+  const int lane_words = options.lane_words > 0 ? options.lane_words : arith::kDefaultLaneWords;
+  return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, shard_source = source.clone(),
-            batch = arith::BitSlicedBatch(config.width), ev = spec::VlsaBatchEvaluation{}](
-               std::mt19937_64& rng, ErrorRateResult& out, std::uint64_t count) mutable {
+            batch = arith::BitSlicedBatch(config.width, lane_words),
+            ev = spec::VlsaBatchEvaluation{}](std::mt19937_64& rng, ErrorRateResult& out,
+                                              std::uint64_t count) mutable {
+      const std::uint64_t batch_lanes = static_cast<std::uint64_t>(batch.lanes());
       std::uint64_t done = 0;
-      for (; done + arith::kBatchLanes <= count; done += arith::kBatchLanes) {
+      for (; done + batch_lanes <= count; done += batch_lanes) {
         shard_source->fill_batch(rng, batch);
         model.evaluate_batch(batch, ev);
         accumulate_vlsa_batch(ev, out);

@@ -27,12 +27,13 @@ namespace vlcsa::harness {
 using arith::OperandSource;
 
 /// How an experiment pushes samples through the behavioral model.
-///  * kBatched — bit-sliced: 64 samples per machine word per model pass
-///    (with a scalar tail for shard sizes not divisible by 64);
+///  * kBatched — bit-sliced: 64 * lane_words samples per model pass, with
+///    the plane arrays streamed through the dispatched planeops backend
+///    (and a scalar tail for shard sizes not divisible by the batch size);
 ///  * kScalar  — one sample at a time (the original path, kept as the
 ///    differential-testing oracle).
-/// Both produce bit-identical ErrorRateResult counters at any thread count —
-/// a tested invariant.
+/// Both produce bit-identical ErrorRateResult counters at any thread count,
+/// lane width, and planeops backend — tested invariants.
 enum class EvalPath {
   kBatched,
   kScalar,
@@ -99,13 +100,14 @@ void accumulate_vlcsa(const spec::VlcsaStep& step, spec::ScsaVariant variant,
 /// Folds one VLSA evaluation the same way (actual = spec wrong, nominal = ERR).
 void accumulate_vlsa(const spec::VlsaEvaluation& eval, ErrorRateResult& out);
 
-/// Folds 64 bit-sliced VLCSA steps at once: each counter advances by the
-/// popcount of the corresponding lane mask, so the totals match 64 scalar
-/// accumulate_vlcsa calls exactly.
+/// Folds one whole bit-sliced VLCSA batch (64 * lane_words steps) at once:
+/// each counter advances by the popcount of the corresponding lane-mask
+/// group, so the totals match 64 * lane_words scalar accumulate_vlcsa calls
+/// exactly.
 void accumulate_vlcsa_batch(const spec::VlcsaBatchStep& step, spec::ScsaVariant variant,
                             ErrorRateResult& out);
 
-/// Folds 64 bit-sliced VLSA evaluations the same way.
+/// Folds one whole bit-sliced VLSA batch the same way.
 void accumulate_vlsa_batch(const spec::VlsaBatchEvaluation& eval, ErrorRateResult& out);
 
 /// Runs `options.samples` additions of a VLCSA configuration over an operand

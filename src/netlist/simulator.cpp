@@ -4,44 +4,116 @@
 
 namespace vlcsa::netlist {
 
-Simulator::Simulator(const Netlist& nl) : nl_(nl), values_(nl.num_gates(), 0) {}
+Simulator::Simulator(const Netlist& nl, int lane_words)
+    : nl_(nl),
+      lane_words_(lane_words),
+      values_(nl.num_gates() * static_cast<std::size_t>(lane_words > 0 ? lane_words : 0), 0) {
+  if (lane_words < 1) throw std::invalid_argument("Simulator: lane_words must be >= 1");
+}
 
 void Simulator::set_input(std::size_t input_index, std::uint64_t word) {
-  values_.at(nl_.inputs().at(input_index).signal.id) = word;
+  values_.at(nl_.inputs().at(input_index).signal.id *
+             static_cast<std::size_t>(lane_words_)) = word;
 }
 
 void Simulator::set_input(const std::string& name, std::uint64_t word) {
   const auto s = nl_.find_input(name);
   if (!s) throw std::invalid_argument("Simulator: no input named " + name);
-  values_[s->id] = word;
+  values_[static_cast<std::size_t>(s->id) * static_cast<std::size_t>(lane_words_)] = word;
+}
+
+void Simulator::set_input_lanes(std::size_t input_index, const std::uint64_t* words) {
+  const std::size_t base = nl_.inputs().at(input_index).signal.id *
+                           static_cast<std::size_t>(lane_words_);
+  for (int w = 0; w < lane_words_; ++w) {
+    values_.at(base + static_cast<std::size_t>(w)) = words[w];
+  }
 }
 
 void Simulator::run() {
   const auto& gates = nl_.gates();
+  const std::size_t lw = static_cast<std::size_t>(lane_words_);
   for (std::uint32_t i = 0; i < gates.size(); ++i) {
     const Gate& g = gates[i];
-    auto in = [&](int pin) { return values_[g.fanin[static_cast<std::size_t>(pin)].id]; };
+    std::uint64_t* out = values_.data() + i * lw;
+    auto in = [&](int pin) {
+      return values_.data() +
+             static_cast<std::size_t>(g.fanin[static_cast<std::size_t>(pin)].id) * lw;
+    };
     switch (g.kind) {
-      case GateKind::kConst0: values_[i] = 0; break;
-      case GateKind::kConst1: values_[i] = ~std::uint64_t{0}; break;
-      case GateKind::kInput: break;  // set externally
-      case GateKind::kBuf: values_[i] = in(0); break;
-      case GateKind::kNot: values_[i] = ~in(0); break;
-      case GateKind::kAnd2: values_[i] = in(0) & in(1); break;
-      case GateKind::kOr2: values_[i] = in(0) | in(1); break;
-      case GateKind::kNand2: values_[i] = ~(in(0) & in(1)); break;
-      case GateKind::kNor2: values_[i] = ~(in(0) | in(1)); break;
-      case GateKind::kXor2: values_[i] = in(0) ^ in(1); break;
-      case GateKind::kXnor2: values_[i] = ~(in(0) ^ in(1)); break;
-      case GateKind::kMux2: values_[i] = (in(0) & in(2)) | (~in(0) & in(1)); break;
+      case GateKind::kConst0:
+        for (std::size_t w = 0; w < lw; ++w) out[w] = 0;
+        break;
+      case GateKind::kConst1:
+        for (std::size_t w = 0; w < lw; ++w) out[w] = ~std::uint64_t{0};
+        break;
+      case GateKind::kInput:
+        break;  // set externally
+      case GateKind::kBuf: {
+        const std::uint64_t* a = in(0);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = a[w];
+        break;
+      }
+      case GateKind::kNot: {
+        const std::uint64_t* a = in(0);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = ~a[w];
+        break;
+      }
+      case GateKind::kAnd2: {
+        const std::uint64_t* a = in(0);
+        const std::uint64_t* b = in(1);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = a[w] & b[w];
+        break;
+      }
+      case GateKind::kOr2: {
+        const std::uint64_t* a = in(0);
+        const std::uint64_t* b = in(1);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = a[w] | b[w];
+        break;
+      }
+      case GateKind::kNand2: {
+        const std::uint64_t* a = in(0);
+        const std::uint64_t* b = in(1);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = ~(a[w] & b[w]);
+        break;
+      }
+      case GateKind::kNor2: {
+        const std::uint64_t* a = in(0);
+        const std::uint64_t* b = in(1);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = ~(a[w] | b[w]);
+        break;
+      }
+      case GateKind::kXor2: {
+        const std::uint64_t* a = in(0);
+        const std::uint64_t* b = in(1);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = a[w] ^ b[w];
+        break;
+      }
+      case GateKind::kXnor2: {
+        const std::uint64_t* a = in(0);
+        const std::uint64_t* b = in(1);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = ~(a[w] ^ b[w]);
+        break;
+      }
+      case GateKind::kMux2: {
+        const std::uint64_t* s = in(0);
+        const std::uint64_t* d0 = in(1);
+        const std::uint64_t* d1 = in(2);
+        for (std::size_t w = 0; w < lw; ++w) out[w] = (s[w] & d1[w]) | (~s[w] & d0[w]);
+        break;
+      }
     }
   }
 }
 
 std::uint64_t Simulator::output(const std::string& name) const {
+  return output_lanes(name)[0];
+}
+
+const std::uint64_t* Simulator::output_lanes(const std::string& name) const {
   const auto s = nl_.find_output(name);
   if (!s) throw std::invalid_argument("Simulator: no output named " + name);
-  return values_[s->id];
+  return value_lanes(*s);
 }
 
 }  // namespace vlcsa::netlist

@@ -1,44 +1,67 @@
 #pragma once
-// 64-way bit-sliced logic simulation.
+// Bit-sliced logic simulation: 64 test vectors per lane word, and a
+// configurable number of lane words per net.
 //
-// Every net carries a 64-bit word: bit j of the word is the net's value in
-// test vector j, so one pass over the netlist evaluates 64 input vectors.
-// Because gate creation order is topological, evaluation is a single linear
-// sweep — this is what makes exhaustive netlist-vs-behavioral equivalence
-// checking cheap enough to run inside unit tests.
+// Every net carries `lane_words` 64-bit words: bit j of word w is the net's
+// value in test vector w*64 + j, so one pass over the netlist evaluates
+// 64 * lane_words input vectors.  Because gate creation order is
+// topological, evaluation is a single linear sweep — this is what makes
+// exhaustive netlist-vs-behavioral equivalence checking cheap enough to run
+// inside unit tests.  The default single lane word keeps the classic 64-way
+// interface; wider simulators use the *_lanes accessors.
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "arith/planeops.hpp"
 #include "netlist/netlist.hpp"
 
 namespace vlcsa::netlist {
 
 class Simulator {
  public:
-  explicit Simulator(const Netlist& nl);
+  explicit Simulator(const Netlist& nl, int lane_words = 1);
 
-  /// Sets the 64 parallel values of one primary input (by input index).
+  [[nodiscard]] int lane_words() const { return lane_words_; }
+
+  /// Sets lane word 0 of one primary input (by input index) — the classic
+  /// 64-vector interface; higher lane words are untouched.
   void set_input(std::size_t input_index, std::uint64_t word);
 
-  /// Sets an input by port name; throws if absent.
+  /// Sets an input's lane word 0 by port name; throws if absent.
   void set_input(const std::string& name, std::uint64_t word);
 
-  /// Evaluates every gate once, in creation order.
+  /// Sets all lane words of one primary input; `words` must hold
+  /// lane_words() values.
+  void set_input_lanes(std::size_t input_index, const std::uint64_t* words);
+
+  /// Evaluates every gate once, in creation order, across all lane words.
   void run();
 
-  /// Word value of any signal after run().
-  [[nodiscard]] std::uint64_t value(Signal s) const { return values_[s.id]; }
+  /// Lane word 0 of any signal after run().
+  [[nodiscard]] std::uint64_t value(Signal s) const {
+    return values_[static_cast<std::size_t>(s.id) * static_cast<std::size_t>(lane_words_)];
+  }
 
-  /// Word value of a named output after run(); throws if absent.
+  /// All lane words of any signal after run() (lane_words() values).
+  [[nodiscard]] const std::uint64_t* value_lanes(Signal s) const {
+    return values_.data() +
+           static_cast<std::size_t>(s.id) * static_cast<std::size_t>(lane_words_);
+  }
+
+  /// Lane word 0 of a named output after run(); throws if absent.
   [[nodiscard]] std::uint64_t output(const std::string& name) const;
+
+  /// All lane words of a named output after run(); throws if absent.
+  [[nodiscard]] const std::uint64_t* output_lanes(const std::string& name) const;
 
   [[nodiscard]] const Netlist& netlist() const { return nl_; }
 
  private:
   const Netlist& nl_;
-  std::vector<std::uint64_t> values_;
+  int lane_words_;
+  arith::planeops::PlaneVec values_;  // values_[gate * lane_words + w]
 };
 
 }  // namespace vlcsa::netlist

@@ -1,9 +1,11 @@
 #include "service/cache.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
+#include <vector>
 
 #include "harness/json.hpp"
 
@@ -73,13 +75,83 @@ bool record_matches_key(const std::string& record, const CacheKey& key) {
   return true;
 }
 
-ResultCache::ResultCache(std::string disk_dir, std::size_t memory_capacity)
-    : disk_dir_(std::move(disk_dir)), memory_capacity_(memory_capacity) {
+ResultCache::ResultCache(std::string disk_dir, std::size_t memory_capacity,
+                         std::uint64_t max_disk_bytes)
+    : disk_dir_(std::move(disk_dir)),
+      memory_capacity_(memory_capacity),
+      max_disk_bytes_(max_disk_bytes) {
   if (!disk_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(disk_dir_, ec);
     // An uncreatable directory degrades every put/get to the memory tier;
     // reads/writes below handle the failure per file.
+    if (max_disk_bytes_ != 0) {
+      // A pre-populated directory may already exceed the cap (e.g. after a
+      // restart with a smaller --cache-max-bytes).
+      const std::lock_guard<std::mutex> lock(disk_mutex_);
+      enforce_disk_cap_locked();
+    }
+  }
+}
+
+std::uint64_t ResultCache::disk_usage_bytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(disk_dir_, ec)) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != ".json") continue;
+    const std::uintmax_t size = entry.file_size(ec);
+    if (!ec) total += static_cast<std::uint64_t>(size);
+  }
+  return total;
+}
+
+void ResultCache::enforce_disk_cap_locked() {
+  std::error_code ec;
+  struct RecordFile {
+    std::filesystem::path path;
+    std::filesystem::file_time_type mtime;
+    std::uint64_t size = 0;
+  };
+  std::vector<RecordFile> records;
+  std::uint64_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(disk_dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() == ".tmp") {
+      // A crashed writer's leftover; no live .tmp can coexist with this
+      // walk (both run under disk_mutex_), so sweep it.
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+      continue;
+    }
+    if (entry.path().extension() != ".json") continue;
+    // Per-field error codes: a failed mtime must not be masked by a
+    // succeeding size query (or vice versa) — a record with indeterminate
+    // age would sort as oldest and be evicted ahead of genuinely old ones.
+    std::error_code mtime_ec, size_ec;
+    RecordFile record{entry.path(), entry.last_write_time(mtime_ec),
+                      static_cast<std::uint64_t>(entry.file_size(size_ec))};
+    if (mtime_ec || size_ec) continue;
+    total += record.size;
+    records.push_back(std::move(record));
+  }
+  if (total <= max_disk_bytes_) {
+    disk_bytes_estimate_ = total;
+    return;
+  }
+  std::sort(records.begin(), records.end(),
+            [](const RecordFile& a, const RecordFile& b) { return a.mtime < b.mtime; });
+  std::uint64_t evicted = 0;
+  for (const auto& record : records) {
+    if (total <= max_disk_bytes_) break;
+    std::filesystem::remove(record.path, ec);
+    if (ec) continue;
+    total -= record.size;
+    ++evicted;
+  }
+  disk_bytes_estimate_ = total;
+  if (evicted != 0) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_.disk_evictions += evicted;
   }
 }
 
@@ -152,21 +224,43 @@ void ResultCache::put(const CacheKey& key, const std::string& record) {
   // rename keeps the disk tier hit rate clean.
   const std::string path = file_path(key);
   const std::string tmp = path + ".tmp";
+  const std::lock_guard<std::mutex> disk_lock(disk_mutex_);
+  std::error_code ec;
+  bool wrote = false;
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;  // unwritable dir: memory tier still serves
     out << record << '\n';
-    if (!out.good()) return;
+    wrote = out.good();
   }
-  std::error_code ec;
+  if (!wrote) {
+    // Don't strand a partial .tmp (it would never count against the byte
+    // cap and never be evicted).
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
   std::filesystem::rename(tmp, path, ec);
-  if (ec) std::filesystem::remove(tmp, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  if (max_disk_bytes_ != 0) {
+    // Running estimate keeps the common under-cap store O(1); only when it
+    // crosses the cap does a directory walk run (and resync the estimate,
+    // so key overwrites or external deletions never cause drift to stick).
+    disk_bytes_estimate_ += record.size() + 1;  // + framing '\n'
+    if (disk_bytes_estimate_ > max_disk_bytes_) enforce_disk_cap_locked();
+  }
 }
 
 CacheStats ResultCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  CacheStats out = stats_;
-  out.memory_entries = lru_.size();
+  CacheStats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+    out.memory_entries = lru_.size();
+  }
+  if (!disk_dir_.empty()) out.disk_bytes = disk_usage_bytes();
   return out;
 }
 

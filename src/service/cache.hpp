@@ -13,7 +13,10 @@
 // daemon restarts; a disk hit is validated by re-parsing the record with the
 // strict JSON parser and checking that its embedded key fields match the
 // request, so a corrupted or foreign file degrades to a miss instead of
-// serving wrong results.
+// serving wrong results.  The disk tier can be capped (`max_disk_bytes`):
+// when a store pushes the directory past the cap, the oldest records (by
+// last write time) are evicted until it fits again, so a long-running
+// daemon's cache directory stays bounded.
 
 #include <cstddef>
 #include <cstdint>
@@ -39,15 +42,20 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t disk_evictions = 0;  // record files removed by the byte cap
   std::uint64_t invalid_disk_records = 0;  // corrupt/mismatched files seen
   std::uint64_t memory_entries = 0;  // current, not monotonic; filled by stats()
+  std::uint64_t disk_bytes = 0;      // current on-disk record bytes; by stats()
 };
 
 class ResultCache {
  public:
   /// `disk_dir` empty disables the disk tier; otherwise the directory is
   /// created if absent.  `memory_capacity` 0 disables the memory tier.
-  ResultCache(std::string disk_dir, std::size_t memory_capacity);
+  /// `max_disk_bytes` 0 leaves the disk tier unbounded; otherwise stores
+  /// evict the oldest record files until total record bytes fit the cap.
+  ResultCache(std::string disk_dir, std::size_t memory_capacity,
+              std::uint64_t max_disk_bytes = 0);
 
   enum class Tier { kMemory, kDisk, kMiss };
 
@@ -67,6 +75,7 @@ class ResultCache {
 
   [[nodiscard]] const std::string& disk_dir() const { return disk_dir_; }
   [[nodiscard]] std::size_t memory_capacity() const { return memory_capacity_; }
+  [[nodiscard]] std::uint64_t max_disk_bytes() const { return max_disk_bytes_; }
 
   /// The file a key is stored under: "<sanitized-key>-<fnv1a64>.json" inside
   /// disk_dir.  Exposed so tests and the CI smoke step can find records.
@@ -74,9 +83,22 @@ class ResultCache {
 
  private:
   void promote_locked(const std::string& map_key, const std::string& record);
+  /// Sums the sizes of all ".json" record files in disk_dir_.
+  [[nodiscard]] std::uint64_t disk_usage_bytes() const;
+  /// Deletes oldest-first (by last write time) until the tier fits the cap;
+  /// called with disk_mutex_ held, after a store.
+  void enforce_disk_cap_locked();
 
   std::string disk_dir_;
   std::size_t memory_capacity_;
+  std::uint64_t max_disk_bytes_;
+
+  // Serializes disk-tier writes and cap enforcement (separate from mutex_ so
+  // slow filesystem work never blocks memory-tier lookups).
+  std::mutex disk_mutex_;
+  // Approximate record bytes on disk, guarded by disk_mutex_; resynced by
+  // every enforcement walk.  Lets under-cap stores skip the directory scan.
+  std::uint64_t disk_bytes_estimate_ = 0;
 
   mutable std::mutex mutex_;
   // LRU: most recent at the front; map values point into the list.

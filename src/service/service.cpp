@@ -191,7 +191,8 @@ std::string read_run_request(const JsonValue& request, RunRequest& out) {
 }  // namespace
 
 ExperimentService::ExperimentService(ServiceConfig config)
-    : config_(std::move(config)), cache_(config_.cache_dir, config_.memory_entries) {}
+    : config_(std::move(config)),
+      cache_(config_.cache_dir, config_.memory_entries, config_.cache_max_bytes) {}
 
 ExperimentService::Reply ExperimentService::handle_line(const std::string& line) {
   const harness::JsonParse parse = harness::parse_json(line);
@@ -409,10 +410,13 @@ ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& 
   response.add("misses", stats.misses);
   response.add("stores", stats.stores);
   response.add("evictions", stats.evictions);
+  response.add("disk_evictions", stats.disk_evictions);
   response.add("invalid_disk_records", stats.invalid_disk_records);
   response.add("memory_entries", stats.memory_entries);
   response.add("memory_capacity", static_cast<std::uint64_t>(cache_.memory_capacity()));
   response.add("disk_dir", cache_.disk_dir());
+  response.add("disk_bytes", stats.disk_bytes);
+  response.add("disk_max_bytes", cache_.max_disk_bytes());
   return {response.render_line(), false};
 }
 

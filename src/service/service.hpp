@@ -41,6 +41,7 @@ struct ServiceConfig {
   std::string cache_dir;            // empty = memory tier only
   std::size_t memory_entries = 64;  // LRU capacity; 0 disables the tier
   int threads = 0;                  // engine threads per run (0 = all cores)
+  std::uint64_t cache_max_bytes = 0;  // disk-tier byte cap; 0 = unbounded
 };
 
 class ExperimentService {

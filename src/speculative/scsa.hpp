@@ -84,33 +84,43 @@ struct ScsaEvaluation {
   }
 };
 
-/// Word-parallel SCSA evaluation of 64 samples: every field is a lane mask
-/// whose bit j refers to sample j of the batch.  Only correctness/detection
+/// Word-parallel SCSA evaluation of a whole batch (64 * lane_words samples):
+/// every field is a lane-mask group of lane_words() words — bit j of word w
+/// refers to sample w*64 + j of the batch.  Only correctness/detection
 /// *predicates* are materialized (not the speculative sums themselves) —
 /// S*,0 differs from the exact sum iff some window's speculative carry-in
 /// select differs from the true carry into that window, so the per-sample
 /// comparison collapses to boolean algebra over window G/P planes.  The
 /// scalar evaluate() remains the oracle; the differential tests pin the two
-/// paths bit-identical.
+/// paths bit-identical across lane widths and planeops backends.
 struct ScsaBatchEvaluation {
-  std::uint64_t spec0_wrong = 0;  // S*,0 (incl. carry-out) != exact
-  std::uint64_t spec1_wrong = 0;  // S*,1 (incl. carry-out) != exact
-  std::uint64_t err0 = 0;         // detector ERR0 fired
-  std::uint64_t err1 = 0;         // detector ERR1 fired
+  arith::planeops::PlaneVec spec0_wrong;  // S*,0 (incl. carry-out) != exact
+  arith::planeops::PlaneVec spec1_wrong;  // S*,1 (incl. carry-out) != exact
+  arith::planeops::PlaneVec err0;         // detector ERR0 fired
+  arith::planeops::PlaneVec err1;         // detector ERR1 fired
+
+  [[nodiscard]] int lane_words() const { return static_cast<int>(err0.size()); }
 
   /// Table 7.2 correctness notion, negated: neither result matches.
-  [[nodiscard]] std::uint64_t either_wrong() const { return spec0_wrong & spec1_wrong; }
-  [[nodiscard]] std::uint64_t vlcsa1_stall() const { return err0; }
-  [[nodiscard]] std::uint64_t vlcsa2_stall() const { return err0 & err1; }
+  [[nodiscard]] std::uint64_t either_wrong(int w) const {
+    return spec0_wrong[static_cast<std::size_t>(w)] & spec1_wrong[static_cast<std::size_t>(w)];
+  }
+  [[nodiscard]] std::uint64_t vlcsa1_stall(int w) const {
+    return err0[static_cast<std::size_t>(w)];
+  }
+  [[nodiscard]] std::uint64_t vlcsa2_stall(int w) const {
+    return err0[static_cast<std::size_t>(w)] & err1[static_cast<std::size_t>(w)];
+  }
   /// Wrongness of the result VLCSA 2 emits when it does not stall
   /// (S*,0 if ERR0 = 0, else S*,1).
-  [[nodiscard]] std::uint64_t vlcsa2_selected_wrong() const {
-    return (err0 & spec1_wrong) | (~err0 & spec0_wrong);
+  [[nodiscard]] std::uint64_t vlcsa2_selected_wrong(int w) const {
+    const std::size_t i = static_cast<std::size_t>(w);
+    return (err0[i] & spec1_wrong[i]) | (~err0[i] & spec0_wrong[i]);
   }
 
-  // Reused scratch planes (sized on first evaluate_batch; callers keep one
-  // ScsaBatchEvaluation per shard so the hot loop does not allocate).
-  std::vector<std::uint64_t> g, p, carry, pp;
+  // No plane-sized scratch: generate/propagate fuse into the window sweep
+  // and the exact carries thread window G/P through the window chain, so no
+  // full-width prefix pass is needed here (unlike the VLSA batch).
 };
 
 /// Behavioral SCSA evaluator.  One instance is reusable across calls and

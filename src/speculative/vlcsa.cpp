@@ -37,13 +37,19 @@ VlcsaStep VlcsaModel::step(const ApInt& a, const ApInt& b) const {
 void VlcsaModel::step_batch(const BitSlicedBatch& batch, VlcsaBatchStep& out) const {
   scsa_.evaluate_batch(batch, out.eval);
   const ScsaBatchEvaluation& ev = out.eval;
-  if (config_.variant == ScsaVariant::kScsa1) {
-    out.stalled = ev.vlcsa1_stall();
-    // Stalled lanes emit the (always exact) recovery result; the rest S*,0.
-    out.emitted_wrong = ~out.stalled & ev.spec0_wrong;
-  } else {
-    out.stalled = ev.vlcsa2_stall();
-    out.emitted_wrong = ~out.stalled & ev.vlcsa2_selected_wrong();
+  const std::size_t lw = static_cast<std::size_t>(ev.lane_words());
+  out.stalled.resize(lw);
+  out.emitted_wrong.resize(lw);
+  for (std::size_t w = 0; w < lw; ++w) {
+    const int wi = static_cast<int>(w);
+    if (config_.variant == ScsaVariant::kScsa1) {
+      out.stalled[w] = ev.vlcsa1_stall(wi);
+      // Stalled lanes emit the (always exact) recovery result; the rest S*,0.
+      out.emitted_wrong[w] = ~out.stalled[w] & ev.spec0_wrong[w];
+    } else {
+      out.stalled[w] = ev.vlcsa2_stall(wi);
+      out.emitted_wrong[w] = ~out.stalled[w] & ev.vlcsa2_selected_wrong(wi);
+    }
   }
 }
 

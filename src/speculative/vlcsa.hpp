@@ -30,12 +30,15 @@ struct VlcsaStep {
   ScsaEvaluation eval;   // full signal detail for tests/analysis
 };
 
-/// 64 variable-latency additions, as lane masks (bit j = sample j).
-/// Cycle counts per lane follow from `stalled`: 2 where set, 1 elsewhere.
+/// One whole batch (64 * lane_words) of variable-latency additions, as
+/// lane-mask groups (bit j of word w = sample w*64 + j).  Cycle counts per
+/// lane follow from `stalled`: 2 where set, 1 elsewhere.
 struct VlcsaBatchStep {
-  std::uint64_t stalled = 0;        // detection fired -> recovery cycle
-  std::uint64_t emitted_wrong = 0;  // final emitted result wrong (must be 0)
+  arith::planeops::PlaneVec stalled;        // detection fired -> recovery cycle
+  arith::planeops::PlaneVec emitted_wrong;  // final emitted result wrong (must be 0)
   ScsaBatchEvaluation eval;
+
+  [[nodiscard]] int lane_words() const { return static_cast<int>(stalled.size()); }
 };
 
 class VlcsaModel {

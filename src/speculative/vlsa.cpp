@@ -78,31 +78,27 @@ void VlsaModel::evaluate_batch(const arith::BitSlicedBatch& batch,
   }
   const int n = config_.width;
   const int l = config_.chain;
-  const std::uint64_t* a = batch.a();
-  const std::uint64_t* b = batch.b();
+  const int lw = batch.lane_words();
+  const std::size_t lws = static_cast<std::size_t>(lw);
+  const std::size_t planes = static_cast<std::size_t>(n) * lws;
 
-  out.g.resize(static_cast<std::size_t>(n));
-  out.p.resize(static_cast<std::size_t>(n));
-  out.carry.resize(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    out.g[static_cast<std::size_t>(i)] = a[i] & b[i];
-    out.p[static_cast<std::size_t>(i)] = a[i] ^ b[i];
-  }
+  out.g.resize(planes);
+  out.p.resize(planes);
+  out.carry.resize(planes);
+  arith::planeops::bulk_gp(batch.a(), batch.b(), out.g.data(), out.p.data(), planes);
   // Exact per-bit carries via the word-level Kogge-Stone prefix; carry[j] is
   // the carry *out* of bit j, so the carry *into* bit j is carry[j - 1].
-  arith::kogge_stone_carries(out.g.data(), out.p.data(), n, out.carry.data(), out.pp);
+  arith::kogge_stone_carries(out.g.data(), out.p.data(), n, lw, out.carry.data(), out.pp);
 
   // Sliding all-propagate mask over the planes, same doubling scheme as the
   // scalar propagate_runs(): runs[j] = all of p[j-l+1 .. j], zero when the
-  // window would overhang bit 0.
+  // window would overhang bit 0.  Each doubling step is the plane-kernel
+  // shifted_self_and (groupwise runs[j] &= runs[j-step], zero-fill below).
   out.runs = out.p;
   int covered = 1;
   while (covered < l) {
     const int step = std::min(covered, l - covered);
-    for (int j = n - 1; j >= step; --j) {
-      out.runs[static_cast<std::size_t>(j)] &= out.runs[static_cast<std::size_t>(j - step)];
-    }
-    for (int j = 0; j < step; ++j) out.runs[static_cast<std::size_t>(j)] = 0;
+    arith::planeops::shifted_self_and(out.runs.data(), n, lw, step);
     covered += step;
   }
 
@@ -110,17 +106,19 @@ void VlsaModel::evaluate_batch(const arith::BitSlicedBatch& batch,
   // window ending at j is all-propagate and the true carry entering it is 1
   // (carry into bit j-l+1).  Any such difference flips a sum bit (j <= n-2)
   // or the reported carry-out (j = n-1), so spec_wrong is their OR.
-  std::uint64_t spec_wrong = 0, err = 0;
+  out.spec_wrong.assign(lws, 0);
+  out.err.assign(lws, 0);
   for (int j = l - 1; j < n; ++j) {
-    const std::uint64_t run = out.runs[static_cast<std::size_t>(j)];
+    const std::size_t run_idx = static_cast<std::size_t>(j) * lws;
     const int into = j - l + 1;  // window's lowest bit
-    const std::uint64_t carry_in =
-        into == 0 ? 0 : out.carry[static_cast<std::size_t>(into - 1)];
-    spec_wrong |= run & carry_in;
-    err |= run;
+    for (std::size_t w = 0; w < lws; ++w) {
+      const std::uint64_t run = out.runs[run_idx + w];
+      const std::uint64_t carry_in =
+          into == 0 ? 0 : out.carry[static_cast<std::size_t>(into - 1) * lws + w];
+      out.spec_wrong[w] |= run & carry_in;
+      out.err[w] |= run;
+    }
   }
-  out.spec_wrong = spec_wrong;
-  out.err = err;
 }
 
 // ---- netlist generator ------------------------------------------------------

@@ -45,15 +45,18 @@ struct VlsaEvaluation {
   [[nodiscard]] bool stall() const { return err; }
 };
 
-/// Word-parallel VLSA evaluation of 64 samples (lane masks, bit j =
-/// sample j).  Like ScsaBatchEvaluation, only the predicates the Monte
-/// Carlo counters consume are materialized; evaluate() stays the oracle.
+/// Word-parallel VLSA evaluation of a whole batch (64 * lane_words samples;
+/// lane-mask groups, bit j of word w = sample w*64 + j).  Like
+/// ScsaBatchEvaluation, only the predicates the Monte Carlo counters consume
+/// are materialized; evaluate() stays the oracle.
 struct VlsaBatchEvaluation {
-  std::uint64_t spec_wrong = 0;  // speculative result (incl. cout) != exact
-  std::uint64_t err = 0;         // detection: some l-long propagate run
+  arith::planeops::PlaneVec spec_wrong;  // speculative result (incl. cout) != exact
+  arith::planeops::PlaneVec err;         // detection: some l-long propagate run
+
+  [[nodiscard]] int lane_words() const { return static_cast<int>(err.size()); }
 
   // Reused scratch planes (see ScsaBatchEvaluation).
-  std::vector<std::uint64_t> g, p, carry, runs, pp;
+  arith::planeops::PlaneVec g, p, carry, runs, pp;
 };
 
 class VlsaModel {

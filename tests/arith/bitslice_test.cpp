@@ -8,10 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <random>
+#include <tuple>
 
 #include "arith/apint.hpp"
 #include "arith/distributions.hpp"
+#include "arith/planeops.hpp"
 
 namespace vlcsa::arith {
 namespace {
@@ -87,19 +90,57 @@ INSTANTIATE_TEST_SUITE_P(Widths, TransposeToPlanesTest,
 
 TEST(BitSlicedBatchTest, LoadLaneRoundtrip) {
   const int width = 100;
-  std::mt19937_64 rng(5);
+  for (const int lane_words : {1, 2, 4}) {
+    std::mt19937_64 rng(5);
+    std::vector<ApInt> a, b;
+    for (int j = 0; j < 64 * lane_words; ++j) {
+      a.push_back(ApInt::random(width, rng));
+      b.push_back(ApInt::random(width, rng));
+    }
+    BitSlicedBatch batch(width, lane_words);
+    ASSERT_EQ(batch.lanes(), 64 * lane_words);
+    batch.load(a, b);
+    for (int j = 0; j < batch.lanes(); ++j) {
+      const auto [la, lb] = batch.lane(j);
+      ASSERT_EQ(la, a[static_cast<std::size_t>(j)]) << "W " << lane_words << " lane " << j;
+      ASSERT_EQ(lb, b[static_cast<std::size_t>(j)]) << "W " << lane_words << " lane " << j;
+    }
+  }
+}
+
+TEST(BitSlicedBatchTest, LaneAccessorRejectsOutOfRangeLanes) {
+  BitSlicedBatch batch(8, 2);
+  EXPECT_THROW((void)batch.lane(-1), std::invalid_argument);
+  EXPECT_THROW((void)batch.lane(128), std::invalid_argument);
+  EXPECT_NO_THROW((void)batch.lane(127));
+}
+
+TEST(BitSlicedBatchTest, PlaneStorageIsCacheLineAligned) {
+  BitSlicedBatch batch(130, 4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(batch.a()) % planeops::kPlaneAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(batch.b()) % planeops::kPlaneAlignment, 0u);
+}
+
+TEST(BitSlicedBatchTest, PartialLoadZeroPadsHighLanes) {
+  const int width = 40;
+  std::mt19937_64 rng(8);
   std::vector<ApInt> a, b;
-  for (int j = 0; j < 64; ++j) {
+  for (int j = 0; j < 70; ++j) {  // straddles the first lane-word boundary
     a.push_back(ApInt::random(width, rng));
     b.push_back(ApInt::random(width, rng));
   }
-  BitSlicedBatch batch(width);
+  BitSlicedBatch batch(width, 2);
   batch.load(a, b);
-  for (int j = 0; j < 64; ++j) {
-    const auto [la, lb] = batch.lane(j);
-    ASSERT_EQ(la, a[static_cast<std::size_t>(j)]) << "lane " << j;
-    ASSERT_EQ(lb, b[static_cast<std::size_t>(j)]) << "lane " << j;
+  for (int j = 0; j < 70; ++j) {
+    ASSERT_EQ(batch.lane(j).first, a[static_cast<std::size_t>(j)]) << "lane " << j;
   }
+  for (int j = 70; j < batch.lanes(); ++j) {
+    ASSERT_EQ(batch.lane(j).first, ApInt(width)) << "lane " << j;
+    ASSERT_EQ(batch.lane(j).second, ApInt(width)) << "lane " << j;
+  }
+  EXPECT_THROW(batch.load(std::vector<ApInt>(129, ApInt(width)),
+                          std::vector<ApInt>(129, ApInt(width))),
+               std::invalid_argument);
 }
 
 TEST(BitSlicedBatchTest, LoadRejectsMismatchedCounts) {
@@ -108,75 +149,81 @@ TEST(BitSlicedBatchTest, LoadRejectsMismatchedCounts) {
   EXPECT_THROW(batch.load(a, b), std::invalid_argument);
 }
 
-class KoggeStoneTest : public ::testing::TestWithParam<int> {};
+class KoggeStoneTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(KoggeStoneTest, LaneCarriesMatchApIntAdd) {
-  const int width = GetParam();
+  const auto [width, lane_words] = GetParam();
   std::mt19937_64 rng(6);
   std::vector<ApInt> a, b;
-  for (int j = 0; j < 64; ++j) {
+  for (int j = 0; j < 64 * lane_words; ++j) {
     a.push_back(ApInt::random(width, rng));
     b.push_back(ApInt::random(width, rng));
   }
-  BitSlicedBatch batch(width);
+  BitSlicedBatch batch(width, lane_words);
   batch.load(a, b);
-  std::vector<std::uint64_t> g(static_cast<std::size_t>(width)),
-      p(static_cast<std::size_t>(width)), carry(static_cast<std::size_t>(width)), scratch;
-  for (int i = 0; i < width; ++i) {
-    g[static_cast<std::size_t>(i)] = batch.a()[i] & batch.b()[i];
-    p[static_cast<std::size_t>(i)] = batch.a()[i] ^ batch.b()[i];
-  }
-  kogge_stone_carries(g.data(), p.data(), width, carry.data(), scratch);
-  for (int j = 0; j < 64; ++j) {
+  const std::size_t planes =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(lane_words);
+  planeops::PlaneVec g(planes), p(planes), carry(planes), scratch;
+  planeops::bulk_gp(batch.a(), batch.b(), g.data(), p.data(), planes);
+  kogge_stone_carries(g.data(), p.data(), width, lane_words, carry.data(), scratch);
+  for (int j = 0; j < batch.lanes(); ++j) {
     const auto exact = ApInt::add(a[static_cast<std::size_t>(j)], b[static_cast<std::size_t>(j)]);
     const ApInt& aj = a[static_cast<std::size_t>(j)];
     const ApInt& bj = b[static_cast<std::size_t>(j)];
+    const int lane_word = j / kBatchLanes;
+    const int lane_bit = j % kBatchLanes;
     for (int i = 0; i < width; ++i) {
       // Carry out of bit i == carry into bit i+1 == p(i+1) ^ sum(i+1); the
       // top bit's carry-out is the reported carry_out.
       const bool expected =
           i == width - 1 ? exact.carry_out
                          : (aj.bit(i + 1) ^ bj.bit(i + 1) ^ exact.sum.bit(i + 1));
-      ASSERT_EQ((carry[static_cast<std::size_t>(i)] >> j) & 1,
-                static_cast<std::uint64_t>(expected))
-          << "width " << width << " lane " << j << " bit " << i;
+      const std::uint64_t word =
+          carry[static_cast<std::size_t>(i) * static_cast<std::size_t>(lane_words) +
+                static_cast<std::size_t>(lane_word)];
+      ASSERT_EQ((word >> lane_bit) & 1, static_cast<std::uint64_t>(expected))
+          << "width " << width << " W " << lane_words << " lane " << j << " bit " << i;
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Widths, KoggeStoneTest, ::testing::Values(1, 2, 7, 64, 65, 130));
+INSTANTIATE_TEST_SUITE_P(WidthsByLaneWords, KoggeStoneTest,
+                         ::testing::Combine(::testing::Values(1, 2, 7, 64, 65, 130),
+                                            ::testing::Values(1, 2, 4)));
 
-// fill_batch contract: same samples, same RNG consumption as 64 x next().
+// fill_batch contract: same samples, same RNG consumption as lanes() x next().
 class FillBatchTest
-    : public ::testing::TestWithParam<std::tuple<InputDistribution, int>> {};
+    : public ::testing::TestWithParam<std::tuple<InputDistribution, int, int>> {};
 
 TEST_P(FillBatchTest, MatchesScalarStreamAndRngState) {
-  const auto [dist, width] = GetParam();
+  const auto [dist, width, lane_words] = GetParam();
   const auto proto = make_source(dist, width);
 
   std::mt19937_64 rng_batch(99), rng_scalar(99);
-  BitSlicedBatch batch(width);
+  BitSlicedBatch batch(width, lane_words);
   const auto batch_source = proto->clone();
   batch_source->fill_batch(rng_batch, batch);
 
   const auto scalar_source = proto->clone();
-  for (int j = 0; j < kBatchLanes; ++j) {
+  for (int j = 0; j < batch.lanes(); ++j) {
     const auto [a, b] = scalar_source->next(rng_scalar);
     const auto [la, lb] = batch.lane(j);
     ASSERT_EQ(la, a) << proto->name() << " width " << width << " lane " << j;
     ASSERT_EQ(lb, b) << proto->name() << " width " << width << " lane " << j;
   }
   // Identical consumption: the next raw draw must agree.
-  EXPECT_EQ(rng_batch(), rng_scalar()) << proto->name() << " width " << width;
+  EXPECT_EQ(rng_batch(), rng_scalar())
+      << proto->name() << " width " << width << " W " << lane_words;
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    DistributionsByWidth, FillBatchTest,
+    DistributionsByWidthByLaneWords, FillBatchTest,
     ::testing::Combine(::testing::Values(InputDistribution::kUniformUnsigned,
                                          InputDistribution::kUniformTwos,
                                          InputDistribution::kGaussianUnsigned,
                                          InputDistribution::kGaussianTwos),
-                       ::testing::Values(12, 32, 64, 128)));
+                       ::testing::Values(12, 32, 64, 128),
+                       ::testing::Values(1, 2, 4)));
 
 }  // namespace
 }  // namespace vlcsa::arith

@@ -1,0 +1,222 @@
+// Plane-kernel layer tests: every available backend (scalar always; AVX2 /
+// NEON when the host supports them) must compute bit-identical results to
+// the scalar oracle on every kernel, including ragged tails, aliased
+// destinations, and the shape-sensitive Kogge-Stone / shifted-and kernels.
+// Also covers the dispatch surface: backend naming, availability, and the
+// set_backend contract.
+
+#include "arith/planeops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace vlcsa::arith::planeops {
+namespace {
+
+/// Restores whatever backend was active when the test started (so a process
+/// pinned via VLCSA_FORCE_BACKEND stays pinned for the tests that follow).
+class BackendGuard {
+ public:
+  BackendGuard() : prev_(active_backend()) {}
+  ~BackendGuard() { set_backend(prev_); }
+
+ private:
+  Backend prev_;
+};
+
+std::vector<Backend> available_backends() {
+  std::vector<Backend> out;
+  for (const Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+    if (backend_available(b)) out.push_back(b);
+  }
+  return out;
+}
+
+PlaneVec random_words(std::mt19937_64& rng, std::size_t m) {
+  PlaneVec out(m);
+  for (auto& word : out) word = rng();
+  return out;
+}
+
+const std::vector<std::size_t> kSizes = {0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 257};
+
+TEST(PlaneOpsDispatchTest, ScalarAlwaysAvailableAndNamed) {
+  EXPECT_TRUE(backend_available(Backend::kScalar));
+  EXPECT_STREQ(to_string(Backend::kScalar), "scalar");
+  EXPECT_STREQ(to_string(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(Backend::kNeon), "neon");
+}
+
+TEST(PlaneOpsDispatchTest, SetBackendRoundTripsAndRejectsUnknown) {
+  BackendGuard guard;
+  for (const Backend b : available_backends()) {
+    ASSERT_TRUE(set_backend(b)) << to_string(b);
+    EXPECT_EQ(active_backend(), b);
+    ASSERT_TRUE(set_backend(std::string_view(to_string(b)))) << to_string(b);
+    EXPECT_EQ(active_backend(), b);
+  }
+  const Backend before = active_backend();
+  EXPECT_FALSE(set_backend("sse9000"));
+  EXPECT_EQ(active_backend(), before);  // failed switches leave dispatch alone
+  EXPECT_TRUE(set_backend("auto"));
+}
+
+TEST(PlaneOpsDispatchTest, UnavailableBackendIsRejected) {
+  BackendGuard guard;
+  for (const Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (!backend_available(b)) {
+      const Backend before = active_backend();
+      EXPECT_FALSE(set_backend(b)) << to_string(b);
+      EXPECT_EQ(active_backend(), before);
+    }
+  }
+}
+
+class PlaneOpsBackendTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (!backend_available(GetParam())) GTEST_SKIP() << "backend not on this host";
+    ASSERT_TRUE(set_backend(GetParam()));
+  }
+  void TearDown() override { set_backend(prev_); }
+
+ private:
+  Backend prev_ = active_backend();  // captured before SetUp switches
+};
+
+TEST_P(PlaneOpsBackendTest, BulkOpsMatchScalarSemantics) {
+  std::mt19937_64 rng(1);
+  for (const std::size_t m : kSizes) {
+    const PlaneVec x = random_words(rng, m);
+    const PlaneVec y = random_words(rng, m);
+    const PlaneVec z = random_words(rng, m);
+    PlaneVec dst(m, 0);
+    bulk_and(x.data(), y.data(), dst.data(), m);
+    for (std::size_t i = 0; i < m; ++i) ASSERT_EQ(dst[i], x[i] & y[i]) << "and @" << i;
+    bulk_or(x.data(), y.data(), dst.data(), m);
+    for (std::size_t i = 0; i < m; ++i) ASSERT_EQ(dst[i], x[i] | y[i]) << "or @" << i;
+    bulk_xor(x.data(), y.data(), dst.data(), m);
+    for (std::size_t i = 0; i < m; ++i) ASSERT_EQ(dst[i], x[i] ^ y[i]) << "xor @" << i;
+    bulk_andnot(x.data(), y.data(), dst.data(), m);
+    for (std::size_t i = 0; i < m; ++i) ASSERT_EQ(dst[i], x[i] & ~y[i]) << "andnot @" << i;
+    bulk_select(z.data(), x.data(), y.data(), dst.data(), m);
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(dst[i], (z[i] & x[i]) | (~z[i] & y[i])) << "select @" << i;
+    }
+    PlaneVec g(m, 0), p(m, 0);
+    bulk_gp(x.data(), y.data(), g.data(), p.data(), m);
+    for (std::size_t i = 0; i < m; ++i) {
+      ASSERT_EQ(g[i], x[i] & y[i]) << "gp/g @" << i;
+      ASSERT_EQ(p[i], x[i] ^ y[i]) << "gp/p @" << i;
+    }
+    // Aliased destination (dst == x) is part of the contract.
+    PlaneVec aliased = x;
+    bulk_xor(aliased.data(), y.data(), aliased.data(), m);
+    for (std::size_t i = 0; i < m; ++i) ASSERT_EQ(aliased[i], x[i] ^ y[i]) << "alias @" << i;
+  }
+}
+
+TEST_P(PlaneOpsBackendTest, PopcountSumMatchesPerWordPopcount) {
+  std::mt19937_64 rng(2);
+  for (const std::size_t m : kSizes) {
+    const PlaneVec x = random_words(rng, m);
+    std::uint64_t expected = 0;
+    for (const std::uint64_t word : x) {
+      expected += static_cast<std::uint64_t>(std::popcount(word));
+    }
+    EXPECT_EQ(popcount_sum(x.data(), m), expected) << "m=" << m;
+  }
+  const PlaneVec ones(9, ~std::uint64_t{0});
+  EXPECT_EQ(popcount_sum(ones.data(), ones.size()), 9u * 64u);
+}
+
+TEST_P(PlaneOpsBackendTest, KoggeStoneMatchesSequentialCarryChain) {
+  std::mt19937_64 rng(3);
+  for (const int n : {1, 2, 3, 5, 8, 17, 64, 130}) {
+    for (const int lane_words : {1, 2, 3, 4}) {
+      const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+      const PlaneVec a = random_words(rng, m);
+      const PlaneVec b = random_words(rng, m);
+      PlaneVec g(m), p(m), carry(m), pp(m);
+      bulk_gp(a.data(), b.data(), g.data(), p.data(), m);
+      kogge_stone(g.data(), p.data(), n, lane_words, carry.data(), pp.data());
+      // Reference: the sequential carry recurrence per lane word.
+      PlaneVec expected(m);
+      for (int w = 0; w < lane_words; ++w) {
+        std::uint64_t c = 0;
+        for (int i = 0; i < n; ++i) {
+          const std::size_t idx =
+              static_cast<std::size_t>(i) * static_cast<std::size_t>(lane_words) +
+              static_cast<std::size_t>(w);
+          c = g[idx] | (p[idx] & c);
+          expected[idx] = c;
+        }
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        ASSERT_EQ(carry[i], expected[i]) << "n=" << n << " W=" << lane_words << " @" << i;
+      }
+    }
+  }
+}
+
+TEST_P(PlaneOpsBackendTest, ShiftedSelfAndMatchesScalarSweep) {
+  std::mt19937_64 rng(4);
+  for (const int n : {1, 2, 5, 16, 64, 130}) {
+    for (const int lane_words : {1, 2, 4}) {
+      for (const int step : {1, 2, 3, n}) {
+        if (step > n) continue;
+        const std::size_t m =
+            static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+        PlaneVec x = random_words(rng, m);
+        PlaneVec expected = x;
+        const std::size_t off =
+            static_cast<std::size_t>(step) * static_cast<std::size_t>(lane_words);
+        for (std::size_t i = m; i-- > off;) expected[i] &= expected[i - off];
+        for (std::size_t i = 0; i < off; ++i) expected[i] = 0;
+        shifted_self_and(x.data(), n, lane_words, step);
+        for (std::size_t i = 0; i < m; ++i) {
+          ASSERT_EQ(x[i], expected[i])
+              << "n=" << n << " W=" << lane_words << " step=" << step << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PlaneOpsBackendTest, TransposeMatchesNaiveBitGather) {
+  std::mt19937_64 rng(5);
+  alignas(kPlaneAlignment) std::uint64_t block[64];
+  for (auto& row : block) row = rng();
+  std::uint64_t expected[64] = {};
+  for (int r = 0; r < 64; ++r) {
+    for (int c = 0; c < 64; ++c) {
+      expected[c] |= ((block[r] >> c) & 1) << r;
+    }
+  }
+  transpose_64x64(block);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], expected[i]) << "row " << i;
+  // Involution.
+  transpose_64x64(block);
+  std::mt19937_64 rng2(5);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(block[i], rng2()) << "row " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PlaneOpsBackendTest,
+                         ::testing::Values(Backend::kScalar, Backend::kAvx2, Backend::kNeon),
+                         [](const ::testing::TestParamInfo<Backend>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(PlaneVecTest, StorageIsCacheLineAligned) {
+  for (const std::size_t m : {1u, 3u, 64u, 1000u}) {
+    const PlaneVec v(m, 0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kPlaneAlignment, 0u) << m;
+  }
+}
+
+}  // namespace
+}  // namespace vlcsa::arith::planeops

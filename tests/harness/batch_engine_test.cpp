@@ -42,6 +42,40 @@ TEST(BatchEngineTest, TailOnlyShardSizesStayBitIdentical) {
   }
 }
 
+TEST(BatchEngineTest, BatchedPathIsLaneWidthInvariant) {
+  // lane_words is a pure throughput knob: the merged counters must be
+  // bit-identical at every batch width (and any thread count), because the
+  // scalar tail keeps each shard's RNG stream equal to per-sample draws.
+  const auto* experiment = find_error_rate_experiment("table7.1/n64");
+  ASSERT_NE(experiment, nullptr);
+  const auto source =
+      arith::make_source(experiment->dist, experiment->width, experiment->params);
+  const spec::VlcsaConfig config{experiment->width, experiment->window,
+                                 spec::ScsaVariant::kScsa1};
+  ErrorRateResult reference;
+  bool have_reference = false;
+  for (const int lane_words : {1, 2, 4, 8}) {
+    for (const int threads : {1, 2}) {
+      RunOptions options;
+      options.samples = 5000;
+      options.seed = 23;
+      options.threads = threads;
+      options.lane_words = lane_words;
+      const auto result = run_vlcsa(config, *source, options, EvalPath::kBatched);
+      if (!have_reference) {
+        reference = result;
+        have_reference = true;
+      }
+      EXPECT_EQ(result, reference) << "W=" << lane_words << " threads=" << threads;
+    }
+  }
+  // And the default width (lane_words = 0 -> kDefaultLaneWords) matches too.
+  RunOptions options;
+  options.samples = 5000;
+  options.seed = 23;
+  EXPECT_EQ(run_vlcsa(config, *source, options, EvalPath::kBatched), reference);
+}
+
 TEST(BatchEngineTest, BatchedPathIsThreadCountInvariant) {
   const auto* experiment = find_error_rate_experiment("table7.1/n64");
   ASSERT_NE(experiment, nullptr);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -133,6 +135,63 @@ TEST(ResultCache, RecordMatchesKeyPredicate) {
   CacheKey wrong = key;
   wrong.samples = 11;
   EXPECT_FALSE(record_matches_key(record_for(key), wrong));
+}
+
+TEST(ResultCache, DiskCapEvictsOldestRecords) {
+  const std::string dir = temp_dir("cap");
+  // Roomy cap first: three records persist.
+  CacheKey keys[3] = {{"exp/a", 1, 1, "batched"}, {"exp/b", 2, 1, "batched"},
+                      {"exp/c", 3, 1, "batched"}};
+  {
+    ResultCache cache(dir, 0, 1 << 20);
+    for (int i = 0; i < 3; ++i) {
+      cache.put(keys[i], record_for(keys[i]));
+      // Distinct mtimes, all in the past so later stores are newest, and
+      // "oldest" is well defined even on coarse filesystem clocks.
+      const auto stamp = std::filesystem::last_write_time(cache.file_path(keys[i]));
+      std::filesystem::last_write_time(cache.file_path(keys[i]),
+                                       stamp - std::chrono::seconds(30 - i));
+    }
+    EXPECT_EQ(cache.stats().disk_evictions, 0u);
+    EXPECT_GT(cache.stats().disk_bytes, 0u);
+  }
+  // Tight cap on the pre-populated dir: the constructor enforces it, keeping
+  // only the newest record.
+  const std::uint64_t one_record =
+      static_cast<std::uint64_t>(record_for(keys[2]).size()) + 1;  // + framing '\n'
+  ResultCache cache(dir, 0, one_record);
+  EXPECT_EQ(cache.stats().disk_evictions, 2u);
+  EXPECT_LE(cache.stats().disk_bytes, one_record);
+  EXPECT_EQ(cache.get(keys[0]).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.get(keys[1]).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.get(keys[2]).tier, ResultCache::Tier::kDisk);
+  // A fresh store pushes past the cap again: the older survivor goes.
+  const CacheKey fresh{"exp/d", 4, 1, "batched"};
+  cache.put(fresh, record_for(fresh));
+  EXPECT_EQ(cache.get(fresh).tier, ResultCache::Tier::kDisk);
+  EXPECT_EQ(cache.get(keys[2]).tier, ResultCache::Tier::kMiss);
+  EXPECT_GE(cache.stats().disk_evictions, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCache, ZeroCapLeavesDiskUnbounded) {
+  const std::string dir = temp_dir("nocap");
+  ResultCache cache(dir, 0, 0);
+  for (int i = 0; i < 8; ++i) {
+    const CacheKey key{"exp/x" + std::to_string(i), static_cast<std::uint64_t>(i), 1,
+                      "batched"};
+    cache.put(key, record_for(key));
+  }
+  EXPECT_EQ(cache.stats().disk_evictions, 0u);
+  EXPECT_EQ(cache.max_disk_bytes(), 0u);
+  int on_disk = 0;
+  for (int i = 0; i < 8; ++i) {
+    const CacheKey key{"exp/x" + std::to_string(i), static_cast<std::uint64_t>(i), 1,
+                      "batched"};
+    if (cache.get(key).tier == ResultCache::Tier::kDisk) ++on_disk;
+  }
+  EXPECT_EQ(on_disk, 8);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ResultCache, FilePathIsReadableAndKeyed) {

@@ -340,5 +340,31 @@ TEST(SocketServer, EndToEndOverUnixSocket) {
   serving.join();
 }
 
+TEST(ExperimentService, CacheStatsReportsDiskTierSizeAndCap) {
+  const std::string dir = temp_dir("cap");
+  ServiceConfig config;
+  config.cache_dir = dir;
+  config.memory_entries = 4;
+  config.threads = 1;
+  config.cache_max_bytes = 1 << 20;
+  ExperimentService service(config);
+  (void)parse_reply(service.handle_line(kErrorRateRun));
+
+  const JsonValue response =
+      parse_reply(service.handle_line(R"({"request": "cache-stats"})"));
+  EXPECT_EQ(field(response, "status"), "ok");
+  std::uint64_t value = 0;
+  ASSERT_NE(response.find("disk_bytes"), nullptr);
+  ASSERT_TRUE(response.find("disk_bytes")->to_u64(value));
+  EXPECT_GT(value, 0u);  // the run's record is on disk and counted
+  ASSERT_NE(response.find("disk_max_bytes"), nullptr);
+  ASSERT_TRUE(response.find("disk_max_bytes")->to_u64(value));
+  EXPECT_EQ(value, static_cast<std::uint64_t>(1 << 20));
+  ASSERT_NE(response.find("disk_evictions"), nullptr);
+  ASSERT_TRUE(response.find("disk_evictions")->to_u64(value));
+  EXPECT_EQ(value, 0u);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace vlcsa::service
