@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                             std::to_string(args.samples) + " operations per row.");
 
   harness::Table table({"unit", "config", "stall rate", "avg cycles", "exactness"});
-  std::mt19937_64 rng(args.seed);
+  vlcsa::arith::BlockRng rng(args.seed);
 
   // 32x32 multiplier, VLCSA 2 final adder at 64 bits.
   {

@@ -6,10 +6,12 @@
 //
 // --json=FILE switches to the machine-readable perf record instead of the
 // google-benchmark run: a curated suite timing each plane kernel (scalar vs
-// the best dispatched backend) and the end-to-end batched sampling loop
-// against the PR 2 baseline (single lane word, scalar backend), written as
-// one JSON object.  CI uploads this as the BENCH_batch.json artifact so the
-// perf trajectory is tracked across PRs.
+// the best dispatched backend), the RNG subsystem (std engine vs block
+// generation, operand fill before/after the direct-to-plane path), and the
+// end-to-end batched sampling loop against the PR 2 baseline (single lane
+// word, scalar backend), written as one JSON object.  CI uploads this as
+// the BENCH_batch.json artifact so the perf trajectory is tracked across
+// PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -46,7 +48,7 @@ namespace planeops = arith::planeops;
 
 void BM_ApIntAdd(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
-  std::mt19937_64 rng(1);
+  vlcsa::arith::BlockRng rng(1);
   const ApInt a = ApInt::random(width, rng);
   const ApInt b = ApInt::random(width, rng);
   for (auto _ : state) {
@@ -59,7 +61,7 @@ void BM_ScsaEvaluate(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
   const spec::ScsaModel model(
       spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
-  std::mt19937_64 rng(2);
+  vlcsa::arith::BlockRng rng(2);
   const ApInt a = ApInt::random(width, rng);
   const ApInt b = ApInt::random(width, rng);
   for (auto _ : state) {
@@ -77,7 +79,7 @@ void BM_ScsaEvaluateBatch(benchmark::State& state) {
   const int lane_words = static_cast<int>(state.range(1));
   const spec::ScsaModel model(
       spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
-  std::mt19937_64 rng(2);
+  vlcsa::arith::BlockRng rng(2);
   arith::BitSlicedBatch batch(width, lane_words);
   auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
   source->fill_batch(rng, batch);
@@ -96,7 +98,7 @@ void BM_VlsaEvaluate(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
   const spec::VlsaModel model(
       spec::VlsaConfig{width, spec::vlsa_published_chain_length(width)});
-  std::mt19937_64 rng(3);
+  vlcsa::arith::BlockRng rng(3);
   const ApInt a = ApInt::random(width, rng);
   const ApInt b = ApInt::random(width, rng);
   for (auto _ : state) {
@@ -111,7 +113,7 @@ void BM_VlsaEvaluateBatch(benchmark::State& state) {
   const int lane_words = static_cast<int>(state.range(1));
   const spec::VlsaModel model(
       spec::VlsaConfig{width, spec::vlsa_published_chain_length(width)});
-  std::mt19937_64 rng(3);
+  vlcsa::arith::BlockRng rng(3);
   arith::BitSlicedBatch batch(width, lane_words);
   auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
   source->fill_batch(rng, batch);
@@ -147,7 +149,7 @@ void BM_PlaneKoggeStone(benchmark::State& state) {
   const int lane_words = static_cast<int>(state.range(1));
   const BackendScope scope(state.range(2) != 0);
   const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
-  std::mt19937_64 rng(7);
+  vlcsa::arith::BlockRng rng(7);
   planeops::PlaneVec g(m), p(m), carry(m), pp(m);
   for (auto& word : g) word = rng();
   for (auto& word : p) word = rng();
@@ -164,7 +166,7 @@ BENCHMARK(BM_PlaneKoggeStone)
 void BM_PlaneBulkGp(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   const BackendScope scope(state.range(1) != 0);
-  std::mt19937_64 rng(8);
+  vlcsa::arith::BlockRng rng(8);
   planeops::PlaneVec a(m), b(m), g(m), p(m);
   for (auto& word : a) word = rng();
   for (auto& word : b) word = rng();
@@ -179,7 +181,7 @@ BENCHMARK(BM_PlaneBulkGp)->Args({2048, 0})->Args({2048, 1});
 
 void BM_PlaneTranspose64x64(benchmark::State& state) {
   const BackendScope scope(state.range(0) != 0);
-  std::mt19937_64 rng(9);
+  vlcsa::arith::BlockRng rng(9);
   alignas(64) std::uint64_t block[64];
   for (auto& row : block) row = rng();
   for (auto _ : state) {
@@ -194,7 +196,7 @@ BENCHMARK(BM_PlaneTranspose64x64)->Arg(0)->Arg(1);
 void BM_PlanePopcountSum(benchmark::State& state) {
   const std::size_t m = static_cast<std::size_t>(state.range(0));
   const BackendScope scope(state.range(1) != 0);
-  std::mt19937_64 rng(10);
+  vlcsa::arith::BlockRng rng(10);
   planeops::PlaneVec x(m);
   for (auto& word : x) word = rng();
   for (auto _ : state) {
@@ -205,12 +207,126 @@ void BM_PlanePopcountSum(benchmark::State& state) {
 }
 BENCHMARK(BM_PlanePopcountSum)->Args({4, 0})->Args({4, 1})->Args({2048, 0})->Args({2048, 1});
 
+// ---- RNG subsystem ---------------------------------------------------------
+// The block-generating MT19937-64 vs the std engine it is sequence-identical
+// to: per-call draws, bulk generate_block, and the uniform operand fill it
+// feeds.  Args where present: (0 = scalar backend / 1 = auto-dispatched).
+
+/// The pre-BlockRng uniform fill: one std::mt19937_64 draw per limb per
+/// sample into the transpose blocks — exactly what
+/// UniformUnsignedSource::fill_batch did at PR 4.  The baseline both the
+/// BM_RngFillBatchPerCallReference bench and the --json rng section compare
+/// the direct-to-plane path against.
+void fill_batch_percall_reference(std::mt19937_64& rng, arith::BitSlicedBatch& batch,
+                                  std::vector<std::uint64_t>& rows) {
+  const int width = batch.width();
+  const int lane_words = batch.lane_words();
+  const int limbs = (width + 63) / 64;
+  const std::uint64_t top_mask =
+      width % 64 == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (width % 64)) - 1);
+  rows.resize(static_cast<std::size_t>(2 * limbs) * 64);
+  for (int w = 0; w < lane_words; ++w) {
+    for (int j = 0; j < 64; ++j) {
+      for (int op = 0; op < 2; ++op) {
+        for (int limb = 0; limb < limbs; ++limb) {
+          std::uint64_t word = rng();
+          if (limb == limbs - 1) word &= top_mask;
+          rows[static_cast<std::size_t>((op * limbs + limb) * 64 + j)] = word;
+        }
+      }
+    }
+    for (int op = 0; op < 2; ++op) {
+      std::uint64_t* planes = op == 0 ? batch.a() : batch.b();
+      for (int limb = 0; limb < limbs; ++limb) {
+        std::uint64_t* block = rows.data() + static_cast<std::size_t>(op * limbs + limb) * 64;
+        arith::transpose_64x64(block);
+        arith::block_to_planes(block, limb, width, planes, lane_words, w);
+      }
+    }
+  }
+}
+
+void BM_RngStdMt19937Draws(benchmark::State& state) {
+  std::mt19937_64 rng(1);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) sum += rng();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_RngStdMt19937Draws);
+
+void BM_RngBlockRngDraws(benchmark::State& state) {
+  const BackendScope scope(state.range(0) != 0);
+  arith::BlockRng rng(1);
+  std::uint64_t sum = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) sum += rng();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_RngBlockRngDraws)->Arg(0)->Arg(1);
+
+void BM_RngGenerateBlock(benchmark::State& state) {
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  const BackendScope scope(state.range(1) != 0);
+  arith::BlockRng rng(1);
+  std::vector<std::uint64_t> buf(words);
+  for (auto _ : state) {
+    rng.generate_block(buf.data(), words);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(words));
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_RngGenerateBlock)
+    ->Args({312, 0})->Args({312, 1})->Args({4096, 0})->Args({4096, 1});
+
+// The uniform operand fill the block RNG accelerates end to end: one batch
+// of 64 * lane_words operand pairs into bit-planes.  Args: (width,
+// lane_words, backend).  Compare with BM_RngFillBatchPerCallReference, which
+// re-implements the PR 4 per-call fill (one std::mt19937_64 draw per limb)
+// on the same shapes — the ratio is the operand-generation speedup.
+void BM_RngFillBatch(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int lane_words = static_cast<int>(state.range(1));
+  const BackendScope scope(state.range(2) != 0);
+  arith::UniformUnsignedSource source(width);
+  arith::BitSlicedBatch batch(width, lane_words);
+  arith::BlockRng rng(5);
+  for (auto _ : state) {
+    source.fill_batch(rng, batch);
+    benchmark::DoNotOptimize(batch.a());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * lane_words);
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_RngFillBatch)
+    ->Args({64, 4, 0})->Args({64, 4, 1})->Args({512, 4, 0})->Args({512, 4, 1});
+
+void BM_RngFillBatchPerCallReference(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const int lane_words = static_cast<int>(state.range(1));
+  arith::BitSlicedBatch batch(width, lane_words);
+  std::mt19937_64 rng(5);
+  std::vector<std::uint64_t> rows;
+  for (auto _ : state) {
+    fill_batch_percall_reference(rng, batch, rows);
+    benchmark::DoNotOptimize(batch.a());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * lane_words);
+}
+BENCHMARK(BM_RngFillBatchPerCallReference)->Args({64, 4})->Args({512, 4});
+
 void BM_NetlistSimulate64Vectors(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
   const auto nl =
       netlist::optimize(adders::build_adder_netlist(adders::AdderKind::kKoggeStone, width));
   netlist::Simulator sim(nl);
-  std::mt19937_64 rng(4);
+  vlcsa::arith::BlockRng rng(4);
   for (std::size_t i = 0; i < nl.inputs().size(); ++i) sim.set_input(i, rng());
   for (auto _ : state) {
     sim.run();
@@ -384,7 +500,7 @@ int write_perf_json(const std::string& path) {
     constexpr int kW = 4;
     constexpr std::size_t kM = static_cast<std::size_t>(kN) * kW;
     constexpr std::uint64_t kSamplesPerPass = 64 * kW;
-    std::mt19937_64 rng(13);
+    vlcsa::arith::BlockRng rng(13);
     planeops::PlaneVec a(kM), b(kM), g(kM), p(kM), carry(kM), pp(kM);
     for (auto& word : a) word = rng();
     for (auto& word : b) word = rng();
@@ -424,6 +540,74 @@ int write_perf_json(const std::string& path) {
     }
   }
 
+  // The RNG subsystem: per-word generation cost of the std engine, the
+  // block RNG's per-call path, and bulk generate_block, plus the uniform
+  // operand fill before (per-call std draws, the PR 4 path) and after
+  // (generate_block direct-to-plane).  This is the Amdahl term PR 5 lifts.
+  std::string rng_section;
+  {
+    constexpr std::size_t kWords = 1 << 14;
+    std::vector<std::uint64_t> buf(kWords);
+    std::mt19937_64 std_rng(13);
+    arith::BlockRng block_rng(13);
+    const double std_ns = time_ns_per_item(kWords, [&] {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < kWords; ++i) sum += std_rng();
+      benchmark::DoNotOptimize(sum);
+    });
+    const double percall_ns = time_ns_per_item(kWords, [&] {
+      std::uint64_t sum = 0;
+      for (std::size_t i = 0; i < kWords; ++i) sum += block_rng();
+      benchmark::DoNotOptimize(sum);
+    });
+    const auto block_ns_for = [&](const char* backend) {
+      const BackendScope scope(backend);
+      return time_ns_per_item(kWords, [&] {
+        block_rng.generate_block(buf.data(), kWords);
+        benchmark::DoNotOptimize(buf.data());
+      });
+    };
+    const double block_scalar_ns = block_ns_for("scalar");
+    const double block_best_ns = block_ns_for("auto");
+    harness::JsonObject generation;
+    generation.add("std_mt19937_64_ns_per_word", std_ns);
+    generation.add("blockrng_percall_ns_per_word", percall_ns);
+    generation.add("blockrng_block_scalar_ns_per_word", block_scalar_ns);
+    generation.add("blockrng_block_ns_per_word", block_best_ns);
+    generation.add("speedup_vs_std", block_best_ns > 0 ? std_ns / block_best_ns : 0.0);
+
+    std::string fills;
+    bool first = true;
+    for (const int width : {64, 512}) {
+      arith::UniformUnsignedSource source(width);
+      arith::BitSlicedBatch batch(width, arith::kDefaultLaneWords);
+      arith::BlockRng fill_rng(5);
+      const std::uint64_t lanes = static_cast<std::uint64_t>(batch.lanes());
+      const double fill_ns = time_ns_per_item(lanes, [&] {
+        source.fill_batch(fill_rng, batch);
+        benchmark::DoNotOptimize(batch.a());
+      });
+      std::mt19937_64 old_rng(5);
+      std::vector<std::uint64_t> rows;
+      const double before_ns = time_ns_per_item(lanes, [&] {
+        fill_batch_percall_reference(old_rng, batch, rows);
+        benchmark::DoNotOptimize(batch.a());
+      });
+      harness::JsonObject record;
+      record.add("workload", "uniform-fill-batch-n" + std::to_string(width));
+      record.add("percall_std_ns_per_sample", before_ns);
+      record.add("ns_per_sample", fill_ns);
+      record.add("speedup", fill_ns > 0 ? before_ns / fill_ns : 0.0);
+      if (!first) fills += ", ";
+      fills += record.render_line();
+      first = false;
+    }
+    harness::JsonObject rng_record;
+    rng_record.add_json("generation", generation.render_line());
+    rng_record.add_json("fill_batch", "[" + fills + "]");
+    rng_section = rng_record.render_line();
+  }
+
   // The batched model evaluation alone (no operand generation): this is the
   // layer the SIMD plane kernels accelerate, compared against the single
   // lane word + scalar backend configuration (how PR 2 evaluated batches).
@@ -434,7 +618,7 @@ int write_perf_json(const std::string& path) {
     for (const int width : {64, 512}) {
       const spec::ScsaModel model(
           spec::ScsaConfig{width, spec::min_window_for_error_rate(width, 1e-4)});
-      std::mt19937_64 rng(17);
+      vlcsa::arith::BlockRng rng(17);
       auto source = arith::make_source(arith::InputDistribution::kUniformUnsigned, width);
       spec::ScsaBatchEvaluation ev;
       const auto time_model = [&](int lane_words, const char* backend) {
@@ -462,9 +646,11 @@ int write_perf_json(const std::string& path) {
   }
 
   // The full sampling loop (operand generation + model + counters).  The
-  // baseline configuration (1 lane word, scalar backend) is how PR 2 ran the
-  // batched pipeline; std::mt19937_64 draws and the bit-matrix transpose
-  // bound this number (Amdahl), so it moves far less than the model row.
+  // baseline configuration (1 lane word, scalar backend) is how PR 2 ran
+  // the batched pipeline.  Through PR 4 this row was Amdahl-bound by
+  // per-call std::mt19937_64 draws; the block RNG's direct-to-plane fill
+  // is what moved it (the acceptance row for PR 5: >= 2x vs the PR 4
+  // record).
   std::string end_to_end;
   double end_to_end_speedup_n512 = 0.0;
   {
@@ -488,10 +674,11 @@ int write_perf_json(const std::string& path) {
   }
 
   harness::JsonObject root;
-  root.add("schema", "vlcsa-perf-2");
+  root.add("schema", "vlcsa-perf-3");
   root.add("backend_best", best);
   root.add("lane_words_default", arith::kDefaultLaneWords);
   root.add_json("kernels", "[" + kernels + "]");
+  root.add_json("rng", rng_section);
   root.add_json("model_eval", "[" + model_eval + "]");
   root.add_json("end_to_end", "[" + end_to_end + "]");
 

@@ -28,7 +28,7 @@ int main() {
                           profiler.record(a, b);
                           trace.emplace_back(a, b);
                         });
-  std::mt19937_64 rng(99);
+  vlcsa::arith::BlockRng rng(99);
   for (int op = 0; op < 64; ++op) {
     const ApInt x1 = field.random_element(rng);
     const ApInt y1 = field.random_element(rng);

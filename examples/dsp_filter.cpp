@@ -44,7 +44,7 @@ std::uint64_t scsa_add(const spec::ScsaModel& model, std::uint64_t x, std::uint6
 /// Control: errs equally often but flips one *random* bit — the per-output
 /// failure mode the paper contrasts in Ch. 3.3.
 std::uint64_t bitflip_add(std::uint64_t x, std::uint64_t y, double error_rate,
-                          std::mt19937_64& rng, std::uint64_t* errors) {
+                          vlcsa::arith::BlockRng& rng, std::uint64_t* errors) {
   std::uint64_t sum = (x + y) & 0xffffffffu;
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   if (coin(rng) < error_rate) {
@@ -82,7 +82,7 @@ int main() {
 
   // Offset-binary sensor stream: slow sine + noise, 16-bit unsigned.
   constexpr int kSamples = 4096;
-  std::mt19937_64 rng(2024);
+  vlcsa::arith::BlockRng rng(2024);
   std::normal_distribution<double> noise(0.0, 0.04);
   std::vector<std::uint64_t> x(kSamples);
   for (int t = 0; t < kSamples; ++t) {
@@ -99,7 +99,7 @@ int main() {
 
   std::vector<double> exact_out, scsa_out, flip_out;
   std::uint64_t scsa_errors = 0, flip_errors = 0, adds = 0;
-  std::mt19937_64 flip_rng(7);
+  vlcsa::arith::BlockRng flip_rng(7);
 
   // First pass to learn the SCSA per-add error rate on this operand stream,
   // so the bit-flip control errs at the *same* measured rate.

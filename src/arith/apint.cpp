@@ -60,9 +60,9 @@ ApInt ApInt::from_binary(int width, const std::string& bits) {
   return r;
 }
 
-ApInt ApInt::random(int width, std::mt19937_64& rng) {
+ApInt ApInt::random(int width, BlockRng& rng) {
   ApInt r(width);
-  for (auto& l : r.limbs_) l = rng();
+  rng.generate_block(r.limbs_.data(), r.limbs_.size());
   r.normalize();
   return r;
 }

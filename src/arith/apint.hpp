@@ -10,10 +10,11 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <random>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "arith/rng.hpp"
 
 namespace vlcsa::arith {
 
@@ -46,8 +47,10 @@ class ApInt {
   /// length must not exceed `width`.
   [[nodiscard]] static ApInt from_binary(int width, const std::string& bits);
 
-  /// Uniformly random `width`-bit pattern.
-  [[nodiscard]] static ApInt random(int width, std::mt19937_64& rng);
+  /// Uniformly random `width`-bit pattern: one rng draw per limb, in limb
+  /// order, top limb masked.  (BlockRng is sequence-identical to
+  /// std::mt19937_64, so values are unchanged from the std-engine era.)
+  [[nodiscard]] static ApInt random(int width, BlockRng& rng);
 
   [[nodiscard]] int width() const { return width_; }
   [[nodiscard]] int num_limbs() const { return static_cast<int>(limbs_.size()); }

@@ -7,7 +7,7 @@
 
 namespace vlcsa::arith {
 
-void OperandSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out) {
+void OperandSource::fill_batch(BlockRng& rng, BitSlicedBatch& out) {
   if (out.width() != width()) {
     throw std::invalid_argument("OperandSource::fill_batch: batch width mismatch");
   }
@@ -25,34 +25,52 @@ void OperandSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out) {
   }
 }
 
-std::pair<ApInt, ApInt> UniformUnsignedSource::next(std::mt19937_64& rng) {
+std::pair<ApInt, ApInt> UniformUnsignedSource::next(BlockRng& rng) {
   return {ApInt::random(width(), rng), ApInt::random(width(), rng)};
 }
 
-void UniformUnsignedSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out) {
+void UniformUnsignedSource::fill_batch(BlockRng& rng, BitSlicedBatch& out) {
   if (out.width() != width()) {
     throw std::invalid_argument("UniformUnsignedSource::fill_batch: batch width mismatch");
   }
   // Mirror of out.lanes() x next(): per sample, a's limbs then b's limbs, one
-  // rng() call per limb in limb order, top limb masked — exactly
-  // ApInt::random's consumption — but written into per-limb 64x64 transpose
-  // blocks instead of heap-allocated ApInts, one block round per lane word.
+  // rng word per limb in limb order, top limb masked — exactly ApInt::random's
+  // consumption — but the whole lane-word group's words come from ONE
+  // generate_block() call (the block RNG's SIMD twist + batched tempering),
+  // then get deinterleaved into per-limb 64x64 transpose blocks and written
+  // straight into the bit-planes.  Member scratch: no allocation after the
+  // first batch.
   const int n = width();
   const int lane_words = out.lane_words();
   const int limbs = (n + ApInt::kLimbBits - 1) / ApInt::kLimbBits;
   const int top_bits = n - (limbs - 1) * ApInt::kLimbBits;
   const std::uint64_t top_mask =
       top_bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << top_bits) - 1);
-  rows_.resize(static_cast<std::size_t>(2 * limbs) * 64);  // member scratch: no
-                                                           // allocation after the
-                                                           // first batch
+  const std::size_t group_words = static_cast<std::size_t>(2 * limbs) * 64;
+  stream_.resize(group_words);
+  rows_.resize(group_words);
   for (int w = 0; w < lane_words; ++w) {
-    for (int j = 0; j < kBatchLanes; ++j) {
-      for (int op = 0; op < 2; ++op) {
-        for (int limb = 0; limb < limbs; ++limb) {
-          std::uint64_t word = rng();
-          if (limb == limbs - 1) word &= top_mask;
-          rows_[static_cast<std::size_t>((op * limbs + limb) * 64 + j)] = word;
+    rng.generate_block(stream_.data(), group_words);
+    if (limbs == 1) {
+      // Single-limb fast path (every width <= 64): the stream is simply
+      // a0 b0 a1 b1 ..., a two-way deinterleave with the width mask applied
+      // on the way through.
+      for (int j = 0; j < kBatchLanes; ++j) {
+        rows_[static_cast<std::size_t>(j)] = stream_[static_cast<std::size_t>(2 * j)] & top_mask;
+        rows_[static_cast<std::size_t>(64 + j)] =
+            stream_[static_cast<std::size_t>(2 * j + 1)] & top_mask;
+      }
+    } else {
+      // Sample j's words sit at stream_[j*2*limbs ..]; scatter them into the
+      // (op, limb) blocks the transpose wants, masking top limbs in place.
+      for (int j = 0; j < kBatchLanes; ++j) {
+        const std::uint64_t* sample = stream_.data() + static_cast<std::size_t>(j) * 2 * limbs;
+        for (int op = 0; op < 2; ++op) {
+          for (int limb = 0; limb < limbs; ++limb) {
+            std::uint64_t word = sample[op * limbs + limb];
+            if (limb == limbs - 1) word &= top_mask;
+            rows_[static_cast<std::size_t>((op * limbs + limb) * 64 + j)] = word;
+          }
         }
       }
     }
@@ -70,7 +88,7 @@ void UniformUnsignedSource::fill_batch(std::mt19937_64& rng, BitSlicedBatch& out
 
 namespace {
 
-ApInt random_signed_magnitude(int width, std::mt19937_64& rng) {
+ApInt random_signed_magnitude(int width, BlockRng& rng) {
   // Uniform magnitude in [0, 2^(width-1)) with a random sign bit.
   ApInt mag = ApInt::random(width, rng);
   mag.set_bit(width - 1, false);
@@ -80,7 +98,7 @@ ApInt random_signed_magnitude(int width, std::mt19937_64& rng) {
 
 }  // namespace
 
-std::pair<ApInt, ApInt> UniformTwosSource::next(std::mt19937_64& rng) {
+std::pair<ApInt, ApInt> UniformTwosSource::next(BlockRng& rng) {
   return {random_signed_magnitude(width(), rng), random_signed_magnitude(width(), rng)};
 }
 
@@ -107,12 +125,12 @@ ApInt encode_unsigned_sample(int width, double sample) {
   return ApInt::from_u64(width, static_cast<std::uint64_t>(clamped));
 }
 
-std::pair<ApInt, ApInt> GaussianUnsignedSource::next(std::mt19937_64& rng) {
+std::pair<ApInt, ApInt> GaussianUnsignedSource::next(BlockRng& rng) {
   return {encode_unsigned_sample(width(), dist_(rng)),
           encode_unsigned_sample(width(), dist_(rng))};
 }
 
-std::pair<ApInt, ApInt> GaussianTwosSource::next(std::mt19937_64& rng) {
+std::pair<ApInt, ApInt> GaussianTwosSource::next(BlockRng& rng) {
   return {encode_signed_sample(width(), dist_(rng)), encode_signed_sample(width(), dist_(rng))};
 }
 

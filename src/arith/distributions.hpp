@@ -30,7 +30,7 @@ class OperandSource {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// Draws the next operand pair.
-  virtual std::pair<ApInt, ApInt> next(std::mt19937_64& rng) = 0;
+  virtual std::pair<ApInt, ApInt> next(BlockRng& rng) = 0;
 
   /// Draws the next out.lanes() (= 64 * lane_words) operand pairs and
   /// transposes them into bit-planes.  CONTRACT: consumes the RNG exactly
@@ -39,7 +39,7 @@ class OperandSource {
   /// path bit-identical to the scalar one at every lane width.  The default
   /// implementation literally calls next(); overrides may generate straight
   /// into the planes as long as the stream is preserved.
-  virtual void fill_batch(std::mt19937_64& rng, BitSlicedBatch& out);
+  virtual void fill_batch(BlockRng& rng, BitSlicedBatch& out);
 
   /// Fresh source of the same distribution with pristine stream state (any
   /// cached variates are discarded).  Must be safe to call concurrently from
@@ -55,16 +55,21 @@ class UniformUnsignedSource final : public OperandSource {
  public:
   explicit UniformUnsignedSource(int width) : OperandSource(width) {}
   [[nodiscard]] std::string name() const override { return "uniform-unsigned"; }
-  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
-  /// Fast path: draws raw limbs straight into the transpose blocks (same
-  /// rng() call order as ApInt::random, so the stream contract holds).
-  void fill_batch(std::mt19937_64& rng, BitSlicedBatch& out) override;
+  std::pair<ApInt, ApInt> next(BlockRng& rng) override;
+  /// Fast path: one generate_block() per lane-word group fills the raw limb
+  /// stream directly (same word order as ApInt::random — per sample, a's
+  /// limbs then b's limbs — so the stream contract holds), then the words
+  /// are deinterleaved into per-limb 64x64 blocks, masked, transposed, and
+  /// written straight into the bit-planes.  No per-sample draw loop and no
+  /// heap ApInts — this is the direct-to-plane path the block RNG enables.
+  void fill_batch(BlockRng& rng, BitSlicedBatch& out) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<UniformUnsignedSource>(width());
   }
 
  private:
-  std::vector<std::uint64_t> rows_;  // fill_batch transpose scratch
+  std::vector<std::uint64_t> stream_;  // fill_batch raw block-RNG draw scratch
+  std::vector<std::uint64_t> rows_;    // fill_batch transpose scratch
 };
 
 /// Two's-complement uniform inputs (Fig 6.3): a uniformly random magnitude
@@ -76,7 +81,7 @@ class UniformTwosSource final : public OperandSource {
  public:
   explicit UniformTwosSource(int width) : OperandSource(width) {}
   [[nodiscard]] std::string name() const override { return "uniform-twos-complement"; }
-  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  std::pair<ApInt, ApInt> next(BlockRng& rng) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<UniformTwosSource>(width());
   }
@@ -94,7 +99,7 @@ class GaussianUnsignedSource final : public OperandSource {
   GaussianUnsignedSource(int width, GaussianParams params)
       : OperandSource(width), params_(params), dist_(params.mean, params.sigma) {}
   [[nodiscard]] std::string name() const override { return "gaussian-unsigned"; }
-  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  std::pair<ApInt, ApInt> next(BlockRng& rng) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<GaussianUnsignedSource>(width(), params_);
   }
@@ -112,7 +117,7 @@ class GaussianTwosSource final : public OperandSource {
   GaussianTwosSource(int width, GaussianParams params)
       : OperandSource(width), params_(params), dist_(params.mean, params.sigma) {}
   [[nodiscard]] std::string name() const override { return "gaussian-twos-complement"; }
-  std::pair<ApInt, ApInt> next(std::mt19937_64& rng) override;
+  std::pair<ApInt, ApInt> next(BlockRng& rng) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<GaussianTwosSource>(width(), params_);
   }

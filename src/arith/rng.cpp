@@ -1,0 +1,224 @@
+#include "arith/rng.hpp"
+
+#include <algorithm>
+
+#include "arith/planeops.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VLCSA_HAVE_AVX2_RNG 1
+#include <immintrin.h>
+#endif
+
+namespace vlcsa::arith {
+
+namespace {
+
+// MT19937-64 constants ([rand.eng.mers] mersenne_twister_engine<uint64, 64,
+// 312, 156, 31, A, 29, D, 17, B, 37, C, 43, F>).
+constexpr std::size_t kN = BlockRng::kStateWords;  // 312
+constexpr std::size_t kM = 156;
+constexpr std::uint64_t kMatrixA = 0xB5026F5AA96619E9ULL;
+constexpr std::uint64_t kLowerMask = 0x7FFFFFFFULL;        // low r = 31 bits
+constexpr std::uint64_t kUpperMask = ~kLowerMask;          // high w - r bits
+constexpr std::uint64_t kTemperD = 0x5555555555555555ULL;  // u = 29
+constexpr std::uint64_t kTemperB = 0x71D67FFFEDA60000ULL;  // s = 17
+constexpr std::uint64_t kTemperC = 0xFFF7EEE000000000ULL;  // t = 37
+constexpr std::uint64_t kSeedF = 6364136223846793005ULL;
+
+// ---- scalar backend (the oracle the SIMD twist is pinned to) ---------------
+
+inline std::uint64_t twist_word(std::uint64_t hi, std::uint64_t lo) {
+  const std::uint64_t y = (hi & kUpperMask) | (lo & kLowerMask);
+  return (y >> 1) ^ ((y & 1) ? kMatrixA : 0);
+}
+
+void twist_scalar(std::uint64_t* mt) {
+  for (std::size_t i = 0; i < kN - kM; ++i) {
+    mt[i] = mt[i + kM] ^ twist_word(mt[i], mt[i + 1]);
+  }
+  for (std::size_t i = kN - kM; i < kN - 1; ++i) {
+    mt[i] = mt[i + kM - kN] ^ twist_word(mt[i], mt[i + 1]);
+  }
+  mt[kN - 1] = mt[kM - 1] ^ twist_word(mt[kN - 1], mt[0]);
+}
+
+inline std::uint64_t temper_word(std::uint64_t z) {
+  z ^= (z >> 29) & kTemperD;
+  z ^= (z << 17) & kTemperB;
+  z ^= (z << 37) & kTemperC;
+  z ^= z >> 43;
+  return z;
+}
+
+void temper_scalar(const std::uint64_t* mt, std::uint64_t* dst) {
+  for (std::size_t i = 0; i < kN; ++i) dst[i] = temper_word(mt[i]);
+}
+
+// ---- AVX2 backend ----------------------------------------------------------
+//
+// Same per-function target attributes as planeops.cpp: the stock build
+// carries the AVX2 bodies and runtime dispatch picks them on capable hosts.
+// The twist recurrence x[i] = x[i+m] ^ f(x[i], x[i+1]) only feeds back at
+// distances m = 156 and 1 (through the *old* value of x[i+1]), so 4-wide
+// chunks that load both operand vectors before storing never observe a
+// value the chunk itself wrote — the exact pre-round-read reasoning of the
+// planeops kogge/ssand kernels.
+
+#if VLCSA_HAVE_AVX2_RNG
+
+__attribute__((target("avx2"))) inline __m256i twist_vec(__m256i hi, __m256i lo,
+                                                         __m256i feed) {
+  const __m256i upper = _mm256_set1_epi64x(static_cast<long long>(kUpperMask));
+  const __m256i lower = _mm256_set1_epi64x(static_cast<long long>(kLowerMask));
+  const __m256i a = _mm256_set1_epi64x(static_cast<long long>(kMatrixA));
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i y =
+      _mm256_or_si256(_mm256_and_si256(hi, upper), _mm256_and_si256(lo, lower));
+  // (y & 1) ? A : 0 without a compare: 0 - (y & 1) is all-ones or zero.
+  const __m256i odd_mask =
+      _mm256_sub_epi64(_mm256_setzero_si256(), _mm256_and_si256(y, one));
+  return _mm256_xor_si256(
+      feed, _mm256_xor_si256(_mm256_srli_epi64(y, 1), _mm256_and_si256(odd_mask, a)));
+}
+
+__attribute__((target("avx2"))) void twist_avx2(std::uint64_t* mt) {
+  // First stretch: i in [0, n-m) reads old mt[i..i+1] and old mt[i+m].
+  // 156 is a multiple of 4, so no scalar tail here.
+  for (std::size_t i = 0; i < kN - kM; i += 4) {
+    const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i));
+    const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i + 1));
+    const __m256i feed =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i + kM));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mt + i), twist_vec(hi, lo, feed));
+  }
+  // Second stretch: i in [n-m, n-1) feeds back the *new* mt[i+m-n] (written
+  // 156 slots earlier) while still reading old mt[i..i+1]; a 4-chunk writes
+  // mt[i..i+3] only after loading mt[i..i+4], so the lo vector's overlap
+  // with the chunk's own stores is safe.  155 iterations -> 3 scalar tail.
+  std::size_t i = kN - kM;
+  for (; i + 4 <= kN - 1; i += 4) {
+    const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i));
+    const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i + 1));
+    const __m256i feed =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i + kM - kN));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(mt + i), twist_vec(hi, lo, feed));
+  }
+  for (; i < kN - 1; ++i) mt[i] = mt[i + kM - kN] ^ twist_word(mt[i], mt[i + 1]);
+  mt[kN - 1] = mt[kM - 1] ^ twist_word(mt[kN - 1], mt[0]);
+}
+
+__attribute__((target("avx2"))) void temper_avx2(const std::uint64_t* mt,
+                                                 std::uint64_t* dst) {
+  const __m256i d = _mm256_set1_epi64x(static_cast<long long>(kTemperD));
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(kTemperB));
+  const __m256i c = _mm256_set1_epi64x(static_cast<long long>(kTemperC));
+  for (std::size_t i = 0; i < kN; i += 4) {  // 312 is a multiple of 4
+    __m256i z = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(mt + i));
+    z = _mm256_xor_si256(z, _mm256_and_si256(_mm256_srli_epi64(z, 29), d));
+    z = _mm256_xor_si256(z, _mm256_and_si256(_mm256_slli_epi64(z, 17), b));
+    z = _mm256_xor_si256(z, _mm256_and_si256(_mm256_slli_epi64(z, 37), c));
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 43));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), z);
+  }
+}
+
+#endif  // VLCSA_HAVE_AVX2_RNG
+
+// ---- dispatch --------------------------------------------------------------
+//
+// The RNG rides the planeops dispatch state rather than keeping its own:
+// VLCSA_FORCE_BACKEND and planeops::set_backend select the twist/temper
+// implementation too, so one switch covers the whole bit-parallel stack.
+// NEON has no dedicated body (the scalar twist is already branch-light on
+// aarch64); it dispatches to the oracle.
+
+struct RngKernels {
+  void (*twist)(std::uint64_t*);
+  void (*temper)(const std::uint64_t*, std::uint64_t*);
+};
+
+RngKernels active_kernels() {
+#if VLCSA_HAVE_AVX2_RNG
+  if (planeops::active_backend() == planeops::Backend::kAvx2) {
+    return {twist_avx2, temper_avx2};
+  }
+#endif
+  return {twist_scalar, temper_scalar};
+}
+
+}  // namespace
+
+void BlockRng::seed(result_type value) {
+  state_[0] = value;
+  for (std::size_t i = 1; i < kStateWords; ++i) {
+    state_[i] = kSeedF * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
+  }
+  index_ = kStateWords;
+}
+
+void BlockRng::refill() {
+  const RngKernels k = active_kernels();
+  k.twist(state_);
+  k.temper(state_, out_);
+  index_ = 0;
+}
+
+void BlockRng::generate_block(std::uint64_t* dst, std::size_t n) {
+  std::size_t produced = 0;
+  // Drain whatever the per-call path left buffered, preserving draw order.
+  if (index_ < kStateWords) {
+    const std::size_t take = std::min(kStateWords - index_, n);
+    std::copy(out_ + index_, out_ + index_ + take, dst);
+    index_ += take;
+    produced = take;
+  }
+  const RngKernels k = active_kernels();
+  // Full blocks: twist and temper straight into the destination, never
+  // touching the out_ buffer.
+  while (n - produced >= kStateWords) {
+    k.twist(state_);
+    k.temper(state_, dst + produced);
+    produced += kStateWords;
+  }
+  // Partial trailing block: regenerate out_ and hand out its head, leaving
+  // the rest buffered for subsequent draws.
+  if (produced < n) {
+    k.twist(state_);
+    k.temper(state_, out_);
+    const std::size_t take = n - produced;
+    std::copy(out_, out_ + take, dst + produced);
+    index_ = take;
+  }
+}
+
+void BlockRng::discard(unsigned long long z) {
+  // Drain what the current block has buffered, then twist (without
+  // tempering) any block skipped in full — tempering is a pure per-word
+  // map, so dropping it cannot desynchronize the stream.
+  const std::size_t buffered = kStateWords - index_;
+  if (z <= buffered) {
+    index_ += static_cast<std::size_t>(z);
+    return;
+  }
+  z -= buffered;
+  const RngKernels k = active_kernels();
+  while (z >= kStateWords) {
+    k.twist(state_);
+    z -= kStateWords;
+  }
+  k.twist(state_);
+  k.temper(state_, out_);
+  index_ = static_cast<std::size_t>(z);
+}
+
+BlockRng make_stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  // Identical construction to the engine's historical make_shard_rng: all
+  // 128 bits of (seed, stream) feed the seed_seq, so distinct streams and
+  // distinct seeds never collide.
+  std::seed_seq sequence{
+      static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32),
+      static_cast<std::uint32_t>(stream), static_cast<std::uint32_t>(stream >> 32)};
+  return BlockRng(sequence);
+}
+
+}  // namespace vlcsa::arith

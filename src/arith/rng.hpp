@@ -1,0 +1,120 @@
+#pragma once
+// Block-generating RNG subsystem: a repo-owned MT19937-64 whose output is
+// bit-identical to std::mt19937_64 — same seeding (both the single-value
+// recurrence and std::seed_seq construction), same twist, same tempering,
+// same draw order — so swapping it into every draw site changes no counter
+// anywhere (tests/arith/rng_test.cpp pins the first 10^6 draws per seed).
+//
+// What the std engine cannot do, and this one exists for: the 312-word state
+// is regenerated as one *block* (SIMD twist + batched tempering through the
+// planeops backend pattern — scalar oracle + AVX2, runtime dispatch,
+// VLCSA_FORCE_BACKEND / planeops::set_backend respected), and consumers can
+// pull whole blocks with generate_block() instead of one word per call.
+// That lifts the Amdahl ceiling PR 4 left: operand generation was ~90% of
+// batched sampling cost, dominated by per-call std::mt19937_64 draws.
+//
+// Contracts:
+//  * operator() is sequence-identical to std::mt19937_64 under the same
+//    construction.  generate_block(dst, n) writes exactly the next n
+//    operator() values (and consumes the stream identically), so bulk and
+//    per-call consumption interleave freely.
+//  * Every planeops backend produces the identical stream (the scalar twist
+//    is the oracle; rng_test pins the others to it).
+//  * The engine's reproducibility contract is unchanged: make_stream_rng
+//    (and harness::make_shard_rng on top of it) feed all 128 bits of
+//    (seed, stream) through std::seed_seq exactly as before this subsystem.
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <type_traits>
+
+namespace vlcsa::arith {
+
+/// Drop-in MT19937-64 with block regeneration.  Satisfies
+/// uniform_random_bit_generator, so std::normal_distribution and friends
+/// consume it exactly like the std engine.
+class BlockRng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// MT19937-64 state size (the block granularity of regeneration).
+  static constexpr std::size_t kStateWords = 312;
+
+  /// Same default seed as std::mt19937_64.
+  static constexpr result_type default_seed = 5489u;
+
+  BlockRng() { seed(default_seed); }
+  explicit BlockRng(result_type value) { seed(value); }
+
+  /// std::seed_seq (or any seed-sequence) construction, bit-identical to
+  /// std::mt19937_64's — this is what make_stream_rng / make_shard_rng use.
+  /// (BlockRng itself is excluded so copy construction from a non-const
+  /// generator resolves to the copy constructor, as it does for the std
+  /// engine, instead of instantiating seed<BlockRng>.)
+  template <typename SeedSeq,
+            typename = std::enable_if_t<
+                !std::is_convertible_v<SeedSeq, result_type> &&
+                !std::is_same_v<std::remove_cvref_t<SeedSeq>, BlockRng>>>
+  explicit BlockRng(SeedSeq& seq) {
+    seed(seq);
+  }
+
+  /// The std single-value seeding recurrence (mt[i] from mt[i-1]).
+  void seed(result_type value);
+
+  /// The std seed-sequence seeding: 624 32-bit words -> 312 state words,
+  /// with the all-zero fixup ([rand.eng.mers]).
+  template <typename SeedSeq>
+  void seed(SeedSeq& seq) {
+    std::uint32_t words[2 * kStateWords];
+    seq.generate(words, words + 2 * kStateWords);
+    bool zero = true;
+    for (std::size_t i = 0; i < kStateWords; ++i) {
+      state_[i] = static_cast<std::uint64_t>(words[2 * i]) |
+                  (static_cast<std::uint64_t>(words[2 * i + 1]) << 32);
+      if (i == 0 ? (state_[0] & kUpperMask) != 0 : state_[i] != 0) zero = false;
+    }
+    // Degenerate all-zero state (undetectable by the low r bits of word 0)
+    // would make the twist a fixed point; the standard pins it to 2^63.
+    if (zero) state_[0] = std::uint64_t{1} << 63;
+    index_ = kStateWords;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// The next draw — value-identical to std::mt19937_64::operator().
+  result_type operator()() {
+    if (index_ == kStateWords) refill();
+    return out_[index_++];
+  }
+
+  /// Writes the next `n` draws to `dst` — exactly the values (and stream
+  /// consumption) of n operator() calls, but full 312-word blocks are
+  /// twisted and tempered straight into `dst`, skipping the per-call path.
+  /// This is the API the bulk operand-fill paths are built on.
+  void generate_block(std::uint64_t* dst, std::size_t n);
+
+  /// Skips `z` draws (std::mt19937_64::discard equivalent) without
+  /// tempering the skipped blocks.
+  void discard(unsigned long long z);
+
+ private:
+  static constexpr std::uint64_t kUpperMask = ~std::uint64_t{0} << 31;  // high w-r bits
+
+  void refill();  // twist state_, temper into out_, reset index_
+
+  std::uint64_t state_[kStateWords];  // untempered MT state
+  std::uint64_t out_[kStateWords];    // tempered draws of the current block
+  std::size_t index_ = kStateWords;   // next unread slot in out_
+};
+
+/// The one shared seeding discipline for standalone (non-sharded) runs:
+/// all 128 bits of (seed, stream) through std::seed_seq — the same
+/// construction as the engine's per-shard streams, so ad-hoc `rng(seed)`
+/// call sites stop bypassing it.  harness::make_shard_rng delegates here
+/// with stream = shard index.
+[[nodiscard]] BlockRng make_stream_rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+}  // namespace vlcsa::arith

@@ -48,7 +48,7 @@ ModField::ModField(ApInt modulus, AddObserver observer)
   }
 }
 
-ApInt ModField::random_element(std::mt19937_64& rng) const {
+ApInt ModField::random_element(BlockRng& rng) const {
   // Rejection sampling over [0, 2^ceil(log2 m)) — acceptance >= 1/2 even
   // when the modulus is much smaller than the datapath.
   const int top = modulus_.highest_set_bit();
@@ -118,7 +118,10 @@ const char* to_string(CryptoKind kind) {
 
 std::uint64_t run_crypto_workload(const CryptoWorkloadConfig& config,
                                   CarryChainProfiler& profiler) {
-  std::mt19937_64 rng(config.seed);
+  // Shared seed_seq discipline (arith/rng.hpp) instead of the old ad-hoc
+  // direct-seed construction, so workload streams follow the same seeding
+  // rules as every engine shard.
+  BlockRng rng = make_stream_rng(config.seed);
   const int field_bits =
       config.field_bits > 0 ? config.field_bits : default_field_bits(config.width);
   const ApInt modulus = builtin_prime(field_bits).zext(config.width);

@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <random>
 
 #include "arith/apint.hpp"
 #include "arith/carry_chain.hpp"
@@ -40,7 +39,7 @@ class ModField {
   [[nodiscard]] const ApInt& modulus() const { return modulus_; }
 
   /// Uniformly random canonical residue.
-  [[nodiscard]] ApInt random_element(std::mt19937_64& rng) const;
+  [[nodiscard]] ApInt random_element(BlockRng& rng) const;
 
   [[nodiscard]] ApInt add(const ApInt& a, const ApInt& b);
   [[nodiscard]] ApInt sub(const ApInt& a, const ApInt& b);

@@ -8,11 +8,11 @@ int resolve_threads(int requested) {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-std::mt19937_64 make_shard_rng(std::uint64_t seed, std::uint64_t shard_index) {
-  std::seed_seq sequence{
-      static_cast<std::uint32_t>(seed), static_cast<std::uint32_t>(seed >> 32),
-      static_cast<std::uint32_t>(shard_index), static_cast<std::uint32_t>(shard_index >> 32)};
-  return std::mt19937_64(sequence);
+arith::BlockRng make_shard_rng(std::uint64_t seed, std::uint64_t shard_index) {
+  // Same seed_seq construction as always (now shared via make_stream_rng);
+  // BlockRng is sequence-identical to std::mt19937_64, so every shard stream
+  // — and therefore every merged counter — is unchanged from the std era.
+  return arith::make_stream_rng(seed, shard_index);
 }
 
 }  // namespace vlcsa::harness

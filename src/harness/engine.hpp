@@ -21,11 +21,12 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
-#include <random>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "arith/rng.hpp"
 
 namespace vlcsa::harness {
 
@@ -52,8 +53,11 @@ struct RunOptions {
 [[nodiscard]] int resolve_threads(int requested);
 
 /// The per-shard RNG stream: all 128 bits of (seed, shard_index) feed the
-/// seed_seq, so distinct shards and distinct seeds never collide.
-[[nodiscard]] std::mt19937_64 make_shard_rng(std::uint64_t seed, std::uint64_t shard_index);
+/// seed_seq, so distinct shards and distinct seeds never collide.  The
+/// engine draws from the block-generating arith::BlockRng (sequence-
+/// identical to std::mt19937_64, so shard streams are unchanged from the
+/// std-engine era); this is a thin alias over arith::make_stream_rng.
+[[nodiscard]] arith::BlockRng make_shard_rng(std::uint64_t seed, std::uint64_t shard_index);
 
 /// Runs `options.samples` samples sharded across a thread pool, handing each
 /// shard to its kernel as one block.
@@ -63,7 +67,7 @@ struct RunOptions {
 /// is invoked once per *shard* (from worker threads — it must be safe to
 /// call concurrently) and must return a callable
 ///
-///     void kernel(std::mt19937_64& rng, Accumulator& acc, std::uint64_t count)
+///     void kernel(arith::BlockRng& rng, Accumulator& acc, std::uint64_t count)
 ///
 /// that draws and folds in exactly `count` samples.  Block granularity is
 /// what lets the bit-sliced pipeline consume 64 samples per machine word
@@ -128,7 +132,7 @@ template <typename AccumulatorFactory, typename BlockKernelFactory>
 
 /// Per-sample variant: `make_kernel()` returns
 ///
-///     void kernel(std::mt19937_64& rng, Accumulator& acc)
+///     void kernel(arith::BlockRng& rng, Accumulator& acc)
 ///
 /// drawing one sample per call.  Thin wrapper over run_sharded_blocks, so
 /// both granularities share the same sharding/merge machinery and therefore
@@ -139,7 +143,7 @@ template <typename AccumulatorFactory, typename KernelFactory>
     -> std::decay_t<std::invoke_result_t<AccumulatorFactory&>> {
   using Accumulator = std::decay_t<std::invoke_result_t<AccumulatorFactory&>>;
   return run_sharded_blocks(options, std::forward<AccumulatorFactory>(make_accumulator), [&] {
-    return [kernel = make_kernel()](std::mt19937_64& rng, Accumulator& acc,
+    return [kernel = make_kernel()](arith::BlockRng& rng, Accumulator& acc,
                                     std::uint64_t count) mutable {
       for (std::uint64_t i = 0; i < count; ++i) kernel(rng, acc);
     };

@@ -217,7 +217,7 @@ arith::CarryChainProfiler run_experiment(const ChainProfileExperiment& experimen
     // operation's workload, so the profile is thread-count-invariant like
     // every other experiment.
     return run_sharded(options, make_profiler, [&] {
-      return [&experiment](std::mt19937_64& rng, arith::CarryChainProfiler& acc) {
+      return [&experiment](arith::BlockRng& rng, arith::CarryChainProfiler& acc) {
         arith::CryptoWorkloadConfig config;
         config.width = experiment.width;
         config.field_bits = experiment.crypto_field_bits;
@@ -232,7 +232,7 @@ arith::CarryChainProfiler run_experiment(const ChainProfileExperiment& experimen
   return run_sharded(options, make_profiler, [&] {
     return [shard_source = arith::make_source(experiment.dist, experiment.width,
                                               experiment.params)](
-               std::mt19937_64& rng, arith::CarryChainProfiler& acc) {
+               arith::BlockRng& rng, arith::CarryChainProfiler& acc) {
       const auto [a, b] = shard_source->next(rng);
       acc.record(a, b);
     };

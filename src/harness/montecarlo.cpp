@@ -102,7 +102,7 @@ ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source
   if (path == EvalPath::kScalar) {
     return run_sharded(options, make_result, [&] {
       return [&model, variant = config.variant,
-              shard_source = source.clone()](std::mt19937_64& rng, ErrorRateResult& out) {
+              shard_source = source.clone()](arith::BlockRng& rng, ErrorRateResult& out) {
         const auto [a, b] = shard_source->next(rng);
         accumulate_vlcsa(model.step(a, b), variant, out);
       };
@@ -112,7 +112,7 @@ ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source
   return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, variant = config.variant, shard_source = source.clone(),
             batch = arith::BitSlicedBatch(config.width, lane_words),
-            step = spec::VlcsaBatchStep{}](std::mt19937_64& rng, ErrorRateResult& out,
+            step = spec::VlcsaBatchStep{}](arith::BlockRng& rng, ErrorRateResult& out,
                                            std::uint64_t count) mutable {
       const std::uint64_t batch_lanes = static_cast<std::uint64_t>(batch.lanes());
       std::uint64_t done = 0;
@@ -144,7 +144,7 @@ ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
   const auto make_result = [] { return ErrorRateResult{}; };
   if (path == EvalPath::kScalar) {
     return run_sharded(options, make_result, [&] {
-      return [&model, shard_source = source.clone()](std::mt19937_64& rng,
+      return [&model, shard_source = source.clone()](arith::BlockRng& rng,
                                                      ErrorRateResult& out) {
         const auto [a, b] = shard_source->next(rng);
         accumulate_vlsa(model.evaluate(a, b), out);
@@ -155,7 +155,7 @@ ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
   return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, shard_source = source.clone(),
             batch = arith::BitSlicedBatch(config.width, lane_words),
-            ev = spec::VlsaBatchEvaluation{}](std::mt19937_64& rng, ErrorRateResult& out,
+            ev = spec::VlsaBatchEvaluation{}](arith::BlockRng& rng, ErrorRateResult& out,
                                               std::uint64_t count) mutable {
       const std::uint64_t batch_lanes = static_cast<std::uint64_t>(batch.lanes());
       std::uint64_t done = 0;

@@ -50,8 +50,12 @@ std::string sanitize(const std::string& text) {
 }  // namespace
 
 std::string cache_map_key(const CacheKey& key) {
-  return key.experiment + "|" + std::to_string(key.samples) + "|" + std::to_string(key.seed) +
-         "|" + key.eval_path;
+  std::string map_key = key.experiment + "|" + std::to_string(key.samples) + "|" +
+                        std::to_string(key.seed) + "|" + key.eval_path;
+  // Appended only when set, so unversioned families keep their historical
+  // map keys (and therefore their on-disk record file names) byte-for-byte.
+  if (!key.stream_version.empty()) map_key += "|" + key.stream_version;
+  return map_key;
 }
 
 bool record_matches_key(const std::string& record, const CacheKey& key) {
@@ -71,6 +75,16 @@ bool record_matches_key(const std::string& record, const CacheKey& key) {
   if (eval_path == nullptr || eval_path->kind() != harness::JsonValue::Kind::kString ||
       eval_path->as_string() != key.eval_path) {
     return false;
+  }
+  if (!key.stream_version.empty()) {
+    // Versioned family: the record must declare the same stream version.
+    // A record from before the family's stream change has no such field
+    // and must read as a miss, never as a stale hit.
+    const harness::JsonValue* stream = parse.value.find("stream_version");
+    if (stream == nullptr || stream->kind() != harness::JsonValue::Kind::kString ||
+        stream->as_string() != key.stream_version) {
+      return false;
+    }
   }
   return true;
 }

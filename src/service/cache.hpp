@@ -33,6 +33,14 @@ struct CacheKey {
   std::uint64_t samples = 0;
   std::uint64_t seed = 1;
   std::string eval_path;  // "batched" / "scalar" (to_string(EvalPath))
+  /// Version tag for experiment families whose draw streams have changed
+  /// incompatibly (empty for families whose streams never moved — keys,
+  /// file names, and record matching are byte-identical to the pre-field
+  /// era then).  Currently only the crypto chain-profile workloads carry
+  /// one: their internal seeding moved onto the shared seed_seq helper
+  /// with the BlockRng subsystem, so records written before that swap
+  /// must miss instead of being served as silently stale hits.
+  std::string stream_version;
 };
 
 /// Monotonic counters, exposed through the protocol's cache-stats request.

@@ -120,6 +120,14 @@ std::string error_rate_record(const harness::ErrorRateExperiment& experiment,
   return record.render_line();
 }
 
+/// Stream version of the crypto chain-profile workloads.  Bumped whenever
+/// their internal draw streams change incompatibly — v2 is the move of
+/// run_crypto_workload's seeding onto the shared seed_seq discipline
+/// (arith::make_stream_rng) that shipped with the BlockRng subsystem.
+/// Distribution profiles and every error-rate experiment are sequence-
+/// identical across that swap and stay unversioned (keys unchanged).
+constexpr const char* kCryptoStreamVersion = "crypto-rng-v2";
+
 std::string chain_profile_record(const harness::ChainProfileExperiment& experiment,
                                  std::uint64_t samples, std::uint64_t seed,
                                  const arith::CarryChainProfiler& profiler) {
@@ -137,6 +145,9 @@ std::string chain_profile_record(const harness::ChainProfileExperiment& experime
   // Chain profiling has no batched pipeline; key the scalar path so the
   // cache key shape is uniform across both families.
   record.add("eval_path", to_string(harness::EvalPath::kScalar));
+  // Crypto workloads are stream-versioned (see kCryptoStreamVersion):
+  // records from an incompatible seeding era must miss, not hit stale.
+  if (crypto) record.add("stream_version", kCryptoStreamVersion);
   record.add("additions", profiler.additions());
   record.add("chains", profiler.total());
   record.add("mean_chain_length", profiler.mean_length());
@@ -256,6 +267,10 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request)
   key.seed = run.seed;
   key.eval_path =
       to_string(error_rate != nullptr ? run.path : harness::EvalPath::kScalar);
+  if (chain_profile != nullptr &&
+      chain_profile->workload == harness::ChainProfileExperiment::Workload::kCrypto) {
+    key.stream_version = kCryptoStreamVersion;
+  }
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();

@@ -27,7 +27,7 @@ ErrorMagnitudeStats measure_error_magnitude(const ScsaConfig& config,
                                             arith::OperandSource& source,
                                             std::uint64_t samples, std::uint64_t seed) {
   const ScsaModel model(config);
-  std::mt19937_64 rng(seed);
+  arith::BlockRng rng = arith::make_stream_rng(seed);
   ErrorMagnitudeStats stats;
   stats.samples = samples;
   double sum_relative = 0.0;

@@ -4,7 +4,7 @@ namespace vlcsa::spec {
 
 PipelineStats VlcsaPipeline::run(arith::OperandSource& source, std::uint64_t count,
                                  std::uint64_t seed) const {
-  std::mt19937_64 rng(seed);
+  arith::BlockRng rng = arith::make_stream_rng(seed);
   PipelineStats stats;
   for (std::uint64_t i = 0; i < count; ++i) {
     const auto [a, b] = source.next(rng);

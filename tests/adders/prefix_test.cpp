@@ -36,7 +36,7 @@ TEST_P(PrefixNetworkTest, ComputesInclusivePrefixes) {
   }
 
   Simulator sim(nl);
-  std::mt19937_64 rng(10 + static_cast<unsigned>(width));
+  vlcsa::arith::BlockRng rng(10 + static_cast<unsigned>(width));
   std::vector<ApInt> av, bv;
   for (int v = 0; v < 64; ++v) {
     av.push_back(ApInt::random(width, rng));
@@ -130,7 +130,7 @@ TEST_P(ConditionalSumsTest, BothBanksAndGroupSignalsAreExact) {
   nl.add_output("gp", cond.group_p);
 
   Simulator sim(nl);
-  std::mt19937_64 rng(20 + static_cast<unsigned>(width));
+  vlcsa::arith::BlockRng rng(20 + static_cast<unsigned>(width));
   std::vector<ApInt> av, bv;
   for (int v = 0; v < 64; ++v) {
     av.push_back(ApInt::random(width, rng));

@@ -60,7 +60,7 @@ class ApIntWidthTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ApIntWidthTest, AddMatchesNativeArithmetic) {
   const int width = GetParam();
-  std::mt19937_64 rng(7 + static_cast<std::uint64_t>(width));
+  vlcsa::arith::BlockRng rng(7 + static_cast<std::uint64_t>(width));
   const std::uint64_t mask =
       width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
   for (int iter = 0; iter < 500; ++iter) {
@@ -87,7 +87,7 @@ TEST_P(ApIntWidthTest, AddMatchesNativeArithmetic) {
 
 TEST_P(ApIntWidthTest, SubtractionIsTwosComplementAddition) {
   const int width = GetParam();
-  std::mt19937_64 rng(11 + static_cast<std::uint64_t>(width));
+  vlcsa::arith::BlockRng rng(11 + static_cast<std::uint64_t>(width));
   for (int iter = 0; iter < 200; ++iter) {
     const auto a = ApInt::random(width, rng);
     const auto b = ApInt::random(width, rng);
@@ -97,7 +97,7 @@ TEST_P(ApIntWidthTest, SubtractionIsTwosComplementAddition) {
 
 TEST_P(ApIntWidthTest, NegationRoundTrips) {
   const int width = GetParam();
-  std::mt19937_64 rng(13 + static_cast<std::uint64_t>(width));
+  vlcsa::arith::BlockRng rng(13 + static_cast<std::uint64_t>(width));
   for (int iter = 0; iter < 200; ++iter) {
     const auto a = ApInt::random(width, rng);
     EXPECT_EQ(a.negated().negated(), a);
@@ -108,7 +108,7 @@ TEST_P(ApIntWidthTest, NegationRoundTrips) {
 TEST_P(ApIntWidthTest, ShiftsMatchNative) {
   const int width = GetParam();
   if (width > 64) GTEST_SKIP() << "native reference limited to 64 bits";
-  std::mt19937_64 rng(17 + static_cast<std::uint64_t>(width));
+  vlcsa::arith::BlockRng rng(17 + static_cast<std::uint64_t>(width));
   const std::uint64_t mask =
       width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
   for (int iter = 0; iter < 200; ++iter) {
@@ -124,7 +124,7 @@ TEST_P(ApIntWidthTest, ShiftsMatchNative) {
 
 TEST_P(ApIntWidthTest, BitwiseOpsMatchDeMorgan) {
   const int width = GetParam();
-  std::mt19937_64 rng(19 + static_cast<std::uint64_t>(width));
+  vlcsa::arith::BlockRng rng(19 + static_cast<std::uint64_t>(width));
   for (int iter = 0; iter < 100; ++iter) {
     const auto a = ApInt::random(width, rng);
     const auto b = ApInt::random(width, rng);
@@ -136,7 +136,7 @@ TEST_P(ApIntWidthTest, BitwiseOpsMatchDeMorgan) {
 
 TEST_P(ApIntWidthTest, CompareUnsignedIsTotalOrder) {
   const int width = GetParam();
-  std::mt19937_64 rng(23 + static_cast<std::uint64_t>(width));
+  vlcsa::arith::BlockRng rng(23 + static_cast<std::uint64_t>(width));
   for (int iter = 0; iter < 100; ++iter) {
     const auto a = ApInt::random(width, rng);
     const auto b = ApInt::random(width, rng);
@@ -171,7 +171,7 @@ TEST(ApInt, ExtractBeyondWidthReadsZero) {
 }
 
 TEST(ApInt, DepositExtractRoundTrip) {
-  std::mt19937_64 rng(29);
+  vlcsa::arith::BlockRng rng(29);
   for (int iter = 0; iter < 200; ++iter) {
     ApInt v(200);
     const int pos = static_cast<int>(rng() % 190);
@@ -237,7 +237,7 @@ TEST(ApInt, WidthMismatchThrows) {
 // ---- PropagateGenerate ------------------------------------------------------
 
 TEST(PropagateGenerate, GroupSignalsMatchBruteForce) {
-  std::mt19937_64 rng(31);
+  vlcsa::arith::BlockRng rng(31);
   const int width = 96;
   for (int iter = 0; iter < 100; ++iter) {
     const auto a = ApInt::random(width, rng);
@@ -262,7 +262,7 @@ TEST(PropagateGenerate, GroupSignalsMatchBruteForce) {
 TEST(PropagateGenerate, GroupGenerateMatchesWindowCarryOut) {
   // The group generate of [pos, pos+len) must equal the carry out of adding
   // the two window chunks with carry-in 0.
-  std::mt19937_64 rng(37);
+  vlcsa::arith::BlockRng rng(37);
   const int width = 128;
   for (int iter = 0; iter < 200; ++iter) {
     const auto a = ApInt::random(width, rng);

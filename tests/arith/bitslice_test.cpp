@@ -32,7 +32,7 @@ TEST(Transpose64x64Test, SingleBitLandsTransposed) {
 }
 
 TEST(Transpose64x64Test, DoubleTransposeIsIdentity) {
-  std::mt19937_64 rng(1);
+  vlcsa::arith::BlockRng rng(1);
   std::uint64_t block[64], orig[64];
   for (int i = 0; i < 64; ++i) orig[i] = block[i] = rng();
   transpose_64x64(block);
@@ -41,7 +41,7 @@ TEST(Transpose64x64Test, DoubleTransposeIsIdentity) {
 }
 
 TEST(Transpose64x64Test, MatchesNaiveBitGather) {
-  std::mt19937_64 rng(2);
+  vlcsa::arith::BlockRng rng(2);
   std::uint64_t block[64];
   for (auto& row : block) row = rng();
   std::uint64_t expected[64] = {};
@@ -58,7 +58,7 @@ class TransposeToPlanesTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(TransposeToPlanesTest, PlanesMatchSampleBits) {
   const int width = GetParam();
-  std::mt19937_64 rng(3);
+  vlcsa::arith::BlockRng rng(3);
   std::vector<ApInt> samples;
   for (int j = 0; j < 64; ++j) samples.push_back(ApInt::random(width, rng));
   std::vector<std::uint64_t> planes(static_cast<std::size_t>(width));
@@ -74,7 +74,7 @@ TEST_P(TransposeToPlanesTest, PlanesMatchSampleBits) {
 
 TEST_P(TransposeToPlanesTest, ShortCountZeroPadsHighLanes) {
   const int width = GetParam();
-  std::mt19937_64 rng(4);
+  vlcsa::arith::BlockRng rng(4);
   std::vector<ApInt> samples;
   for (int j = 0; j < 10; ++j) samples.push_back(ApInt::random(width, rng));
   std::vector<std::uint64_t> planes(static_cast<std::size_t>(width), ~std::uint64_t{0});
@@ -91,7 +91,7 @@ INSTANTIATE_TEST_SUITE_P(Widths, TransposeToPlanesTest,
 TEST(BitSlicedBatchTest, LoadLaneRoundtrip) {
   const int width = 100;
   for (const int lane_words : {1, 2, 4}) {
-    std::mt19937_64 rng(5);
+    vlcsa::arith::BlockRng rng(5);
     std::vector<ApInt> a, b;
     for (int j = 0; j < 64 * lane_words; ++j) {
       a.push_back(ApInt::random(width, rng));
@@ -123,7 +123,7 @@ TEST(BitSlicedBatchTest, PlaneStorageIsCacheLineAligned) {
 
 TEST(BitSlicedBatchTest, PartialLoadZeroPadsHighLanes) {
   const int width = 40;
-  std::mt19937_64 rng(8);
+  vlcsa::arith::BlockRng rng(8);
   std::vector<ApInt> a, b;
   for (int j = 0; j < 70; ++j) {  // straddles the first lane-word boundary
     a.push_back(ApInt::random(width, rng));
@@ -153,7 +153,7 @@ class KoggeStoneTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
 
 TEST_P(KoggeStoneTest, LaneCarriesMatchApIntAdd) {
   const auto [width, lane_words] = GetParam();
-  std::mt19937_64 rng(6);
+  vlcsa::arith::BlockRng rng(6);
   std::vector<ApInt> a, b;
   for (int j = 0; j < 64 * lane_words; ++j) {
     a.push_back(ApInt::random(width, rng));
@@ -199,7 +199,7 @@ TEST_P(FillBatchTest, MatchesScalarStreamAndRngState) {
   const auto [dist, width, lane_words] = GetParam();
   const auto proto = make_source(dist, width);
 
-  std::mt19937_64 rng_batch(99), rng_scalar(99);
+  vlcsa::arith::BlockRng rng_batch(99), rng_scalar(99);
   BitSlicedBatch batch(width, lane_words);
   const auto batch_source = proto->clone();
   batch_source->fill_batch(rng_batch, batch);

@@ -90,7 +90,7 @@ TEST(CarryChainProfiler, RejectsBadWidth) {
 
 TEST(CarryChainProfiler, CountsAndFractionsAreConsistent) {
   CarryChainProfiler prof(16, ChainMetric::kAllChains);
-  std::mt19937_64 rng(5);
+  vlcsa::arith::BlockRng rng(5);
   for (int i = 0; i < 1000; ++i) {
     prof.record(ApInt::random(16, rng), ApInt::random(16, rng));
   }
@@ -111,7 +111,7 @@ TEST(CarryChainProfiler, UniformInputsMatchGeometricLaw) {
   // For uniform bits: P(chain length = L | chain) = 2^-(L-1) * 1/2 ... the
   // conditional run-length law.  Check the ratio of consecutive buckets ~ 2.
   CarryChainProfiler prof(32, ChainMetric::kAllChains);
-  std::mt19937_64 rng(17);
+  vlcsa::arith::BlockRng rng(17);
   for (int i = 0; i < 200000; ++i) {
     prof.record(ApInt::random(32, rng), ApInt::random(32, rng));
   }
@@ -124,7 +124,7 @@ TEST(CarryChainProfiler, UniformInputsMatchGeometricLaw) {
 
 TEST(CarryChainProfiler, LongestMetricRecordsOnePerAddition) {
   CarryChainProfiler prof(16, ChainMetric::kLongestPerAdd);
-  std::mt19937_64 rng(7);
+  vlcsa::arith::BlockRng rng(7);
   for (int i = 0; i < 500; ++i) {
     prof.record(ApInt::random(16, rng), ApInt::random(16, rng));
   }
@@ -136,7 +136,7 @@ TEST(CarryChainProfiler, LongestMetricMeanIsLogarithmic) {
   // Classic result: average longest chain in n-bit uniform addition is
   // O(log n); for n = 64 it sits in the mid-single digits.
   CarryChainProfiler prof(64, ChainMetric::kLongestPerAdd);
-  std::mt19937_64 rng(23);
+  vlcsa::arith::BlockRng rng(23);
   for (int i = 0; i < 50000; ++i) {
     prof.record(ApInt::random(64, rng), ApInt::random(64, rng));
   }

@@ -24,7 +24,7 @@ TEST(Distributions, SameSeedSameStream) {
         InputDistribution::kGaussianUnsigned, InputDistribution::kGaussianTwos}) {
     const auto s1 = make_source(dist, 64);
     const auto s2 = make_source(dist, 64);
-    std::mt19937_64 r1(99), r2(99);
+    vlcsa::arith::BlockRng r1(99), r2(99);
     for (int i = 0; i < 20; ++i) {
       const auto [a1, b1] = s1->next(r1);
       const auto [a2, b2] = s2->next(r2);
@@ -36,7 +36,7 @@ TEST(Distributions, SameSeedSameStream) {
 
 TEST(Distributions, OperandsHaveRequestedWidth) {
   const auto source = make_source(InputDistribution::kGaussianTwos, 512);
-  std::mt19937_64 rng(3);
+  vlcsa::arith::BlockRng rng(3);
   const auto [a, b] = source->next(rng);
   EXPECT_EQ(a.width(), 512);
   EXPECT_EQ(b.width(), 512);
@@ -44,7 +44,7 @@ TEST(Distributions, OperandsHaveRequestedWidth) {
 
 TEST(Distributions, UniformTwosCoversBothSigns) {
   UniformTwosSource source(64);
-  std::mt19937_64 rng(5);
+  vlcsa::arith::BlockRng rng(5);
   int negatives = 0;
   const int n = 2000;
   for (int i = 0; i < n; ++i) {
@@ -61,7 +61,7 @@ TEST(Distributions, GaussianTwosIsSignExtendedSmallMagnitude) {
   // sigma = 2^32 on a 512-bit datapath: operands must be sign extensions of
   // ~33-bit values, i.e. bits far above 48 all equal the sign bit.
   GaussianTwosSource source(512, GaussianParams{0.0, std::ldexp(1.0, 32)});
-  std::mt19937_64 rng(7);
+  vlcsa::arith::BlockRng rng(7);
   for (int i = 0; i < 100; ++i) {
     const auto [a, b] = source.next(rng);
     for (const auto& v : {a, b}) {
@@ -75,7 +75,7 @@ TEST(Distributions, GaussianTwosIsSignExtendedSmallMagnitude) {
 
 TEST(Distributions, GaussianUnsignedNeverSetsFarHighBits) {
   GaussianUnsignedSource source(512, GaussianParams{0.0, std::ldexp(1.0, 32)});
-  std::mt19937_64 rng(11);
+  vlcsa::arith::BlockRng rng(11);
   for (int i = 0; i < 100; ++i) {
     const auto [a, b] = source.next(rng);
     EXPECT_LT(a.highest_set_bit(), 48);
@@ -98,7 +98,7 @@ TEST(Distributions, EncodeUnsignedSampleTakesMagnitude) {
 
 TEST(Distributions, GaussianTwosSignBalance) {
   GaussianTwosSource source(64, GaussianParams{0.0, std::ldexp(1.0, 20)});
-  std::mt19937_64 rng(13);
+  vlcsa::arith::BlockRng rng(13);
   int negatives = 0;
   const int n = 2000;
   for (int i = 0; i < n; ++i) {

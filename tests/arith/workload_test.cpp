@@ -26,7 +26,7 @@ class ModField32Test : public ::testing::Test {
  protected:
   static constexpr std::uint64_t kP = (std::uint64_t{1} << 31) - 1;
   ModField field_{builtin_prime(32), nullptr};
-  std::mt19937_64 rng_{42};
+  vlcsa::arith::BlockRng rng_{42};
 
   ApInt elem(std::uint64_t v) { return ApInt::from_u64(32, v % kP); }
 };
@@ -97,7 +97,7 @@ TEST(ModFieldObserver, EveryAdditionIsReported) {
   std::uint64_t reported = 0;
   ModField field(builtin_prime(32),
                  [&reported](const ApInt&, const ApInt&) { ++reported; });
-  std::mt19937_64 rng(1);
+  vlcsa::arith::BlockRng rng(1);
   const ApInt a = field.random_element(rng);
   const ApInt b = field.random_element(rng);
   (void)field.mul(a, b);

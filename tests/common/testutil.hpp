@@ -47,7 +47,7 @@ inline ApInt read_bus(const netlist::Simulator& sim, const std::string& base, in
 inline void check_adder_netlist(const netlist::Netlist& nl, int width, bool with_cin,
                                 int rounds = 4, std::uint64_t seed = 1) {
   netlist::Simulator sim(nl);
-  std::mt19937_64 rng(seed);
+  vlcsa::arith::BlockRng rng(seed);
   for (int round = 0; round < rounds; ++round) {
     std::vector<ApInt> a, b;
     for (int v = 0; v < 64; ++v) {

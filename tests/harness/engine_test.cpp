@@ -34,7 +34,7 @@ DrawSum run_draw_sum(std::uint64_t samples, std::uint64_t seed, int threads,
   return run_sharded(
       RunOptions{samples, seed, threads, shard_size}, [] { return DrawSum{}; },
       [] {
-        return [](std::mt19937_64& rng, DrawSum& acc) {
+        return [](vlcsa::arith::BlockRng& rng, DrawSum& acc) {
           ++acc.count;
           acc.sum += rng();
         };
@@ -91,7 +91,7 @@ TEST(Engine, KernelExceptionsPropagate) {
       (void)run_sharded(
           options, [] { return DrawSum{}; },
           [] {
-            return [](std::mt19937_64&, DrawSum&) { throw std::runtime_error("boom"); };
+            return [](vlcsa::arith::BlockRng&, DrawSum&) { throw std::runtime_error("boom"); };
           }),
       std::runtime_error);
 }

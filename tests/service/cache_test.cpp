@@ -33,7 +33,7 @@ std::string record_for(const CacheKey& key, const std::string& payload = "x") {
 
 TEST(ResultCache, MissThenMemoryHit) {
   ResultCache cache("", 4);
-  const CacheKey key{"table7.1/n64", 1000, 1, "batched"};
+  const CacheKey key{"table7.1/n64", 1000, 1, "batched", ""};
   EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
   cache.put(key, record_for(key));
   const auto hit = cache.get(key);
@@ -49,20 +49,22 @@ TEST(ResultCache, MissThenMemoryHit) {
 
 TEST(ResultCache, KeyComponentsAllDiscriminate) {
   ResultCache cache("", 8);
-  const CacheKey key{"table7.1/n64", 1000, 1, "batched"};
+  const CacheKey key{"table7.1/n64", 1000, 1, "batched", ""};
   cache.put(key, record_for(key));
   for (const CacheKey& other :
-       {CacheKey{"table7.1/n128", 1000, 1, "batched"}, CacheKey{"table7.1/n64", 1001, 1, "batched"},
-        CacheKey{"table7.1/n64", 1000, 2, "batched"}, CacheKey{"table7.1/n64", 1000, 1, "scalar"}}) {
+       {CacheKey{"table7.1/n128", 1000, 1, "batched", ""},
+        CacheKey{"table7.1/n64", 1001, 1, "batched", ""},
+        CacheKey{"table7.1/n64", 1000, 2, "batched", ""},
+        CacheKey{"table7.1/n64", 1000, 1, "scalar", ""}}) {
     EXPECT_EQ(cache.get(other).tier, ResultCache::Tier::kMiss) << cache_map_key(other);
   }
 }
 
 TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
   ResultCache cache("", 2);
-  const CacheKey a{"a", 1, 1, "batched"};
-  const CacheKey b{"b", 1, 1, "batched"};
-  const CacheKey c{"c", 1, 1, "batched"};
+  const CacheKey a{"a", 1, 1, "batched", ""};
+  const CacheKey b{"b", 1, 1, "batched", ""};
+  const CacheKey c{"c", 1, 1, "batched", ""};
   cache.put(a, record_for(a));
   cache.put(b, record_for(b));
   EXPECT_EQ(cache.get(a).tier, ResultCache::Tier::kMemory);  // a is now most recent
@@ -76,14 +78,14 @@ TEST(ResultCache, LruEvictsLeastRecentlyUsed) {
 
 TEST(ResultCache, ZeroCapacityDisablesMemoryTier) {
   ResultCache cache("", 0);
-  const CacheKey key{"a", 1, 1, "batched"};
+  const CacheKey key{"a", 1, 1, "batched", ""};
   cache.put(key, record_for(key));
   EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
 }
 
 TEST(ResultCache, DiskTierSurvivesInstances) {
   const std::string dir = temp_dir("persist");
-  const CacheKey key{"table7.1/n64", 2000, 7, "scalar"};
+  const CacheKey key{"table7.1/n64", 2000, 7, "scalar", ""};
   const std::string record = record_for(key, "persisted");
   {
     ResultCache writer(dir, 4);
@@ -103,7 +105,7 @@ TEST(ResultCache, DiskTierSurvivesInstances) {
 TEST(ResultCache, CorruptDiskFileIsAMiss) {
   const std::string dir = temp_dir("corrupt");
   ResultCache cache(dir, 0);  // memory off so every get goes to disk
-  const CacheKey key{"table7.1/n64", 2000, 7, "batched"};
+  const CacheKey key{"table7.1/n64", 2000, 7, "batched", ""};
   cache.put(key, record_for(key));
   {
     std::ofstream out(cache.file_path(key), std::ios::trunc);
@@ -116,8 +118,8 @@ TEST(ResultCache, CorruptDiskFileIsAMiss) {
 TEST(ResultCache, MismatchedRecordIsAMiss) {
   const std::string dir = temp_dir("mismatch");
   ResultCache cache(dir, 0);
-  const CacheKey key{"table7.1/n64", 2000, 7, "batched"};
-  const CacheKey other{"table7.1/n64", 2000, 8, "batched"};  // different seed
+  const CacheKey key{"table7.1/n64", 2000, 7, "batched", ""};
+  const CacheKey other{"table7.1/n64", 2000, 8, "batched", ""};  // different seed
   {
     std::ofstream out(cache.file_path(key), std::ios::trunc);
     out << record_for(other) << "\n";  // valid JSON, wrong key fields
@@ -126,8 +128,47 @@ TEST(ResultCache, MismatchedRecordIsAMiss) {
   EXPECT_EQ(cache.stats().invalid_disk_records, 1u);
 }
 
+TEST(ResultCache, StreamVersionedKeyRejectsUnversionedRecord) {
+  // The stale-record guard for stream-versioned families (the crypto
+  // chain-profile workloads after the BlockRng seeding consolidation): a
+  // record written before the family carried a version has no
+  // "stream_version" field and must read as a miss, never a stale hit —
+  // while unversioned keys keep their historical map keys and file names.
+  const std::string dir = temp_dir("stream_version");
+  ResultCache cache(dir, 0);
+  const CacheKey unversioned{"fig6.2/rsa-like", 4, 1, "scalar", ""};
+  CacheKey versioned = unversioned;
+  versioned.stream_version = "crypto-rng-v2";
+  EXPECT_EQ(cache_map_key(unversioned), "fig6.2/rsa-like|4|1|scalar");
+  EXPECT_EQ(cache_map_key(versioned), "fig6.2/rsa-like|4|1|scalar|crypto-rng-v2");
+  EXPECT_NE(cache.file_path(unversioned), cache.file_path(versioned));
+
+  // Pre-versioning record on disk under the *versioned* file name (the
+  // pathological leftover): parse-validate must reject it.
+  {
+    std::ofstream out(cache.file_path(versioned), std::ios::trunc);
+    out << record_for(unversioned) << "\n";  // valid JSON, no stream_version
+  }
+  EXPECT_EQ(cache.get(versioned).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().invalid_disk_records, 1u);
+
+  // A record carrying the matching version round-trips.
+  const std::string record =
+      "{\"experiment\": \"fig6.2/rsa-like\", \"samples\": 4, \"seed\": 1, "
+      "\"eval_path\": \"scalar\", \"stream_version\": \"crypto-rng-v2\"}";
+  EXPECT_TRUE(record_matches_key(record, versioned));
+  cache.put(versioned, record);
+  const auto hit = cache.get(versioned);
+  EXPECT_EQ(hit.tier, ResultCache::Tier::kDisk);
+  EXPECT_EQ(hit.record, record);
+  // The wrong version string is as dead as a missing one.
+  CacheKey bumped = versioned;
+  bumped.stream_version = "crypto-rng-v3";
+  EXPECT_FALSE(record_matches_key(record, bumped));
+}
+
 TEST(ResultCache, RecordMatchesKeyPredicate) {
-  const CacheKey key{"e/p", 10, 2, "batched"};
+  const CacheKey key{"e/p", 10, 2, "batched", ""};
   EXPECT_TRUE(record_matches_key(record_for(key), key));
   EXPECT_FALSE(record_matches_key("not json", key));
   EXPECT_FALSE(record_matches_key("[1, 2]", key));
@@ -140,8 +181,8 @@ TEST(ResultCache, RecordMatchesKeyPredicate) {
 TEST(ResultCache, DiskCapEvictsOldestRecords) {
   const std::string dir = temp_dir("cap");
   // Roomy cap first: three records persist.
-  CacheKey keys[3] = {{"exp/a", 1, 1, "batched"}, {"exp/b", 2, 1, "batched"},
-                      {"exp/c", 3, 1, "batched"}};
+  CacheKey keys[3] = {{"exp/a", 1, 1, "batched", ""}, {"exp/b", 2, 1, "batched", ""},
+                      {"exp/c", 3, 1, "batched", ""}};
   {
     ResultCache cache(dir, 0, 1 << 20);
     for (int i = 0; i < 3; ++i) {
@@ -166,7 +207,7 @@ TEST(ResultCache, DiskCapEvictsOldestRecords) {
   EXPECT_EQ(cache.get(keys[1]).tier, ResultCache::Tier::kMiss);
   EXPECT_EQ(cache.get(keys[2]).tier, ResultCache::Tier::kDisk);
   // A fresh store pushes past the cap again: the older survivor goes.
-  const CacheKey fresh{"exp/d", 4, 1, "batched"};
+  const CacheKey fresh{"exp/d", 4, 1, "batched", ""};
   cache.put(fresh, record_for(fresh));
   EXPECT_EQ(cache.get(fresh).tier, ResultCache::Tier::kDisk);
   EXPECT_EQ(cache.get(keys[2]).tier, ResultCache::Tier::kMiss);
@@ -179,7 +220,7 @@ TEST(ResultCache, ZeroCapLeavesDiskUnbounded) {
   ResultCache cache(dir, 0, 0);
   for (int i = 0; i < 8; ++i) {
     const CacheKey key{"exp/x" + std::to_string(i), static_cast<std::uint64_t>(i), 1,
-                      "batched"};
+                      "batched", ""};
     cache.put(key, record_for(key));
   }
   EXPECT_EQ(cache.stats().disk_evictions, 0u);
@@ -187,7 +228,7 @@ TEST(ResultCache, ZeroCapLeavesDiskUnbounded) {
   int on_disk = 0;
   for (int i = 0; i < 8; ++i) {
     const CacheKey key{"exp/x" + std::to_string(i), static_cast<std::uint64_t>(i), 1,
-                      "batched"};
+                      "batched", ""};
     if (cache.get(key).tier == ResultCache::Tier::kDisk) ++on_disk;
   }
   EXPECT_EQ(on_disk, 8);
@@ -196,7 +237,7 @@ TEST(ResultCache, ZeroCapLeavesDiskUnbounded) {
 
 TEST(ResultCache, FilePathIsReadableAndKeyed) {
   ResultCache cache("/tmp/cache", 1);
-  const CacheKey key{"table7.1/n64", 200000, 1, "batched"};
+  const CacheKey key{"table7.1/n64", 200000, 1, "batched", ""};
   const std::string path = cache.file_path(key);
   EXPECT_NE(path.find("/tmp/cache/table7.1_n64-s200000-seed1-batched-"), std::string::npos)
       << path;

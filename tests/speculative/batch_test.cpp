@@ -140,7 +140,7 @@ TEST(ScsaBatchDifferentialTest, ExhaustiveOperandAtMediumWidthsAllWindows) {
   for (const int n : {10, 12}) {
     for (int k = 1; k <= n; ++k) {
       const ScsaModel model(ScsaConfig{n, k});
-      std::mt19937_64 partner(static_cast<std::uint64_t>(n) * 1000 + static_cast<std::uint64_t>(k));
+      vlcsa::arith::BlockRng partner(static_cast<std::uint64_t>(n) * 1000 + static_cast<std::uint64_t>(k));
       std::vector<ApInt> a, b;
       const std::uint64_t limit = std::uint64_t{1} << n;
       for (std::uint64_t va = 0; va < limit; ++va) {
@@ -183,7 +183,7 @@ TEST(VlsaBatchDifferentialTest, ExhaustiveOperandAtMediumWidthsAllChains) {
   for (const int n : {10, 12}) {
     for (int l = 1; l <= n; ++l) {
       const VlsaModel model(VlsaConfig{n, l});
-      std::mt19937_64 partner(static_cast<std::uint64_t>(n) * 2000 + static_cast<std::uint64_t>(l));
+      vlcsa::arith::BlockRng partner(static_cast<std::uint64_t>(n) * 2000 + static_cast<std::uint64_t>(l));
       std::vector<ApInt> a, b;
       const std::uint64_t limit = std::uint64_t{1} << n;
       for (std::uint64_t va = 0; va < limit; ++va) {
@@ -207,7 +207,7 @@ class RandomizedBatchTest
 TEST_P(RandomizedBatchTest, AllFourModelsMatchScalar) {
   const auto [n, dist] = GetParam();
   const auto source = arith::make_source(dist, n);
-  std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 31 + static_cast<int>(dist));
+  vlcsa::arith::BlockRng rng(static_cast<std::uint64_t>(n) * 31 + static_cast<int>(dist));
 
   // Window/chain choices: one small (frequent errors) and one realistic.
   for (const int k : {4, 11}) {
@@ -242,7 +242,7 @@ INSTANTIATE_TEST_SUITE_P(
 /// zero-padded operands, which must not disturb the populated lanes.
 TEST(ScsaBatchDifferentialTest, PartialBatchLanesMatch) {
   const ScsaModel model(ScsaConfig{64, 8});
-  std::mt19937_64 rng(77);
+  vlcsa::arith::BlockRng rng(77);
   for (const int count : {1, 7, 63}) {
     std::vector<ApInt> a, b;
     for (int j = 0; j < count; ++j) {
@@ -285,7 +285,7 @@ TEST_P(BackendLaneWidthTest, AllFourModelsMatchScalarPerLane) {
   const VlcsaModel vlcsa1(VlcsaConfig{n, k, ScsaVariant::kScsa1});
   const VlcsaModel vlcsa2(VlcsaConfig{n, k, ScsaVariant::kScsa2});
   const VlsaModel vlsa(VlsaConfig{n, k + 2});
-  std::mt19937_64 rng(2024);
+  vlcsa::arith::BlockRng rng(2024);
   for (const int count : {1, 63, 65, 127, 255, 257}) {
     if (count > 64 * lane_words) continue;  // does not fit this lane width
     std::vector<ApInt> a, b;

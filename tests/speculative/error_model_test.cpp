@@ -60,7 +60,7 @@ TEST(ScsaErrorModel, ExactDpMatchesMonteCarloNominalRate) {
   // The DP models P(some window pair is generate-then-propagate) == P(ERR0).
   const int n = 64, k = 6;
   const ScsaModel model(ScsaConfig{n, k});
-  std::mt19937_64 rng(123);
+  vlcsa::arith::BlockRng rng(123);
   const int samples = 200000;
   int flagged = 0;
   for (int s = 0; s < samples; ++s) {
@@ -112,7 +112,7 @@ TEST(VlsaErrorModel, ExactDpIsBelowUnionBound) {
 TEST(VlsaErrorModel, ExactDpMatchesBehavioralMonteCarlo) {
   const int n = 48, l = 6;
   const VlsaModel model(VlsaConfig{n, l});
-  std::mt19937_64 rng(321);
+  vlcsa::arith::BlockRng rng(321);
   const int samples = 200000;
   int wrong = 0;
   for (int s = 0; s < samples; ++s) {

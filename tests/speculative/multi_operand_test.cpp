@@ -12,7 +12,7 @@ namespace {
 using arith::ApInt;
 
 TEST(CarrySaveCompress, PreservesSumModulo) {
-  std::mt19937_64 rng(1);
+  vlcsa::arith::BlockRng rng(1);
   for (int i = 0; i < 500; ++i) {
     const auto a = ApInt::random(48, rng);
     const auto b = ApInt::random(48, rng);
@@ -24,7 +24,7 @@ TEST(CarrySaveCompress, PreservesSumModulo) {
 
 TEST(CarrySaveReduce, EdgeCounts) {
   const int width = 32;
-  std::mt19937_64 rng(2);
+  vlcsa::arith::BlockRng rng(2);
   // 0 operands -> zero.
   {
     const auto [s, c] = carry_save_reduce({}, width);
@@ -56,7 +56,7 @@ class CarrySaveReduceTest : public ::testing::TestWithParam<int> {};
 TEST_P(CarrySaveReduceTest, SumPreservedForManyOperands) {
   const int count = GetParam();
   const int width = 40;
-  std::mt19937_64 rng(100 + static_cast<unsigned>(count));
+  vlcsa::arith::BlockRng rng(100 + static_cast<unsigned>(count));
   for (int trial = 0; trial < 50; ++trial) {
     std::vector<ApInt> ops;
     ApInt expected(width);
@@ -85,7 +85,7 @@ TEST(CsaTreeLevels, MatchesKnownDepths) {
 TEST(MultiOperandAdder, AlwaysExactOverRandomStreams) {
   const int width = 64;
   const MultiOperandAdder adder({width, 10, ScsaVariant::kScsa2});
-  std::mt19937_64 rng(7);
+  vlcsa::arith::BlockRng rng(7);
   int stalls = 0;
   for (int trial = 0; trial < 2000; ++trial) {
     const int count = 3 + static_cast<int>(rng() % 14);
@@ -108,7 +108,7 @@ TEST(MultiOperandAdder, GaussianOperandsStayExact) {
   const int width = 64;
   const MultiOperandAdder adder({width, 13, ScsaVariant::kScsa2});
   arith::GaussianTwosSource source(width, arith::GaussianParams{0.0, 1048576.0});
-  std::mt19937_64 rng(9);
+  vlcsa::arith::BlockRng rng(9);
   for (int trial = 0; trial < 1000; ++trial) {
     std::vector<ApInt> ops;
     ApInt expected(width);

@@ -29,7 +29,7 @@ TEST_P(MultiplierNetlistTest, RecoveryBankMultipliesExactly) {
   const Netlist nl = netlist::optimize(
       build_multiplier_netlist(MultiplierNetlistConfig{n, k, variant}));
   Simulator sim(nl);
-  std::mt19937_64 rng(static_cast<unsigned>(n * 7 + k));
+  vlcsa::arith::BlockRng rng(static_cast<unsigned>(n * 7 + k));
   for (int round = 0; round < 4; ++round) {
     std::vector<ApInt> a, b;
     for (int v = 0; v < 64; ++v) {

@@ -11,7 +11,7 @@ using arith::ApInt;
 
 TEST(SpeculativeMultiplier, MatchesNativeMultiplication32) {
   const SpeculativeMultiplier mul(32, 9);
-  std::mt19937_64 rng(3);
+  vlcsa::arith::BlockRng rng(3);
   for (int i = 0; i < 2000; ++i) {
     const std::uint64_t ua = rng() & 0xffffffffu;
     const std::uint64_t ub = rng() & 0xffffffffu;
@@ -39,7 +39,7 @@ TEST(SpeculativeMultiplier, EdgeOperands) {
 TEST(SpeculativeMultiplier, WideOperandsViaSchoolbookReference) {
   const int n = 64;
   const SpeculativeMultiplier mul(n, 12);
-  std::mt19937_64 rng(5);
+  vlcsa::arith::BlockRng rng(5);
   for (int i = 0; i < 200; ++i) {
     const auto a = ApInt::random(n, rng);
     const auto b = ApInt::random(n, rng);
@@ -56,7 +56,7 @@ TEST(SpeculativeMultiplier, WideOperandsViaSchoolbookReference) {
 
 TEST(SpeculativeMultiplier, VariableLatencyBehaviour) {
   const SpeculativeMultiplier mul(32, 6, ScsaVariant::kScsa1);
-  std::mt19937_64 rng(11);
+  vlcsa::arith::BlockRng rng(11);
   int one_cycle = 0, two_cycle = 0;
   for (int i = 0; i < 3000; ++i) {
     const auto r = mul.multiply(ApInt::random(32, rng), ApInt::random(32, rng));

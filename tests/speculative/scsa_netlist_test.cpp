@@ -36,7 +36,7 @@ TEST_P(ScsaNetlistTest, MatchesBehavioralModelOnAllOutputGroups) {
   const ScsaModel model(config);
 
   Simulator sim(nl);
-  std::mt19937_64 rng(static_cast<unsigned>(n * 131 + k));
+  vlcsa::arith::BlockRng rng(static_cast<unsigned>(n * 131 + k));
   for (int round = 0; round < 4; ++round) {
     std::vector<ApInt> a, b;
     for (int v = 0; v < 64; ++v) {
@@ -86,7 +86,7 @@ TEST(ScsaNetlist, SpecOnlyNetlistMatchesBehavioralSpec) {
   const Netlist nl = netlist::optimize(build_scsa_netlist(config, ScsaVariant::kScsa1));
   const ScsaModel model(config);
   Simulator sim(nl);
-  std::mt19937_64 rng(999);
+  vlcsa::arith::BlockRng rng(999);
   std::vector<ApInt> a, b;
   for (int v = 0; v < 64; ++v) {
     a.push_back(ApInt::random(48, rng));
@@ -160,7 +160,7 @@ TEST(ScsaNetlist, GaussianVectorsExerciseAllPathsEquivalently) {
   const Netlist nl = netlist::optimize(build_vlcsa_netlist(config, ScsaVariant::kScsa2));
   const ScsaModel model(config);
   Simulator sim(nl);
-  std::mt19937_64 rng(31337);
+  vlcsa::arith::BlockRng rng(31337);
   std::vector<ApInt> a, b;
   for (int v = 0; v < 64; ++v) {
     // Small signed values: dense long-chain coverage.

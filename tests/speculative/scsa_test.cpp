@@ -18,7 +18,7 @@ TEST(ScsaModel, RejectsWidthMismatch) {
 
 TEST(ScsaModel, ExactFieldIsTrueSum) {
   const ScsaModel model(ScsaConfig{64, 14});
-  std::mt19937_64 rng(1);
+  vlcsa::arith::BlockRng rng(1);
   for (int i = 0; i < 100; ++i) {
     const auto a = ApInt::random(64, rng);
     const auto b = ApInt::random(64, rng);
@@ -31,7 +31,7 @@ TEST(ScsaModel, ExactFieldIsTrueSum) {
 
 TEST(ScsaModel, SingleWindowIsAlwaysExact) {
   const ScsaModel model(ScsaConfig{16, 16});
-  std::mt19937_64 rng(2);
+  vlcsa::arith::BlockRng rng(2);
   for (int i = 0; i < 200; ++i) {
     const auto ev = model.evaluate(ApInt::random(16, rng), ApInt::random(16, rng));
     EXPECT_TRUE(ev.spec0_correct());
@@ -118,7 +118,7 @@ class ScsaSweepTest : public ::testing::TestWithParam<ScsaSweepCase> {
 TEST_P(ScsaSweepTest, RecoveryIsAlwaysExact) {
   const auto [n, k] = GetParam();
   const ScsaModel model(ScsaConfig{n, k});
-  std::mt19937_64 rng(100 + static_cast<unsigned>(n * k));
+  vlcsa::arith::BlockRng rng(100 + static_cast<unsigned>(n * k));
   for (int i = 0; i < kSamples; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
     ASSERT_EQ(ev.recovered, ev.exact);
@@ -131,7 +131,7 @@ TEST_P(ScsaSweepTest, DetectionNeverMissesAnError) {
   // raise ERR0 — no false negatives, over any input.
   const auto [n, k] = GetParam();
   const ScsaModel model(ScsaConfig{n, k});
-  std::mt19937_64 rng(200 + static_cast<unsigned>(n * k));
+  vlcsa::arith::BlockRng rng(200 + static_cast<unsigned>(n * k));
   for (int i = 0; i < kSamples; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
     if (!ev.spec0_correct()) {
@@ -147,7 +147,7 @@ TEST_P(ScsaSweepTest, Vlcsa2SelectionTheorem) {
   // selected result is always correct.
   const auto [n, k] = GetParam();
   const ScsaModel model(ScsaConfig{n, k});
-  std::mt19937_64 rng(300 + static_cast<unsigned>(n * k));
+  vlcsa::arith::BlockRng rng(300 + static_cast<unsigned>(n * k));
   for (int i = 0; i < kSamples; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
     if (ev.err0 && !ev.err1) {
@@ -166,7 +166,7 @@ TEST_P(ScsaSweepTest, Vlcsa2SelectionTheoremOnGaussianInputs) {
   if (n < 64) GTEST_SKIP() << "sigma 2^20 needs some headroom";
   const ScsaModel model(ScsaConfig{n, k});
   arith::GaussianTwosSource source(n, arith::GaussianParams{0.0, 1048576.0});
-  std::mt19937_64 rng(400 + static_cast<unsigned>(n * k));
+  vlcsa::arith::BlockRng rng(400 + static_cast<unsigned>(n * k));
   for (int i = 0; i < kSamples; ++i) {
     const auto [a, b] = source.next(rng);
     const auto ev = model.evaluate(a, b);
@@ -188,7 +188,7 @@ TEST_P(ScsaSweepTest, Err0MatchesPairEventExactly) {
   // cross-check the model's flag against a direct group-signal scan.
   const auto [n, k] = GetParam();
   const ScsaModel model(ScsaConfig{n, k});
-  std::mt19937_64 rng(500 + static_cast<unsigned>(n * k));
+  vlcsa::arith::BlockRng rng(500 + static_cast<unsigned>(n * k));
   for (int i = 0; i < 2000; ++i) {
     const auto a = ApInt::random(n, rng);
     const auto b = ApInt::random(n, rng);
@@ -223,7 +223,7 @@ TEST(ScsaModel, LowErrorMagnitudeProperty) {
   const ScsaModel model(ScsaConfig{32, 8});
   const auto& windows = model.layout().windows();
   const int m = static_cast<int>(windows.size());
-  std::mt19937_64 rng(42);
+  vlcsa::arith::BlockRng rng(42);
   int errors = 0;
   while (errors < 200) {
     const auto a = ApInt::random(32, rng);

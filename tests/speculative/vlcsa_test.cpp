@@ -18,7 +18,7 @@ TEST(VlcsaModel, EmittedResultIsAlwaysExact) {
     const VlcsaModel model(VlcsaConfig{64, 9, variant});
     arith::GaussianTwosSource gauss(64, arith::GaussianParams{0.0, 1048576.0});
     arith::UniformUnsignedSource uniform(64);
-    std::mt19937_64 rng(11);
+    vlcsa::arith::BlockRng rng(11);
     for (int i = 0; i < 20000; ++i) {
       const auto [a, b] = (i % 2 == 0) ? gauss.next(rng) : uniform.next(rng);
       const auto step = model.step(a, b);
@@ -31,7 +31,7 @@ TEST(VlcsaModel, EmittedResultIsAlwaysExact) {
 
 TEST(VlcsaModel, Variant1StallsExactlyOnErr0) {
   const VlcsaModel model(VlcsaConfig{32, 6, ScsaVariant::kScsa1});
-  std::mt19937_64 rng(13);
+  vlcsa::arith::BlockRng rng(13);
   for (int i = 0; i < 5000; ++i) {
     const auto a = ApInt::random(32, rng);
     const auto b = ApInt::random(32, rng);
@@ -42,7 +42,7 @@ TEST(VlcsaModel, Variant1StallsExactlyOnErr0) {
 
 TEST(VlcsaModel, Variant2StallsOnlyWhenBothFlagsRaise) {
   const VlcsaModel model(VlcsaConfig{32, 6, ScsaVariant::kScsa2});
-  std::mt19937_64 rng(17);
+  vlcsa::arith::BlockRng rng(17);
   int one_cycle_saves = 0;
   for (int i = 0; i < 20000; ++i) {
     const auto a = ApInt::random(32, rng);
@@ -60,7 +60,7 @@ TEST(VlcsaModel, Variant2NeverStallsMoreThanVariant1) {
   // subset, so its average latency can only be equal or better.
   const VlcsaModel v1(VlcsaConfig{64, 10, ScsaVariant::kScsa1});
   const VlcsaModel v2(VlcsaConfig{64, 10, ScsaVariant::kScsa2});
-  std::mt19937_64 rng(19);
+  vlcsa::arith::BlockRng rng(19);
   for (int i = 0; i < 10000; ++i) {
     const auto a = ApInt::random(64, rng);
     const auto b = ApInt::random(64, rng);
@@ -80,7 +80,7 @@ TEST(VlcsaModel, GaussianStallRateGapBetweenVariants) {
   arith::GaussianTwosSource source(n, arith::GaussianParams{0.0, 4294967296.0});
   const VlcsaModel v1(VlcsaConfig{n, k, ScsaVariant::kScsa1});
   const VlcsaModel v2(VlcsaConfig{n, k, ScsaVariant::kScsa2});
-  std::mt19937_64 r1(23), r2(23);
+  vlcsa::arith::BlockRng r1(23), r2(23);
   LatencyStats s1, s2;
   for (int i = 0; i < 20000; ++i) {
     const auto [a1, b1] = source.next(r1);

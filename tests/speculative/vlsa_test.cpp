@@ -25,7 +25,7 @@ TEST(VlsaModel, RejectsBadConfig) {
 
 TEST(VlsaModel, FullChainLengthIsExact) {
   const VlsaModel model(VlsaConfig{32, 32});
-  std::mt19937_64 rng(1);
+  vlcsa::arith::BlockRng rng(1);
   for (int i = 0; i < 1000; ++i) {
     const auto ev = model.evaluate(ApInt::random(32, rng), ApInt::random(32, rng));
     EXPECT_TRUE(ev.spec_correct());
@@ -38,7 +38,7 @@ TEST(VlsaModel, SpecMatchesDirectWindowedCarryDefinition) {
   // min(l, j+1) bits ending at j.
   const int n = 40, l = 7;
   const VlsaModel model(VlsaConfig{n, l});
-  std::mt19937_64 rng(3);
+  vlcsa::arith::BlockRng rng(3);
   for (int i = 0; i < 2000; ++i) {
     const auto a = ApInt::random(n, rng);
     const auto b = ApInt::random(n, rng);
@@ -61,7 +61,7 @@ TEST(VlsaModel, SpecMatchesDirectWindowedCarryDefinition) {
 TEST(VlsaModel, DetectionNeverMissesAnError) {
   const int n = 48, l = 5;
   const VlsaModel model(VlsaConfig{n, l});
-  std::mt19937_64 rng(5);
+  vlcsa::arith::BlockRng rng(5);
   for (int i = 0; i < 50000; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
     if (!ev.spec_correct()) {
@@ -74,7 +74,7 @@ TEST(VlsaModel, DetectionOverestimates) {
   // An l-run of propagates without an entering carry flags but does not err.
   const int n = 48, l = 5;
   const VlsaModel model(VlsaConfig{n, l});
-  std::mt19937_64 rng(7);
+  vlcsa::arith::BlockRng rng(7);
   int flagged = 0, wrong = 0;
   for (int i = 0; i < 50000; ++i) {
     const auto ev = model.evaluate(ApInt::random(n, rng), ApInt::random(n, rng));
@@ -86,7 +86,7 @@ TEST(VlsaModel, DetectionOverestimates) {
 
 TEST(VlsaModel, RecoveredEqualsExact) {
   const VlsaModel model(VlsaConfig{64, 8});
-  std::mt19937_64 rng(9);
+  vlcsa::arith::BlockRng rng(9);
   for (int i = 0; i < 1000; ++i) {
     const auto ev = model.evaluate(ApInt::random(64, rng), ApInt::random(64, rng));
     EXPECT_EQ(ev.recovered, ev.exact);
@@ -107,7 +107,7 @@ TEST_P(VlsaNetlistTest, MatchesBehavioralModel) {
   const Netlist nl = netlist::optimize(build_vlsa_netlist(config));
   const VlsaModel model(config);
   Simulator sim(nl);
-  std::mt19937_64 rng(static_cast<unsigned>(n * 1000 + l));
+  vlcsa::arith::BlockRng rng(static_cast<unsigned>(n * 1000 + l));
   for (int round = 0; round < 4; ++round) {
     std::vector<ApInt> a, b;
     for (int v = 0; v < 64; ++v) {
@@ -141,7 +141,7 @@ TEST(VlsaNetlist, SpecOnlyNetlistMatches) {
   const Netlist nl = netlist::optimize(build_vlsa_spec_netlist(config));
   const VlsaModel model(config);
   Simulator sim(nl);
-  std::mt19937_64 rng(77);
+  vlcsa::arith::BlockRng rng(77);
   std::vector<ApInt> a, b;
   for (int v = 0; v < 64; ++v) {
     a.push_back(ApInt::random(32, rng));
