@@ -1,12 +1,12 @@
 // vlcsa_client — command-line client for the experiment service daemon
 // (vlcsa_serve): builds one protocol request from flags, sends it over the
-// Unix domain socket, prints the response line to stdout, and exits 0 iff
-// the response says "status": "ok".  Protocol reference in DESIGN.md.
+// Unix domain socket or TCP, prints the response line to stdout, and exits 0
+// iff the response says "status": "ok".  Protocol reference in DESIGN.md.
 //
 //   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=run
 //         --experiment=table7.1/n64 --samples=200000 --seed=7
-//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=list
-//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=cache-stats
+//   $ ./build/examples/vlcsa_client --tcp=127.0.0.1:7411 --request=list
+//   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=metrics
 //   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=shutdown
 //   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock
 //         --send='{"request": "describe", "experiment": "eq5.2/n64-uniform"}'
@@ -28,26 +28,42 @@ namespace {
 
 void print_usage() {
   std::cout
-      << "usage: vlcsa_client --socket=PATH\n"
-         "                    (--request=run|list|describe|cache-stats|shutdown\n"
+      << "usage: vlcsa_client (--socket=PATH | --tcp=HOST:PORT)\n"
+         "                    (--request=run|run-batch|list|describe|cache-stats\n"
+         "                               |metrics|shutdown\n"
          "                     [--experiment=NAME] [--samples=N] [--seed=S]\n"
          "                     [--eval-path=batched|scalar] [--prefix=P]\n"
+         "                     [--run-timeout-ms=T]\n"
          "                     | --send=JSONLINE)\n"
-         "                    [--connect-timeout-ms=N]\n"
+         "                    [--connect-timeout-ms=N] [--timeout-ms=N]\n"
          "  --socket    Unix domain socket vlcsa_serve listens on\n"
+         "  --tcp       TCP endpoint vlcsa_serve listens on\n"
          "  --request   protocol request to build from the flags below\n"
          "  --experiment, --samples, --seed, --eval-path   run/describe fields\n"
          "  --prefix    list filter (experiment-name prefix)\n"
+         "  --run-timeout-ms   server-side run deadline (\"timeout_ms\" field)\n"
          "  --send      send this raw request line instead of building one\n"
          "  --connect-timeout-ms   keep retrying the connect this long\n"
          "                         (default 0 = single attempt)\n"
+         "  --timeout-ms   client I/O deadline: fail instead of hanging if the\n"
+         "                 server goes silent (default 0 = wait forever)\n"
          "exit status: 0 response ok, 1 response/transport error, 2 usage error\n";
+}
+
+/// Splits "HOST:PORT" on the last ':'.
+bool parse_host_port(const std::string& value, std::string& host, int& port) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size()) return false;
+  host = value.substr(0, colon);
+  return harness::parse_nonnegative_int(value.substr(colon + 1), port) && port <= 65535;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_host;
+  int tcp_port = -1;
   std::string request;
   std::string experiment;
   std::string eval_path;
@@ -57,7 +73,10 @@ int main(int argc, char** argv) {
   bool samples_given = false;
   std::uint64_t seed = 1;
   bool seed_given = false;
+  std::uint64_t run_timeout_ms = 0;
+  bool run_timeout_given = false;
   int connect_timeout_ms = 0;
+  int io_timeout_ms = 0;
 
   const auto store_string = [](std::string& field) {
     return [&field](const std::string& value) {
@@ -68,6 +87,8 @@ int main(int argc, char** argv) {
   };
   const std::vector<harness::ValueFlag> flags = {
       {"--socket", store_string(socket_path)},
+      {"--tcp",
+       [&](const std::string& value) { return parse_host_port(value, tcp_host, tcp_port); }},
       {"--request", store_string(request)},
       {"--experiment", store_string(experiment)},
       {"--eval-path",
@@ -89,9 +110,18 @@ int main(int argc, char** argv) {
          seed_given = true;
          return harness::parse_u64(value, seed);
        }},
+      {"--run-timeout-ms",
+       [&](const std::string& value) {
+         run_timeout_given = true;
+         return harness::parse_u64(value, run_timeout_ms) && run_timeout_ms > 0;
+       }},
       {"--connect-timeout-ms",
        [&](const std::string& value) {
          return harness::parse_nonnegative_int(value, connect_timeout_ms);
+       }},
+      {"--timeout-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, io_timeout_ms);
        }},
   };
 
@@ -109,8 +139,9 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
-  if (socket_path.empty()) {
-    std::cerr << "error: --socket=PATH is required\n";
+  const bool tcp = tcp_port >= 0;
+  if (socket_path.empty() == !tcp) {
+    std::cerr << "error: exactly one of --socket=PATH or --tcp=HOST:PORT is required\n";
     return 2;
   }
   if (request.empty() == raw_line.empty()) {
@@ -129,14 +160,23 @@ int main(int argc, char** argv) {
     if (seed_given) object.add("seed", seed);
     if (!eval_path.empty()) object.add("eval_path", eval_path);
     if (!prefix.empty()) object.add("prefix", prefix);
+    if (run_timeout_given) object.add("timeout_ms", run_timeout_ms);
     line = object.render_line();
   }
 
-  service::UnixClient client;
-  if (const std::string error = client.connect_or_error(socket_path, connect_timeout_ms);
-      !error.empty()) {
-    std::cerr << "error: " << error << "\n";
+  service::ServiceClient client;
+  const std::string connect_error =
+      tcp ? client.connect_tcp_or_error(tcp_host, tcp_port, connect_timeout_ms)
+          : client.connect_or_error(socket_path, connect_timeout_ms);
+  if (!connect_error.empty()) {
+    std::cerr << "error: " << connect_error << "\n";
     return 1;
+  }
+  if (io_timeout_ms > 0) {
+    if (const std::string error = client.set_io_timeout_ms(io_timeout_ms); !error.empty()) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
   }
   std::string response;
   if (const std::string error = client.roundtrip(line, response); !error.empty()) {

@@ -1,0 +1,328 @@
+// vlcsa_loadgen — load generator for the experiment service daemon: replays
+// a recorded request trace (one protocol request line per file line) against
+// a running vlcsa_serve at configurable concurrency and reports
+// client-observed latency quantiles and error counts as one machine-readable
+// JSON object — the SLO harness CI pins the service smoke on (BENCH_service
+// artifact).  Runbook in docs/OPERATIONS.md.
+//
+//   $ ./build/examples/vlcsa_loadgen --socket=/tmp/vlcsa.sock
+//         --trace=trace.jsonl --repeat=10 --concurrency=8
+//         --json=BENCH_service.json --slo-p99-ms=250
+//
+// Every worker owns one connection and pulls the next trace line off a
+// shared counter, so the replay order interleaves exactly like production
+// traffic would.  Exit status: 0 = replay clean (and SLO met, when given),
+// 1 = protocol errors / SLO exceeded / transport failure, 2 = usage error.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/cli.hpp"
+#include "harness/json.hpp"
+#include "harness/report.hpp"
+#include "service/server.hpp"
+
+using namespace vlcsa;
+
+namespace {
+
+void print_usage() {
+  std::cout
+      << "usage: vlcsa_loadgen (--socket=PATH | --tcp=HOST:PORT) --trace=FILE\n"
+         "                     [--repeat=N] [--concurrency=N] [--json=FILE]\n"
+         "                     [--timeout-ms=N] [--connect-timeout-ms=N]\n"
+         "                     [--slo-p99-ms=MS]\n"
+         "  --socket      Unix domain socket vlcsa_serve listens on\n"
+         "  --tcp         TCP endpoint vlcsa_serve listens on\n"
+         "  --trace       request trace: one protocol request line per line\n"
+         "                (shutdown requests are rejected — a load test must\n"
+         "                not stop the daemon it measures)\n"
+         "  --repeat      replay the whole trace this many times (default 1)\n"
+         "  --concurrency worker connections replaying in parallel (default 1)\n"
+         "  --json        also write the report object to this file\n"
+         "  --timeout-ms  per-roundtrip I/O deadline (default 0 = wait forever)\n"
+         "  --connect-timeout-ms  keep retrying each connect this long\n"
+         "                        (default 2000)\n"
+         "  --slo-p99-ms  fail (exit 1) when client-observed p99 exceeds this\n"
+         "                (default 0 = no SLO check)\n"
+         "exit status: 0 clean replay, 1 errors/SLO miss, 2 usage error\n";
+}
+
+bool parse_host_port(const std::string& value, std::string& host, int& port) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size()) return false;
+  host = value.substr(0, colon);
+  return harness::parse_nonnegative_int(value.substr(colon + 1), port) && port <= 65535;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_seconds;
+  std::uint64_t ok = 0;
+  std::uint64_t error_status = 0;     // well-formed {"status": "error"} replies
+  std::uint64_t protocol_errors = 0;  // transport failures / malformed replies
+  std::string first_error;            // what the first protocol error said
+};
+
+/// The exact q-quantile of a sorted sample (nearest-rank method).
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(rank);
+  if (static_cast<double>(index) < rank) ++index;  // ceil
+  if (index == 0) index = 1;
+  return sorted[std::min(index, sorted.size()) - 1];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string tcp_host;
+  int tcp_port = -1;
+  std::string trace_path;
+  std::string json_path;
+  int repeat = 1;
+  int concurrency = 1;
+  int io_timeout_ms = 0;
+  int connect_timeout_ms = 2000;
+  int slo_p99_ms = 0;
+
+  const std::vector<harness::ValueFlag> flags = {
+      {"--socket",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         socket_path = value;
+         return true;
+       }},
+      {"--tcp",
+       [&](const std::string& value) { return parse_host_port(value, tcp_host, tcp_port); }},
+      {"--trace",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         trace_path = value;
+         return true;
+       }},
+      {"--json",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         json_path = value;
+         return true;
+       }},
+      {"--repeat",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, repeat) && repeat > 0;
+       }},
+      {"--concurrency",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, concurrency) && concurrency > 0;
+       }},
+      {"--timeout-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, io_timeout_ms);
+       }},
+      {"--connect-timeout-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, connect_timeout_ms);
+       }},
+      {"--slo-p99-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, slo_p99_ms);
+       }},
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+  }
+  if (const std::string error = harness::parse_value_flags(
+          argc, const_cast<const char* const*>(argv), flags);
+      !error.empty()) {
+    std::cerr << "error: " << error << "\n";
+    print_usage();
+    return 2;
+  }
+  const bool tcp = tcp_port >= 0;
+  if (socket_path.empty() == !tcp) {
+    std::cerr << "error: exactly one of --socket=PATH or --tcp=HOST:PORT is required\n";
+    return 2;
+  }
+  if (trace_path.empty()) {
+    std::cerr << "error: --trace=FILE is required\n";
+    return 2;
+  }
+
+  // Load and vet the trace up front: every line must be a parseable request
+  // object, and none may be a shutdown (a load test must not stop the daemon
+  // it measures mid-replay).
+  std::vector<std::string> trace;
+  {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::cerr << "error: cannot open trace file " << trace_path << "\n";
+      return 2;
+    }
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      const harness::JsonParse parsed = harness::parse_json(line);
+      if (!parsed.ok()) {
+        std::cerr << "error: " << trace_path << ":" << line_number
+                  << ": malformed request: " << parsed.error << "\n";
+        return 2;
+      }
+      const harness::JsonValue* request = parsed.value.find("request");
+      if (request != nullptr && request->kind() == harness::JsonValue::Kind::kString &&
+          request->as_string() == "shutdown") {
+        std::cerr << "error: " << trace_path << ":" << line_number
+                  << ": shutdown requests are not replayable\n";
+        return 2;
+      }
+      trace.push_back(line);
+    }
+  }
+  if (trace.empty()) {
+    std::cerr << "error: trace file " << trace_path << " has no request lines\n";
+    return 2;
+  }
+
+  const std::uint64_t total_requests =
+      static_cast<std::uint64_t>(trace.size()) * static_cast<std::uint64_t>(repeat);
+  std::atomic<std::uint64_t> next{0};
+  std::vector<WorkerResult> results(static_cast<std::size_t>(concurrency));
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(concurrency));
+  for (int w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& result = results[static_cast<std::size_t>(w)];
+      service::ServiceClient client;
+      const std::string connect_error =
+          tcp ? client.connect_tcp_or_error(tcp_host, tcp_port, connect_timeout_ms)
+              : client.connect_or_error(socket_path, connect_timeout_ms);
+      if (!connect_error.empty()) {
+        ++result.protocol_errors;
+        result.first_error = connect_error;
+        return;
+      }
+      if (io_timeout_ms > 0) {
+        if (const std::string error = client.set_io_timeout_ms(io_timeout_ms);
+            !error.empty()) {
+          ++result.protocol_errors;
+          result.first_error = error;
+          return;
+        }
+      }
+      while (true) {
+        const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+        if (index >= total_requests) return;
+        const std::string& request = trace[index % trace.size()];
+        std::string response;
+        const auto sent = Clock::now();
+        const std::string error = client.roundtrip(request, response);
+        result.latencies_seconds.push_back(
+            std::chrono::duration<double>(Clock::now() - sent).count());
+        if (!error.empty()) {
+          ++result.protocol_errors;
+          if (result.first_error.empty()) result.first_error = error;
+          return;  // the connection is gone; this worker is done
+        }
+        const harness::JsonParse parsed = harness::parse_json(response);
+        const harness::JsonValue* status =
+            parsed.ok() ? parsed.value.find("status") : nullptr;
+        if (status == nullptr || status->kind() != harness::JsonValue::Kind::kString) {
+          ++result.protocol_errors;
+          if (result.first_error.empty()) {
+            result.first_error = "response without a string 'status': " + response;
+          }
+        } else if (status->as_string() == "ok") {
+          ++result.ok;
+        } else {
+          ++result.error_status;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  std::uint64_t ok = 0;
+  std::uint64_t error_status = 0;
+  std::uint64_t protocol_errors = 0;
+  std::string first_error;
+  for (const WorkerResult& result : results) {
+    latencies.insert(latencies.end(), result.latencies_seconds.begin(),
+                     result.latencies_seconds.end());
+    ok += result.ok;
+    error_status += result.error_status;
+    protocol_errors += result.protocol_errors;
+    if (first_error.empty()) first_error = result.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  const double p50_ms = quantile_sorted(latencies, 0.50) * 1e3;
+  const double p95_ms = quantile_sorted(latencies, 0.95) * 1e3;
+  const double p99_ms = quantile_sorted(latencies, 0.99) * 1e3;
+  const double max_ms = latencies.empty() ? 0.0 : latencies.back() * 1e3;
+
+  harness::JsonObject report;
+  report.add("schema", "vlcsa-loadgen-1");
+  report.add("transport", tcp ? "tcp" : "unix");
+  report.add("endpoint", tcp ? tcp_host + ":" + std::to_string(tcp_port) : socket_path);
+  report.add("trace", trace_path);
+  report.add("trace_lines", static_cast<std::uint64_t>(trace.size()));
+  report.add("repeat", repeat);
+  report.add("concurrency", concurrency);
+  report.add("total_requests", total_requests);
+  report.add("completed", static_cast<std::uint64_t>(latencies.size()));
+  report.add("ok", ok);
+  report.add("error_status", error_status);
+  report.add("protocol_errors", protocol_errors);
+  report.add("wall_seconds", wall);
+  report.add("qps", wall > 0.0 ? static_cast<double>(latencies.size()) / wall : 0.0);
+  report.add("latency_p50_ms", p50_ms);
+  report.add("latency_p95_ms", p95_ms);
+  report.add("latency_p99_ms", p99_ms);
+  report.add("latency_max_ms", max_ms);
+  if (slo_p99_ms > 0) {
+    report.add("slo_p99_ms", slo_p99_ms);
+    report.add("slo_met", p99_ms <= static_cast<double>(slo_p99_ms));
+  }
+  const std::string line = report.render_line();
+  std::cout << line << "\n";
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write report to " << json_path << "\n";
+      return 1;
+    }
+    out << line << "\n";
+  }
+
+  if (protocol_errors > 0) {
+    std::cerr << "error: " << protocol_errors << " protocol error(s); first: " << first_error
+              << "\n";
+    return 1;
+  }
+  if (slo_p99_ms > 0 && p99_ms > static_cast<double>(slo_p99_ms)) {
+    std::cerr << "error: p99 " << p99_ms << " ms exceeds SLO " << slo_p99_ms << " ms\n";
+    return 1;
+  }
+  return 0;
+}

@@ -2,12 +2,14 @@
 // front end over the experiment registry with a two-tier result cache, so
 // repeated table/figure reproductions and wide adder-comparison sweeps stop
 // paying cold-start and re-sampling costs.  Speaks newline-delimited JSON
-// over a Unix domain socket (or stdin/stdout with --stdio); protocol
-// reference in DESIGN.md.
+// over a Unix domain socket, TCP, or stdin/stdout with --stdio; --socket and
+// --tcp may be combined (one cache, one worker pool, both transports);
+// protocol reference in DESIGN.md, operational runbook in docs/OPERATIONS.md.
 //
 //   $ ./build/examples/vlcsa_serve --socket=/tmp/vlcsa.sock --cache-dir=.vlcsa-cache &
 //   $ ./build/examples/vlcsa_client --socket=/tmp/vlcsa.sock --request=run
 //         --experiment=table7.1/n64 --samples=200000
+//   $ ./build/examples/vlcsa_serve --tcp=127.0.0.1:7411 --cache-dir=.vlcsa-cache &
 //   $ echo '{"request": "run", "experiment": "table7.1/n64"}'
 //         | ./build/examples/vlcsa_serve --stdio --cache-dir=.vlcsa-cache
 
@@ -25,10 +27,14 @@ using namespace vlcsa;
 namespace {
 
 void print_usage() {
-  std::cout << "usage: vlcsa_serve [--socket=PATH | --stdio] [--cache-dir=DIR]\n"
-               "                   [--cache-max-bytes=N] [--memory-entries=N]\n"
-               "                   [--threads=T] [--workers=N]\n"
+  std::cout << "usage: vlcsa_serve [--socket=PATH] [--tcp=HOST:PORT] [--stdio]\n"
+               "                   [--cache-dir=DIR] [--cache-max-bytes=N]\n"
+               "                   [--memory-entries=N] [--threads=T] [--workers=N]\n"
+               "                   [--timeout-ms=T] [--max-pending=N]\n"
                "  --socket           Unix domain socket path to listen on\n"
+               "  --tcp              TCP endpoint to listen on (port 0 = ephemeral;\n"
+               "                     the bound port is printed on stderr); may be\n"
+               "                     combined with --socket\n"
                "  --stdio            serve stdin/stdout instead of a socket (one-shot\n"
                "                     pipelines and tests)\n"
                "  --cache-dir        on-disk result cache directory (created if absent;\n"
@@ -38,19 +44,37 @@ void print_usage() {
                "  --memory-entries   in-memory LRU capacity (default 64; 0 disables)\n"
                "  --threads          engine threads per experiment run, 0 = all\n"
                "                     hardware threads (default 0)\n"
-               "  --workers          warm connection-worker pool size (default 2)\n";
+               "  --workers          warm connection-worker pool size (default 2)\n"
+               "  --timeout-ms       default per-run deadline; a run past it is\n"
+               "                     cancelled and answers a timeout error (default 0 =\n"
+               "                     none; requests may override with \"timeout_ms\")\n"
+               "  --max-pending      reject new connections with an \"overloaded\" error\n"
+               "                     once this many await a worker (default 128; 0 =\n"
+               "                     queue unboundedly)\n";
+}
+
+/// Splits "HOST:PORT" on the last ':' (tolerates IPv6 hosts like ::1:7411
+/// only via the last-colon rule; bracketed forms are not needed here).
+bool parse_host_port(const std::string& value, std::string& host, int& port) {
+  const std::size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == value.size()) return false;
+  host = value.substr(0, colon);
+  return harness::parse_nonnegative_int(value.substr(colon + 1), port) && port <= 65535;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  std::string tcp_host;
+  int tcp_port = -1;  // -1 = --tcp not given (0 is a valid ephemeral request)
   bool stdio = false;
   bool show_help = false;
   service::ServiceConfig config;
+  service::SocketServer::Options server_options;
   int memory_entries = 64;
-  int workers = 2;
   bool workers_given = false;
+  bool max_pending_given = false;
 
   const std::vector<harness::ValueFlag> flags = {
       {"--socket",
@@ -59,6 +83,8 @@ int main(int argc, char** argv) {
          socket_path = value;
          return true;
        }},
+      {"--tcp",
+       [&](const std::string& value) { return parse_host_port(value, tcp_host, tcp_port); }},
       {"--cache-dir",
        [&](const std::string& value) {
          if (value.empty()) return false;
@@ -80,7 +106,17 @@ int main(int argc, char** argv) {
       {"--workers",
        [&](const std::string& value) {
          workers_given = true;
-         return harness::parse_nonnegative_int(value, workers) && workers > 0;
+         return harness::parse_nonnegative_int(value, server_options.workers) &&
+                server_options.workers > 0;
+       }},
+      {"--timeout-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, config.timeout_ms);
+       }},
+      {"--max-pending",
+       [&](const std::string& value) {
+         max_pending_given = true;
+         return harness::parse_nonnegative_int(value, server_options.max_pending);
        }},
   };
 
@@ -108,13 +144,14 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
-  if (!stdio && socket_path.empty()) {
-    std::cerr << "error: exactly one of --socket=PATH or --stdio is required\n";
+  const bool tcp = tcp_port >= 0;
+  if (!stdio && socket_path.empty() && !tcp) {
+    std::cerr << "error: one of --socket=PATH, --tcp=HOST:PORT or --stdio is required\n";
     print_usage();
     return 2;
   }
-  if (stdio && !socket_path.empty()) {
-    std::cerr << "error: --socket and --stdio are mutually exclusive\n";
+  if (stdio && (!socket_path.empty() || tcp)) {
+    std::cerr << "error: --stdio is mutually exclusive with --socket/--tcp\n";
     print_usage();
     return 2;
   }
@@ -124,10 +161,10 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
-  if (stdio && workers_given) {
-    // Stdio serving is one conversation on one stream; a silently dead
-    // --workers would suggest parallelism that isn't there.
-    std::cerr << "error: --workers only applies to socket mode\n";
+  if (stdio && (workers_given || max_pending_given)) {
+    // Stdio serving is one conversation on one stream; silently dead
+    // --workers/--max-pending would suggest parallelism that isn't there.
+    std::cerr << "error: --workers/--max-pending only apply to socket mode\n";
     print_usage();
     return 2;
   }
@@ -139,13 +176,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  service::SocketServer server(socket_path, service, workers);
+  std::vector<service::ListenerSpec> listeners;
+  if (!socket_path.empty()) {
+    listeners.push_back(service::ListenerSpec::unix_socket(socket_path));
+  }
+  if (tcp) listeners.push_back(service::ListenerSpec::tcp(tcp_host, tcp_port));
+
+  service::SocketServer server(std::move(listeners), service, server_options);
   if (const std::string error = server.listen_or_error(); !error.empty()) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
-  std::cerr << "vlcsa_serve: listening on " << socket_path
-            << (config.cache_dir.empty() ? " (memory cache only)"
+  std::cerr << "vlcsa_serve: listening on";
+  if (!socket_path.empty()) std::cerr << " " << socket_path;
+  if (tcp) std::cerr << " " << tcp_host << ":" << server.tcp_port();
+  std::cerr << (config.cache_dir.empty() ? " (memory cache only)"
                                          : ", cache dir " + config.cache_dir)
             << "\n";
   if (const std::string error = server.serve(); !error.empty()) {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -35,6 +36,14 @@ namespace vlcsa::harness {
 /// clone, RNG warm-up) stays negligible.
 inline constexpr std::uint64_t kDefaultShardSize = 1 << 14;
 
+/// Thrown by run_sharded_blocks when RunOptions::cancel fired before the run
+/// completed.  No merged accumulator exists at that point — callers (the
+/// service's per-request timeout path) must treat the run as never having
+/// produced a result, so a cancelled run can never write a partial record.
+struct RunCancelled : std::runtime_error {
+  RunCancelled() : std::runtime_error("run cancelled") {}
+};
+
 /// Controls one sharded run.  `threads == 0` means "all hardware threads".
 /// `lane_words == 0` means "the default batch width" (arith::kDefaultLaneWords);
 /// like `threads`, it is purely a throughput knob — merged counters are
@@ -46,6 +55,11 @@ struct RunOptions {
   int threads = 0;
   std::uint64_t shard_size = kDefaultShardSize;
   int lane_words = 0;
+  /// Cooperative cancellation: when non-null, workers re-check the token
+  /// before claiming each shard (block granularity) and the run throws
+  /// RunCancelled instead of returning a merged accumulator.  The token is
+  /// only read — the setter (e.g. the service's deadline watchdog) owns it.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// `requested` if positive, else std::thread::hardware_concurrency()
@@ -90,6 +104,7 @@ template <typename AccumulatorFactory, typename BlockKernelFactory>
 
   std::vector<Accumulator> partials(static_cast<std::size_t>(shard_count), merged);
   std::atomic<std::uint64_t> next_shard{0};
+  std::atomic<bool> cancelled{false};
   std::mutex failure_mutex;
   std::exception_ptr failure;
 
@@ -97,6 +112,10 @@ template <typename AccumulatorFactory, typename BlockKernelFactory>
     try {
       for (std::uint64_t shard = next_shard.fetch_add(1); shard < shard_count;
            shard = next_shard.fetch_add(1)) {
+        if (options.cancel != nullptr && options.cancel->load(std::memory_order_relaxed)) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
         auto kernel = make_kernel();
         auto rng = make_shard_rng(options.seed, shard);
         const std::uint64_t begin = shard * shard_size;
@@ -125,6 +144,9 @@ template <typename AccumulatorFactory, typename BlockKernelFactory>
     for (auto& thread : pool) thread.join();
   }
   if (failure) std::rethrow_exception(failure);
+  // Cancellation outranks the partial work already folded: the caller asked
+  // for `samples` samples and anything less must not look like a result.
+  if (cancelled.load(std::memory_order_relaxed)) throw RunCancelled{};
 
   for (const Accumulator& partial : partials) merged += partial;
   return merged;

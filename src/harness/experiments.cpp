@@ -190,17 +190,22 @@ bool parse_model_kind(std::string_view text, ModelKind& out) {
 
 ErrorRateResult run_experiment(const ErrorRateExperiment& experiment, std::uint64_t samples,
                                std::uint64_t seed, int threads, EvalPath path) {
+  return run_experiment(experiment, RunOptions{samples, seed, threads, kDefaultShardSize},
+                        path);
+}
+
+ErrorRateResult run_experiment(const ErrorRateExperiment& experiment,
+                               const RunOptions& options, EvalPath path) {
   const auto source = arith::make_source(experiment.dist, experiment.width, experiment.params);
   switch (experiment.model) {
     case ModelKind::kVlcsa1:
       return run_vlcsa({experiment.width, experiment.window, spec::ScsaVariant::kScsa1},
-                       *source, samples, seed, threads, path);
+                       *source, options, path);
     case ModelKind::kVlcsa2:
       return run_vlcsa({experiment.width, experiment.window, spec::ScsaVariant::kScsa2},
-                       *source, samples, seed, threads, path);
+                       *source, options, path);
     case ModelKind::kVlsa:
-      return run_vlsa({experiment.width, experiment.window}, *source, samples, seed, threads,
-                      path);
+      return run_vlsa({experiment.width, experiment.window}, *source, options, path);
   }
   throw std::logic_error("unknown ModelKind");
 }
@@ -208,7 +213,11 @@ ErrorRateResult run_experiment(const ErrorRateExperiment& experiment, std::uint6
 arith::CarryChainProfiler run_experiment(const ChainProfileExperiment& experiment,
                                          std::uint64_t samples, std::uint64_t seed,
                                          int threads) {
-  const RunOptions options{samples, seed, threads, kDefaultShardSize};
+  return run_experiment(experiment, RunOptions{samples, seed, threads, kDefaultShardSize});
+}
+
+arith::CarryChainProfiler run_experiment(const ChainProfileExperiment& experiment,
+                                         const RunOptions& options) {
   const auto make_profiler = [&] {
     return arith::CarryChainProfiler(experiment.width, arith::ChainMetric::kAllChains);
   };

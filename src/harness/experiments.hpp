@@ -58,6 +58,14 @@ struct ErrorRateExperiment {
                                              int threads = 0,
                                              EvalPath path = EvalPath::kBatched);
 
+/// RunOptions variant: same semantics, with the full engine knob set exposed
+/// — in particular RunOptions::cancel, which the service daemon's
+/// per-request timeout uses for cooperative cancellation (engine.hpp throws
+/// RunCancelled, so a cancelled run never yields a partial result).
+[[nodiscard]] ErrorRateResult run_experiment(const ErrorRateExperiment& experiment,
+                                             const RunOptions& options,
+                                             EvalPath path = EvalPath::kBatched);
+
 /// One carry-chain-statistics experiment (the Figs 6.1–6.5 family): a
 /// workload whose additions feed a CarryChainProfiler.
 struct ChainProfileExperiment {
@@ -81,6 +89,10 @@ struct ChainProfileExperiment {
 [[nodiscard]] arith::CarryChainProfiler run_experiment(
     const ChainProfileExperiment& experiment, std::uint64_t samples, std::uint64_t seed,
     int threads = 0);
+
+/// RunOptions variant (see the error-rate overload above for why).
+[[nodiscard]] arith::CarryChainProfiler run_experiment(
+    const ChainProfileExperiment& experiment, const RunOptions& options);
 
 /// All registered experiments, in registration order.
 [[nodiscard]] const std::vector<ErrorRateExperiment>& error_rate_experiments();

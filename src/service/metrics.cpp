@@ -1,0 +1,122 @@
+#include "service/metrics.hpp"
+
+#include <algorithm>
+
+namespace vlcsa::service {
+
+namespace {
+
+/// The quantile value: the upper bound (seconds) of the first bucket whose
+/// cumulative count reaches fraction `q` of `total`.  The overflow bucket
+/// reports the largest finite bound (latency_max_seconds is the exact tail).
+template <std::size_t N>
+double bucket_quantile(const std::array<std::uint64_t, N>& buckets,
+                       const std::array<std::uint64_t, N - 1>& bounds_us, std::uint64_t total,
+                       double q) {
+  if (total == 0) return 0.0;
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const std::size_t bound = std::min(i, bounds_us.size() - 1);
+      return static_cast<double>(bounds_us[bound]) * 1e-6;
+    }
+  }
+  return static_cast<double>(bounds_us.back()) * 1e-6;
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics()
+    : start_(std::chrono::steady_clock::now()), by_type_(request_types().size(), 0) {}
+
+const std::vector<std::string>& ServiceMetrics::request_types() {
+  // Keep in sync with ExperimentService's dispatch table (service.cpp); the
+  // protocol-doc test pins the dispatch table against DESIGN.md and the
+  // metrics test pins this list against the dispatch table.
+  static const std::vector<std::string> kTypes = {
+      "run", "run-batch", "list", "describe", "cache-stats", "metrics", "shutdown", "invalid"};
+  return kTypes;
+}
+
+ServiceMetrics::InFlight::InFlight(ServiceMetrics& metrics) : metrics_(metrics) {
+  const std::lock_guard<std::mutex> lock(metrics_.mutex_);
+  ++metrics_.in_flight_;
+}
+
+ServiceMetrics::InFlight::~InFlight() {
+  const std::lock_guard<std::mutex> lock(metrics_.mutex_);
+  --metrics_.in_flight_;
+}
+
+void ServiceMetrics::record_request(const std::string& type, bool ok, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++requests_total_;
+  ++(ok ? ok_total_ : error_total_);
+  const auto& types = request_types();
+  std::size_t index = types.size() - 1;  // "invalid" is the fallback slot
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    if (types[i] == type) {
+      index = i;
+      break;
+    }
+  }
+  ++by_type_[index];
+
+  latency_max_seconds_ = std::max(latency_max_seconds_, seconds);
+  const double us = seconds * 1e6;
+  std::size_t bucket = kBucketBoundsUs.size();  // overflow
+  for (std::size_t i = 0; i < kBucketBoundsUs.size(); ++i) {
+    if (us <= static_cast<double>(kBucketBoundsUs[i])) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets_[bucket];
+}
+
+void ServiceMetrics::record_timeout() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++timeouts_;
+}
+
+void ServiceMetrics::record_batch_element() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++batch_elements_;
+}
+
+void ServiceMetrics::record_rejected_connection() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_connections_;
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.requests_total = requests_total_;
+  out.ok_total = ok_total_;
+  out.error_total = error_total_;
+  out.timeouts = timeouts_;
+  out.batch_elements = batch_elements_;
+  out.rejected_connections = rejected_connections_;
+  out.in_flight = in_flight_;
+  out.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  out.qps = out.uptime_seconds > 0.0
+                ? static_cast<double>(requests_total_) / out.uptime_seconds
+                : 0.0;
+  out.latency_p50_seconds = bucket_quantile(buckets_, kBucketBoundsUs, requests_total_, 0.50);
+  out.latency_p95_seconds = bucket_quantile(buckets_, kBucketBoundsUs, requests_total_, 0.95);
+  out.latency_p99_seconds = bucket_quantile(buckets_, kBucketBoundsUs, requests_total_, 0.99);
+  out.latency_max_seconds = latency_max_seconds_;
+  const auto& types = request_types();
+  out.by_type.reserve(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    out.by_type.push_back({types[i], by_type_[i]});
+  }
+  return out;
+}
+
+}  // namespace vlcsa::service

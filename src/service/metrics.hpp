@@ -1,0 +1,112 @@
+#pragma once
+// Service-side traffic metrics for the experiment daemon (service.hpp): the
+// counters and latency distribution behind the protocol's "metrics" request.
+//
+// Everything here describes *served traffic*, never experiment results —
+// result records stay pure functions of (experiment, samples, seed, eval
+// path) and contain no wall time; latency, qps and the in-flight gauge live
+// only in metrics/run responses, which are never cached.
+//
+// Latency is recorded into a fixed-bucket histogram (1-2-5 series over
+// microseconds, 1 us .. 2000 s) so quantile queries are O(buckets), the
+// memory footprint is constant for any traffic volume, and p50/p95/p99 are a
+// deterministic function of the recorded durations (each reported quantile
+// is the upper bound of the bucket containing it).  All methods are
+// thread-safe — the socket workers record concurrently.
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vlcsa::service {
+
+/// One (name, count) pair of the per-request-type breakdown.
+struct RequestTypeCount {
+  std::string name;
+  std::uint64_t count = 0;
+};
+
+/// Snapshot returned by ServiceMetrics::snapshot(); plain data so the
+/// response renderer (service.cpp) and tests consume the same numbers.
+struct MetricsSnapshot {
+  std::uint64_t requests_total = 0;
+  std::uint64_t ok_total = 0;
+  std::uint64_t error_total = 0;
+  std::uint64_t timeouts = 0;            // run/run-batch elements cancelled by deadline
+  std::uint64_t batch_elements = 0;      // run-batch elements processed (ok or error)
+  std::uint64_t rejected_connections = 0;  // accept-loop backlog rejections
+  std::uint64_t in_flight = 0;           // requests currently inside a handler
+  double uptime_seconds = 0.0;
+  double qps = 0.0;                      // requests_total / uptime
+  double latency_p50_seconds = 0.0;      // bucket upper bounds (see header note)
+  double latency_p95_seconds = 0.0;
+  double latency_p99_seconds = 0.0;
+  double latency_max_seconds = 0.0;      // exact, not bucketed
+  std::vector<RequestTypeCount> by_type;  // registration order, see kRequestTypes
+};
+
+class ServiceMetrics {
+ public:
+  ServiceMetrics();
+
+  /// Scoped in-flight gauge: constructed when a handler starts, destroyed
+  /// when it returns (including via exception).
+  class InFlight {
+   public:
+    explicit InFlight(ServiceMetrics& metrics);
+    ~InFlight();
+    InFlight(const InFlight&) = delete;
+    InFlight& operator=(const InFlight&) = delete;
+
+   private:
+    ServiceMetrics& metrics_;
+  };
+
+  /// Records one completed request line: its protocol type (a kRequestTypes
+  /// name, or "invalid" for lines that never reached a handler), whether the
+  /// response said ok, and the handler wall time.
+  void record_request(const std::string& type, bool ok, double seconds);
+
+  /// One run/run-batch element hit its deadline and was cancelled.
+  void record_timeout();
+
+  /// One run-batch element was processed (counted in addition to the
+  /// enclosing run-batch request itself).
+  void record_batch_element();
+
+  /// The accept loop turned a connection away because the pending queue was
+  /// at its backlog cap.
+  void record_rejected_connection();
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// The request-type names the breakdown tracks ("invalid" last).
+  [[nodiscard]] static const std::vector<std::string>& request_types();
+
+ private:
+  // Upper bucket bounds in microseconds (1-2-5 series); the final bucket is
+  // open-ended.  Exposed indirectly through quantiles only.
+  static constexpr std::array<std::uint64_t, 28> kBucketBoundsUs = {
+      1,       2,       5,       10,       20,       50,       100,      200,      500,
+      1000,    2000,    5000,    10000,    20000,    50000,    100000,   200000,   500000,
+      1000000, 2000000, 5000000, 10000000, 20000000, 50000000, 100000000, 200000000,
+      500000000, 1000000000};
+
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t requests_total_ = 0;
+  std::uint64_t ok_total_ = 0;
+  std::uint64_t error_total_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t batch_elements_ = 0;
+  std::uint64_t rejected_connections_ = 0;
+  std::uint64_t in_flight_ = 0;
+  double latency_max_seconds_ = 0.0;
+  std::array<std::uint64_t, kBucketBoundsUs.size() + 1> buckets_{};  // +1: overflow
+  std::vector<std::uint64_t> by_type_;  // parallel to request_types()
+};
+
+}  // namespace vlcsa::service

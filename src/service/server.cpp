@@ -1,7 +1,11 @@
 #include "service/server.hpp"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -10,6 +14,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace vlcsa::service {
@@ -36,7 +41,8 @@ bool send_all(int fd, const std::string& data) {
 }
 
 /// Reads until `buffer` contains a '\n'; returns false on EOF/error before
-/// a complete line.  On success `line` holds the line without the newline.
+/// a complete line (sets errno = 0 on clean EOF).  On success `line` holds
+/// the line without the newline.
 bool recv_line(int fd, std::string& buffer, std::string& line) {
   while (true) {
     const std::size_t newline = buffer.find('\n');
@@ -51,7 +57,10 @@ bool recv_line(int fd, std::string& buffer, std::string& line) {
       if (errno == EINTR) continue;
       return false;
     }
-    if (n == 0) return false;  // EOF mid-line
+    if (n == 0) {  // EOF mid-line
+      errno = 0;
+      return false;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -72,32 +81,133 @@ bool fill_sockaddr(const std::string& path, sockaddr_un& addr, std::string& erro
   return true;
 }
 
+/// Resolves host:port (numeric or named, IPv4 or IPv6).  Returns a
+/// getaddrinfo result list the caller must freeaddrinfo(), or nullptr with
+/// `error` set.
+addrinfo* resolve_tcp(const std::string& host, int port, bool for_bind, std::string& error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  if (for_bind) hints.ai_flags = AI_PASSIVE;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    error = "resolve " + host + ":" + service + ": " + ::gai_strerror(rc);
+    return nullptr;
+  }
+  return result;
+}
+
+/// The one-line reply a connection gets when the pending queue is full; the
+/// field shape matches service.cpp's error replies.
+constexpr const char* kOverloadedLine =
+    "{\"status\": \"error\", \"code\": \"overloaded\", "
+    "\"error\": \"server overloaded: connection backlog full, retry later\"}\n";
+
 }  // namespace
 
+SocketServer::SocketServer(std::vector<ListenerSpec> listeners, ExperimentService& service,
+                           Options options)
+    : listeners_(std::move(listeners)), service_(service), options_(options) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.max_pending < 0) options_.max_pending = 0;
+  listen_fds_.assign(listeners_.size(), -1);
+}
+
+SocketServer::SocketServer(std::vector<ListenerSpec> listeners, ExperimentService& service)
+    : SocketServer(std::move(listeners), service, Options{}) {}
+
 SocketServer::SocketServer(std::string socket_path, ExperimentService& service, int workers)
-    : socket_path_(std::move(socket_path)),
-      service_(service),
-      workers_(workers < 1 ? 1 : workers) {}
+    : SocketServer({ListenerSpec::unix_socket(std::move(socket_path))}, service,
+                   Options{workers, 128}) {}
 
 SocketServer::~SocketServer() {
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    ::unlink(socket_path_.c_str());
+  for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
+    if (listen_fds_[i] < 0) continue;
+    ::close(listen_fds_[i]);
+    if (listeners_[i].kind == ListenerSpec::Kind::kUnix) {
+      ::unlink(listeners_[i].path.c_str());
+    }
   }
 }
 
-std::string SocketServer::listen_or_error() {
-  sockaddr_un addr{};
-  std::string error;
-  if (!fill_sockaddr(socket_path_, addr, error)) return error;
-
-  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return errno_message("socket");
-  ::unlink(socket_path_.c_str());  // stale socket from a previous daemon
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
-    return errno_message("bind " + socket_path_);
+std::string SocketServer::socket_path() const {
+  for (const ListenerSpec& listener : listeners_) {
+    if (listener.kind == ListenerSpec::Kind::kUnix) return listener.path;
   }
-  if (::listen(listen_fd_, 16) < 0) return errno_message("listen " + socket_path_);
+  return {};
+}
+
+std::size_t SocketServer::pending_connections() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::string SocketServer::listen_or_error() {
+  if (listeners_.empty()) return "no listeners configured";
+  for (std::size_t i = 0; i < listeners_.size(); ++i) {
+    if (listen_fds_[i] >= 0) continue;  // already bound
+    const ListenerSpec& listener = listeners_[i];
+    if (listener.kind == ListenerSpec::Kind::kUnix) {
+      sockaddr_un addr{};
+      std::string error;
+      if (!fill_sockaddr(listener.path, addr, error)) return error;
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd < 0) return errno_message("socket");
+      ::unlink(listener.path.c_str());  // stale socket from a previous daemon
+      if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const std::string error_text = errno_message("bind " + listener.path);
+        ::close(fd);
+        return error_text;
+      }
+      if (::listen(fd, 16) < 0) {
+        const std::string error_text = errno_message("listen " + listener.path);
+        ::close(fd);
+        return error_text;
+      }
+      listen_fds_[i] = fd;
+    } else {
+      std::string error;
+      addrinfo* addresses = resolve_tcp(listener.host, listener.port, /*for_bind=*/true, error);
+      if (addresses == nullptr) return error;
+      int fd = -1;
+      std::string bind_error = "no usable address for " + listener.host;
+      for (const addrinfo* address = addresses; address != nullptr;
+           address = address->ai_next) {
+        fd = ::socket(address->ai_family, address->ai_socktype, address->ai_protocol);
+        if (fd < 0) {
+          bind_error = errno_message("socket");
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, address->ai_addr, address->ai_addrlen) == 0 && ::listen(fd, 16) == 0) {
+          break;
+        }
+        bind_error = errno_message("bind " + listener.host + ":" +
+                                   std::to_string(listener.port));
+        ::close(fd);
+        fd = -1;
+      }
+      ::freeaddrinfo(addresses);
+      if (fd < 0) return bind_error;
+      listen_fds_[i] = fd;
+      // Resolve an ephemeral-port request (port 0) to the real bound port.
+      if (tcp_port_ == 0) {
+        sockaddr_storage bound{};
+        socklen_t bound_len = sizeof(bound);
+        if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+          if (bound.ss_family == AF_INET) {
+            tcp_port_ = ntohs(reinterpret_cast<const sockaddr_in*>(&bound)->sin_port);
+          } else if (bound.ss_family == AF_INET6) {
+            tcp_port_ = ntohs(reinterpret_cast<const sockaddr_in6*>(&bound)->sin6_port);
+          }
+        }
+      }
+    }
+  }
   return {};
 }
 
@@ -148,13 +258,14 @@ void SocketServer::worker_loop() {
 }
 
 std::string SocketServer::serve() {
-  if (listen_fd_ < 0) {
-    if (std::string error = listen_or_error(); !error.empty()) return error;
-  }
+  if (std::string error = listen_or_error(); !error.empty()) return error;
 
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers_));
-  for (int i = 0; i < workers_; ++i) pool.emplace_back([this] { worker_loop(); });
+  pool.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) pool.emplace_back([this] { worker_loop(); });
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(listen_fds_.size());
 
   // Accept with a poll timeout so a stop requested from a worker (shutdown
   // request) is noticed within one tick even with no incoming connection.
@@ -163,8 +274,9 @@ std::string SocketServer::serve() {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) break;
     }
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    pfds.clear();
+    for (const int fd : listen_fds_) pfds.push_back({fd, POLLIN, 0});
+    const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/200);
     if (ready < 0) {
       if (errno == EINTR) continue;
       request_stop();
@@ -172,18 +284,38 @@ std::string SocketServer::serve() {
       return errno_message("poll");
     }
     if (ready == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      request_stop();
-      for (auto& worker : pool) worker.join();
-      return errno_message("accept");
+    for (const pollfd& pfd : pfds) {
+      if ((pfd.revents & POLLIN) == 0) continue;
+      const int fd = ::accept(pfd.fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+            errno == EWOULDBLOCK) {
+          continue;
+        }
+        request_stop();
+        for (auto& worker : pool) worker.join();
+        return errno_message("accept");
+      }
+      bool reject = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (options_.max_pending > 0 &&
+            pending_.size() >= static_cast<std::size_t>(options_.max_pending)) {
+          reject = true;
+        } else {
+          pending_.push_back(fd);
+        }
+      }
+      if (reject) {
+        // Shedding load beats queueing unboundedly: tell the peer why in one
+        // protocol-shaped line, then close.
+        send_all(fd, kOverloadedLine);
+        ::close(fd);
+        service_.metrics().record_rejected_connection();
+      } else {
+        queue_cv_.notify_one();
+      }
     }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      pending_.push_back(fd);
-    }
-    queue_cv_.notify_one();
   }
 
   queue_cv_.notify_all();
@@ -194,11 +326,11 @@ std::string SocketServer::serve() {
   return {};
 }
 
-UnixClient::~UnixClient() {
+ServiceClient::~ServiceClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::string UnixClient::connect_or_error(const std::string& socket_path, int timeout_ms) {
+std::string ServiceClient::connect_or_error(const std::string& socket_path, int timeout_ms) {
   sockaddr_un addr{};
   std::string error;
   if (!fill_sockaddr(socket_path, addr, error)) return error;
@@ -219,10 +351,66 @@ std::string UnixClient::connect_or_error(const std::string& socket_path, int tim
   }
 }
 
-std::string UnixClient::roundtrip(const std::string& request_line, std::string& response) {
+std::string ServiceClient::connect_tcp_or_error(const std::string& host, int port,
+                                                int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::string last_error = "connect " + host + ":" + std::to_string(port) + " failed";
+  while (true) {
+    std::string resolve_error;
+    addrinfo* addresses = resolve_tcp(host, port, /*for_bind=*/false, resolve_error);
+    if (addresses == nullptr) return resolve_error;
+    for (const addrinfo* address = addresses; address != nullptr;
+         address = address->ai_next) {
+      fd_ = ::socket(address->ai_family, address->ai_socktype, address->ai_protocol);
+      if (fd_ < 0) {
+        last_error = errno_message("socket");
+        continue;
+      }
+      if (::connect(fd_, address->ai_addr, address->ai_addrlen) == 0) {
+        ::freeaddrinfo(addresses);
+        return {};
+      }
+      last_error = errno_message("connect " + host + ":" + std::to_string(port));
+      ::close(fd_);
+      fd_ = -1;
+    }
+    ::freeaddrinfo(addresses);
+    if (Clock::now() >= deadline) return last_error;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+std::string ServiceClient::set_io_timeout_ms(int timeout_ms) {
   if (fd_ < 0) return "not connected";
-  if (!send_all(fd_, request_line + "\n")) return errno_message("send");
+  if (timeout_ms < 0) timeout_ms = 0;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return errno_message("setsockopt SO_RCVTIMEO");
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) < 0) {
+    return errno_message("setsockopt SO_SNDTIMEO");
+  }
+  return {};
+}
+
+std::string ServiceClient::roundtrip(const std::string& request_line, std::string& response) {
+  if (fd_ < 0) return "not connected";
+  if (!send_all(fd_, request_line + "\n")) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return "send timed out";
+    return errno_message("send");
+  }
+  return read_response(response);
+}
+
+std::string ServiceClient::read_response(std::string& response) {
+  if (fd_ < 0) return "not connected";
   if (!recv_line(fd_, buffer_, response)) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return "read timed out waiting for a response line";
+    }
     return "connection closed before a response line arrived";
   }
   return {};

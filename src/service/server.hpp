@@ -1,16 +1,24 @@
 #pragma once
-// Unix-domain-socket transport for the experiment service: a long-running
-// daemon loop (SocketServer, used by examples/vlcsa_serve.cpp) and the
-// matching client connection (UnixClient, used by examples/vlcsa_client.cpp
-// and the tests).  Framing is the same newline-delimited JSON as the --stdio
-// transport: one request object per line in, one response object per line
-// out, any number of requests per connection.
+// Socket transports for the experiment service: a long-running daemon loop
+// (SocketServer, used by examples/vlcsa_serve.cpp) and the matching client
+// connection (ServiceClient, used by examples/vlcsa_client.cpp,
+// examples/vlcsa_loadgen.cpp and the tests).  Framing is the same
+// newline-delimited JSON as the --stdio transport: one request object per
+// line in, one response object per line out, any number of requests per
+// connection.
+//
+// One SocketServer can listen on several transports at once — any mix of
+// Unix-domain sockets and TCP endpoints (ListenerSpec) — all feeding the
+// same accept loop, worker pool and ExperimentService, so a daemon started
+// with --socket and --tcp serves both from one cache.
 //
 // The server keeps a warm pool of worker threads: accepted connections queue
 // onto the pool, each worker converses with its connection until the peer
 // hangs up, and experiment runs inside a request reuse the sharded engine
-// (service.hpp).  A "shutdown" request answers the requester, then stops the
-// accept loop and drains the pool.
+// (service.hpp).  When the pending queue is full (Options::max_pending) a
+// new connection is answered with one "overloaded"-coded error line and
+// closed instead of queueing unboundedly.  A "shutdown" request answers the
+// requester, then stops the accept loop and drains the pool.
 
 #include <condition_variable>
 #include <cstdint>
@@ -23,17 +31,50 @@
 
 namespace vlcsa::service {
 
+/// One endpoint the server listens on.
+struct ListenerSpec {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem socket path
+  std::string host;  // kTcp: bind address (e.g. "127.0.0.1")
+  int port = 0;      // kTcp: port; 0 = ephemeral (see SocketServer::tcp_port)
+
+  static ListenerSpec unix_socket(std::string socket_path) {
+    ListenerSpec spec;
+    spec.kind = Kind::kUnix;
+    spec.path = std::move(socket_path);
+    return spec;
+  }
+  static ListenerSpec tcp(std::string bind_host, int bind_port) {
+    ListenerSpec spec;
+    spec.kind = Kind::kTcp;
+    spec.host = std::move(bind_host);
+    spec.port = bind_port;
+    return spec;
+  }
+};
+
 class SocketServer {
  public:
-  /// `workers` = size of the warm connection pool (clamped to >= 1).
+  struct Options {
+    int workers = 2;        // warm connection pool size (clamped to >= 1)
+    int max_pending = 128;  // reject when this many fds await a worker; 0 = unbounded
+  };
+
+  SocketServer(std::vector<ListenerSpec> listeners, ExperimentService& service,
+               Options options);
+  SocketServer(std::vector<ListenerSpec> listeners, ExperimentService& service);
+
+  /// Convenience: a single Unix-socket listener (the historical shape).
   SocketServer(std::string socket_path, ExperimentService& service, int workers = 2);
+
   ~SocketServer();
 
   SocketServer(const SocketServer&) = delete;
   SocketServer& operator=(const SocketServer&) = delete;
 
-  /// Binds and listens on the socket path (unlinking a stale socket first).
-  /// Returns "" on success, else the error.
+  /// Binds and listens on every configured endpoint (unlinking stale Unix
+  /// sockets first).  Returns "" on success, else the error.
   [[nodiscard]] std::string listen_or_error();
 
   /// Runs the accept loop until a shutdown request (or request_stop) and
@@ -43,42 +84,69 @@ class SocketServer {
   /// Thread-safe external stop (e.g. from a signal handler's helper thread).
   void request_stop();
 
-  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+  /// First Unix listener's path ("" when serving TCP only).
+  [[nodiscard]] std::string socket_path() const;
+
+  /// First TCP listener's bound port after listen_or_error() — resolves an
+  /// ephemeral port request (port 0) to the real port.  0 when no TCP
+  /// listener is configured.
+  [[nodiscard]] int tcp_port() const { return tcp_port_; }
+
+  /// Accepted connections currently awaiting a worker (tests use this to
+  /// drive the backlog-rejection path deterministically).
+  [[nodiscard]] std::size_t pending_connections();
 
  private:
   void worker_loop();
   void handle_connection(int fd);
 
-  std::string socket_path_;
+  std::vector<ListenerSpec> listeners_;
   ExperimentService& service_;
-  int workers_;
-  int listen_fd_ = -1;
+  Options options_;
+  std::vector<int> listen_fds_;  // parallel to listeners_; -1 = not bound
+  int tcp_port_ = 0;
 
   std::mutex mutex_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_;     // accepted fds awaiting a worker
-  std::vector<int> active_;     // fds currently conversing with a worker
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  std::vector<int> active_;  // fds currently conversing with a worker
   bool stopping_ = false;
 };
 
-/// One client connection speaking the line protocol.
-class UnixClient {
+/// One client connection speaking the line protocol, over either transport.
+class ServiceClient {
  public:
-  UnixClient() = default;
-  ~UnixClient();
+  ServiceClient() = default;
+  ~ServiceClient();
 
-  UnixClient(const UnixClient&) = delete;
-  UnixClient& operator=(const UnixClient&) = delete;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
 
-  /// Connects, retrying until `timeout_ms` elapses (covers the daemon's
-  /// startup race in scripts: start vlcsa_serve &, connect immediately).
-  /// Returns "" on success, else the error.
+  /// Connects to a Unix socket, retrying until `timeout_ms` elapses (covers
+  /// the daemon's startup race in scripts: start vlcsa_serve &, connect
+  /// immediately).  Returns "" on success, else the error.
   [[nodiscard]] std::string connect_or_error(const std::string& socket_path,
                                              int timeout_ms = 0);
+
+  /// Connects to a TCP endpoint, with the same startup-race retry loop.
+  /// Returns "" on success, else the error.
+  [[nodiscard]] std::string connect_tcp_or_error(const std::string& host, int port,
+                                                 int timeout_ms = 0);
+
+  /// Arms an I/O deadline on the connected socket (SO_RCVTIMEO/SO_SNDTIMEO):
+  /// a roundtrip blocked longer than this on a silent server fails with a
+  /// "timed out" error instead of hanging forever.  0 disarms.  Returns ""
+  /// on success, else the error.
+  [[nodiscard]] std::string set_io_timeout_ms(int timeout_ms);
 
   /// Sends one request line and reads one response line (without trailing
   /// newline) into `response`.  Returns "" on success, else the error.
   [[nodiscard]] std::string roundtrip(const std::string& request_line, std::string& response);
+
+  /// Reads one response line without sending anything — what a client does
+  /// when the server speaks first, e.g. the one-line "overloaded" rejection
+  /// a full-backlog connection receives.  Returns "" on success.
+  [[nodiscard]] std::string read_response(std::string& response);
 
  private:
   int fd_ = -1;

@@ -20,11 +20,21 @@ namespace {
 using harness::JsonObject;
 using harness::JsonValue;
 
-ExperimentService::Reply error_reply(const std::string& message) {
+/// Machine-readable error classes (the "code" field of error responses);
+/// DESIGN.md's protocol reference documents the full set.
+constexpr const char* kCodeBadRequest = "bad-request";
+constexpr const char* kCodeUnknownRequest = "unknown-request";
+constexpr const char* kCodeUnknownExperiment = "unknown-experiment";
+constexpr const char* kCodeTimeout = "timeout";
+constexpr const char* kCodeInternal = "internal";
+
+ExperimentService::Reply error_reply(const std::string& message,
+                                     const char* code = kCodeBadRequest) {
   JsonObject response;
   response.add("status", "error");
+  response.add("code", code);
   response.add("error", message);
-  return {response.render_line(), false};
+  return {response.render_line(), false, false};
 }
 
 /// Strictness: every member of the request object must be expected for its
@@ -69,12 +79,23 @@ std::string read_string_field(const JsonValue& request, const char* name, std::s
   return {};
 }
 
-/// ["a", "b", ...] — the one place the protocol needs a JSON array.
+/// ["a", "b", ...] — string-array rendering for list responses.
 std::string render_string_array(const std::vector<std::string>& values) {
   std::string out = "[";
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i != 0) out += ", ";
     out += "\"" + harness::json_escape(values[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+/// [{...}, {...}] — array of pre-rendered objects (run-batch results).
+std::string render_object_array(const std::vector<std::string>& rendered) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += rendered[i];
   }
   out += "]";
   return out;
@@ -156,22 +177,38 @@ std::string chain_profile_record(const harness::ChainProfileExperiment& experime
   return record.render_line();
 }
 
-struct RunRequest {
+}  // namespace
+
+/// One validated run request (or run-batch element).
+struct ExperimentService::RunSpec {
   std::string experiment;
   std::uint64_t samples = 0;
   bool samples_given = false;
   std::uint64_t seed = 1;
   harness::EvalPath path = harness::EvalPath::kBatched;
   bool path_given = false;
+  std::uint64_t timeout_ms = 0;  // request-level override; 0 = not given
+  bool timeout_given = false;
 };
 
-/// Parses/validates the run request fields; "" or an error message.
-std::string read_run_request(const JsonValue& request, RunRequest& out) {
-  if (std::string error =
-          check_fields(request, {"request", "experiment", "samples", "seed", "eval_path"});
-      !error.empty()) {
-    return error;
-  }
+/// What running one spec produced: either `error` (+ `code`) or a record.
+struct ExperimentService::RunOutcome {
+  std::string error;  // empty = success
+  const char* code = kCodeBadRequest;
+  ResultCache::Tier tier = ResultCache::Tier::kMiss;
+  bool coalesced = false;
+  std::string record;
+};
+
+namespace {
+
+/// Parses/validates one run spec's fields.  `allowed` differs between a
+/// top-level run request ("request"/"timeout_ms" permitted) and a run-batch
+/// element (bare spec only); "" or an error message.
+std::string read_run_spec(const JsonValue& request,
+                          std::initializer_list<std::string_view> allowed,
+                          ExperimentService::RunSpec& out) {
+  if (std::string error = check_fields(request, allowed); !error.empty()) return error;
   bool given = false;
   if (std::string error = read_string_field(request, "experiment", out.experiment, given);
       !error.empty()) {
@@ -196,6 +233,14 @@ std::string read_run_request(const JsonValue& request, RunRequest& out) {
   if (out.path_given && !harness::parse_eval_path(path_text, out.path)) {
     return "field 'eval_path' must be \"batched\" or \"scalar\"";
   }
+  if (std::string error =
+          read_u64_field(request, "timeout_ms", out.timeout_ms, out.timeout_given);
+      !error.empty()) {
+    return error;
+  }
+  if (out.timeout_given && out.timeout_ms == 0) {
+    return "field 'timeout_ms' must be positive (omit it for the server default)";
+  }
   return {};
 }
 
@@ -205,57 +250,95 @@ ExperimentService::ExperimentService(ServiceConfig config)
     : config_(std::move(config)),
       cache_(config_.cache_dir, config_.memory_entries, config_.cache_max_bytes) {}
 
-ExperimentService::Reply ExperimentService::handle_line(const std::string& line) {
-  const harness::JsonParse parse = harness::parse_json(line);
-  if (!parse.ok()) return error_reply("malformed request: " + parse.error);
-  if (parse.value.kind() != JsonValue::Kind::kObject) {
-    return error_reply("request must be a JSON object");
-  }
-  const JsonValue* request_field = parse.value.find("request");
-  if (request_field == nullptr || request_field->kind() != JsonValue::Kind::kString) {
-    return error_reply("missing string field 'request'");
-  }
-  const std::string& request = request_field->as_string();
-
-  // A daemon must outlive any single request: anything a handler throws
-  // (engine failures, rethrown leader exceptions from the single-flight
-  // latch) becomes an error reply, never a dead server.
-  try {
-    if (request == "run") return handle_run(parse.value);
-    if (request == "list") return handle_list(parse.value);
-    if (request == "describe") return handle_describe(parse.value);
-    if (request == "cache-stats") return handle_cache_stats(parse.value);
-  } catch (const std::exception& error) {
-    return error_reply(std::string("internal error: ") + error.what());
-  }
-  if (request == "shutdown") {
-    if (std::string error = check_fields(parse.value, {"request"}); !error.empty()) {
-      return error_reply(error);
-    }
-    JsonObject response;
-    response.add("status", "ok");
-    response.add("request", "shutdown");
-    return {response.render_line(), true};
-  }
-  return error_reply("unknown request '" + request +
-                     "' (expected run, list, describe, cache-stats or shutdown)");
+std::vector<std::string> ExperimentService::request_names() {
+  return {"run", "run-batch", "list", "describe", "cache-stats", "metrics", "shutdown"};
 }
 
-ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request) {
-  RunRequest run;
-  if (std::string error = read_run_request(request, run); !error.empty()) {
-    return error_reply(error);
+ExperimentService::Reply ExperimentService::handle_line(const std::string& line) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const ServiceMetrics::InFlight in_flight(metrics_);
+
+  std::string type = "invalid";
+  Reply reply;
+  const harness::JsonParse parse = harness::parse_json(line);
+  if (!parse.ok()) {
+    reply = error_reply("malformed request: " + parse.error);
+  } else if (parse.value.kind() != JsonValue::Kind::kObject) {
+    reply = error_reply("request must be a JSON object");
+  } else {
+    const JsonValue* request_field = parse.value.find("request");
+    if (request_field == nullptr || request_field->kind() != JsonValue::Kind::kString) {
+      reply = error_reply("missing string field 'request'");
+    } else {
+      // The dispatch table: one row per request type.  request_names() and
+      // DESIGN.md's protocol reference must list exactly these names — the
+      // protocol-doc test diffs all three.
+      struct Row {
+        const char* name;
+        Reply (ExperimentService::*handler)(const JsonValue&);
+      };
+      static constexpr Row kDispatch[] = {
+          {"run", &ExperimentService::handle_run},
+          {"run-batch", &ExperimentService::handle_run_batch},
+          {"list", &ExperimentService::handle_list},
+          {"describe", &ExperimentService::handle_describe},
+          {"cache-stats", &ExperimentService::handle_cache_stats},
+          {"metrics", &ExperimentService::handle_metrics},
+          {"shutdown", &ExperimentService::handle_shutdown},
+      };
+      const std::string& request = request_field->as_string();
+      const Row* row = nullptr;
+      for (const Row& candidate : kDispatch) {
+        if (request == candidate.name) {
+          row = &candidate;
+          break;
+        }
+      }
+      if (row == nullptr) {
+        reply = error_reply(
+            "unknown request '" + request +
+                "' (expected run, run-batch, list, describe, cache-stats, metrics or shutdown)",
+            kCodeUnknownRequest);
+      } else {
+        type = row->name;
+        // A daemon must outlive any single request: anything a handler
+        // throws (engine failures, rethrown leader exceptions from the
+        // single-flight latch) becomes an error reply, never a dead server.
+        try {
+          reply = (this->*row->handler)(parse.value);
+        } catch (const std::exception& error) {
+          reply = error_reply(std::string("internal error: ") + error.what(), kCodeInternal);
+        }
+      }
+    }
   }
 
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  metrics_.record_request(type, reply.ok, wall);
+  return reply;
+}
+
+int ExperimentService::effective_timeout_ms(const RunSpec& spec) const {
+  if (spec.timeout_given) return static_cast<int>(spec.timeout_ms);
+  return config_.timeout_ms;
+}
+
+ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
+                                                         const std::atomic<bool>* cancel) {
+  RunOutcome out;
   const auto* error_rate = harness::find_error_rate_experiment(run.experiment);
   const auto* chain_profile =
       error_rate == nullptr ? harness::find_chain_profile_experiment(run.experiment) : nullptr;
   if (error_rate == nullptr && chain_profile == nullptr) {
-    return error_reply("unknown experiment '" + run.experiment + "' (try \"list\")");
+    out.error = "unknown experiment '" + run.experiment + "' (try \"list\")";
+    out.code = kCodeUnknownExperiment;
+    return out;
   }
   if (chain_profile != nullptr && run.path_given) {
-    return error_reply("field 'eval_path' only applies to error-rate experiments; '" +
-                       run.experiment + "' is a chain-profile experiment");
+    out.error = "field 'eval_path' only applies to error-rate experiments; '" + run.experiment +
+                "' is a chain-profile experiment";
+    return out;
   }
 
   CacheKey key;
@@ -265,15 +348,19 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request)
                     : (error_rate != nullptr ? error_rate->default_samples
                                              : chain_profile->default_samples);
   key.seed = run.seed;
-  key.eval_path =
-      to_string(error_rate != nullptr ? run.path : harness::EvalPath::kScalar);
+  key.eval_path = to_string(error_rate != nullptr ? run.path : harness::EvalPath::kScalar);
   if (chain_profile != nullptr &&
       chain_profile->workload == harness::ChainProfileExperiment::Workload::kCrypto) {
     key.stream_version = kCryptoStreamVersion;
   }
 
-  using Clock = std::chrono::steady_clock;
-  const auto start = Clock::now();
+  // A deadline that already fired answers without touching the cache, so a
+  // timed-out batch drains its remaining elements in microseconds.
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    out.error = "timeout: deadline expired before the run started";
+    out.code = kCodeTimeout;
+    return out;
+  }
 
   // Single-flight: one leader per key does the cache lookup and (on a miss)
   // the one computation; requests arriving while that is in flight wait on
@@ -297,48 +384,178 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request)
   }
 
   ResultCache::Lookup lookup;
-  bool coalesced = false;
-  if (leader) {
-    try {
-      lookup = cache_.get(key);
-      if (lookup.tier == ResultCache::Tier::kMiss) {
-        if (error_rate != nullptr) {
-          const auto result = harness::run_experiment(*error_rate, key.samples, key.seed,
-                                                      config_.threads, run.path);
-          lookup.record = error_rate_record(*error_rate, key.seed, run.path, result);
-        } else {
-          const auto profiler = harness::run_experiment(*chain_profile, key.samples, key.seed,
-                                                        config_.threads);
-          lookup.record = chain_profile_record(*chain_profile, key.samples, key.seed, profiler);
+  try {
+    if (leader) {
+      try {
+        lookup = cache_.get(key);
+        if (lookup.tier == ResultCache::Tier::kMiss) {
+          harness::RunOptions options;
+          options.samples = key.samples;
+          options.seed = key.seed;
+          options.threads = config_.threads;
+          options.cancel = cancel;
+          if (error_rate != nullptr) {
+            const auto result = harness::run_experiment(*error_rate, options, run.path);
+            lookup.record = error_rate_record(*error_rate, key.seed, run.path, result);
+          } else {
+            const auto profiler = harness::run_experiment(*chain_profile, options);
+            lookup.record = chain_profile_record(*chain_profile, key.samples, key.seed, profiler);
+          }
+          // Only a completed run reaches put(): RunCancelled throws past it,
+          // so a timed-out run never writes a partial cache record.
+          cache_.put(key, lookup.record);
         }
-        cache_.put(key, lookup.record);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(inflight_mutex_);
+          inflight_.erase(map_key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
       }
-    } catch (...) {
       {
         const std::lock_guard<std::mutex> lock(inflight_mutex_);
         inflight_.erase(map_key);
       }
-      promise.set_exception(std::current_exception());
-      throw;  // handle_line turns it into an error reply
+      promise.set_value(lookup.record);
+    } else {
+      lookup.record = future.get();  // rethrows if the leader failed
+      out.coalesced = true;
     }
-    {
-      const std::lock_guard<std::mutex> lock(inflight_mutex_);
-      inflight_.erase(map_key);
-    }
-    promise.set_value(lookup.record);
-  } else {
-    lookup.record = future.get();  // rethrows if the leader failed
-    coalesced = true;
+  } catch (const harness::RunCancelled&) {
+    // Either our own deadline fired, or we coalesced onto a leader whose
+    // deadline fired — the computation is gone either way.
+    metrics_.record_timeout();
+    out.error = "timeout: run cancelled before completion";
+    out.code = kCodeTimeout;
+    return out;
   }
-  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
 
+  out.tier = lookup.tier;
+  out.record = std::move(lookup.record);
+  return out;
+}
+
+ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request) {
+  RunSpec run;
+  if (std::string error = read_run_spec(
+          request, {"request", "experiment", "samples", "seed", "eval_path", "timeout_ms"},
+          run);
+      !error.empty()) {
+    return error_reply(error);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  std::atomic<bool> cancel{false};
+  const int timeout_ms = effective_timeout_ms(run);
+  DeadlineWatchdog::Id armed = 0;
+  if (timeout_ms > 0) {
+    armed = watchdog_.arm(start + std::chrono::milliseconds(timeout_ms), &cancel);
+  }
+  const RunOutcome outcome = run_one(run, timeout_ms > 0 ? &cancel : nullptr);
+  if (armed != 0) watchdog_.disarm(armed);
+  if (!outcome.error.empty()) return error_reply(outcome.error, outcome.code);
+
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
   JsonObject response;
   response.add("status", "ok");
   response.add("request", "run");
   response.add("experiment", run.experiment);
-  response.add("cache", coalesced ? "coalesced" : tier_name(lookup.tier));
+  response.add("cache", outcome.coalesced ? "coalesced" : tier_name(outcome.tier));
   response.add("wall_seconds", wall);
-  response.add_json("record", lookup.record);
+  response.add_json("record", outcome.record);
+  return {response.render_line(), false};
+}
+
+ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& request) {
+  if (std::string error = check_fields(request, {"request", "runs", "timeout_ms"});
+      !error.empty()) {
+    return error_reply(error);
+  }
+  const JsonValue* runs = request.find("runs");
+  if (runs == nullptr || runs->kind() != JsonValue::Kind::kArray) {
+    return error_reply("run-batch requires array field 'runs'");
+  }
+  std::uint64_t timeout_ms = 0;
+  bool timeout_given = false;
+  if (std::string error = read_u64_field(request, "timeout_ms", timeout_ms, timeout_given);
+      !error.empty()) {
+    return error_reply(error);
+  }
+  if (timeout_given && timeout_ms == 0) {
+    return error_reply("field 'timeout_ms' must be positive (omit it for the server default)");
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+
+  // One deadline for the whole batch: the request either finishes inside it
+  // or drains its remaining elements as per-element timeout errors.
+  const int effective_ms =
+      timeout_given ? static_cast<int>(timeout_ms) : config_.timeout_ms;
+  std::atomic<bool> cancel{false};
+  DeadlineWatchdog::Id armed = 0;
+  if (effective_ms > 0) {
+    armed = watchdog_.arm(start + std::chrono::milliseconds(effective_ms), &cancel);
+  }
+
+  std::vector<std::string> results;
+  results.reserve(runs->items().size());
+  std::uint64_t ok_count = 0;
+  std::uint64_t error_count = 0;
+  for (const JsonValue& element : runs->items()) {
+    metrics_.record_batch_element();
+    JsonObject rendered;
+    RunSpec spec;
+    std::string error;
+    if (element.kind() != JsonValue::Kind::kObject) {
+      error = "batch element must be a JSON object (a run spec)";
+    } else {
+      error = read_run_spec(element, {"experiment", "samples", "seed", "eval_path"}, spec);
+    }
+    if (!error.empty()) {
+      rendered.add("status", "error");
+      rendered.add("code", kCodeBadRequest);
+      rendered.add("error", error);
+      ++error_count;
+      results.push_back(rendered.render_line());
+      continue;
+    }
+    RunOutcome outcome;
+    try {
+      outcome = run_one(spec, effective_ms > 0 ? &cancel : nullptr);
+    } catch (const std::exception& failure) {
+      outcome.error = std::string("internal error: ") + failure.what();
+      outcome.code = kCodeInternal;
+    }
+    if (!outcome.error.empty()) {
+      rendered.add("status", "error");
+      rendered.add("code", outcome.code);
+      rendered.add("error", outcome.error);
+      rendered.add("experiment", spec.experiment);
+      ++error_count;
+    } else {
+      rendered.add("status", "ok");
+      rendered.add("experiment", spec.experiment);
+      rendered.add("cache", outcome.coalesced ? "coalesced" : tier_name(outcome.tier));
+      rendered.add_json("record", outcome.record);
+      ++ok_count;
+    }
+    results.push_back(rendered.render_line());
+  }
+  if (armed != 0) watchdog_.disarm(armed);
+
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "run-batch");
+  response.add("count", static_cast<std::uint64_t>(results.size()));
+  response.add("ok", ok_count);
+  response.add("errors", error_count);
+  response.add("wall_seconds", wall);
+  response.add_json("results", render_object_array(results));
   return {response.render_line(), false};
 }
 
@@ -409,7 +626,8 @@ ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& req
     response.add("description", experiment->description);
     return {response.render_line(), false};
   }
-  return error_reply("unknown experiment '" + name + "' (try \"list\")");
+  return error_reply("unknown experiment '" + name + "' (try \"list\")",
+                     kCodeUnknownExperiment);
 }
 
 ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& request) {
@@ -433,6 +651,56 @@ ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& 
   response.add("disk_bytes", stats.disk_bytes);
   response.add("disk_max_bytes", cache_.max_disk_bytes());
   return {response.render_line(), false};
+}
+
+ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& request) {
+  if (std::string error = check_fields(request, {"request"}); !error.empty()) {
+    return error_reply(error);
+  }
+  const MetricsSnapshot snapshot = metrics_.snapshot();
+  const CacheStats cache_stats = cache_.stats();
+  const std::uint64_t hits = cache_stats.memory_hits + cache_stats.disk_hits;
+  const std::uint64_t lookups = hits + cache_stats.misses;
+
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "metrics");
+  // The snapshot taken before this request finished — "metrics" itself is
+  // not yet in any counter (it records on return like every request).
+  response.add("requests_total", snapshot.requests_total);
+  response.add("ok_total", snapshot.ok_total);
+  response.add("error_total", snapshot.error_total);
+  response.add("timeouts", snapshot.timeouts);
+  response.add("batch_elements", snapshot.batch_elements);
+  response.add("rejected_connections", snapshot.rejected_connections);
+  response.add("in_flight", snapshot.in_flight);
+  response.add("uptime_seconds", snapshot.uptime_seconds);
+  response.add("qps", snapshot.qps);
+  response.add("cache_hits", hits);
+  response.add("cache_misses", cache_stats.misses);
+  response.add("cache_hit_ratio",
+               lookups == 0 ? 0.0
+                            : static_cast<double>(hits) / static_cast<double>(lookups));
+  response.add("latency_p50_seconds", snapshot.latency_p50_seconds);
+  response.add("latency_p95_seconds", snapshot.latency_p95_seconds);
+  response.add("latency_p99_seconds", snapshot.latency_p99_seconds);
+  response.add("latency_max_seconds", snapshot.latency_max_seconds);
+  JsonObject by_type;
+  for (const RequestTypeCount& entry : snapshot.by_type) {
+    by_type.add(entry.name, entry.count);
+  }
+  response.add_json("requests_by_type", by_type.render_line());
+  return {response.render_line(), false};
+}
+
+ExperimentService::Reply ExperimentService::handle_shutdown(const JsonValue& request) {
+  if (std::string error = check_fields(request, {"request"}); !error.empty()) {
+    return error_reply(error);
+  }
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "shutdown");
+  return {response.render_line(), true};
 }
 
 std::uint64_t serve_stdio(std::istream& in, std::ostream& out, ExperimentService& service) {

@@ -4,32 +4,45 @@
 // and routes newline-delimited JSON requests:
 //
 //   {"request": "run", "experiment": NAME, "samples": N?, "seed": S?,
-//    "eval_path": "batched"|"scalar"?}
+//    "eval_path": "batched"|"scalar"?, "timeout_ms": T?}
+//   {"request": "run-batch", "runs": [RUNSPEC, ...], "timeout_ms": T?}
 //   {"request": "list", "prefix": P?}
 //   {"request": "describe", "experiment": NAME}
 //   {"request": "cache-stats"}
+//   {"request": "metrics"}
 //   {"request": "shutdown"}
 //
 // over both experiment families (error-rate and chain-profile).  Request
 // parsing is strict in the cli.hpp tradition: unknown request names, unknown
 // fields, wrong field types and malformed JSON are all errors — a typo'd
 // field must never silently run a different experiment.  Responses are
-// single-line JSON objects with "status": "ok"|"error"; a run response
-// embeds the result record verbatim, so the record bytes a client sees are
-// exactly the bytes the cache stores (DESIGN.md has the full protocol
-// reference).
+// single-line JSON objects with "status": "ok"|"error" (error responses
+// also carry a machine-readable "code"); a run response embeds the result
+// record verbatim, so the record bytes a client sees are exactly the bytes
+// the cache stores (DESIGN.md has the full protocol reference).
+//
+// Timeouts: a run (or run-batch) request may carry "timeout_ms", and the
+// daemon may set a default (ServiceConfig::timeout_ms).  The deadline is
+// enforced cooperatively: a watchdog thread flips the run's cancellation
+// token, the engine's shard loop observes it at block granularity and
+// aborts with RunCancelled, and the request answers a "timeout"-coded error
+// — a cancelled run never writes a (partial) cache record.
 //
 // handle_line is thread-safe — the socket server's worker pool calls it
 // concurrently; cache access is internally locked and experiment runs
 // themselves are independent sharded-engine invocations.
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <iosfwd>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/watchdog.hpp"
 
 namespace vlcsa::harness {
 class JsonValue;
@@ -42,6 +55,7 @@ struct ServiceConfig {
   std::size_t memory_entries = 64;  // LRU capacity; 0 disables the tier
   int threads = 0;                  // engine threads per run (0 = all cores)
   std::uint64_t cache_max_bytes = 0;  // disk-tier byte cap; 0 = unbounded
+  int timeout_ms = 0;  // default per-request run deadline; 0 = none
 };
 
 class ExperimentService {
@@ -51,6 +65,7 @@ class ExperimentService {
   struct Reply {
     std::string line;       // one response object, no trailing newline
     bool shutdown = false;  // the request asked the daemon to stop
+    bool ok = true;         // "status" was "ok" (metrics bookkeeping)
   };
 
   /// Handles one request line, returning one response line.  Never throws on
@@ -60,15 +75,37 @@ class ExperimentService {
   [[nodiscard]] const ServiceConfig& config() const { return config_; }
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
   [[nodiscard]] ResultCache& cache() { return cache_; }
+  [[nodiscard]] ServiceMetrics& metrics() { return metrics_; }
+
+  /// Every request name handle_line dispatches, in documentation order —
+  /// the list DESIGN.md's protocol reference is tested against
+  /// (tests/service/protocol_doc_test.cpp).
+  [[nodiscard]] static std::vector<std::string> request_names();
+
+  struct RunSpec;     // one validated run request / batch element
+  struct RunOutcome;  // what running one spec produced
 
  private:
   [[nodiscard]] Reply handle_run(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_run_batch(const harness::JsonValue& request);
   [[nodiscard]] Reply handle_list(const harness::JsonValue& request);
   [[nodiscard]] Reply handle_describe(const harness::JsonValue& request);
   [[nodiscard]] Reply handle_cache_stats(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_metrics(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_shutdown(const harness::JsonValue& request);
+
+  /// Runs one validated spec through cache + single-flight + engine.
+  /// `cancel` (may be null) is the caller-armed deadline token.
+  [[nodiscard]] RunOutcome run_one(const RunSpec& spec, const std::atomic<bool>* cancel);
+
+  /// Resolves the effective deadline for a run/run-batch request:
+  /// request-level "timeout_ms" when given, else the config default.
+  [[nodiscard]] int effective_timeout_ms(const RunSpec& spec) const;
 
   ServiceConfig config_;
   ResultCache cache_;
+  ServiceMetrics metrics_;
+  DeadlineWatchdog watchdog_;
 
   // Single-flight latch: concurrent run requests for the same cold key
   // compute once — the first request (leader) runs the experiment, the rest

@@ -1,0 +1,56 @@
+#include "service/watchdog.hpp"
+
+namespace vlcsa::service {
+
+DeadlineWatchdog::~DeadlineWatchdog() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+DeadlineWatchdog::Id DeadlineWatchdog::arm(Clock::time_point deadline,
+                                           std::atomic<bool>* token) {
+  Id id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    armed_.emplace(id, Entry{deadline, token});
+    if (!thread_.joinable()) thread_ = std::thread([this] { loop(); });
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void DeadlineWatchdog::disarm(Id id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  armed_.erase(id);
+}
+
+void DeadlineWatchdog::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    // Fire everything due, then sleep until the earliest remaining deadline
+    // (or indefinitely when nothing is armed — arm() notifies).
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next = Clock::time_point::max();
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (it->second.deadline <= now) {
+        it->second.token->store(true, std::memory_order_relaxed);
+        it = armed_.erase(it);
+      } else {
+        next = std::min(next, it->second.deadline);
+        ++it;
+      }
+    }
+    if (next == Clock::time_point::max()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock, next);
+    }
+  }
+}
+
+}  // namespace vlcsa::service

@@ -1,0 +1,59 @@
+#pragma once
+// Deadline watchdog for per-request timeouts (service.hpp): one background
+// thread tracks the armed deadlines of all in-flight runs and flips each
+// run's cancellation token (engine.hpp RunOptions::cancel) when its deadline
+// passes.  The engine's workers observe the token at shard (= block)
+// granularity and abort via RunCancelled, so a timed-out run never produces
+// a result — and therefore never writes a cache record.
+//
+// The thread is started lazily on the first arm() (a service that never sees
+// a timeout-bearing request carries no extra thread) and joined by the
+// destructor.  arm()/disarm() are thread-safe; the caller must disarm before
+// destroying the token it armed.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace vlcsa::service {
+
+class DeadlineWatchdog {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using Id = std::uint64_t;
+
+  DeadlineWatchdog() = default;
+  ~DeadlineWatchdog();
+
+  DeadlineWatchdog(const DeadlineWatchdog&) = delete;
+  DeadlineWatchdog& operator=(const DeadlineWatchdog&) = delete;
+
+  /// Registers `token` to be set to true at `deadline` (unless disarmed
+  /// first).  Returns the id to pass to disarm().
+  [[nodiscard]] Id arm(Clock::time_point deadline, std::atomic<bool>* token);
+
+  /// Unregisters an armed deadline.  Safe to call after the deadline fired
+  /// (a no-op then); must be called before the token's storage dies.
+  void disarm(Id id);
+
+ private:
+  struct Entry {
+    Clock::time_point deadline;
+    std::atomic<bool>* token = nullptr;
+  };
+
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<Id, Entry> armed_;
+  Id next_id_ = 1;
+  bool stopping_ = false;
+  std::thread thread_;  // started lazily by the first arm()
+};
+
+}  // namespace vlcsa::service

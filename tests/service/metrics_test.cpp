@@ -1,0 +1,162 @@
+// Tests for the service traffic metrics (service/metrics.hpp) and the
+// protocol "metrics" request: counters across a scripted request sequence,
+// the fixed-bucket latency quantiles, and the determinism boundary — metrics
+// values appear only in responses, never in cached result records.
+
+#include "service/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/json.hpp"
+#include "service/service.hpp"
+
+namespace vlcsa::service {
+namespace {
+
+using harness::JsonValue;
+using harness::parse_json;
+
+std::uint64_t u64_field(const JsonValue& object, const char* name) {
+  std::uint64_t value = 0;
+  const JsonValue* field = object.find(name);
+  EXPECT_NE(field, nullptr) << name;
+  if (field != nullptr) {
+    EXPECT_TRUE(field->to_u64(value)) << name;
+  }
+  return value;
+}
+
+TEST(ServiceMetrics, QuantilesComeFromBucketUpperBounds) {
+  ServiceMetrics metrics;
+  // 99 fast requests in the (500 us, 1 ms] bucket and one slow outlier in
+  // the (100 ms, 200 ms] bucket: p50/p95 report 1 ms, p99 too (rank 99 of
+  // 100 still lands in the fast bucket), and max is exact.
+  for (int i = 0; i < 99; ++i) metrics.record_request("list", true, 0.0008);
+  metrics.record_request("run", true, 0.150);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.latency_p50_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.latency_p95_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.latency_p99_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.latency_max_seconds, 0.150);
+  EXPECT_EQ(snapshot.requests_total, 100u);
+}
+
+TEST(ServiceMetrics, TailQuantileReachesTheSlowBucket) {
+  ServiceMetrics metrics;
+  for (int i = 0; i < 90 ; ++i) metrics.record_request("list", true, 0.0008);
+  for (int i = 0; i < 10; ++i) metrics.record_request("run", true, 0.150);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.latency_p50_seconds, 0.001);
+  EXPECT_DOUBLE_EQ(snapshot.latency_p95_seconds, 0.2);  // (100 ms, 200 ms] bucket bound
+  EXPECT_DOUBLE_EQ(snapshot.latency_p99_seconds, 0.2);
+}
+
+TEST(ServiceMetrics, CountsByTypeWithInvalidFallback) {
+  ServiceMetrics metrics;
+  metrics.record_request("run", true, 0.001);
+  metrics.record_request("run", false, 0.001);
+  metrics.record_request("list", true, 0.001);
+  metrics.record_request("invalid", false, 0.001);
+  metrics.record_request("never-heard-of-it", false, 0.001);  // folds into "invalid"
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.requests_total, 5u);
+  EXPECT_EQ(snapshot.ok_total, 2u);
+  EXPECT_EQ(snapshot.error_total, 3u);
+  std::uint64_t runs = 0, lists = 0, invalid = 0;
+  for (const RequestTypeCount& entry : snapshot.by_type) {
+    if (entry.name == "run") runs = entry.count;
+    if (entry.name == "list") lists = entry.count;
+    if (entry.name == "invalid") invalid = entry.count;
+  }
+  EXPECT_EQ(runs, 2u);
+  EXPECT_EQ(lists, 1u);
+  EXPECT_EQ(invalid, 2u);
+}
+
+TEST(ServiceMetrics, InFlightGaugeTracksScope) {
+  ServiceMetrics metrics;
+  EXPECT_EQ(metrics.snapshot().in_flight, 0u);
+  {
+    const ServiceMetrics::InFlight guard(metrics);
+    EXPECT_EQ(metrics.snapshot().in_flight, 1u);
+    {
+      const ServiceMetrics::InFlight nested(metrics);
+      EXPECT_EQ(metrics.snapshot().in_flight, 2u);
+    }
+  }
+  EXPECT_EQ(metrics.snapshot().in_flight, 0u);
+}
+
+TEST(ServiceMetrics, TypeListMatchesDispatchTablePlusInvalid) {
+  // request_types() must be exactly the dispatch table's names plus the
+  // "invalid" fallback slot, in order.
+  const auto& types = ServiceMetrics::request_types();
+  const auto names = ExperimentService::request_names();
+  ASSERT_EQ(types.size(), names.size() + 1);
+  for (std::size_t i = 0; i < names.size(); ++i) EXPECT_EQ(types[i], names[i]);
+  EXPECT_EQ(types.back(), "invalid");
+}
+
+TEST(MetricsRequest, CountersAcrossAScriptedSequence) {
+  ExperimentService service({"", 16, 1});
+  // Scripted traffic: 1 ok run (miss), 1 ok repeat (hit), 1 unknown request,
+  // 1 malformed line, 1 ok list.
+  const char* run = R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000})";
+  EXPECT_TRUE(service.handle_line(run).ok);
+  EXPECT_TRUE(service.handle_line(run).ok);
+  EXPECT_FALSE(service.handle_line(R"({"request": "frobnicate"})").ok);
+  EXPECT_FALSE(service.handle_line("garbage").ok);
+  EXPECT_TRUE(service.handle_line(R"({"request": "list"})").ok);
+
+  const ExperimentService::Reply reply =
+      service.handle_line(R"({"request": "metrics"})");
+  ASSERT_TRUE(reply.ok);
+  const harness::JsonParse parsed = parse_json(reply.line);
+  ASSERT_TRUE(parsed.ok()) << reply.line;
+  const JsonValue& response = parsed.value;
+
+  // The snapshot predates the metrics request itself.
+  EXPECT_EQ(u64_field(response, "requests_total"), 5u);
+  EXPECT_EQ(u64_field(response, "ok_total"), 3u);
+  EXPECT_EQ(u64_field(response, "error_total"), 2u);
+  EXPECT_EQ(u64_field(response, "timeouts"), 0u);
+  EXPECT_EQ(u64_field(response, "in_flight"), 1u);  // the metrics request itself
+  EXPECT_EQ(u64_field(response, "cache_hits"), 1u);
+  EXPECT_EQ(u64_field(response, "cache_misses"), 1u);
+  const JsonValue* ratio = response.find("cache_hit_ratio");
+  ASSERT_NE(ratio, nullptr);
+
+  const JsonValue* by_type = response.find("requests_by_type");
+  ASSERT_NE(by_type, nullptr);
+  EXPECT_EQ(u64_field(*by_type, "run"), 2u);
+  EXPECT_EQ(u64_field(*by_type, "list"), 1u);
+  EXPECT_EQ(u64_field(*by_type, "invalid"), 2u);  // unknown request + garbage
+
+  // A second metrics request sees the first one counted.
+  const harness::JsonParse again =
+      parse_json(service.handle_line(R"({"request": "metrics"})").line);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(u64_field(again.value, "requests_total"), 6u);
+  EXPECT_EQ(u64_field(*again.value.find("requests_by_type"), "metrics"), 1u);
+}
+
+TEST(MetricsRequest, BatchElementsAndStrictValidation) {
+  ExperimentService service({"", 16, 1});
+  const std::string batch =
+      R"({"request": "run-batch", "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000}, )"
+      R"({"experiment": "no/such"}]})";
+  EXPECT_TRUE(service.handle_line(batch).ok);
+  EXPECT_FALSE(service.handle_line(R"({"request": "metrics", "verbose": true})").ok);
+
+  const harness::JsonParse parsed =
+      parse_json(service.handle_line(R"({"request": "metrics"})").line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(u64_field(parsed.value, "batch_elements"), 2u);
+  EXPECT_EQ(u64_field(*parsed.value.find("requests_by_type"), "run-batch"), 1u);
+}
+
+}  // namespace
+}  // namespace vlcsa::service

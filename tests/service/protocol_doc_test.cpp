@@ -1,0 +1,77 @@
+// Documentation contract for the service protocol: DESIGN.md's protocol
+// reference must list exactly the request types ExperimentService actually
+// dispatches.  The canonical line in DESIGN.md looks like
+//
+//   Requests: `run`, `run-batch`, ... `shutdown`.
+//
+// and this test diffs its backticked names against
+// ExperimentService::request_names() both ways, so adding a request without
+// documenting it (or documenting one that does not exist) fails CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace vlcsa::service {
+namespace {
+
+std::filesystem::path design_md_path() {
+  return std::filesystem::path(__FILE__).parent_path() / ".." / ".." / "DESIGN.md";
+}
+
+/// The backticked names on the first line of DESIGN.md starting "Requests:".
+std::vector<std::string> documented_request_names() {
+  std::ifstream in(design_md_path());
+  EXPECT_TRUE(in.is_open()) << "cannot open " << design_md_path();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Requests: ", 0) != 0) continue;
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while ((pos = line.find('`', pos)) != std::string::npos) {
+      const std::size_t end = line.find('`', pos + 1);
+      if (end == std::string::npos) break;
+      names.push_back(line.substr(pos + 1, end - pos - 1));
+      pos = end + 1;
+    }
+    return names;
+  }
+  return {};
+}
+
+TEST(ProtocolDoc, DesignMdListsExactlyTheDispatchedRequests) {
+  const std::vector<std::string> documented = documented_request_names();
+  ASSERT_FALSE(documented.empty())
+      << "DESIGN.md has no 'Requests: ...' line with backticked request names";
+  const std::vector<std::string> dispatched = ExperimentService::request_names();
+
+  const std::set<std::string> documented_set(documented.begin(), documented.end());
+  const std::set<std::string> dispatched_set(dispatched.begin(), dispatched.end());
+  EXPECT_EQ(documented_set, dispatched_set)
+      << "DESIGN.md's request list and ExperimentService's dispatch table differ";
+  // No duplicates in the documentation line either.
+  EXPECT_EQ(documented.size(), documented_set.size());
+}
+
+TEST(ProtocolDoc, EveryDispatchedRequestHasAFieldTableHeading) {
+  // Each request type gets its own `### \`name\`` subsection in DESIGN.md's
+  // protocol reference (field table + errors).
+  std::ifstream in(design_md_path());
+  ASSERT_TRUE(in.is_open());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  for (const std::string& name : ExperimentService::request_names()) {
+    EXPECT_NE(contents.find("### `" + name + "`"), std::string::npos)
+        << "DESIGN.md lacks a '### `" << name << "`' protocol subsection";
+  }
+}
+
+}  // namespace
+}  // namespace vlcsa::service

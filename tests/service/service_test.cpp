@@ -9,6 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -292,12 +299,12 @@ TEST(SocketServer, ShutdownCompletesWithAnotherConnectionOpen) {
   ASSERT_EQ(server.listen_or_error(), "");
   std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
 
-  UnixClient idle;  // connects, sends nothing, stays open
+  ServiceClient idle;  // connects, sends nothing, stays open
   ASSERT_EQ(idle.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
   std::string response;
   ASSERT_EQ(idle.roundtrip(R"({"request": "list"})", response), "");  // worker now owns it
 
-  UnixClient requester;
+  ServiceClient requester;
   ASSERT_EQ(requester.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
   ASSERT_EQ(requester.roundtrip(R"({"request": "shutdown"})", response), "");
   EXPECT_EQ(field(parse_json(response).value, "status"), "ok");
@@ -314,7 +321,7 @@ TEST(SocketServer, EndToEndOverUnixSocket) {
   std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
 
   {
-    UnixClient client;
+    ServiceClient client;
     ASSERT_EQ(client.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
     std::string response;
     // Several requests over one connection.
@@ -329,7 +336,7 @@ TEST(SocketServer, EndToEndOverUnixSocket) {
   }
   {
     // A second connection sees the same warm cache.
-    UnixClient client;
+    ServiceClient client;
     ASSERT_EQ(client.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
     std::string response;
     ASSERT_EQ(client.roundtrip(kErrorRateRun, response), "");
@@ -338,6 +345,297 @@ TEST(SocketServer, EndToEndOverUnixSocket) {
     EXPECT_EQ(field(parse_json(response).value, "status"), "ok");
   }
   serving.join();
+}
+
+std::vector<std::string> read_cache_files_sorted(const std::string& dir) {
+  std::vector<std::string> contents;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    contents.push_back(content.str());
+  }
+  std::sort(contents.begin(), contents.end());
+  return contents;
+}
+
+TEST(ExperimentService, RunBatchEmptyArrayIsOkWithZeroCount) {
+  ExperimentService service({"", 4, 1});
+  const JsonValue response =
+      parse_reply(service.handle_line(R"({"request": "run-batch", "runs": []})"));
+  EXPECT_EQ(field(response, "status"), "ok");
+  std::uint64_t count = 99;
+  ASSERT_TRUE(response.find("count")->to_u64(count));
+  EXPECT_EQ(count, 0u);
+  EXPECT_TRUE(response.find("results")->items().empty());
+}
+
+TEST(ExperimentService, RunBatchContinuesPastABadElement) {
+  ExperimentService service({"", 16, 1});
+  const std::string batch =
+      R"({"request": "run-batch", "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000}, )"
+      R"({"experiment": "no/such"}, )"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000, "widht": 64}, )"
+      R"({"experiment": "fig6.1/uniform-unsigned", "samples": 2000}]})";
+  const JsonValue response = parse_reply(service.handle_line(batch));
+  EXPECT_EQ(field(response, "status"), "ok");  // the batch itself succeeded
+  std::uint64_t count = 0, ok = 0, errors = 0;
+  ASSERT_TRUE(response.find("count")->to_u64(count));
+  ASSERT_TRUE(response.find("ok")->to_u64(ok));
+  ASSERT_TRUE(response.find("errors")->to_u64(errors));
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(ok, 2u);
+  EXPECT_EQ(errors, 2u);
+
+  const auto& results = response.find("results")->items();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(field(results[0], "status"), "ok");
+  EXPECT_EQ(field(results[1], "status"), "error");
+  EXPECT_EQ(field(results[1], "code"), "unknown-experiment");
+  EXPECT_EQ(field(results[2], "status"), "error");
+  EXPECT_NE(field(results[2], "error").find("unknown field 'widht'"), std::string::npos);
+  EXPECT_EQ(field(results[3], "status"), "ok");
+  // The two good elements each computed and stored.
+  EXPECT_EQ(service.cache_stats().stores, 2u);
+}
+
+TEST(ExperimentService, RunBatchRecordsByteIdenticalToSingleRuns) {
+  // A batch's cache records must be exactly the records the same specs
+  // produce as individual run requests — the loadgen byte-identity check in
+  // CI rests on this.
+  const std::string dir_batch = temp_dir("batch");
+  const std::string dir_single = temp_dir("single");
+  const char* spec_a = R"({"experiment": "fig7.1/n64-k6", "samples": 2000})";
+  const char* spec_b = R"({"experiment": "fig6.1/uniform-unsigned", "samples": 2000})";
+  {
+    ExperimentService service({dir_batch, 16, 1});
+    const std::string batch = std::string(R"({"request": "run-batch", "runs": [)") + spec_a +
+                              ", " + spec_b + "]}";
+    const JsonValue response = parse_reply(service.handle_line(batch));
+    std::uint64_t ok = 0;
+    ASSERT_TRUE(response.find("ok")->to_u64(ok));
+    ASSERT_EQ(ok, 2u);
+  }
+  {
+    ExperimentService service({dir_single, 16, 1});
+    for (const char* spec : {spec_a, spec_b}) {
+      std::string line = spec;
+      line.insert(1, R"("request": "run", )");
+      EXPECT_EQ(field(parse_reply(service.handle_line(line)), "status"), "ok");
+    }
+  }
+  const auto batch_files = read_cache_files_sorted(dir_batch);
+  const auto single_files = read_cache_files_sorted(dir_single);
+  ASSERT_EQ(batch_files.size(), 2u);
+  EXPECT_EQ(batch_files, single_files);
+}
+
+TEST(ExperimentService, RunBatchAllHitServesFromCacheWithoutRecompute) {
+  ExperimentService service({"", 16, 1});
+  const std::string batch =
+      R"({"request": "run-batch", "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000}, )"
+      R"({"experiment": "fig6.1/uniform-unsigned", "samples": 2000}]})";
+  (void)parse_reply(service.handle_line(batch));
+  EXPECT_EQ(service.cache_stats().stores, 2u);
+  const JsonValue again = parse_reply(service.handle_line(batch));
+  EXPECT_EQ(service.cache_stats().stores, 2u);  // nothing recomputed
+  for (const JsonValue& result : again.find("results")->items()) {
+    EXPECT_EQ(field(result, "cache"), "hit-memory");
+  }
+}
+
+TEST(ExperimentService, RunBatchStrictTopLevelValidation) {
+  ExperimentService service({"", 4, 1});
+  expect_error_containing(service, R"({"request": "run-batch"})", "array field 'runs'");
+  expect_error_containing(service, R"({"request": "run-batch", "runs": 3})",
+                          "array field 'runs'");
+  expect_error_containing(service, R"({"request": "run-batch", "runs": [], "spins": 1})",
+                          "unknown field 'spins'");
+  expect_error_containing(
+      service, R"({"request": "run-batch", "runs": [], "timeout_ms": 0})", "must be positive");
+  // A non-object element errors in place, not at the top level.
+  const JsonValue response = parse_reply(
+      service.handle_line(R"({"request": "run-batch", "runs": [17]})"));
+  EXPECT_EQ(field(response, "status"), "ok");
+  EXPECT_EQ(field(response.find("results")->items()[0], "status"), "error");
+}
+
+TEST(ExperimentService, TimeoutCancelsRunWithoutWritingACacheRecord) {
+  // A run big enough to take hundreds of milliseconds single-threaded, with
+  // a 50 ms deadline: the watchdog flips the token, the engine aborts at a
+  // shard boundary, and the reply is a "timeout"-coded error.  The key
+  // contract: a cancelled run never writes a (partial) cache record.
+  const std::string dir = temp_dir("timeout");
+  ExperimentService service({dir, 16, 1});
+  const JsonValue response = parse_reply(service.handle_line(
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 50000000, "timeout_ms": 50})"));
+  EXPECT_EQ(field(response, "status"), "error");
+  EXPECT_EQ(field(response, "code"), "timeout");
+  EXPECT_NE(field(response, "error").find("timeout"), std::string::npos);
+
+  EXPECT_EQ(service.cache_stats().stores, 0u);
+  EXPECT_FALSE(std::filesystem::exists(dir) &&
+               !std::filesystem::is_empty(dir));  // no record file, even partial
+  EXPECT_EQ(service.metrics().snapshot().timeouts, 1u);
+
+  // The same key still computes fine afterwards with a sane budget.
+  const JsonValue retry = parse_reply(service.handle_line(
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000})"));
+  EXPECT_EQ(field(retry, "status"), "ok");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ExperimentService, BatchSharesOneDeadlineAcrossElements) {
+  // Two heavy elements under one 30 ms batch deadline: the first is
+  // cancelled mid-run, the second observes the already-fired token before
+  // starting.  Both answer timeout-coded element errors; nothing is cached.
+  ExperimentService service({"", 16, 1});
+  const std::string batch =
+      R"({"request": "run-batch", "timeout_ms": 30, "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 50000000}, )"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 50000000, "seed": 2}]})";
+  const JsonValue response = parse_reply(service.handle_line(batch));
+  EXPECT_EQ(field(response, "status"), "ok");
+  std::uint64_t errors = 0;
+  ASSERT_TRUE(response.find("errors")->to_u64(errors));
+  EXPECT_EQ(errors, 2u);
+  for (const JsonValue& result : response.find("results")->items()) {
+    EXPECT_EQ(field(result, "code"), "timeout");
+  }
+  EXPECT_EQ(service.cache_stats().stores, 0u);
+}
+
+TEST(ExperimentService, ExplicitZeroTimeoutIsRejected) {
+  ExperimentService service({"", 4, 1});
+  expect_error_containing(
+      service,
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "timeout_ms": 0})",
+      "must be positive");
+}
+
+TEST(ExperimentService, ErrorRepliesCarryMachineReadableCodes) {
+  ExperimentService service({"", 4, 1});
+  const auto code_of = [&](const std::string& line) {
+    return field(parse_reply(service.handle_line(line)), "code");
+  };
+  EXPECT_EQ(code_of("not json"), "bad-request");
+  EXPECT_EQ(code_of(R"({"request": "frobnicate"})"), "unknown-request");
+  EXPECT_EQ(code_of(R"({"request": "run", "experiment": "no/such"})"), "unknown-experiment");
+  EXPECT_EQ(code_of(R"({"request": "run"})"), "bad-request");
+}
+
+TEST(SocketServer, EndToEndOverTcp) {
+  // The same protocol over the TCP transport: ephemeral port, two requests
+  // on one connection, cache warm across transports would also hold (shared
+  // service) — here we just prove the listener abstraction serves TCP.
+  ExperimentService service({"", 16, 1});
+  SocketServer server({ListenerSpec::tcp("127.0.0.1", 0)}, service);
+  ASSERT_EQ(server.listen_or_error(), "");
+  const int port = server.tcp_port();
+  ASSERT_GT(port, 0);
+  std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
+
+  ServiceClient client;
+  ASSERT_EQ(client.connect_tcp_or_error("127.0.0.1", port, /*timeout_ms=*/2000), "");
+  std::string response;
+  ASSERT_EQ(client.roundtrip(kErrorRateRun, response), "");
+  EXPECT_EQ(field(parse_json(response).value, "cache"), "miss");
+  ASSERT_EQ(client.roundtrip(kErrorRateRun, response), "");
+  EXPECT_EQ(field(parse_json(response).value, "cache"), "hit-memory");
+  ASSERT_EQ(client.roundtrip(R"({"request": "shutdown"})", response), "");
+  serving.join();
+}
+
+TEST(SocketServer, UnixAndTcpListenersShareOneCache) {
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "vlcsa_service_dual_test.sock").string();
+  ExperimentService service({"", 16, 1});
+  SocketServer server({ListenerSpec::unix_socket(socket_path), ListenerSpec::tcp("127.0.0.1", 0)},
+                      service);
+  ASSERT_EQ(server.listen_or_error(), "");
+  std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
+
+  std::string response;
+  {
+    ServiceClient over_unix;
+    ASSERT_EQ(over_unix.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+    ASSERT_EQ(over_unix.roundtrip(kErrorRateRun, response), "");
+    EXPECT_EQ(field(parse_json(response).value, "cache"), "miss");
+  }
+  {
+    ServiceClient over_tcp;
+    ASSERT_EQ(over_tcp.connect_tcp_or_error("127.0.0.1", server.tcp_port(), 2000), "");
+    ASSERT_EQ(over_tcp.roundtrip(kErrorRateRun, response), "");
+    EXPECT_EQ(field(parse_json(response).value, "cache"), "hit-memory");  // warmed over Unix
+    ASSERT_EQ(over_tcp.roundtrip(R"({"request": "shutdown"})", response), "");
+  }
+  serving.join();
+}
+
+TEST(SocketServer, RejectsConnectionsPastTheBacklogWithOverloadedError) {
+  // workers=1 and max_pending=1: one connection conversing, one queued; the
+  // next connection must be answered with one "overloaded" line and closed,
+  // not queued unboundedly.
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "vlcsa_service_backlog_test.sock").string();
+  ExperimentService service({"", 4, 1});
+  SocketServer::Options options;
+  options.workers = 1;
+  options.max_pending = 1;
+  SocketServer server({ListenerSpec::unix_socket(socket_path)}, service, options);
+  ASSERT_EQ(server.listen_or_error(), "");
+  std::thread serving([&server] { EXPECT_EQ(server.serve(), ""); });
+
+  ServiceClient busy;  // claims the only worker
+  ASSERT_EQ(busy.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+  std::string response;
+  ASSERT_EQ(busy.roundtrip(R"({"request": "list"})", response), "");
+
+  ServiceClient queued;  // fills the pending queue
+  ASSERT_EQ(queued.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+  // Wait until the accept loop has actually queued it (the connect returns
+  // before the server accepts).
+  for (int i = 0; i < 500 && server.pending_connections() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(server.pending_connections(), 1u);
+
+  ServiceClient rejected;
+  ASSERT_EQ(rejected.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+  // The server speaks first on a rejected connection: one overloaded line,
+  // then close — nothing to send.
+  ASSERT_EQ(rejected.read_response(response), "");
+  EXPECT_EQ(field(parse_json(response).value, "code"), "overloaded");
+  EXPECT_EQ(service.metrics().snapshot().rejected_connections, 1u);
+
+  ASSERT_EQ(busy.roundtrip(R"({"request": "shutdown"})", response), "");
+  serving.join();
+}
+
+TEST(ServiceClient, ReadTimeoutFailsInsteadOfHangingOnASilentServer) {
+  // A listener that accepts but never answers: the armed I/O deadline must
+  // turn the roundtrip into a "timed out" error, not a hang.
+  const std::string socket_path =
+      (std::filesystem::temp_directory_path() / "vlcsa_service_silent_test.sock").string();
+  ::unlink(socket_path.c_str());
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", socket_path.c_str());
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  ServiceClient client;
+  ASSERT_EQ(client.connect_or_error(socket_path, /*timeout_ms=*/2000), "");
+  ASSERT_EQ(client.set_io_timeout_ms(100), "");
+  std::string response;
+  const std::string error = client.roundtrip(R"({"request": "list"})", response);
+  EXPECT_NE(error.find("timed out"), std::string::npos) << error;
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
 }
 
 TEST(ExperimentService, CacheStatsReportsDiskTierSizeAndCap) {
