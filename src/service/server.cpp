@@ -269,7 +269,8 @@ std::string SocketServer::serve() {
 
   // Accept with a poll timeout so a stop requested from a worker (shutdown
   // request) is noticed within one tick even with no incoming connection.
-  while (true) {
+  std::string failure;
+  while (failure.empty()) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (stopping_) break;
@@ -279,9 +280,8 @@ std::string SocketServer::serve() {
     const int ready = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/200);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      request_stop();
-      for (auto& worker : pool) worker.join();
-      return errno_message("poll");
+      failure = errno_message("poll");
+      break;
     }
     if (ready == 0) continue;
     for (const pollfd& pfd : pfds) {
@@ -292,9 +292,8 @@ std::string SocketServer::serve() {
             errno == EWOULDBLOCK) {
           continue;
         }
-        request_stop();
-        for (auto& worker : pool) worker.join();
-        return errno_message("accept");
+        failure = errno_message("accept");
+        break;
       }
       bool reject = false;
       {
@@ -318,12 +317,14 @@ std::string SocketServer::serve() {
     }
   }
 
-  queue_cv_.notify_all();
+  // The one shutdown path, for a requested stop and an accept-loop failure
+  // alike: stop and join the workers, then close connections still queued
+  // unserved — an error return must not leak the pending fds.
+  request_stop();
   for (auto& worker : pool) worker.join();
-  // Connections still queued after stop are closed unserved.
   for (const int fd : pending_) ::close(fd);
   pending_.clear();
-  return {};
+  return failure;
 }
 
 ServiceClient::~ServiceClient() {

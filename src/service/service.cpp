@@ -28,6 +28,12 @@ constexpr const char* kCodeUnknownExperiment = "unknown-experiment";
 constexpr const char* kCodeTimeout = "timeout";
 constexpr const char* kCodeInternal = "internal";
 
+/// Upper bound on any request-supplied timeout_ms (24 hours): large enough
+/// for any real run, small enough to survive the milliseconds-as-int cast —
+/// an overflowing value must be rejected, never silently disable the
+/// deadline.
+constexpr std::uint64_t kMaxTimeoutMs = 86'400'000;
+
 ExperimentService::Reply error_reply(const std::string& message,
                                      const char* code = kCodeBadRequest) {
   JsonObject response;
@@ -241,8 +247,40 @@ std::string read_run_spec(const JsonValue& request,
   if (out.timeout_given && out.timeout_ms == 0) {
     return "field 'timeout_ms' must be positive (omit it for the server default)";
   }
+  if (out.timeout_given && out.timeout_ms > kMaxTimeoutMs) {
+    return "field 'timeout_ms' must be at most 86400000 (24 hours)";
+  }
   return {};
 }
+
+/// Arms the deadline watchdog for one request and guarantees the disarm:
+/// run_one rethrows engine/cache failures (and a leader rethrow escapes the
+/// handler), so only a destructor reliably unregisters the watchdog entry
+/// before the stack-local cancel token it points at dies.
+class ArmedDeadline {
+ public:
+  ArmedDeadline(DeadlineWatchdog& watchdog, DeadlineWatchdog::Clock::time_point start,
+                int timeout_ms, std::atomic<bool>* token)
+      : watchdog_(watchdog) {
+    if (timeout_ms > 0) {
+      id_ = watchdog_.arm(start + std::chrono::milliseconds(timeout_ms), token);
+      token_ = token;
+    }
+  }
+  ~ArmedDeadline() {
+    if (id_ != 0) watchdog_.disarm(id_);
+  }
+  ArmedDeadline(const ArmedDeadline&) = delete;
+  ArmedDeadline& operator=(const ArmedDeadline&) = delete;
+
+  /// The armed token, or nullptr when no deadline applies.
+  [[nodiscard]] const std::atomic<bool>* token() const { return token_; }
+
+ private:
+  DeadlineWatchdog& watchdog_;
+  DeadlineWatchdog::Id id_ = 0;
+  std::atomic<bool>* token_ = nullptr;
+};
 
 }  // namespace
 
@@ -357,6 +395,7 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
   // A deadline that already fired answers without touching the cache, so a
   // timed-out batch drains its remaining elements in microseconds.
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    metrics_.record_timeout();  // counted like any other timeout-coded reply
     out.error = "timeout: deadline expired before the run started";
     out.code = kCodeTimeout;
     return out;
@@ -419,8 +458,21 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
       }
       promise.set_value(lookup.record);
     } else {
-      lookup.record = future.get();  // rethrows if the leader failed
       out.coalesced = true;
+      // A follower enforces its *own* deadline: the leader may have a longer
+      // deadline (or none), so the wait is bounded by this request's token.
+      // The leader keeps computing — only this reply times out.
+      if (cancel != nullptr) {
+        while (future.wait_for(std::chrono::milliseconds(5)) != std::future_status::ready) {
+          if (cancel->load(std::memory_order_relaxed)) {
+            metrics_.record_timeout();
+            out.error = "timeout: deadline expired while waiting for a coalesced run";
+            out.code = kCodeTimeout;
+            return out;
+          }
+        }
+      }
+      lookup.record = future.get();  // rethrows if the leader failed
     }
   } catch (const harness::RunCancelled&) {
     // Either our own deadline fired, or we coalesced onto a leader whose
@@ -449,13 +501,8 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request)
   const auto start = Clock::now();
 
   std::atomic<bool> cancel{false};
-  const int timeout_ms = effective_timeout_ms(run);
-  DeadlineWatchdog::Id armed = 0;
-  if (timeout_ms > 0) {
-    armed = watchdog_.arm(start + std::chrono::milliseconds(timeout_ms), &cancel);
-  }
-  const RunOutcome outcome = run_one(run, timeout_ms > 0 ? &cancel : nullptr);
-  if (armed != 0) watchdog_.disarm(armed);
+  const ArmedDeadline deadline(watchdog_, start, effective_timeout_ms(run), &cancel);
+  const RunOutcome outcome = run_one(run, deadline.token());
   if (!outcome.error.empty()) return error_reply(outcome.error, outcome.code);
 
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
@@ -487,6 +534,9 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   if (timeout_given && timeout_ms == 0) {
     return error_reply("field 'timeout_ms' must be positive (omit it for the server default)");
   }
+  if (timeout_given && timeout_ms > kMaxTimeoutMs) {
+    return error_reply("field 'timeout_ms' must be at most 86400000 (24 hours)");
+  }
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
@@ -496,10 +546,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   const int effective_ms =
       timeout_given ? static_cast<int>(timeout_ms) : config_.timeout_ms;
   std::atomic<bool> cancel{false};
-  DeadlineWatchdog::Id armed = 0;
-  if (effective_ms > 0) {
-    armed = watchdog_.arm(start + std::chrono::milliseconds(effective_ms), &cancel);
-  }
+  const ArmedDeadline deadline(watchdog_, start, effective_ms, &cancel);
 
   std::vector<std::string> results;
   results.reserve(runs->items().size());
@@ -525,7 +572,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
     }
     RunOutcome outcome;
     try {
-      outcome = run_one(spec, effective_ms > 0 ? &cancel : nullptr);
+      outcome = run_one(spec, deadline.token());
     } catch (const std::exception& failure) {
       outcome.error = std::string("internal error: ") + failure.what();
       outcome.code = kCodeInternal;
@@ -545,7 +592,6 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
     }
     results.push_back(rendered.render_line());
   }
-  if (armed != 0) watchdog_.disarm(armed);
 
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
   JsonObject response;

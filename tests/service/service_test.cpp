@@ -515,6 +515,58 @@ TEST(ExperimentService, ExplicitZeroTimeoutIsRejected) {
       "must be positive");
 }
 
+TEST(ExperimentService, OversizedTimeoutIsRejected) {
+  // timeout_ms above 24 h would overflow the milliseconds-as-int deadline
+  // arithmetic; the parser must reject it, not silently disable the deadline.
+  ExperimentService service({"", 4, 1});
+  expect_error_containing(
+      service,
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "timeout_ms": 86400001})",
+      "at most 86400000");
+  expect_error_containing(
+      service, R"({"request": "run-batch", "runs": [], "timeout_ms": 99999999999})",
+      "at most 86400000");
+}
+
+TEST(ExperimentService, DrainedBatchElementsCountAsTimeouts) {
+  // Elements answered by the already-expired fast path carry code "timeout"
+  // and must be counted in the timeouts metric like any other timeout reply.
+  ExperimentService service({"", 16, 1});
+  const std::string batch =
+      R"({"request": "run-batch", "timeout_ms": 30, "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 50000000}, )"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 50000000, "seed": 2}]})";
+  const JsonValue response = parse_reply(service.handle_line(batch));
+  std::uint64_t errors = 0;
+  ASSERT_TRUE(response.find("errors")->to_u64(errors));
+  ASSERT_EQ(errors, 2u);  // one cancelled mid-run, one drained pre-start
+  EXPECT_EQ(service.metrics().snapshot().timeouts, 2u);
+}
+
+TEST(ExperimentService, CoalescedFollowerEnforcesItsOwnDeadline) {
+  // A follower coalesced onto a leader with no deadline must still honor its
+  // own timeout_ms: it answers "timeout" while the leader keeps computing
+  // and completes (and caches) normally.
+  ExperimentService service({"", 16, 1});
+  std::thread leader([&service] {
+    const JsonValue response = parse_reply(service.handle_line(
+        R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 100000000})"));
+    EXPECT_EQ(field(response, "status"), "ok");
+  });
+  // Wait for the leader to be in flight, then a beat more so it holds the
+  // single-flight latch before the follower arrives.
+  while (service.metrics().snapshot().in_flight == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const JsonValue follower = parse_reply(service.handle_line(
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 100000000, "timeout_ms": 50})"));
+  EXPECT_EQ(field(follower, "status"), "error");
+  EXPECT_EQ(field(follower, "code"), "timeout");
+  leader.join();
+  EXPECT_EQ(service.cache_stats().stores, 1u);  // the leader was not cancelled
+}
+
 TEST(ExperimentService, ErrorRepliesCarryMachineReadableCodes) {
   ExperimentService service({"", 4, 1});
   const auto code_of = [&](const std::string& line) {
