@@ -7,11 +7,14 @@
 // --json=FILE switches to the machine-readable perf record instead of the
 // google-benchmark run: a curated suite timing each plane kernel (scalar vs
 // the best dispatched backend), the RNG subsystem (std engine vs block
-// generation, operand fill before/after the direct-to-plane path), and the
-// end-to-end batched sampling loop against the PR 2 baseline (single lane
-// word, scalar backend), written as one JSON object.  CI uploads this as
-// the BENCH_batch.json artifact so the perf trajectory is tracked across
-// PRs.
+// generation, operand fill before/after the direct-to-plane path), the
+// Gaussian sampling subsystem (block ziggurat vs the per-call
+// std::normal_distribution it replaced, through to the table7.1-style
+// error-rate loop), and the end-to-end batched sampling loop against the
+// PR 2 baseline (single lane word, scalar backend), written as one JSON
+// object (schema vlcsa-perf-4; every record names the planeops backend it
+// was measured on).  CI uploads this as the BENCH_batch.json artifact so
+// the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -307,6 +310,60 @@ void BM_RngFillBatch(benchmark::State& state) {
 BENCHMARK(BM_RngFillBatch)
     ->Args({64, 4, 0})->Args({64, 4, 1})->Args({512, 4, 0})->Args({512, 4, 1});
 
+/// The PR 6 Gaussian operand source, reproduced as the baseline: one
+/// std::normal_distribution draw per operand through the per-sample next()
+/// path, with the base-class fill_batch (per-sample ApInt transposes) —
+/// exactly how GaussianTwosSource generated operands before the block
+/// ziggurat.  The gaussian section's speedup rows compare against this.
+class PerCallNormalTwosSource final : public arith::OperandSource {
+ public:
+  explicit PerCallNormalTwosSource(int width) : arith::OperandSource(width) {}
+  [[nodiscard]] std::string name() const override {
+    return "gaussian-twos-percall-reference";
+  }
+  std::pair<ApInt, ApInt> next(arith::BlockRng& rng) override {
+    const double a = dist_(rng);
+    const double b = dist_(rng);
+    return {arith::encode_signed_sample(width(), a),
+            arith::encode_signed_sample(width(), b)};
+  }
+  [[nodiscard]] std::unique_ptr<arith::OperandSource> clone() const override {
+    return std::make_unique<PerCallNormalTwosSource>(width());
+  }
+
+ private:
+  std::normal_distribution<double> dist_{0.0, 4294967296.0};  // Ch. 7 params
+};
+
+// Bulk ziggurat variates from the block sampler — the per-variate floor of
+// every Gaussian workload.  Arg: 0 = scalar backend / 1 = auto-dispatched
+// (the backend moves the generate_block refills under the ziggurat).
+void BM_RngGaussianBlock(benchmark::State& state) {
+  const BackendScope scope(state.range(0) != 0);
+  arith::GaussianBlockSampler sampler;
+  arith::BlockRng rng(19);
+  std::vector<double> variates(4096);
+  for (auto _ : state) {
+    sampler.fill(rng, variates.data(), variates.size());
+    benchmark::DoNotOptimize(variates.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  state.SetLabel(to_string(planeops::active_backend()));
+}
+BENCHMARK(BM_RngGaussianBlock)->Arg(0)->Arg(1);
+
+void BM_RngGaussianPerCallReference(benchmark::State& state) {
+  arith::BlockRng rng(19);
+  std::normal_distribution<double> dist(0.0, 4294967296.0);
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 4096; ++i) sum += dist(rng);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_RngGaussianPerCallReference);
+
 void BM_RngFillBatchPerCallReference(benchmark::State& state) {
   const int width = static_cast<int>(state.range(0));
   const int lane_words = static_cast<int>(state.range(1));
@@ -454,20 +511,22 @@ double time_ns_per_item(std::uint64_t items_per_rep, const Body& body) {
 }
 
 harness::JsonObject kernel_record(const std::string& name, double scalar_ns,
-                                  double best_ns) {
+                                  double best_ns, const char* best_backend) {
   harness::JsonObject record;
   record.add("kernel", name);
   record.add("scalar_ns_per_sample", scalar_ns);
   record.add("best_ns_per_sample", best_ns);
+  record.add("backend", best_backend);
   record.add("speedup_vs_scalar", best_ns > 0 ? scalar_ns / best_ns : 0.0);
   return record;
 }
 
-/// ns/sample of the full batched error-rate loop at one configuration.
-double end_to_end_ns(int width, arith::InputDistribution dist, int lane_words,
-                     const char* backend) {
+/// ns/sample of the full batched error-rate loop over `source` at one
+/// configuration.  `lane_words` 0 = the dispatch-aware default
+/// (arith::default_lane_words() resolved inside the run, under `backend`).
+double end_to_end_source_ns(int width, arith::OperandSource& source, int lane_words,
+                            const char* backend) {
   const BackendScope scope(backend);
-  auto source = arith::make_source(dist, width);
   const spec::VlcsaConfig config{width, spec::min_window_for_error_rate(width, 1e-4),
                                  spec::ScsaVariant::kScsa2};
   constexpr std::uint64_t kSamples = 1 << 13;
@@ -479,8 +538,14 @@ double end_to_end_ns(int width, arith::InputDistribution dist, int lane_words,
   return time_ns_per_item(kSamples, [&] {
     options.seed = seed++;
     benchmark::DoNotOptimize(
-        harness::run_vlcsa(config, *source, options, harness::EvalPath::kBatched));
+        harness::run_vlcsa(config, source, options, harness::EvalPath::kBatched));
   });
+}
+
+double end_to_end_ns(int width, arith::InputDistribution dist, int lane_words,
+                     const char* backend) {
+  auto source = arith::make_source(dist, width);
+  return end_to_end_source_ns(width, *source, lane_words, backend);
 }
 
 int write_perf_json(const std::string& path) {
@@ -489,9 +554,11 @@ int write_perf_json(const std::string& path) {
   // resolves to — not with a VLCSA_FORCE_BACKEND pin, which the scopes
   // below deliberately step around and then restore.
   const char* best = nullptr;
+  int now_w = 0;  // dispatch-aware default lane width under auto (8 on avx512)
   {
     const BackendScope scope("auto");
     best = to_string(planeops::active_backend());
+    now_w = arith::default_lane_words();
   }
   std::string kernels;
   {
@@ -535,7 +602,7 @@ int write_perf_json(const std::string& path) {
         best_ns = time_ns_per_item(kernel.items, kernel.body);
       }
       if (!first) kernels += ", ";
-      kernels += kernel_record(kernel.name, scalar_ns, best_ns).render_line();
+      kernels += kernel_record(kernel.name, scalar_ns, best_ns, best).render_line();
       first = false;
     }
   }
@@ -574,15 +641,17 @@ int write_perf_json(const std::string& path) {
     generation.add("blockrng_percall_ns_per_word", percall_ns);
     generation.add("blockrng_block_scalar_ns_per_word", block_scalar_ns);
     generation.add("blockrng_block_ns_per_word", block_best_ns);
+    generation.add("backend", best);
     generation.add("speedup_vs_std", block_best_ns > 0 ? std_ns / block_best_ns : 0.0);
 
     std::string fills;
     bool first = true;
     for (const int width : {64, 512}) {
       arith::UniformUnsignedSource source(width);
-      arith::BitSlicedBatch batch(width, arith::kDefaultLaneWords);
+      arith::BitSlicedBatch batch(width, now_w);
       arith::BlockRng fill_rng(5);
       const std::uint64_t lanes = static_cast<std::uint64_t>(batch.lanes());
+      const BackendScope scope("auto");  // record labels the auto-dispatched backend
       const double fill_ns = time_ns_per_item(lanes, [&] {
         source.fill_batch(fill_rng, batch);
         benchmark::DoNotOptimize(batch.a());
@@ -597,6 +666,8 @@ int write_perf_json(const std::string& path) {
       record.add("workload", "uniform-fill-batch-n" + std::to_string(width));
       record.add("percall_std_ns_per_sample", before_ns);
       record.add("ns_per_sample", fill_ns);
+      record.add("backend", best);
+      record.add("lane_words", now_w);
       record.add("speedup", fill_ns > 0 ? before_ns / fill_ns : 0.0);
       if (!first) fills += ", ";
       fills += record.render_line();
@@ -631,11 +702,13 @@ int write_perf_json(const std::string& path) {
         });
       };
       const double base_ns = time_model(1, "scalar");
-      const double now_ns = time_model(arith::kDefaultLaneWords, "auto");
+      const double now_ns = time_model(now_w, "auto");
       harness::JsonObject record;
       record.add("workload", "scsa-evaluate-batch-n" + std::to_string(width));
       record.add("w1_scalar_backend_ns_per_sample", base_ns);
       record.add("ns_per_sample", now_ns);
+      record.add("backend", best);
+      record.add("lane_words", now_w);
       const double speedup = now_ns > 0 ? base_ns / now_ns : 0.0;
       record.add("speedup", speedup);
       if (width == 512) model_speedup_n512 = speedup;
@@ -658,12 +731,14 @@ int write_perf_json(const std::string& path) {
     for (const int width : {64, 512}) {
       const double base_ns =
           end_to_end_ns(width, arith::InputDistribution::kUniformUnsigned, 1, "scalar");
-      const double now_ns = end_to_end_ns(width, arith::InputDistribution::kUniformUnsigned,
-                                          arith::kDefaultLaneWords, "auto");
+      const double now_ns =
+          end_to_end_ns(width, arith::InputDistribution::kUniformUnsigned, 0, "auto");
       harness::JsonObject record;
       record.add("workload", "vlcsa2-uniform-n" + std::to_string(width));
       record.add("w1_scalar_backend_ns_per_sample", base_ns);
       record.add("ns_per_sample", now_ns);  // default lane words, dispatched backend
+      record.add("backend", best);
+      record.add("lane_words", now_w);
       const double speedup = now_ns > 0 ? base_ns / now_ns : 0.0;
       record.add("speedup", speedup);
       if (width == 512) end_to_end_speedup_n512 = speedup;
@@ -673,12 +748,112 @@ int write_perf_json(const std::string& path) {
     }
   }
 
+  // The Gaussian sampling subsystem (the Ch. 7 workloads): per-variate cost
+  // of the block ziggurat vs the per-call std::normal_distribution it
+  // replaced, the two's-complement operand fill, and the full table7.1-style
+  // error-rate loop against the PR 6 per-call baseline.  The n=64 end-to-end
+  // speedup row is this PR's acceptance gate (>= 3x).
+  std::string gaussian_section;
+  double gauss_end_to_end_speedup_n64 = 0.0;
+  {
+    constexpr std::size_t kVariates = std::size_t{1} << 14;
+    std::vector<double> variates(kVariates);
+    arith::BlockRng std_rng(19);
+    std::normal_distribution<double> std_dist(0.0, 4294967296.0);
+    const double std_ns = time_ns_per_item(kVariates, [&] {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < kVariates; ++i) sum += std_dist(std_rng);
+      benchmark::DoNotOptimize(sum);
+    });
+    arith::GaussianBlockSampler sampler;
+    arith::BlockRng block_rng(19);
+    const auto sampler_ns_for = [&](const char* backend) {
+      const BackendScope scope(backend);
+      return time_ns_per_item(kVariates, [&] {
+        sampler.fill(block_rng, variates.data(), kVariates);
+        benchmark::DoNotOptimize(variates.data());
+      });
+    };
+    const double zig_scalar_ns = sampler_ns_for("scalar");
+    const double zig_best_ns = sampler_ns_for("auto");
+    harness::JsonObject sampler_record;
+    sampler_record.add("std_normal_percall_ns_per_variate", std_ns);
+    sampler_record.add("ziggurat_block_scalar_ns_per_variate", zig_scalar_ns);
+    sampler_record.add("ziggurat_block_ns_per_variate", zig_best_ns);
+    sampler_record.add("backend", best);
+    sampler_record.add("speedup_vs_std", zig_best_ns > 0 ? std_ns / zig_best_ns : 0.0);
+
+    std::string fills;
+    bool first = true;
+    for (const int width : {64, 512}) {
+      arith::GaussianTwosSource source(width, arith::GaussianParams{});
+      PerCallNormalTwosSource reference(width);
+      arith::BitSlicedBatch batch(width, now_w);
+      const std::uint64_t lanes = static_cast<std::uint64_t>(batch.lanes());
+      const BackendScope scope("auto");
+      arith::BlockRng fill_rng(23);
+      const double fill_ns = time_ns_per_item(lanes, [&] {
+        source.fill_batch(fill_rng, batch);
+        benchmark::DoNotOptimize(batch.a());
+      });
+      arith::BlockRng ref_rng(23);
+      const double before_ns = time_ns_per_item(lanes, [&] {
+        reference.fill_batch(ref_rng, batch);
+        benchmark::DoNotOptimize(batch.a());
+      });
+      harness::JsonObject record;
+      record.add("workload", "gaussian-twos-fill-batch-n" + std::to_string(width));
+      record.add("percall_std_ns_per_sample", before_ns);
+      record.add("ns_per_sample", fill_ns);
+      record.add("backend", best);
+      record.add("lane_words", now_w);
+      record.add("speedup", fill_ns > 0 ? before_ns / fill_ns : 0.0);
+      if (!first) fills += ", ";
+      fills += record.render_line();
+      first = false;
+    }
+
+    // End to end on the table7.1 shape (VLCSA error rates, two's-complement
+    // Gaussian operands): the PR 6 baseline is the per-call source at PR 6's
+    // defaults (kDefaultLaneWords, auto dispatch) — its cost was dominated
+    // by per-sample std::normal draws and ApInt transposes, which is exactly
+    // what the block ziggurat + direct-to-plane fill removes.
+    std::string ends;
+    first = true;
+    for (const int width : {64, 512}) {
+      PerCallNormalTwosSource reference(width);
+      const double base_ns =
+          end_to_end_source_ns(width, reference, arith::kDefaultLaneWords, "auto");
+      auto source = arith::make_source(arith::InputDistribution::kGaussianTwos, width);
+      const double now_ns = end_to_end_source_ns(width, *source, 0, "auto");
+      harness::JsonObject record;
+      record.add("workload", "table7.1-gauss2c-n" + std::to_string(width));
+      record.add("pr6_percall_ns_per_sample", base_ns);
+      record.add("ns_per_sample", now_ns);
+      record.add("backend", best);
+      record.add("lane_words", now_w);
+      const double speedup = now_ns > 0 ? base_ns / now_ns : 0.0;
+      record.add("speedup_vs_pr6", speedup);
+      if (width == 64) gauss_end_to_end_speedup_n64 = speedup;
+      if (!first) ends += ", ";
+      ends += record.render_line();
+      first = false;
+    }
+
+    harness::JsonObject gaussian;
+    gaussian.add_json("sampler", sampler_record.render_line());
+    gaussian.add_json("fill_batch", "[" + fills + "]");
+    gaussian.add_json("end_to_end", "[" + ends + "]");
+    gaussian_section = gaussian.render_line();
+  }
+
   harness::JsonObject root;
-  root.add("schema", "vlcsa-perf-3");
+  root.add("schema", "vlcsa-perf-4");
   root.add("backend_best", best);
-  root.add("lane_words_default", arith::kDefaultLaneWords);
+  root.add("lane_words_default", now_w);
   root.add_json("kernels", "[" + kernels + "]");
   root.add_json("rng", rng_section);
+  root.add_json("gaussian", gaussian_section);
   root.add_json("model_eval", "[" + model_eval + "]");
   root.add_json("end_to_end", "[" + end_to_end + "]");
 
@@ -689,7 +864,9 @@ int write_perf_json(const std::string& path) {
   }
   out << root.render_line() << "\n";
   std::cout << "wrote " << path << " (backend " << best << "; n512 model-eval speedup "
-            << model_speedup_n512 << "x, end-to-end " << end_to_end_speedup_n512 << "x)\n";
+            << model_speedup_n512 << "x, end-to-end " << end_to_end_speedup_n512
+            << "x; gaussian table7.1 n64 vs PR 6 " << gauss_end_to_end_speedup_n64
+            << "x)\n";
   return 0;
 }
 

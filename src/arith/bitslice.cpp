@@ -7,6 +7,11 @@ namespace vlcsa::arith {
 
 void transpose_64x64(std::uint64_t block[64]) { planeops::transpose_64x64(block); }
 
+int default_lane_words() {
+  return planeops::active_backend() == planeops::Backend::kAvx512 ? 2 * kDefaultLaneWords
+                                                                  : kDefaultLaneWords;
+}
+
 void transpose_to_planes(const ApInt* samples, int count, int width, std::uint64_t* planes,
                          int lane_words, int lane_word) {
   if (count < 0 || count > kBatchLanes) {

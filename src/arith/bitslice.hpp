@@ -36,11 +36,17 @@ namespace vlcsa::arith {
 /// Number of samples carried per plane word — one lane per bit.
 inline constexpr int kBatchLanes = 64;
 
-/// Default plane-group width: 4 words = 256 samples per evaluation, one full
-/// AVX2 register per bit-plane.  The batched Monte Carlo paths use this
-/// unless RunOptions::lane_words overrides it; results are bit-identical at
-/// any width (a tested invariant), so it is purely a throughput knob.
+/// Base plane-group width: 4 words = 256 samples per evaluation, one full
+/// AVX2 register per bit-plane.  Results are bit-identical at any width (a
+/// tested invariant), so lane width is purely a throughput knob.
 inline constexpr int kDefaultLaneWords = 4;
+
+/// The dispatch-aware width the batched Monte Carlo paths use when
+/// RunOptions::lane_words == 0: doubles to 8 words (one full 512-bit
+/// register per bit-plane, 512 samples per evaluation) when the avx512
+/// planeops backend is active, kDefaultLaneWords otherwise.  Counters do not
+/// depend on the choice — only throughput does.
+[[nodiscard]] int default_lane_words();
 
 /// Upper bound on lane_words — lets the models keep per-window lane groups
 /// in fixed-size stack buffers inside their hot sweeps.

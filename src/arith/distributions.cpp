@@ -102,36 +102,125 @@ std::pair<ApInt, ApInt> UniformTwosSource::next(BlockRng& rng) {
   return {random_signed_magnitude(width(), rng), random_signed_magnitude(width(), rng)};
 }
 
-ApInt encode_signed_sample(int width, double sample) {
+namespace {
+
+// Raw-word encode bodies shared by the ApInt wrappers below and the
+// direct-to-plane Gaussian fill paths (which build transpose blocks from
+// these words without touching the heap).
+
+std::int64_t signed_sample_to_i64(int width, double sample) {
   const double rounded = std::nearbyint(sample);
   if (width >= 64) {
     // sigma = 2^32 keeps samples far inside int64 range (8 sigma < 2^36).
-    const auto v = static_cast<std::int64_t>(rounded);
-    return ApInt::from_i64(width, v);
+    return static_cast<std::int64_t>(rounded);
   }
   const double lo = -std::ldexp(1.0, width - 1);
   const double hi = std::ldexp(1.0, width - 1) - 1.0;
-  const double clamped = std::fmin(std::fmax(rounded, lo), hi);
-  return ApInt::from_i64(width, static_cast<std::int64_t>(clamped));
+  return static_cast<std::int64_t>(std::fmin(std::fmax(rounded, lo), hi));
+}
+
+std::uint64_t unsigned_sample_to_u64(int width, double sample) {
+  const double mag = std::fabs(std::nearbyint(sample));
+  if (width >= 64) return static_cast<std::uint64_t>(mag);
+  const double hi = std::ldexp(1.0, width) - 1.0;
+  return static_cast<std::uint64_t>(std::fmin(mag, hi));
+}
+
+}  // namespace
+
+ApInt encode_signed_sample(int width, double sample) {
+  return ApInt::from_i64(width, signed_sample_to_i64(width, sample));
 }
 
 ApInt encode_unsigned_sample(int width, double sample) {
-  const double mag = std::fabs(std::nearbyint(sample));
-  if (width >= 64) {
-    return ApInt::from_u64(width, static_cast<std::uint64_t>(mag));
-  }
-  const double hi = std::ldexp(1.0, width) - 1.0;
-  const double clamped = std::fmin(mag, hi);
-  return ApInt::from_u64(width, static_cast<std::uint64_t>(clamped));
+  return ApInt::from_u64(width, unsigned_sample_to_u64(width, sample));
 }
 
 std::pair<ApInt, ApInt> GaussianUnsignedSource::next(BlockRng& rng) {
-  return {encode_unsigned_sample(width(), dist_(rng)),
-          encode_unsigned_sample(width(), dist_(rng))};
+  const double a = params_.mean + params_.sigma * sampler_(rng);
+  const double b = params_.mean + params_.sigma * sampler_(rng);
+  return {encode_unsigned_sample(width(), a), encode_unsigned_sample(width(), b)};
 }
 
 std::pair<ApInt, ApInt> GaussianTwosSource::next(BlockRng& rng) {
-  return {encode_signed_sample(width(), dist_(rng)), encode_signed_sample(width(), dist_(rng))};
+  const double a = params_.mean + params_.sigma * sampler_(rng);
+  const double b = params_.mean + params_.sigma * sampler_(rng);
+  return {encode_signed_sample(width(), a), encode_signed_sample(width(), b)};
+}
+
+void GaussianUnsignedSource::fill_batch(BlockRng& rng, BitSlicedBatch& out) {
+  if (out.width() != width()) {
+    throw std::invalid_argument("GaussianUnsignedSource::fill_batch: batch width mismatch");
+  }
+  // Mirror of out.lanes() x next(): variates a0 b0 a1 b1 ... from the shared
+  // block sampler (so the RNG stream is exactly next()'s), encoded to raw
+  // limb-0 words in per-operand 64x64 blocks.  Samples carry at most 64
+  // magnitude bits, so bit-planes >= 64 are identically zero — no transposes
+  // above limb 0.
+  const int n = width();
+  const int lane_words = out.lane_words();
+  const std::uint64_t top_mask =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  variates_.resize(static_cast<std::size_t>(2 * kBatchLanes));
+  rows_.resize(static_cast<std::size_t>(2 * kBatchLanes));
+  for (int w = 0; w < lane_words; ++w) {
+    sampler_.fill(rng, variates_.data(), static_cast<std::size_t>(2 * kBatchLanes));
+    for (int j = 0; j < kBatchLanes; ++j) {
+      const double a = params_.mean + params_.sigma * variates_[static_cast<std::size_t>(2 * j)];
+      const double b =
+          params_.mean + params_.sigma * variates_[static_cast<std::size_t>(2 * j + 1)];
+      rows_[static_cast<std::size_t>(j)] = unsigned_sample_to_u64(n, a) & top_mask;
+      rows_[static_cast<std::size_t>(64 + j)] = unsigned_sample_to_u64(n, b) & top_mask;
+    }
+    for (int op = 0; op < 2; ++op) {
+      std::uint64_t* planes = op == 0 ? out.a() : out.b();
+      std::uint64_t* block = rows_.data() + static_cast<std::size_t>(op) * 64;
+      transpose_64x64(block);
+      block_to_planes(block, 0, n, planes, lane_words, w);
+      for (int bit = 64; bit < n; ++bit) {
+        planes[static_cast<std::size_t>(bit) * lane_words + w] = 0;
+      }
+    }
+  }
+}
+
+void GaussianTwosSource::fill_batch(BlockRng& rng, BitSlicedBatch& out) {
+  if (out.width() != width()) {
+    throw std::invalid_argument("GaussianTwosSource::fill_batch: batch width mismatch");
+  }
+  // Same structure as the unsigned fill; negatives make every bit-plane
+  // above limb 0 the lane-wise sign mask (two's-complement sign extension),
+  // written directly instead of transposing constant blocks.
+  const int n = width();
+  const int lane_words = out.lane_words();
+  const std::uint64_t top_mask =
+      n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+  variates_.resize(static_cast<std::size_t>(2 * kBatchLanes));
+  rows_.resize(static_cast<std::size_t>(2 * kBatchLanes));
+  for (int w = 0; w < lane_words; ++w) {
+    sampler_.fill(rng, variates_.data(), static_cast<std::size_t>(2 * kBatchLanes));
+    std::uint64_t sign[2] = {0, 0};
+    for (int j = 0; j < kBatchLanes; ++j) {
+      const double a = params_.mean + params_.sigma * variates_[static_cast<std::size_t>(2 * j)];
+      const double b =
+          params_.mean + params_.sigma * variates_[static_cast<std::size_t>(2 * j + 1)];
+      const std::int64_t av = signed_sample_to_i64(n, a);
+      const std::int64_t bv = signed_sample_to_i64(n, b);
+      rows_[static_cast<std::size_t>(j)] = static_cast<std::uint64_t>(av) & top_mask;
+      rows_[static_cast<std::size_t>(64 + j)] = static_cast<std::uint64_t>(bv) & top_mask;
+      if (av < 0) sign[0] |= std::uint64_t{1} << j;
+      if (bv < 0) sign[1] |= std::uint64_t{1} << j;
+    }
+    for (int op = 0; op < 2; ++op) {
+      std::uint64_t* planes = op == 0 ? out.a() : out.b();
+      std::uint64_t* block = rows_.data() + static_cast<std::size_t>(op) * 64;
+      transpose_64x64(block);
+      block_to_planes(block, 0, n, planes, lane_words, w);
+      for (int bit = 64; bit < n; ++bit) {
+        planes[static_cast<std::size_t>(bit) * lane_words + w] = sign[op];
+      }
+    }
+  }
 }
 
 std::string to_string(InputDistribution dist) {

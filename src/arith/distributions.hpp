@@ -6,7 +6,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <random>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -14,6 +13,7 @@
 
 #include "arith/apint.hpp"
 #include "arith/bitslice.hpp"
+#include "arith/rng.hpp"
 
 namespace vlcsa::arith {
 
@@ -94,37 +94,53 @@ struct GaussianParams {
 };
 
 /// |round(N(mu, sigma))| encoded as an unsigned n-bit value (Fig 6.4).
+/// Variates come from the block ziggurat (GaussianBlockSampler); next() and
+/// fill_batch() share the sampler state, so the scalar and batched Monte
+/// Carlo paths consume one identical stream.
 class GaussianUnsignedSource final : public OperandSource {
  public:
   GaussianUnsignedSource(int width, GaussianParams params)
-      : OperandSource(width), params_(params), dist_(params.mean, params.sigma) {}
+      : OperandSource(width), params_(params) {}
   [[nodiscard]] std::string name() const override { return "gaussian-unsigned"; }
   std::pair<ApInt, ApInt> next(BlockRng& rng) override;
+  /// Fast path: bulk ziggurat variates encoded straight into transpose
+  /// blocks — samples are at most 64 bits of magnitude, so only the limb-0
+  /// block is transposed and every higher bit-plane is zero.
+  void fill_batch(BlockRng& rng, BitSlicedBatch& out) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<GaussianUnsignedSource>(width(), params_);
   }
 
  private:
   GaussianParams params_;
-  std::normal_distribution<double> dist_;
+  GaussianBlockSampler sampler_;
+  std::vector<double> variates_;     // fill_batch variate scratch
+  std::vector<std::uint64_t> rows_;  // fill_batch transpose scratch
 };
 
 /// round(N(mu, sigma)) encoded in n-bit two's complement (Fig 6.5, Ch. 7).
 /// Small-magnitude negatives produce the long sign-extension carry chains
-/// that motivate VLCSA 2.
+/// that motivate VLCSA 2.  Same block-ziggurat sampling discipline as
+/// GaussianUnsignedSource.
 class GaussianTwosSource final : public OperandSource {
  public:
   GaussianTwosSource(int width, GaussianParams params)
-      : OperandSource(width), params_(params), dist_(params.mean, params.sigma) {}
+      : OperandSource(width), params_(params) {}
   [[nodiscard]] std::string name() const override { return "gaussian-twos-complement"; }
   std::pair<ApInt, ApInt> next(BlockRng& rng) override;
+  /// Fast path: like GaussianUnsignedSource::fill_batch, plus sign
+  /// extension — every bit-plane above limb 0 is the lane-wise sign mask,
+  /// written directly with no extra transposes.
+  void fill_batch(BlockRng& rng, BitSlicedBatch& out) override;
   [[nodiscard]] std::unique_ptr<OperandSource> clone() const override {
     return std::make_unique<GaussianTwosSource>(width(), params_);
   }
 
  private:
   GaussianParams params_;
-  std::normal_distribution<double> dist_;
+  GaussianBlockSampler sampler_;
+  std::vector<double> variates_;     // fill_batch variate scratch
+  std::vector<std::uint64_t> rows_;  // fill_batch transpose scratch
 };
 
 enum class InputDistribution {

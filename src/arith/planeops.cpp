@@ -290,6 +290,232 @@ __attribute__((target("avx2"))) void transpose_avx2(std::uint64_t block[64]) {
 
 #endif  // VLCSA_HAVE_AVX2_BACKEND
 
+// ---- AVX-512 backend -------------------------------------------------------
+//
+// Same per-function target-attribute scheme as AVX2 (stock builds carry the
+// bodies, runtime cpuid picks them), at twice the width: 8 plane words per
+// vector.  Requires avx512f+avx512bw; the vpopcntdq popcount kernel is a
+// separate dispatch row so Skylake-class parts (avx512bw without vpopcntdq)
+// still get the 512-bit boolean/prefix kernels with the hardware-popcnt
+// reduction.
+
+#if VLCSA_HAVE_AVX2_BACKEND  // same toolchain gate: x86-64 gcc/clang
+#define VLCSA_HAVE_AVX512_BACKEND 1
+
+// GCC's avx512fintrin.h expands the unmasked intrinsics through their masked
+// forms with an undefined pass-through operand, which -Wmaybe-uninitialized
+// flags at every inline site (GCC bug 105593).  The operand is dead under a
+// full mask, so silence the false positive for this section only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f,avx512bw"))) void and_avx512(const std::uint64_t* x,
+                                                            const std::uint64_t* y,
+                                                            std::uint64_t* dst,
+                                                            std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __m512i vy = _mm512_loadu_si512(y + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(vx, vy));
+  }
+  for (; i < m; ++i) dst[i] = x[i] & y[i];
+}
+
+__attribute__((target("avx512f,avx512bw"))) void or_avx512(const std::uint64_t* x,
+                                                           const std::uint64_t* y,
+                                                           std::uint64_t* dst,
+                                                           std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __m512i vy = _mm512_loadu_si512(y + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(vx, vy));
+  }
+  for (; i < m; ++i) dst[i] = x[i] | y[i];
+}
+
+__attribute__((target("avx512f,avx512bw"))) void xor_avx512(const std::uint64_t* x,
+                                                            const std::uint64_t* y,
+                                                            std::uint64_t* dst,
+                                                            std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __m512i vy = _mm512_loadu_si512(y + i);
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(vx, vy));
+  }
+  for (; i < m; ++i) dst[i] = x[i] ^ y[i];
+}
+
+__attribute__((target("avx512f,avx512bw"))) void andnot_avx512(const std::uint64_t* x,
+                                                               const std::uint64_t* y,
+                                                               std::uint64_t* dst,
+                                                               std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i vx = _mm512_loadu_si512(x + i);
+    const __m512i vy = _mm512_loadu_si512(y + i);
+    // _mm512_andnot_si512(a, b) = ~a & b.
+    _mm512_storeu_si512(dst + i, _mm512_andnot_si512(vy, vx));
+  }
+  for (; i < m; ++i) dst[i] = x[i] & ~y[i];
+}
+
+__attribute__((target("avx512f,avx512bw"))) void select_avx512(const std::uint64_t* mask,
+                                                               const std::uint64_t* t,
+                                                               const std::uint64_t* f,
+                                                               std::uint64_t* dst,
+                                                               std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i vm = _mm512_loadu_si512(mask + i);
+    const __m512i vt = _mm512_loadu_si512(t + i);
+    const __m512i vf = _mm512_loadu_si512(f + i);
+    // vpternlog 0xCA = (m & t) | (~m & f): one instruction for the select.
+    _mm512_storeu_si512(dst + i, _mm512_ternarylogic_epi64(vm, vt, vf, 0xCA));
+  }
+  for (; i < m; ++i) dst[i] = (mask[i] & t[i]) | (~mask[i] & f[i]);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void gp_avx512(const std::uint64_t* a,
+                                                           const std::uint64_t* b,
+                                                           std::uint64_t* g, std::uint64_t* p,
+                                                           std::size_t m) {
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    _mm512_storeu_si512(g + i, _mm512_and_si512(va, vb));
+    _mm512_storeu_si512(p + i, _mm512_xor_si512(va, vb));
+  }
+  for (; i < m; ++i) {
+    g[i] = a[i] & b[i];
+    p[i] = a[i] ^ b[i];
+  }
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t popcount_avx512(
+    const std::uint64_t* x, std::size_t m) {
+  // Single-instruction per-word popcount (vpopcntq) with a vector accumulator;
+  // the horizontal reduce happens once at the end.
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= m; i += 8) {
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(x + i)));
+  }
+  std::uint64_t sum = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < m; ++i) {
+    sum += static_cast<std::uint64_t>(__builtin_popcountll(x[i]));
+  }
+  return sum;
+}
+
+// Top-down chunked doubling rounds, same pre-round-read argument as
+// kogge_avx2: within one 8-word chunk all loads precede the stores, and
+// chunks run from the top of the array downward.
+__attribute__((target("avx512f,avx512bw"))) void kogge_avx512(const std::uint64_t* g,
+                                                              const std::uint64_t* p, int n,
+                                                              int lane_words,
+                                                              std::uint64_t* carry,
+                                                              std::uint64_t* pp) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  std::memcpy(carry, g, m * sizeof(std::uint64_t));
+  std::memcpy(pp, p, m * sizeof(std::uint64_t));
+  for (int d = 1; d < n; d <<= 1) {
+    const std::size_t off =
+        static_cast<std::size_t>(d) * static_cast<std::size_t>(lane_words);
+    std::size_t i = m;
+    while (i - off >= 8 && i >= 8) {
+      i -= 8;
+      const __m512i c = _mm512_loadu_si512(carry + i);
+      const __m512i q = _mm512_loadu_si512(pp + i);
+      const __m512i cl = _mm512_loadu_si512(carry + i - off);
+      const __m512i ql = _mm512_loadu_si512(pp + i - off);
+      // vpternlog 0xF8 = c | (q & cl).
+      _mm512_storeu_si512(carry + i, _mm512_ternarylogic_epi64(c, q, cl, 0xF8));
+      _mm512_storeu_si512(pp + i, _mm512_and_si512(q, ql));
+    }
+    while (i > off) {
+      --i;
+      carry[i] |= pp[i] & carry[i - off];
+      pp[i] &= pp[i - off];
+    }
+  }
+}
+
+__attribute__((target("avx512f,avx512bw"))) void ssand_avx512(std::uint64_t* x, int n,
+                                                              int lane_words, int step) {
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
+  const std::size_t off =
+      static_cast<std::size_t>(step) * static_cast<std::size_t>(lane_words);
+  std::size_t i = m;
+  while (i - off >= 8 && i >= 8) {
+    i -= 8;
+    const __m512i hi = _mm512_loadu_si512(x + i);
+    const __m512i lo = _mm512_loadu_si512(x + i - off);
+    _mm512_storeu_si512(x + i, _mm512_and_si512(hi, lo));
+  }
+  while (i > off) {
+    --i;
+    x[i] &= x[i - off];
+  }
+  std::memset(x, 0, off * sizeof(std::uint64_t));
+}
+
+// Same recursive block swap as the scalar transpose; sub-block sizes >= 8
+// handle eight rows per 512-bit op (runs of consecutive k with bit j clear
+// have length j, a multiple of 8 there), size 4 uses one 256-bit op (avx512f
+// implies avx2), sizes 2 and 1 finish scalar.
+__attribute__((target("avx512f,avx512bw"))) void transpose_avx512(std::uint64_t block[64]) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  int j = 32;
+  for (; j >= 8; m ^= m << (j >>= 1)) {
+    const __m512i vm = _mm512_set1_epi64(static_cast<long long>(m));
+    for (int base = 0; base < 64; base += 2 * j) {
+      for (int k = base; k < base + j; k += 8) {
+        const __m512i lo = _mm512_loadu_si512(block + k);
+        const __m512i hi = _mm512_loadu_si512(block + k + j);
+        const __m512i t = _mm512_and_si512(
+            _mm512_xor_si512(_mm512_srli_epi64(lo, static_cast<unsigned>(j)), hi), vm);
+        _mm512_storeu_si512(block + k,
+                            _mm512_xor_si512(lo, _mm512_slli_epi64(t, static_cast<unsigned>(j))));
+        _mm512_storeu_si512(block + k + j, _mm512_xor_si512(hi, t));
+      }
+    }
+  }
+  {
+    const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(m));
+    for (int k = 0; k < 64; k += 8) {
+      const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + k));
+      const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block + k + 4));
+      const __m256i t = _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(lo, 4), hi), vm);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + k),
+                          _mm256_xor_si256(lo, _mm256_slli_epi64(t, 4)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + k + 4),
+                          _mm256_xor_si256(hi, t));
+    }
+    m ^= m << 2;
+    j = 2;
+  }
+  for (; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((block[k] >> j) ^ block[k | j]) & m;
+      block[k] ^= t << j;
+      block[k | j] ^= t;
+    }
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // VLCSA_HAVE_AVX512_BACKEND
+
 // ---- NEON backend ----------------------------------------------------------
 //
 // aarch64 only (NEON is baseline there, so no runtime CPU check is needed).
@@ -412,6 +638,21 @@ constexpr Kernels kAvx2Kernels = {
 };
 #endif
 
+#if VLCSA_HAVE_AVX512_BACKEND
+constexpr Kernels kAvx512Kernels = {
+    Backend::kAvx512, and_avx512,    or_avx512,  xor_avx512, andnot_avx512,
+    select_avx512,    gp_avx512,     popcount_avx512,
+    kogge_avx512,     ssand_avx512,  transpose_avx512,
+};
+// Skylake-class row: avx512f+avx512bw without avx512vpopcntdq keeps the
+// 512-bit kernels but reduces with the hardware-popcnt loop.
+constexpr Kernels kAvx512KernelsNoVpopcnt = {
+    Backend::kAvx512, and_avx512,    or_avx512,  xor_avx512, andnot_avx512,
+    select_avx512,    gp_avx512,     popcount_avx2,
+    kogge_avx512,     ssand_avx512,  transpose_avx512,
+};
+#endif
+
 #if VLCSA_HAVE_NEON_BACKEND
 constexpr Kernels kNeonKernels = {
     Backend::kNeon, and_neon,      or_neon,  xor_neon, andnot_neon,
@@ -429,6 +670,14 @@ const Kernels* kernels_for(Backend backend) {
       if (__builtin_cpu_supports("avx2")) return &kAvx2Kernels;
 #endif
       return nullptr;
+    case Backend::kAvx512:
+#if VLCSA_HAVE_AVX512_BACKEND
+      if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw")) {
+        return __builtin_cpu_supports("avx512vpopcntdq") ? &kAvx512Kernels
+                                                         : &kAvx512KernelsNoVpopcnt;
+      }
+#endif
+      return nullptr;
     case Backend::kNeon:
 #if VLCSA_HAVE_NEON_BACKEND
       return &kNeonKernels;
@@ -440,6 +689,7 @@ const Kernels* kernels_for(Backend backend) {
 }
 
 const Kernels* best_kernels() {
+  if (const Kernels* k = kernels_for(Backend::kAvx512)) return k;
   if (const Kernels* k = kernels_for(Backend::kAvx2)) return k;
   if (const Kernels* k = kernels_for(Backend::kNeon)) return k;
   return &kScalarKernels;
@@ -454,11 +704,13 @@ const Kernels* resolve_initial() {
     backend = Backend::kScalar;
   } else if (name == "avx2") {
     backend = Backend::kAvx2;
+  } else if (name == "avx512") {
+    backend = Backend::kAvx512;
   } else if (name == "neon") {
     backend = Backend::kNeon;
   } else {
     std::fprintf(stderr,
-                 "vlcsa: VLCSA_FORCE_BACKEND=%s is not scalar/avx2/neon/auto; "
+                 "vlcsa: VLCSA_FORCE_BACKEND=%s is not scalar/avx2/avx512/neon/auto; "
                  "using auto dispatch\n",
                  forced);
     return best_kernels();
@@ -488,6 +740,7 @@ const char* to_string(Backend backend) {
   switch (backend) {
     case Backend::kScalar: return "scalar";
     case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
     case Backend::kNeon: return "neon";
   }
   return "?";
@@ -511,6 +764,7 @@ bool set_backend(std::string_view name) {
   }
   if (name == "scalar") return set_backend(Backend::kScalar);
   if (name == "avx2") return set_backend(Backend::kAvx2);
+  if (name == "avx512") return set_backend(Backend::kAvx512);
   if (name == "neon") return set_backend(Backend::kNeon);
   return false;
 }

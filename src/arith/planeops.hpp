@@ -1,8 +1,8 @@
 #pragma once
 // Plane-kernel layer: the bulk word-parallel primitives every bit-sliced
 // evaluation path is built from, each with a scalar backend and (on x86-64)
-// an AVX2 backend — plus NEON where the translation is trivial — selected
-// once at startup by runtime CPU dispatch.
+// AVX2 and AVX-512 backends — plus NEON where the translation is trivial —
+// selected once at startup by runtime CPU dispatch.
 //
 // A "plane array" is a flat sequence of 64-bit words; callers lay their
 // planes out bit-major with `lane_words` words per bit (bitslice.hpp), but
@@ -13,7 +13,7 @@
 // Contracts:
 //  * Every backend computes bit-identical results — the scalar backend is
 //    the oracle and tests/arith/planeops_test.cpp pins the others to it.
-//  * Backend selection: VLCSA_FORCE_BACKEND=scalar|avx2|neon|auto in the
+//  * Backend selection: VLCSA_FORCE_BACKEND=scalar|avx2|avx512|neon|auto in the
 //    environment wins (unsupported forced backends fall back to scalar with
 //    a one-time stderr note); otherwise the best supported backend is used.
 //    set_backend() switches at runtime for tests/benches; it must not race
@@ -66,6 +66,7 @@ using PlaneVec = std::vector<std::uint64_t, AlignedAllocator<std::uint64_t>>;
 enum class Backend {
   kScalar,
   kAvx2,
+  kAvx512,  // needs avx512f+avx512bw; vpopcntdq picked up separately when present
   kNeon,
 };
 
@@ -82,8 +83,10 @@ enum class Backend {
 /// kernels are executing on other threads.
 bool set_backend(Backend backend);
 
-/// Parses "scalar" / "avx2" / "neon" / "auto" ("auto" = best available) and
-/// switches; returns false on unknown names and unavailable backends.
+/// Parses "scalar" / "avx2" / "avx512" / "neon" / "auto" ("auto" = best
+/// available) and switches; returns false on unknown names and unavailable
+/// backends (an avx512 request on a CPU without the ISA fails, it does not
+/// degrade to auto).
 bool set_backend(std::string_view name);
 
 // --- Bulk boolean kernels over m words (dst may alias x and/or y; all

@@ -1,6 +1,7 @@
 #include "arith/rng.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "arith/planeops.hpp"
 
@@ -124,6 +125,85 @@ __attribute__((target("avx2"))) void temper_avx2(const std::uint64_t* mt,
 
 #endif  // VLCSA_HAVE_AVX2_RNG
 
+// ---- AVX-512 backend -------------------------------------------------------
+//
+// The 8-wide analogue of the AVX2 twist/temper.  The same pre-round-read
+// argument holds — a chunk loads mt[i..i+8] (and the feed vector) before it
+// stores mt[i..i+7] — but the chunk counts change: the first stretch spans
+// 156 words (19 chunks of 8 + 4 tail) and the second spans 155.
+
+#if VLCSA_HAVE_AVX2_RNG
+#define VLCSA_HAVE_AVX512_RNG 1
+
+// Same GCC avx512fintrin.h -Wmaybe-uninitialized false positive as
+// planeops.cpp (GCC bug 105593); silenced for this section only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+__attribute__((target("avx512f,avx512bw"))) inline __m512i twist_vec512(__m512i hi,
+                                                                        __m512i lo,
+                                                                        __m512i feed) {
+  const __m512i upper = _mm512_set1_epi64(static_cast<long long>(kUpperMask));
+  const __m512i lower = _mm512_set1_epi64(static_cast<long long>(kLowerMask));
+  const __m512i a = _mm512_set1_epi64(static_cast<long long>(kMatrixA));
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i y =
+      _mm512_or_si512(_mm512_and_si512(hi, upper), _mm512_and_si512(lo, lower));
+  // (y & 1) ? A : 0 without a compare: 0 - (y & 1) is all-ones or zero.
+  const __m512i odd_mask =
+      _mm512_sub_epi64(_mm512_setzero_si512(), _mm512_and_si512(y, one));
+  return _mm512_xor_si512(
+      feed, _mm512_xor_si512(_mm512_srli_epi64(y, 1), _mm512_and_si512(odd_mask, a)));
+}
+
+__attribute__((target("avx512f,avx512bw"))) void twist_avx512(std::uint64_t* mt) {
+  // First stretch: i in [0, n-m) reads old mt[i..i+1] and old mt[i+m].
+  // 156 = 19*8 + 4, so a 4-word scalar tail remains.
+  std::size_t i = 0;
+  for (; i + 8 <= kN - kM; i += 8) {
+    const __m512i hi = _mm512_loadu_si512(mt + i);
+    const __m512i lo = _mm512_loadu_si512(mt + i + 1);
+    const __m512i feed = _mm512_loadu_si512(mt + i + kM);
+    _mm512_storeu_si512(mt + i, twist_vec512(hi, lo, feed));
+  }
+  for (; i < kN - kM; ++i) mt[i] = mt[i + kM] ^ twist_word(mt[i], mt[i + 1]);
+  // Second stretch: i in [n-m, n-1) feeds back the *new* mt[i+m-n] (written
+  // 156 slots earlier) while still reading old mt[i..i+1]; an 8-chunk writes
+  // mt[i..i+7] only after loading mt[i..i+8].  155 iterations -> 3 tail.
+  for (; i + 8 <= kN - 1; i += 8) {
+    const __m512i hi = _mm512_loadu_si512(mt + i);
+    const __m512i lo = _mm512_loadu_si512(mt + i + 1);
+    const __m512i feed = _mm512_loadu_si512(mt + i + kM - kN);
+    _mm512_storeu_si512(mt + i, twist_vec512(hi, lo, feed));
+  }
+  for (; i < kN - 1; ++i) mt[i] = mt[i + kM - kN] ^ twist_word(mt[i], mt[i + 1]);
+  mt[kN - 1] = mt[kM - 1] ^ twist_word(mt[kN - 1], mt[0]);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void temper_avx512(const std::uint64_t* mt,
+                                                               std::uint64_t* dst) {
+  const __m512i d = _mm512_set1_epi64(static_cast<long long>(kTemperD));
+  const __m512i b = _mm512_set1_epi64(static_cast<long long>(kTemperB));
+  const __m512i c = _mm512_set1_epi64(static_cast<long long>(kTemperC));
+  for (std::size_t i = 0; i < kN; i += 8) {  // 312 is a multiple of 8
+    __m512i z = _mm512_loadu_si512(mt + i);
+    z = _mm512_xor_si512(z, _mm512_and_si512(_mm512_srli_epi64(z, 29), d));
+    z = _mm512_xor_si512(z, _mm512_and_si512(_mm512_slli_epi64(z, 17), b));
+    z = _mm512_xor_si512(z, _mm512_and_si512(_mm512_slli_epi64(z, 37), c));
+    z = _mm512_xor_si512(z, _mm512_srli_epi64(z, 43));
+    _mm512_storeu_si512(dst + i, z);
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // VLCSA_HAVE_AVX512_RNG
+
 // ---- dispatch --------------------------------------------------------------
 //
 // The RNG rides the planeops dispatch state rather than keeping its own:
@@ -138,6 +218,11 @@ struct RngKernels {
 };
 
 RngKernels active_kernels() {
+#if VLCSA_HAVE_AVX512_RNG
+  if (planeops::active_backend() == planeops::Backend::kAvx512) {
+    return {twist_avx512, temper_avx512};
+  }
+#endif
 #if VLCSA_HAVE_AVX2_RNG
   if (planeops::active_backend() == planeops::Backend::kAvx2) {
     return {twist_avx2, temper_avx2};
@@ -209,6 +294,90 @@ void BlockRng::discard(unsigned long long z) {
   k.twist(state_);
   k.temper(state_, out_);
   index_ = static_cast<std::size_t>(z);
+}
+
+// ---- GaussianBlockSampler ---------------------------------------------------
+//
+// 256-layer ziggurat for the standard normal (Marsaglia & Tsang 2000,
+// widened from the classic 32-bit draw to one 64-bit word per attempt):
+// the low 8 bits pick the layer, the top 55 bits form a signed mantissa hz
+// with |hz| < 2^54, and the fast path accepts when |hz| < kn[iz], returning
+// x = hz * wn[iz].  Layer boundaries x_i solve the standard recurrence with
+// strip area V and base boundary R; kn/wn are pre-scaled by m = 2^54 so the
+// fast path is one integer compare and one multiply.
+
+namespace {
+
+constexpr double kZigR = 3.6541528853610088;   // base strip boundary
+constexpr double kZigV = 4.92867323399e-3;     // per-strip area
+constexpr double kZigM = 18014398509481984.0;  // 2^54, the |hz| scale
+
+struct ZigguratTables {
+  std::uint64_t kn[256];  // acceptance thresholds, in hz units
+  double wn[256];         // hz -> x scale per layer
+  double fn[256];         // exp(-x_i^2 / 2) at the layer boundaries
+};
+
+const ZigguratTables& ziggurat_tables() {
+  static const ZigguratTables tables = [] {
+    ZigguratTables t{};
+    double dn = kZigR;
+    double tn = kZigR;
+    const double q = kZigV / std::exp(-0.5 * dn * dn);
+    t.kn[0] = static_cast<std::uint64_t>((dn / q) * kZigM);
+    t.kn[1] = 0;
+    t.wn[0] = q / kZigM;
+    t.wn[255] = dn / kZigM;
+    t.fn[0] = 1.0;
+    t.fn[255] = std::exp(-0.5 * dn * dn);
+    for (int i = 254; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(kZigV / dn + std::exp(-0.5 * dn * dn)));
+      t.kn[i + 1] = static_cast<std::uint64_t>((dn / tn) * kZigM);
+      tn = dn;
+      t.fn[i] = std::exp(-0.5 * dn * dn);
+      t.wn[i] = dn / kZigM;
+    }
+    return t;
+  }();
+  return tables;
+}
+
+// (0, 1] uniform from a raw word: 53 high bits, offset so log() never sees 0.
+inline double u01_from_word(std::uint64_t w) {
+  return (static_cast<double>(w >> 11) + 1.0) * 0x1p-53;
+}
+
+}  // namespace
+
+double GaussianBlockSampler::operator()(BlockRng& rng) {
+  const ZigguratTables& t = ziggurat_tables();
+  for (;;) {
+    const std::uint64_t w = next_word(rng);
+    const std::size_t iz = w & 0xFF;
+    const std::int64_t hz = static_cast<std::int64_t>(w) >> 9;
+    const std::uint64_t mag = static_cast<std::uint64_t>(hz < 0 ? -hz : hz);
+    if (mag < t.kn[iz]) return static_cast<double>(hz) * t.wn[iz];
+    if (iz == 0) {
+      // Tail beyond R, Marsaglia's exponential-majorant rejection.
+      double x;
+      double y;
+      do {
+        x = -std::log(u01_from_word(next_word(rng))) * (1.0 / kZigR);
+        y = -std::log(u01_from_word(next_word(rng)));
+      } while (y + y < x * x);
+      return hz < 0 ? -(kZigR + x) : kZigR + x;
+    }
+    // Wedge between layer iz and iz-1.
+    const double x = static_cast<double>(hz) * t.wn[iz];
+    if (t.fn[iz] + u01_from_word(next_word(rng)) * (t.fn[iz - 1] - t.fn[iz]) <
+        std::exp(-0.5 * x * x)) {
+      return x;
+    }
+  }
+}
+
+void GaussianBlockSampler::fill(BlockRng& rng, double* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = (*this)(rng);
 }
 
 BlockRng make_stream_rng(std::uint64_t seed, std::uint64_t stream) {

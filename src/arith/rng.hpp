@@ -110,6 +110,55 @@ class BlockRng {
   std::size_t index_ = kStateWords;   // next unread slot in out_
 };
 
+/// Block-batched standard-normal sampler: a 256-layer ziggurat whose raw
+/// uniform words come from BlockRng::generate_block in whole-block refills,
+/// replacing the per-call std::normal_distribution draws that dominated the
+/// Gaussian operand paths.  One word usually yields one variate (the classic
+/// ~1.3% of draws fall through to the wedge/tail slow path), and the word
+/// supplies a 55-bit signed mantissa so the variate granularity stays far
+/// below one integer unit even at the paper's sigma = 2^32 — a 32-bit
+/// ziggurat would quantize samples in steps of ~2^8 there and corrupt
+/// low-bit carry statistics.
+///
+/// Contracts:
+///  * operator() and fill() consume the underlying BlockRng from one shared
+///    internal word buffer, so per-variate and bulk consumption interleave
+///    freely and produce the same variate stream — this is what keeps the
+///    scalar and batched Gaussian Monte Carlo paths bit-identical.
+///  * The variate stream is a pure function of the BlockRng stream (and
+///    therefore backend-invariant).  It is NOT the std::normal_distribution
+///    stream: swapping this sampler in was the gauss-rng-v2 golden-counter
+///    migration (see tests/harness/registry_pin_test.cpp and
+///    docs/OPERATIONS.md).
+///  * A default-constructed sampler is pristine (no buffered words); operand
+///    sources clone() with a fresh sampler per shard.
+class GaussianBlockSampler {
+ public:
+  GaussianBlockSampler() = default;
+
+  /// The next standard-normal variate.
+  [[nodiscard]] double operator()(BlockRng& rng);
+
+  /// Writes the next `n` variates — exactly the values (and BlockRng
+  /// consumption) of n operator() calls.
+  void fill(BlockRng& rng, double* dst, std::size_t n);
+
+ private:
+  [[nodiscard]] std::uint64_t next_word(BlockRng& rng) {
+    if (pos_ == kBufferWords) {
+      rng.generate_block(buffer_, kBufferWords);
+      pos_ = 0;
+    }
+    return buffer_[pos_++];
+  }
+
+  /// Raw-draw buffer size: two full BlockRng blocks per refill.
+  static constexpr std::size_t kBufferWords = 2 * BlockRng::kStateWords;
+
+  std::uint64_t buffer_[kBufferWords];
+  std::size_t pos_ = kBufferWords;  // next unread slot; kBufferWords = empty
+};
+
 /// The one shared seeding discipline for standalone (non-sharded) runs:
 /// all 128 bits of (seed, stream) through std::seed_seq — the same
 /// construction as the engine's per-shard streams, so ad-hoc `rng(seed)`

@@ -45,7 +45,7 @@ struct RunCancelled : std::runtime_error {
 };
 
 /// Controls one sharded run.  `threads == 0` means "all hardware threads".
-/// `lane_words == 0` means "the default batch width" (arith::kDefaultLaneWords);
+/// `lane_words == 0` means "the default batch width" (arith::default_lane_words());
 /// like `threads`, it is purely a throughput knob — merged counters are
 /// bit-identical at any lane width (scalar tails keep the RNG stream equal
 /// to per-sample draws).

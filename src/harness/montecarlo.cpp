@@ -108,7 +108,7 @@ ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source
       };
     });
   }
-  const int lane_words = options.lane_words > 0 ? options.lane_words : arith::kDefaultLaneWords;
+  const int lane_words = options.lane_words > 0 ? options.lane_words : arith::default_lane_words();
   return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, variant = config.variant, shard_source = source.clone(),
             batch = arith::BitSlicedBatch(config.width, lane_words),
@@ -151,7 +151,7 @@ ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
       };
     });
   }
-  const int lane_words = options.lane_words > 0 ? options.lane_words : arith::kDefaultLaneWords;
+  const int lane_words = options.lane_words > 0 ? options.lane_words : arith::default_lane_words();
   return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, shard_source = source.clone(),
             batch = arith::BitSlicedBatch(config.width, lane_words),

@@ -116,6 +116,21 @@ const char* tier_name(ResultCache::Tier tier) {
   return "?";
 }
 
+/// Stream version of the Gaussian operand streams.  Bumped whenever the
+/// Gaussian variate stream changes incompatibly — v2 is the move of
+/// GaussianUnsignedSource/GaussianTwosSource from per-sample
+/// std::normal_distribution onto the block ziggurat
+/// (arith::GaussianBlockSampler), which redefines every Gaussian-input
+/// counter.  Applies to error-rate experiments AND distribution chain
+/// profiles with a Gaussian dist; uniform streams were untouched by that
+/// swap and stay unversioned (keys unchanged).
+constexpr const char* kGaussStreamVersion = "gauss-rng-v2";
+
+bool gaussian_dist(arith::InputDistribution dist) {
+  return dist == arith::InputDistribution::kGaussianUnsigned ||
+         dist == arith::InputDistribution::kGaussianTwos;
+}
+
 // The cached result record: a pure function of (experiment, samples, seed,
 // eval path) — no wall time, no thread count — so a fresh recomputation at
 // any --threads setting reproduces it byte-for-byte.  The embedded
@@ -134,6 +149,9 @@ std::string error_rate_record(const harness::ErrorRateExperiment& experiment,
   record.add("samples", result.samples);
   record.add("seed", seed);
   record.add("eval_path", to_string(path));
+  // Gaussian experiments are stream-versioned (see kGaussStreamVersion):
+  // records from an incompatible sampler era must miss, not hit stale.
+  if (gaussian_dist(experiment.dist)) record.add("stream_version", kGaussStreamVersion);
   record.add("actual_errors", result.actual_errors);
   record.add("nominal_errors", result.nominal_errors);
   record.add("false_negatives", result.false_negatives);
@@ -172,9 +190,14 @@ std::string chain_profile_record(const harness::ChainProfileExperiment& experime
   // Chain profiling has no batched pipeline; key the scalar path so the
   // cache key shape is uniform across both families.
   record.add("eval_path", to_string(harness::EvalPath::kScalar));
-  // Crypto workloads are stream-versioned (see kCryptoStreamVersion):
-  // records from an incompatible seeding era must miss, not hit stale.
-  if (crypto) record.add("stream_version", kCryptoStreamVersion);
+  // Crypto workloads are stream-versioned (see kCryptoStreamVersion), and so
+  // are Gaussian distribution profiles (see kGaussStreamVersion): records
+  // from an incompatible seeding/sampler era must miss, not hit stale.
+  if (crypto) {
+    record.add("stream_version", kCryptoStreamVersion);
+  } else if (gaussian_dist(experiment.dist)) {
+    record.add("stream_version", kGaussStreamVersion);
+  }
   record.add("additions", profiler.additions());
   record.add("chains", profiler.total());
   record.add("mean_chain_length", profiler.mean_length());
@@ -390,6 +413,10 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
   if (chain_profile != nullptr &&
       chain_profile->workload == harness::ChainProfileExperiment::Workload::kCrypto) {
     key.stream_version = kCryptoStreamVersion;
+  } else if (chain_profile != nullptr && gaussian_dist(chain_profile->dist)) {
+    key.stream_version = kGaussStreamVersion;
+  } else if (error_rate != nullptr && gaussian_dist(error_rate->dist)) {
+    key.stream_version = kGaussStreamVersion;
   }
 
   // A deadline that already fired answers without touching the cache, so a

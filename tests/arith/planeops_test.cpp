@@ -28,9 +28,15 @@ class BackendGuard {
   Backend prev_;
 };
 
+/// Every Backend enum value — keep in sync with planeops.hpp (the exhaustive
+/// round-trip test below fails to compile a new value into coverage, but a
+/// value missing from this list would silently skip it).
+const Backend kAllBackends[] = {Backend::kScalar, Backend::kAvx2, Backend::kAvx512,
+                                Backend::kNeon};
+
 std::vector<Backend> available_backends() {
   std::vector<Backend> out;
-  for (const Backend b : {Backend::kScalar, Backend::kAvx2, Backend::kNeon}) {
+  for (const Backend b : kAllBackends) {
     if (backend_available(b)) out.push_back(b);
   }
   return out;
@@ -48,7 +54,33 @@ TEST(PlaneOpsDispatchTest, ScalarAlwaysAvailableAndNamed) {
   EXPECT_TRUE(backend_available(Backend::kScalar));
   EXPECT_STREQ(to_string(Backend::kScalar), "scalar");
   EXPECT_STREQ(to_string(Backend::kAvx2), "avx2");
+  EXPECT_STREQ(to_string(Backend::kAvx512), "avx512");
   EXPECT_STREQ(to_string(Backend::kNeon), "neon");
+}
+
+// Exhaustive enum <-> name round trip: every Backend value must parse back
+// from its to_string name.  On hosts without the ISA the named switch must be
+// *rejected cleanly* — returning false with dispatch untouched — never
+// silently mapped to auto/scalar (the env-var path's fallback is a separate,
+// deliberately loud behavior).
+TEST(PlaneOpsDispatchTest, EveryBackendNameRoundTripsOrIsRejectedCleanly) {
+  BackendGuard guard;
+  for (const Backend b : kAllBackends) {
+    const std::string_view name = to_string(b);
+    EXPECT_NE(name, "?") << static_cast<int>(b);
+    if (backend_available(b)) {
+      ASSERT_TRUE(set_backend(name)) << name;
+      EXPECT_EQ(active_backend(), b) << name;
+      ASSERT_TRUE(set_backend(b)) << name;
+      EXPECT_EQ(active_backend(), b) << name;
+    } else {
+      ASSERT_TRUE(set_backend(Backend::kScalar));
+      EXPECT_FALSE(set_backend(name)) << name << " must be rejected, not mapped to auto";
+      EXPECT_EQ(active_backend(), Backend::kScalar) << name;
+      EXPECT_FALSE(set_backend(b)) << name;
+      EXPECT_EQ(active_backend(), Backend::kScalar) << name;
+    }
+  }
 }
 
 TEST(PlaneOpsDispatchTest, SetBackendRoundTripsAndRejectsUnknown) {
@@ -67,7 +99,7 @@ TEST(PlaneOpsDispatchTest, SetBackendRoundTripsAndRejectsUnknown) {
 
 TEST(PlaneOpsDispatchTest, UnavailableBackendIsRejected) {
   BackendGuard guard;
-  for (const Backend b : {Backend::kAvx2, Backend::kNeon}) {
+  for (const Backend b : {Backend::kAvx2, Backend::kAvx512, Backend::kNeon}) {
     if (!backend_available(b)) {
       const Backend before = active_backend();
       EXPECT_FALSE(set_backend(b)) << to_string(b);
@@ -79,7 +111,9 @@ TEST(PlaneOpsDispatchTest, UnavailableBackendIsRejected) {
 class PlaneOpsBackendTest : public ::testing::TestWithParam<Backend> {
  protected:
   void SetUp() override {
-    if (!backend_available(GetParam())) GTEST_SKIP() << "backend not on this host";
+    if (!backend_available(GetParam())) {
+      GTEST_SKIP() << to_string(GetParam()) << " backend not supported on this host";
+    }
     ASSERT_TRUE(set_backend(GetParam()));
   }
   void TearDown() override { set_backend(prev_); }
@@ -137,7 +171,7 @@ TEST_P(PlaneOpsBackendTest, PopcountSumMatchesPerWordPopcount) {
 TEST_P(PlaneOpsBackendTest, KoggeStoneMatchesSequentialCarryChain) {
   std::mt19937_64 rng(3);
   for (const int n : {1, 2, 3, 5, 8, 17, 64, 130}) {
-    for (const int lane_words : {1, 2, 3, 4}) {
+    for (const int lane_words : {1, 2, 3, 4, 8, 16}) {
       const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(lane_words);
       const PlaneVec a = random_words(rng, m);
       const PlaneVec b = random_words(rng, m);
@@ -166,7 +200,7 @@ TEST_P(PlaneOpsBackendTest, KoggeStoneMatchesSequentialCarryChain) {
 TEST_P(PlaneOpsBackendTest, ShiftedSelfAndMatchesScalarSweep) {
   std::mt19937_64 rng(4);
   for (const int n : {1, 2, 5, 16, 64, 130}) {
-    for (const int lane_words : {1, 2, 4}) {
+    for (const int lane_words : {1, 2, 4, 8, 16}) {
       for (const int step : {1, 2, 3, n}) {
         if (step > n) continue;
         const std::size_t m =
@@ -206,7 +240,8 @@ TEST_P(PlaneOpsBackendTest, TransposeMatchesNaiveBitGather) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, PlaneOpsBackendTest,
-                         ::testing::Values(Backend::kScalar, Backend::kAvx2, Backend::kNeon),
+                         ::testing::Values(Backend::kScalar, Backend::kAvx2,
+                                           Backend::kAvx512, Backend::kNeon),
                          [](const ::testing::TestParamInfo<Backend>& info) {
                            return std::string(to_string(info.param));
                          });

@@ -23,7 +23,7 @@ namespace {
 std::vector<planeops::Backend> available_backends() {
   std::vector<planeops::Backend> out;
   for (const auto b : {planeops::Backend::kScalar, planeops::Backend::kAvx2,
-                       planeops::Backend::kNeon}) {
+                       planeops::Backend::kAvx512, planeops::Backend::kNeon}) {
     if (planeops::backend_available(b)) out.push_back(b);
   }
   return out;
@@ -35,7 +35,8 @@ class RngBackendTest : public ::testing::TestWithParam<planeops::Backend> {
  protected:
   void SetUp() override {
     if (!planeops::backend_available(GetParam())) {
-      GTEST_SKIP() << "backend not on this host";
+      GTEST_SKIP() << planeops::to_string(GetParam())
+                   << " backend not supported on this host";
     }
     ASSERT_TRUE(planeops::set_backend(GetParam()));
   }

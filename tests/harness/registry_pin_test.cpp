@@ -1,7 +1,5 @@
 // Registry-wide regression pin: golden ErrorRateResult counters for a sample
-// of registry experiments, recorded from the pre-BlockRng baseline (the
-// std::mt19937_64 era, PR 4 head) at 20000 samples, seed 1.  The block RNG
-// is sequence-identical to the std engine, so every counter must stay
+// of registry experiments at 20000 samples, seed 1.  Counters must stay
 // bit-identical — at every lane width {1, 4} and thread count {1, 4}, on
 // whatever planeops backend dispatch selected.  If one of these values ever
 // moves, the RNG (or the engine's stream discipline) broke its identity
@@ -11,6 +9,19 @@
 // widths 64..256; fig6.2 (crypto workload) is deliberately NOT pinned — its
 // internal seeding moved onto the shared seed_seq helper in the same PR that
 // introduced BlockRng, which changes its stream by design.
+//
+// Golden provenance, by row:
+//  * Uniform rows (table7.4, fig7.1, vlsa): recorded from the pre-BlockRng
+//    baseline (the std::mt19937_64 era, PR 4 head) and never moved since —
+//    the block RNG is sequence-identical to the std engine.
+//  * Gaussian rows (table7.1, table7.2, eq5.2): re-recorded at the
+//    gauss-rng-v2 migration, when GaussianUnsignedSource/GaussianTwosSource
+//    moved from per-sample std::normal_distribution to the block ziggurat
+//    (arith::GaussianBlockSampler).  That swap changes the Gaussian variate
+//    stream by design; the matching service-cache stream_version bump keeps
+//    pre-migration disk records from being served (see docs/OPERATIONS.md).
+//    The uniform rows staying bit-identical across the same PR is the
+//    evidence the migration touched only the Gaussian streams.
 
 #include <gtest/gtest.h>
 
@@ -31,15 +42,15 @@ struct GoldenCounters {
   std::uint64_t total_cycles;
 };
 
-// Recorded with /tmp-style capture at PR 4 head: samples=20000, seed=1;
-// false_negatives and emitted_wrong were 0 everywhere (also asserted below
-// as the model invariants they are).
+// samples=20000, seed=1; false_negatives and emitted_wrong were 0 everywhere
+// (also asserted below as the model invariants they are).  Gaussian rows are
+// gauss-rng-v2 values; uniform rows are PR 4 head values (see header).
 constexpr GoldenCounters kGolden[] = {
-    {"table7.1/n64", 5091, 5091, 0, 25091},
-    {"table7.2/n128", 0, 0, 0, 20000},
+    {"table7.1/n64", 5102, 5102, 1, 25102},
+    {"table7.2/n128", 1, 1, 1, 20001},
     {"table7.4/n256-rate0.01", 4, 5, 0, 20005},
     {"fig7.1/n64-k8", 230, 265, 2, 20265},
-    {"eq5.2/n64-gaussian-2c", 31, 62, 31, 20062},
+    {"eq5.2/n64-gaussian-2c", 27, 61, 27, 20061},
     {"vlsa/n128", 1, 4, 1, 20004},
 };
 

@@ -262,7 +262,8 @@ class BackendLaneWidthTest
  protected:
   void SetUp() override {
     if (!planeops::backend_available(std::get<0>(GetParam()))) {
-      GTEST_SKIP() << "backend not on this host";
+      GTEST_SKIP() << planeops::to_string(std::get<0>(GetParam()))
+                   << " backend not supported on this host";
     }
     ASSERT_TRUE(planeops::set_backend(std::get<0>(GetParam())));
   }
@@ -333,8 +334,9 @@ INSTANTIATE_TEST_SUITE_P(
     BackendByLaneWords, BackendLaneWidthTest,
     ::testing::Combine(::testing::Values(planeops::Backend::kScalar,
                                          planeops::Backend::kAvx2,
+                                         planeops::Backend::kAvx512,
                                          planeops::Backend::kNeon),
-                       ::testing::Values(1, 2, 4)),
+                       ::testing::Values(1, 2, 4, 8, 16)),
     [](const ::testing::TestParamInfo<std::tuple<planeops::Backend, int>>& info) {
       return std::string(planeops::to_string(std::get<0>(info.param))) + "_w" +
              std::to_string(std::get<1>(info.param));
