@@ -10,17 +10,19 @@
 // generation, operand fill before/after the direct-to-plane path), the
 // Gaussian sampling subsystem (block ziggurat vs the per-call
 // std::normal_distribution it replaced, through to the table7.1-style
-// error-rate loop), and the end-to-end batched sampling loop against the
-// PR 2 baseline (single lane word, scalar backend), written as one JSON
-// object (schema vlcsa-perf-4; every record names the planeops backend it
-// was measured on).  CI uploads this as the BENCH_batch.json artifact so
-// the perf trajectory is tracked across PRs.
+// error-rate loop), the end-to-end batched sampling loop against the
+// PR 2 baseline (single lane word, scalar backend), and the service
+// daemon's cached-hit request path (observability off vs trace log on),
+// written as one JSON object (schema vlcsa-perf-5; every record names the
+// planeops backend it was measured on).  CI uploads this as the
+// BENCH_batch.json artifact so the perf trajectory is tracked across PRs.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -39,6 +41,7 @@
 #include "netlist/opt.hpp"
 #include "netlist/simulator.hpp"
 #include "netlist/timing.hpp"
+#include "service/service.hpp"
 #include "speculative/error_model.hpp"
 #include "speculative/scsa.hpp"
 #include "speculative/vlsa.hpp"
@@ -489,6 +492,42 @@ void BM_MonteCarloVlcsaParallel(benchmark::State& state) {
 BENCHMARK(BM_MonteCarloVlcsaParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->MeasureProcessCPUTime()->UseRealTime();
 
+// The service daemon's cached-hit path (parse -> memory-tier hit -> render),
+// the latency every repeated table/figure reproduction sees.  Arg 0 runs with
+// observability off — the shape the determinism/overhead contract pins: a
+// request line without "trace" in it must pay exactly one substring scan and
+// one disabled-branch per stage, nothing else.  Arg 1 runs the same requests
+// with --trace-log enabled (span collection + one JSONL line per request),
+// which prices what an operator buys when they turn tracing on.
+void BM_ServiceCachedHit(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  service::ServiceConfig config;
+  config.threads = 1;
+  std::filesystem::path trace_path;
+  if (traced) {
+    trace_path = std::filesystem::temp_directory_path() / "vlcsa_bench_trace.jsonl";
+    config.trace_log = trace_path.string();
+  }
+  service::ExperimentService service(config);
+  const std::string line =
+      "{\"request\": \"run\", \"experiment\": \"table7.1/n64\", \"samples\": 4096, \"seed\": 3}";
+  if (!service.handle_line(line).ok) {  // warm the memory tier
+    state.SkipWithError("warm-up run failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle_line(line));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(traced ? "traced" : "untraced");
+  if (traced) {
+    std::error_code ec;  // best-effort cleanup
+    std::filesystem::remove(trace_path, ec);
+    std::filesystem::remove(trace_path.string() + ".1", ec);
+  }
+}
+BENCHMARK(BM_ServiceCachedHit)->Arg(0)->Arg(1);
+
 // ---- --json=FILE: the machine-readable perf record --------------------------
 
 /// Wall-clock of `body` amortized over enough repetitions to cross ~60 ms,
@@ -847,8 +886,51 @@ int write_perf_json(const std::string& path) {
     gaussian_section = gaussian.render_line();
   }
 
+  // The service daemon's cached-hit request path with observability off vs
+  // with the trace log enabled.  The untraced row is the overhead gate for
+  // the tracing subsystem: a request that does not mention "trace" must cost
+  // what it did before trace.cpp existed (one substring scan, disabled-branch
+  // stage guards), so `traced_overhead_ratio` near 1.0 for the *untraced*
+  // row's trajectory across PRs is the regression to watch.
+  std::string service_section;
+  double service_hit_ns = 0.0;
+  {
+    const auto cached_hit_ns = [](bool traced) {
+      service::ServiceConfig config;
+      config.threads = 1;
+      std::filesystem::path trace_path;
+      if (traced) {
+        trace_path = std::filesystem::temp_directory_path() / "vlcsa_perf_trace.jsonl";
+        config.trace_log = trace_path.string();
+      }
+      service::ExperimentService service(config);
+      const std::string line =
+          "{\"request\": \"run\", \"experiment\": \"table7.1/n64\", "
+          "\"samples\": 4096, \"seed\": 3}";
+      if (!service.handle_line(line).ok) return 0.0;  // warm the memory tier
+      const double ns = time_ns_per_item(1, [&] {
+        benchmark::DoNotOptimize(service.handle_line(line));
+      });
+      if (traced) {
+        std::error_code ec;
+        std::filesystem::remove(trace_path, ec);
+        std::filesystem::remove(trace_path.string() + ".1", ec);
+      }
+      return ns;
+    };
+    const double off_ns = cached_hit_ns(false);
+    const double on_ns = cached_hit_ns(true);
+    service_hit_ns = off_ns;
+    harness::JsonObject record;
+    record.add("workload", "service-cached-hit");
+    record.add("ns_per_request", off_ns);
+    record.add("traced_ns_per_request", on_ns);
+    record.add("traced_overhead_ratio", off_ns > 0 ? on_ns / off_ns : 0.0);
+    service_section = record.render_line();
+  }
+
   harness::JsonObject root;
-  root.add("schema", "vlcsa-perf-4");
+  root.add("schema", "vlcsa-perf-5");
   root.add("backend_best", best);
   root.add("lane_words_default", now_w);
   root.add_json("kernels", "[" + kernels + "]");
@@ -856,6 +938,7 @@ int write_perf_json(const std::string& path) {
   root.add_json("gaussian", gaussian_section);
   root.add_json("model_eval", "[" + model_eval + "]");
   root.add_json("end_to_end", "[" + end_to_end + "]");
+  root.add_json("service", service_section);
 
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -866,7 +949,7 @@ int write_perf_json(const std::string& path) {
   std::cout << "wrote " << path << " (backend " << best << "; n512 model-eval speedup "
             << model_speedup_n512 << "x, end-to-end " << end_to_end_speedup_n512
             << "x; gaussian table7.1 n64 vs PR 6 " << gauss_end_to_end_speedup_n64
-            << "x)\n";
+            << "x; service cached hit " << service_hit_ns << " ns)\n";
   return 0;
 }
 

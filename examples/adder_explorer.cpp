@@ -45,7 +45,7 @@ void print_usage() {
                "                      [--chain=L] [--verilog=FILE] [--list]\n"
                "                      [--experiment=NAME] [--samples=N] [--seed=S]\n"
                "                      [--threads=T] [--batch=on|off] [--json=FILE]\n"
-               "                      [--list-experiments]\n"
+               "                      [--profile] [--list-experiments]\n"
                "  --design      one of the generators (default kogge-stone)\n"
                "  --width       adder width in bits (default 64)\n"
                "  --window      SCSA/VLCSA window size (default: sized for 0.01%)\n"
@@ -59,6 +59,9 @@ void print_usage() {
                "  --batch       bit-sliced 64-samples-per-word pipeline (default on;\n"
                "                off = scalar oracle, byte-identical counters)\n"
                "  --json        also write a machine-readable result record to FILE\n"
+               "  --profile     print the engine run profile (shards, RNG words drawn,\n"
+               "                fill/eval/merge time split, backend) to stderr as one\n"
+               "                JSON line\n"
                "  --list-experiments  list registry experiment names\n";
 }
 
@@ -108,10 +111,19 @@ int run_experiment_by_name(const harness::ExplorerOptions& opt) {
     std::cout << e->name << ": " << e->description << "\n"
               << n << " samples, seed " << opt.seed << ", " << to_string(opt.path)
               << " evaluation\n\n";
+    harness::RunOptions options;
+    options.samples = n;
+    options.seed = opt.seed;
+    options.threads = opt.threads;
+    harness::RunProfileCollector collector;
+    if (opt.profile) options.profile = &collector;
     const auto start = Clock::now();
-    const auto result = harness::run_experiment(*e, n, opt.seed, opt.threads, opt.path);
+    const auto result = harness::run_experiment(*e, options, opt.path);
     const double wall = std::chrono::duration<double>(Clock::now() - start).count();
     const double rate = wall > 0.0 ? static_cast<double>(result.samples) / wall : 0.0;
+    if (opt.profile) {
+      std::cerr << harness::render_run_profile(collector.snapshot()) << "\n";
+    }
 
     harness::Table table({"metric", "value"});
     table.add_row({"samples", std::to_string(result.samples)});
@@ -161,10 +173,19 @@ int run_experiment_by_name(const harness::ExplorerOptions& opt) {
     const std::uint64_t n = opt.samples == 0 ? e->default_samples : opt.samples;
     std::cout << e->name << ": " << e->description << "\n"
               << n << " samples, seed " << opt.seed << "\n\n";
+    harness::RunOptions options;
+    options.samples = n;
+    options.seed = opt.seed;
+    options.threads = opt.threads;
+    harness::RunProfileCollector collector;
+    if (opt.profile) options.profile = &collector;
     const auto start = Clock::now();
-    const auto profiler = harness::run_experiment(*e, n, opt.seed, opt.threads);
+    const auto profiler = harness::run_experiment(*e, options);
     const double wall = std::chrono::duration<double>(Clock::now() - start).count();
     const double rate = wall > 0.0 ? static_cast<double>(n) / wall : 0.0;
+    if (opt.profile) {
+      std::cerr << harness::render_run_profile(collector.snapshot()) << "\n";
+    }
 
     harness::Table table({"metric", "value"});
     table.add_row({"additions", std::to_string(profiler.additions())});

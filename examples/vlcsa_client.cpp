@@ -30,18 +30,23 @@ void print_usage() {
   std::cout
       << "usage: vlcsa_client (--socket=PATH | --tcp=HOST:PORT)\n"
          "                    (--request=run|run-batch|list|describe|cache-stats\n"
-         "                               |metrics|shutdown\n"
+         "                               |metrics|metrics-prom|shutdown\n"
          "                     [--experiment=NAME] [--samples=N] [--seed=S]\n"
          "                     [--eval-path=batched|scalar] [--prefix=P]\n"
-         "                     [--run-timeout-ms=T]\n"
+         "                     [--run-timeout-ms=T] [--trace] [--trace-id=ID]\n"
          "                     | --send=JSONLINE)\n"
          "                    [--connect-timeout-ms=N] [--timeout-ms=N]\n"
          "  --socket    Unix domain socket vlcsa_serve listens on\n"
          "  --tcp       TCP endpoint vlcsa_serve listens on\n"
          "  --request   protocol request to build from the flags below\n"
+         "              (metrics-prom prints the Prometheus text exposition\n"
+         "              unwrapped from its JSON envelope)\n"
          "  --experiment, --samples, --seed, --eval-path   run/describe fields\n"
          "  --prefix    list filter (experiment-name prefix)\n"
          "  --run-timeout-ms   server-side run deadline (\"timeout_ms\" field)\n"
+         "  --trace     ask the server to echo the request's span tree\n"
+         "              (\"trace\": true) in the response envelope\n"
+         "  --trace-id  correlation id to stamp on the request (\"trace_id\")\n"
          "  --send      send this raw request line instead of building one\n"
          "  --connect-timeout-ms   keep retrying the connect this long\n"
          "                         (default 0 = single attempt)\n"
@@ -77,6 +82,8 @@ int main(int argc, char** argv) {
   bool run_timeout_given = false;
   int connect_timeout_ms = 0;
   int io_timeout_ms = 0;
+  bool trace = false;
+  std::string trace_id;
 
   const auto store_string = [](std::string& field) {
     return [&field](const std::string& value) {
@@ -123,17 +130,25 @@ int main(int argc, char** argv) {
        [&](const std::string& value) {
          return harness::parse_nonnegative_int(value, io_timeout_ms);
        }},
+      {"--trace-id", store_string(trace_id)},
   };
 
+  // --trace and --help take no value, so they sit outside the ValueFlag set.
+  std::vector<const char*> value_args;
+  value_args.push_back(argc > 0 ? argv[0] : "vlcsa_client");
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
+    if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
+    } else {
+      value_args.push_back(argv[i]);
     }
   }
   if (const std::string error = harness::parse_value_flags(
-          argc, const_cast<const char* const*>(argv), flags);
+          static_cast<int>(value_args.size()), value_args.data(), flags);
       !error.empty()) {
     std::cerr << "error: " << error << "\n";
     print_usage();
@@ -161,6 +176,8 @@ int main(int argc, char** argv) {
     if (!eval_path.empty()) object.add("eval_path", eval_path);
     if (!prefix.empty()) object.add("prefix", prefix);
     if (run_timeout_given) object.add("timeout_ms", run_timeout_ms);
+    if (trace) object.add("trace", true);
+    if (!trace_id.empty()) object.add("trace_id", trace_id);
     line = object.render_line();
   }
 
@@ -183,16 +200,24 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
-  std::cout << response << "\n";
-
   const harness::JsonParse parsed = harness::parse_json(response);
   if (!parsed.ok()) {
+    std::cout << response << "\n";
     std::cerr << "error: malformed response: " << parsed.error << "\n";
     return 1;
   }
   const harness::JsonValue* status = parsed.value.find("status");
-  return status != nullptr && status->kind() == harness::JsonValue::Kind::kString &&
-                 status->as_string() == "ok"
-             ? 0
-             : 1;
+  const bool ok = status != nullptr && status->kind() == harness::JsonValue::Kind::kString &&
+                  status->as_string() == "ok";
+
+  // A body-carrying ok response (metrics-prom) prints its payload unwrapped:
+  // the exposition text as a scraper would see it, not the JSON envelope.
+  const harness::JsonValue* body = parsed.value.find("body");
+  if (ok && body != nullptr && body->kind() == harness::JsonValue::Kind::kString &&
+      parsed.value.find("content_type") != nullptr) {
+    std::cout << body->as_string();
+  } else {
+    std::cout << response << "\n";
+  }
+  return ok ? 0 : 1;
 }

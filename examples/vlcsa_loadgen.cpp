@@ -18,11 +18,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "harness/cli.hpp"
@@ -39,7 +42,7 @@ void print_usage() {
       << "usage: vlcsa_loadgen (--socket=PATH | --tcp=HOST:PORT) --trace=FILE\n"
          "                     [--repeat=N] [--concurrency=N] [--json=FILE]\n"
          "                     [--timeout-ms=N] [--connect-timeout-ms=N]\n"
-         "                     [--slo-p99-ms=MS]\n"
+         "                     [--slo-p99-ms=MS] [--trace-log=FILE]\n"
          "  --socket      Unix domain socket vlcsa_serve listens on\n"
          "  --tcp         TCP endpoint vlcsa_serve listens on\n"
          "  --trace       request trace: one protocol request line per line\n"
@@ -53,7 +56,12 @@ void print_usage() {
          "                        (default 2000)\n"
          "  --slo-p99-ms  fail (exit 1) when client-observed p99 exceeds this\n"
          "                (default 0 = no SLO check)\n"
-         "exit status: 0 clean replay, 1 errors/SLO miss, 2 usage error\n";
+         "  --trace-log   the daemon's --trace-log file: stamp every replayed\n"
+         "                request with a unique trace_id, then check each one\n"
+         "                resolved to a complete span tree in that log and\n"
+         "                report the per-stage time breakdown (stage_totals_ms)\n"
+         "exit status: 0 clean replay, 1 errors/SLO miss/trace-log validation\n"
+         "             failure, 2 usage error\n";
 }
 
 bool parse_host_port(const std::string& value, std::string& host, int& port) {
@@ -81,6 +89,80 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[std::min(index, sorted.size()) - 1];
 }
 
+/// One span as read back from a daemon trace-log line.
+struct LoggedSpan {
+  std::string name;
+  std::uint64_t depth = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
+
+/// Checks one trace-log line's span array for well-formedness: exactly one
+/// depth-0 root named "request" (first in the array), depths that follow the
+/// open order (a span's depth equals its parents on the stack), and every
+/// child interval contained in its parent's.  Returns "" or what is wrong,
+/// and accumulates per-stage microseconds into `stage_totals_us`.
+std::string check_span_tree(const std::vector<LoggedSpan>& spans,
+                            std::vector<std::pair<std::string, std::uint64_t>>& stage_totals_us) {
+  if (spans.empty()) return "no spans";
+  if (spans.front().depth != 0 || spans.front().name != "request") {
+    return "first span is not a depth-0 'request' root";
+  }
+  std::vector<const LoggedSpan*> stack;
+  for (const LoggedSpan& span : spans) {
+    if (&span != &spans.front() && span.depth == 0) return "more than one root span";
+    while (stack.size() > span.depth) stack.pop_back();
+    if (stack.size() != span.depth) {
+      return "span '" + span.name + "' skips a nesting level";
+    }
+    if (!stack.empty()) {
+      const LoggedSpan& parent = *stack.back();
+      if (span.start_us < parent.start_us ||
+          span.start_us + span.dur_us > parent.start_us + parent.dur_us) {
+        return "span '" + span.name + "' is not contained in its parent '" + parent.name + "'";
+      }
+      bool found = false;
+      for (auto& [name, total] : stage_totals_us) {
+        if (name == span.name) {
+          total += span.dur_us;
+          found = true;
+          break;
+        }
+      }
+      if (!found) stage_totals_us.emplace_back(span.name, span.dur_us);
+    }
+    stack.push_back(&span);
+  }
+  return {};
+}
+
+/// Reads the spans array of one parsed trace-log line into LoggedSpan form;
+/// "" or what is wrong with it.
+std::string read_spans(const harness::JsonValue& line, std::vector<LoggedSpan>& out) {
+  const harness::JsonValue* spans = line.find("spans");
+  if (spans == nullptr || spans->kind() != harness::JsonValue::Kind::kArray) {
+    return "missing array field 'spans'";
+  }
+  for (const harness::JsonValue& item : spans->items()) {
+    if (item.kind() != harness::JsonValue::Kind::kObject) return "span is not an object";
+    LoggedSpan span;
+    const harness::JsonValue* name = item.find("name");
+    if (name == nullptr || name->kind() != harness::JsonValue::Kind::kString) {
+      return "span without a string 'name'";
+    }
+    span.name = name->as_string();
+    const harness::JsonValue* depth = item.find("depth");
+    const harness::JsonValue* start = item.find("start_us");
+    const harness::JsonValue* dur = item.find("dur_us");
+    if (depth == nullptr || !depth->to_u64(span.depth) || start == nullptr ||
+        !start->to_u64(span.start_us) || dur == nullptr || !dur->to_u64(span.dur_us)) {
+      return "span '" + span.name + "' without numeric depth/start_us/dur_us";
+    }
+    out.push_back(std::move(span));
+  }
+  return {};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +171,7 @@ int main(int argc, char** argv) {
   int tcp_port = -1;
   std::string trace_path;
   std::string json_path;
+  std::string daemon_trace_log;
   int repeat = 1;
   int concurrency = 1;
   int io_timeout_ms = 0;
@@ -136,6 +219,12 @@ int main(int argc, char** argv) {
        [&](const std::string& value) {
          return harness::parse_nonnegative_int(value, slo_p99_ms);
        }},
+      {"--trace-log",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         daemon_trace_log = value;
+         return true;
+       }},
   };
 
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +255,7 @@ int main(int argc, char** argv) {
   // object, and none may be a shutdown (a load test must not stop the daemon
   // it measures mid-replay).
   std::vector<std::string> trace;
+  std::vector<bool> injectable;  // parallel to trace: can take a trace_id
   {
     std::ifstream in(trace_path);
     if (!in) {
@@ -190,6 +280,12 @@ int main(int argc, char** argv) {
                   << ": shutdown requests are not replayable\n";
         return 2;
       }
+      // A trace_id can be stamped onto a non-empty object line that does not
+      // carry one already (splicing after the opening brace keeps the rest
+      // of the line byte-identical to what was recorded).
+      injectable.push_back(parsed.value.kind() == harness::JsonValue::Kind::kObject &&
+                           !parsed.value.members().empty() && line.front() == '{' &&
+                           parsed.value.find("trace_id") == nullptr);
       trace.push_back(line);
     }
   }
@@ -202,6 +298,20 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(trace.size()) * static_cast<std::uint64_t>(repeat);
   std::atomic<std::uint64_t> next{0};
   std::vector<WorkerResult> results(static_cast<std::size_t>(concurrency));
+
+  // Per-run trace-id prefix: wall-clock millisecond stamp keeps ids from
+  // successive loadgen runs distinct in a shared daemon log; the request
+  // index makes each replayed instance unique within this run.
+  std::string id_prefix;
+  if (!daemon_trace_log.empty()) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "lg-%llx-",
+                  static_cast<unsigned long long>(
+                      std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count()));
+    id_prefix = stamp;
+  }
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
@@ -231,7 +341,10 @@ int main(int argc, char** argv) {
       while (true) {
         const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
         if (index >= total_requests) return;
-        const std::string& request = trace[index % trace.size()];
+        std::string request = trace[index % trace.size()];
+        if (!id_prefix.empty() && injectable[index % trace.size()]) {
+          request.insert(1, "\"trace_id\": \"" + id_prefix + std::to_string(index) + "\", ");
+        }
         std::string response;
         const auto sent = Clock::now();
         const std::string error = client.roundtrip(request, response);
@@ -281,8 +394,62 @@ int main(int argc, char** argv) {
   const double p99_ms = quantile_sorted(latencies, 0.99) * 1e3;
   const double max_ms = latencies.empty() ? 0.0 : latencies.back() * 1e3;
 
+  // Trace-log validation: every trace_id this run stamped must resolve to
+  // exactly one log line with a complete, well-nested span tree — the check
+  // CI gates on — and the span durations aggregate into the per-stage
+  // breakdown the report carries.  Skipped when the replay itself already
+  // failed (those ids never reached the daemon).
+  std::string trace_log_error;
+  std::uint64_t traced_requests = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> stage_totals_us;
+  if (!daemon_trace_log.empty() && protocol_errors == 0) {
+    std::unordered_set<std::string> expected;
+    for (std::uint64_t index = 0; index < total_requests; ++index) {
+      if (injectable[index % trace.size()]) expected.insert(id_prefix + std::to_string(index));
+    }
+    std::ifstream in(daemon_trace_log);
+    if (!in) {
+      trace_log_error = "cannot open daemon trace log " + daemon_trace_log;
+    } else {
+      std::string line;
+      std::size_t line_number = 0;
+      while (trace_log_error.empty() && std::getline(in, line)) {
+        ++line_number;
+        if (line.empty()) continue;
+        const harness::JsonParse parsed = harness::parse_json(line);
+        if (!parsed.ok()) {
+          trace_log_error = daemon_trace_log + ":" + std::to_string(line_number) +
+                            ": malformed trace line: " + parsed.error;
+          break;
+        }
+        const harness::JsonValue* id = parsed.value.find("trace_id");
+        if (id == nullptr || id->kind() != harness::JsonValue::Kind::kString ||
+            id->as_string().compare(0, id_prefix.size(), id_prefix) != 0) {
+          continue;  // another client's request (or a pre-existing line)
+        }
+        if (expected.erase(id->as_string()) == 0) {
+          trace_log_error = daemon_trace_log + ":" + std::to_string(line_number) +
+                            ": duplicate or unexpected trace_id " + id->as_string();
+          break;
+        }
+        ++traced_requests;
+        std::vector<LoggedSpan> spans;
+        std::string error = read_spans(parsed.value, spans);
+        if (error.empty()) error = check_span_tree(spans, stage_totals_us);
+        if (!error.empty()) {
+          trace_log_error = daemon_trace_log + ":" + std::to_string(line_number) + ": " + error;
+        }
+      }
+      if (trace_log_error.empty() && !expected.empty()) {
+        trace_log_error = std::to_string(expected.size()) +
+                          " replayed request(s) never appeared in " + daemon_trace_log +
+                          " (first missing: " + *expected.begin() + ")";
+      }
+    }
+  }
+
   harness::JsonObject report;
-  report.add("schema", "vlcsa-loadgen-1");
+  report.add("schema", "vlcsa-loadgen-2");
   report.add("transport", tcp ? "tcp" : "unix");
   report.add("endpoint", tcp ? tcp_host + ":" + std::to_string(tcp_port) : socket_path);
   report.add("trace", trace_path);
@@ -304,6 +471,16 @@ int main(int argc, char** argv) {
     report.add("slo_p99_ms", slo_p99_ms);
     report.add("slo_met", p99_ms <= static_cast<double>(slo_p99_ms));
   }
+  if (!daemon_trace_log.empty()) {
+    report.add("trace_log", daemon_trace_log);
+    report.add("traced_requests", traced_requests);
+    report.add("trace_log_ok", trace_log_error.empty() && protocol_errors == 0);
+    harness::JsonObject stages;
+    for (const auto& [name, total_us] : stage_totals_us) {
+      stages.add(name, static_cast<double>(total_us) * 1e-3);
+    }
+    report.add_json("stage_totals_ms", stages.render_line());
+  }
   const std::string line = report.render_line();
   std::cout << line << "\n";
   if (!json_path.empty()) {
@@ -322,6 +499,10 @@ int main(int argc, char** argv) {
   }
   if (slo_p99_ms > 0 && p99_ms > static_cast<double>(slo_p99_ms)) {
     std::cerr << "error: p99 " << p99_ms << " ms exceeds SLO " << slo_p99_ms << " ms\n";
+    return 1;
+  }
+  if (!trace_log_error.empty()) {
+    std::cerr << "error: trace-log validation failed: " << trace_log_error << "\n";
     return 1;
   }
   return 0;

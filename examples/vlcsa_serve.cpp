@@ -31,6 +31,8 @@ void print_usage() {
                "                   [--cache-dir=DIR] [--cache-max-bytes=N]\n"
                "                   [--memory-entries=N] [--threads=T] [--workers=N]\n"
                "                   [--timeout-ms=T] [--max-pending=N]\n"
+               "                   [--trace-log=FILE] [--access-log=FILE]\n"
+               "                   [--access-log-max-bytes=N] [--slow-ms=T]\n"
                "  --socket           Unix domain socket path to listen on\n"
                "  --tcp              TCP endpoint to listen on (port 0 = ephemeral;\n"
                "                     the bound port is printed on stderr); may be\n"
@@ -50,7 +52,15 @@ void print_usage() {
                "                     none; requests may override with \"timeout_ms\")\n"
                "  --max-pending      reject new connections with an \"overloaded\" error\n"
                "                     once this many await a worker (default 128; 0 =\n"
-               "                     queue unboundedly)\n";
+               "                     queue unboundedly)\n"
+               "  --trace-log        JSONL request-trace sink: one line per request with\n"
+               "                     its span tree (and engine profile on cache misses)\n"
+               "  --access-log       JSONL access-log sink: one compact line per request\n"
+               "                     (timestamp, trace id, type, cache, latency, code)\n"
+               "  --access-log-max-bytes  rotate the access log to FILE.1 when a write\n"
+               "                     would push it past N bytes (default 0 = unbounded)\n"
+               "  --slow-ms          flag requests at/over this wall time with\n"
+               "                     \"slow\": true in the logs (default 0 = never)\n";
 }
 
 /// Splits "HOST:PORT" on the last ':' (tolerates IPv6 hosts like ::1:7411
@@ -118,6 +128,26 @@ int main(int argc, char** argv) {
          max_pending_given = true;
          return harness::parse_nonnegative_int(value, server_options.max_pending);
        }},
+      {"--trace-log",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         config.trace_log = value;
+         return true;
+       }},
+      {"--access-log",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         config.access_log = value;
+         return true;
+       }},
+      {"--access-log-max-bytes",
+       [&](const std::string& value) {
+         return harness::parse_u64(value, config.access_log_max_bytes);
+       }},
+      {"--slow-ms",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, config.slow_ms);
+       }},
   };
 
   // --stdio and --help take no value, so they sit outside the ValueFlag set.
@@ -161,6 +191,18 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+  if (config.access_log_max_bytes != 0 && config.access_log.empty()) {
+    // A silently dead rotation cap would suggest bounded logs that aren't.
+    std::cerr << "error: --access-log-max-bytes requires --access-log\n";
+    print_usage();
+    return 2;
+  }
+  if (config.slow_ms != 0 && config.trace_log.empty() && config.access_log.empty()) {
+    // The slow flag only surfaces in log lines; without a sink it is dead.
+    std::cerr << "error: --slow-ms requires --trace-log or --access-log\n";
+    print_usage();
+    return 2;
+  }
   if (stdio && (workers_given || max_pending_given)) {
     // Stdio serving is one conversation on one stream; silently dead
     // --workers/--max-pending would suggest parallelism that isn't there.
@@ -171,6 +213,12 @@ int main(int argc, char** argv) {
   config.memory_entries = static_cast<std::size_t>(memory_entries);
 
   service::ExperimentService service(config);
+  if (const std::string& error = service.log_error(); !error.empty()) {
+    // Refuse to serve without a requested log rather than silently dropping
+    // the operator's observability.
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
   if (stdio) {
     service::serve_stdio(std::cin, std::cout, service);
     return 0;

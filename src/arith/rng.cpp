@@ -239,6 +239,7 @@ void BlockRng::seed(result_type value) {
     state_[i] = kSeedF * (state_[i - 1] ^ (state_[i - 1] >> 62)) + i;
   }
   index_ = kStateWords;
+  twists_ = 0;
 }
 
 void BlockRng::refill() {
@@ -246,6 +247,7 @@ void BlockRng::refill() {
   k.twist(state_);
   k.temper(state_, out_);
   index_ = 0;
+  ++twists_;
 }
 
 void BlockRng::generate_block(std::uint64_t* dst, std::size_t n) {
@@ -264,6 +266,7 @@ void BlockRng::generate_block(std::uint64_t* dst, std::size_t n) {
     k.twist(state_);
     k.temper(state_, dst + produced);
     produced += kStateWords;
+    ++twists_;
   }
   // Partial trailing block: regenerate out_ and hand out its head, leaving
   // the rest buffered for subsequent draws.
@@ -273,6 +276,7 @@ void BlockRng::generate_block(std::uint64_t* dst, std::size_t n) {
     const std::size_t take = n - produced;
     std::copy(out_, out_ + take, dst + produced);
     index_ = take;
+    ++twists_;
   }
 }
 
@@ -290,10 +294,12 @@ void BlockRng::discard(unsigned long long z) {
   while (z >= kStateWords) {
     k.twist(state_);
     z -= kStateWords;
+    ++twists_;
   }
   k.twist(state_);
   k.temper(state_, out_);
   index_ = static_cast<std::size_t>(z);
+  ++twists_;
 }
 
 // ---- GaussianBlockSampler ---------------------------------------------------

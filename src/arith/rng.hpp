@@ -79,6 +79,7 @@ class BlockRng {
     // would make the twist a fixed point; the standard pins it to 2^63.
     if (zero) state_[0] = std::uint64_t{1} << 63;
     index_ = kStateWords;
+    twists_ = 0;
   }
 
   static constexpr result_type min() { return 0; }
@@ -100,6 +101,15 @@ class BlockRng {
   /// tempering the skipped blocks.
   void discard(unsigned long long z);
 
+  /// Total stream words consumed since seeding — operator(), generate_block
+  /// and discard all count.  Maintained with one increment per 312-word
+  /// block regeneration (every consumed word belongs to exactly one twisted
+  /// block, minus the unread tail of the current one), so the per-draw hot
+  /// path is untouched; the engine's RunProfile reads this per shard.
+  [[nodiscard]] std::uint64_t words_drawn() const {
+    return twists_ * kStateWords - (kStateWords - index_);
+  }
+
  private:
   static constexpr std::uint64_t kUpperMask = ~std::uint64_t{0} << 31;  // high w-r bits
 
@@ -108,6 +118,7 @@ class BlockRng {
   std::uint64_t state_[kStateWords];  // untempered MT state
   std::uint64_t out_[kStateWords];    // tempered draws of the current block
   std::size_t index_ = kStateWords;   // next unread slot in out_
+  std::uint64_t twists_ = 0;          // blocks twisted since seeding
 };
 
 /// Block-batched standard-normal sampler: a 256-layer ziggurat whose raw

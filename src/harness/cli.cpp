@@ -140,6 +140,10 @@ ExplorerParse parse_explorer_args(int argc, const char* const* argv) {
       opt.list_experiments = true;
       continue;
     }
+    if (arg == "--profile") {
+      opt.profile = true;
+      continue;
+    }
     bool handled = false;
     for (const ModeFlag& flag : flags) {
       if (match_value_flag(arg, flag.name, flag.apply, parse.error)) {
@@ -170,6 +174,10 @@ ExplorerParse parse_explorer_args(int argc, const char* const* argv) {
       parse.error = std::string(flag->name) + " requires --experiment=NAME";
       return parse;
     }
+  }
+  if (opt.profile && !experiment_mode) {
+    parse.error = "--profile requires --experiment=NAME";
+    return parse;
   }
   return parse;
 }

@@ -65,6 +65,7 @@ struct ExplorerOptions {
   EvalPath path = EvalPath::kBatched;  // --batch=on|off
   bool path_explicit = false;  // --batch was given (vs defaulted) — lets the
                                // front end reject it where it cannot apply
+  bool profile = false;  // --profile: print the engine RunProfile to stderr
 };
 
 /// Result of parsing an argv; `error` is empty on success.

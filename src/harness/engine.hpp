@@ -18,15 +18,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "arith/planeops.hpp"
 #include "arith/rng.hpp"
 
 namespace vlcsa::harness {
@@ -42,6 +45,91 @@ inline constexpr std::uint64_t kDefaultShardSize = 1 << 14;
 /// produced a result, so a cancelled run can never write a partial record.
 struct RunCancelled : std::runtime_error {
   RunCancelled() : std::runtime_error("run cancelled") {}
+};
+
+/// Plain snapshot of one run's execution profile (RunProfileCollector).
+/// Pure observability: nothing here feeds a result record — records stay
+/// functions of (experiment, samples, seed, eval path) only.  The counter
+/// fields (shards, samples, blocks, rng_words) are exact and invariant
+/// across thread counts and backends for a fixed lane width; the time
+/// fields are cpu-seconds summed over shards (fill/eval) plus the
+/// single-threaded merge, and naturally vary run to run.
+struct RunProfile {
+  std::uint64_t shards = 0;           // shards executed
+  std::uint64_t samples = 0;          // samples folded, all shards
+  std::uint64_t batch_blocks = 0;     // bit-sliced blocks evaluated
+  std::uint64_t batched_samples = 0;  // samples through the batch pipeline
+  std::uint64_t scalar_samples = 0;   // per-sample path (scalar runs + tails)
+  std::uint64_t rng_words = 0;        // BlockRng words consumed, all shards
+  double fill_seconds = 0.0;          // operand fill_batch time (summed)
+  double eval_seconds = 0.0;          // model step/evaluate_batch time (summed)
+  double merge_seconds = 0.0;         // shard-order accumulator merge
+  int threads = 0;                    // worker pool size actually used
+  int lane_words = 0;                 // batch lane width (0 = per-sample path)
+  std::string backend;                // active planeops backend name
+};
+
+/// Opt-in profiling sink threaded through RunOptions::profile.  All methods
+/// are thread-safe (relaxed atomics — counters are independent, and every
+/// field is published by the join before snapshot() runs); a null pointer in
+/// RunOptions disables profiling at a single branch per shard/block, so the
+/// default path pays nothing.
+class RunProfileCollector {
+ public:
+  void add_shard(std::uint64_t rng_words, std::uint64_t samples) {
+    shards_.fetch_add(1, std::memory_order_relaxed);
+    rng_words_.fetch_add(rng_words, std::memory_order_relaxed);
+    samples_.fetch_add(samples, std::memory_order_relaxed);
+  }
+  void add_batch(std::uint64_t blocks, std::uint64_t samples) {
+    batch_blocks_.fetch_add(blocks, std::memory_order_relaxed);
+    batched_samples_.fetch_add(samples, std::memory_order_relaxed);
+  }
+  void add_scalar_samples(std::uint64_t samples) {
+    scalar_samples_.fetch_add(samples, std::memory_order_relaxed);
+  }
+  void add_fill_ns(std::uint64_t ns) { fill_ns_.fetch_add(ns, std::memory_order_relaxed); }
+  void add_eval_ns(std::uint64_t ns) { eval_ns_.fetch_add(ns, std::memory_order_relaxed); }
+  void add_merge_ns(std::uint64_t ns) { merge_ns_.fetch_add(ns, std::memory_order_relaxed); }
+  void set_threads(int threads) { threads_.store(threads, std::memory_order_relaxed); }
+  void set_lane_words(int lane_words) {
+    lane_words_.store(lane_words, std::memory_order_relaxed);
+  }
+  void set_backend(const char* backend) {
+    backend_.store(backend, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] RunProfile snapshot() const {
+    RunProfile out;
+    out.shards = shards_.load(std::memory_order_relaxed);
+    out.samples = samples_.load(std::memory_order_relaxed);
+    out.batch_blocks = batch_blocks_.load(std::memory_order_relaxed);
+    out.batched_samples = batched_samples_.load(std::memory_order_relaxed);
+    out.scalar_samples = scalar_samples_.load(std::memory_order_relaxed);
+    out.rng_words = rng_words_.load(std::memory_order_relaxed);
+    out.fill_seconds = static_cast<double>(fill_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    out.eval_seconds = static_cast<double>(eval_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    out.merge_seconds = static_cast<double>(merge_ns_.load(std::memory_order_relaxed)) * 1e-9;
+    out.threads = threads_.load(std::memory_order_relaxed);
+    out.lane_words = lane_words_.load(std::memory_order_relaxed);
+    const char* backend = backend_.load(std::memory_order_relaxed);
+    if (backend != nullptr) out.backend = backend;
+    return out;
+  }
+
+ private:
+  std::atomic<std::uint64_t> shards_{0};
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> batch_blocks_{0};
+  std::atomic<std::uint64_t> batched_samples_{0};
+  std::atomic<std::uint64_t> scalar_samples_{0};
+  std::atomic<std::uint64_t> rng_words_{0};
+  std::atomic<std::uint64_t> fill_ns_{0};
+  std::atomic<std::uint64_t> eval_ns_{0};
+  std::atomic<std::uint64_t> merge_ns_{0};
+  std::atomic<int> threads_{0};
+  std::atomic<int> lane_words_{0};
+  std::atomic<const char*> backend_{nullptr};
 };
 
 /// Controls one sharded run.  `threads == 0` means "all hardware threads".
@@ -60,6 +148,11 @@ struct RunOptions {
   /// RunCancelled instead of returning a merged accumulator.  The token is
   /// only read — the setter (e.g. the service's deadline watchdog) owns it.
   const std::atomic<bool>* cancel = nullptr;
+  /// Opt-in execution profiling: when non-null, the engine (and the batch
+  /// kernels in montecarlo.cpp) record shard/block counts, RNG consumption
+  /// and stage timings into it.  Null costs one branch per shard/block and
+  /// nothing else; profiling never changes any counter or the RNG stream.
+  RunProfileCollector* profile = nullptr;
 };
 
 /// `requested` if positive, else std::thread::hardware_concurrency()
@@ -126,6 +219,7 @@ template <typename AccumulatorFactory, typename BlockKernelFactory>
         Accumulator acc = partials[static_cast<std::size_t>(shard)];
         kernel(rng, acc, count);
         partials[static_cast<std::size_t>(shard)] = std::move(acc);
+        if (options.profile != nullptr) options.profile->add_shard(rng.words_drawn(), count);
       }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(failure_mutex);
@@ -148,7 +242,19 @@ template <typename AccumulatorFactory, typename BlockKernelFactory>
   // for `samples` samples and anything less must not look like a result.
   if (cancelled.load(std::memory_order_relaxed)) throw RunCancelled{};
 
-  for (const Accumulator& partial : partials) merged += partial;
+  if (options.profile != nullptr) {
+    options.profile->set_threads(static_cast<int>(pool_size));
+    options.profile->set_backend(
+        arith::planeops::to_string(arith::planeops::active_backend()));
+    const auto merge_start = std::chrono::steady_clock::now();
+    for (const Accumulator& partial : partials) merged += partial;
+    options.profile->add_merge_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count()));
+  } else {
+    for (const Accumulator& partial : partials) merged += partial;
+  }
   return merged;
 }
 
@@ -165,9 +271,10 @@ template <typename AccumulatorFactory, typename KernelFactory>
     -> std::decay_t<std::invoke_result_t<AccumulatorFactory&>> {
   using Accumulator = std::decay_t<std::invoke_result_t<AccumulatorFactory&>>;
   return run_sharded_blocks(options, std::forward<AccumulatorFactory>(make_accumulator), [&] {
-    return [kernel = make_kernel()](arith::BlockRng& rng, Accumulator& acc,
-                                    std::uint64_t count) mutable {
+    return [kernel = make_kernel(), profile = options.profile](
+               arith::BlockRng& rng, Accumulator& acc, std::uint64_t count) mutable {
       for (std::uint64_t i = 0; i < count; ++i) kernel(rng, acc);
+      if (profile != nullptr) profile->add_scalar_samples(count);
     };
   });
 }

@@ -1,6 +1,7 @@
 #include "harness/montecarlo.hpp"
 
 #include <bit>
+#include <chrono>
 
 #include "harness/engine.hpp"
 
@@ -10,6 +11,13 @@ namespace {
 
 inline std::uint64_t lanes(std::uint64_t mask) {
   return static_cast<std::uint64_t>(std::popcount(mask));
+}
+
+/// Nanoseconds between two steady_clock points (RunProfile stage timing).
+inline std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                                std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
 }
 
 }  // namespace
@@ -109,17 +117,40 @@ ErrorRateResult run_vlcsa(const spec::VlcsaConfig& config, OperandSource& source
     });
   }
   const int lane_words = options.lane_words > 0 ? options.lane_words : arith::default_lane_words();
+  if (options.profile != nullptr) options.profile->set_lane_words(lane_words);
   return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, variant = config.variant, shard_source = source.clone(),
             batch = arith::BitSlicedBatch(config.width, lane_words),
-            step = spec::VlcsaBatchStep{}](arith::BlockRng& rng, ErrorRateResult& out,
-                                           std::uint64_t count) mutable {
+            step = spec::VlcsaBatchStep{},
+            profile = options.profile](arith::BlockRng& rng, ErrorRateResult& out,
+                                       std::uint64_t count) mutable {
       const std::uint64_t batch_lanes = static_cast<std::uint64_t>(batch.lanes());
       std::uint64_t done = 0;
-      for (; done + batch_lanes <= count; done += batch_lanes) {
-        shard_source->fill_batch(rng, batch);
-        model.step_batch(batch, step);
-        accumulate_vlcsa_batch(step, variant, out);
+      if (profile == nullptr) {
+        for (; done + batch_lanes <= count; done += batch_lanes) {
+          shard_source->fill_batch(rng, batch);
+          model.step_batch(batch, step);
+          accumulate_vlcsa_batch(step, variant, out);
+        }
+      } else {
+        // Profiled copy of the loop above: identical draws and folds, plus
+        // per-block fill/eval stage timing.  Kept separate so the default
+        // path pays a single branch per shard, not two clock reads per block.
+        std::uint64_t blocks = 0;
+        using ProfClock = std::chrono::steady_clock;
+        for (; done + batch_lanes <= count; done += batch_lanes) {
+          const auto fill_start = ProfClock::now();
+          shard_source->fill_batch(rng, batch);
+          const auto eval_start = ProfClock::now();
+          model.step_batch(batch, step);
+          accumulate_vlcsa_batch(step, variant, out);
+          const auto eval_end = ProfClock::now();
+          profile->add_fill_ns(elapsed_ns(fill_start, eval_start));
+          profile->add_eval_ns(elapsed_ns(eval_start, eval_end));
+          ++blocks;
+        }
+        profile->add_batch(blocks, done);
+        if (done < count) profile->add_scalar_samples(count - done);
       }
       // Scalar tail: same draws in the same order, so the shard's RNG stream
       // (and therefore the merged counters) match the scalar path exactly.
@@ -152,17 +183,38 @@ ErrorRateResult run_vlsa(const spec::VlsaConfig& config, OperandSource& source,
     });
   }
   const int lane_words = options.lane_words > 0 ? options.lane_words : arith::default_lane_words();
+  if (options.profile != nullptr) options.profile->set_lane_words(lane_words);
   return run_sharded_blocks(options, make_result, [&, lane_words] {
     return [&model, shard_source = source.clone(),
             batch = arith::BitSlicedBatch(config.width, lane_words),
-            ev = spec::VlsaBatchEvaluation{}](arith::BlockRng& rng, ErrorRateResult& out,
-                                              std::uint64_t count) mutable {
+            ev = spec::VlsaBatchEvaluation{},
+            profile = options.profile](arith::BlockRng& rng, ErrorRateResult& out,
+                                       std::uint64_t count) mutable {
       const std::uint64_t batch_lanes = static_cast<std::uint64_t>(batch.lanes());
       std::uint64_t done = 0;
-      for (; done + batch_lanes <= count; done += batch_lanes) {
-        shard_source->fill_batch(rng, batch);
-        model.evaluate_batch(batch, ev);
-        accumulate_vlsa_batch(ev, out);
+      if (profile == nullptr) {
+        for (; done + batch_lanes <= count; done += batch_lanes) {
+          shard_source->fill_batch(rng, batch);
+          model.evaluate_batch(batch, ev);
+          accumulate_vlsa_batch(ev, out);
+        }
+      } else {
+        // Profiled copy; see run_vlcsa for why the loop is duplicated.
+        std::uint64_t blocks = 0;
+        using ProfClock = std::chrono::steady_clock;
+        for (; done + batch_lanes <= count; done += batch_lanes) {
+          const auto fill_start = ProfClock::now();
+          shard_source->fill_batch(rng, batch);
+          const auto eval_start = ProfClock::now();
+          model.evaluate_batch(batch, ev);
+          accumulate_vlsa_batch(ev, out);
+          const auto eval_end = ProfClock::now();
+          profile->add_fill_ns(elapsed_ns(fill_start, eval_start));
+          profile->add_eval_ns(elapsed_ns(eval_start, eval_end));
+          ++blocks;
+        }
+        profile->add_batch(blocks, done);
+        if (done < count) profile->add_scalar_samples(count - done);
       }
       for (; done < count; ++done) {
         const auto [a, b] = shard_source->next(rng);

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "harness/cli.hpp"
+#include "harness/engine.hpp"
 
 namespace vlcsa::harness {
 
@@ -167,6 +168,23 @@ BenchArgs BenchArgs::parse(int argc, char** argv, std::uint64_t default_samples)
 
 void print_banner(std::ostream& os, const std::string& artifact, const std::string& description) {
   os << "==== " << artifact << " ====\n" << description << "\n\n";
+}
+
+std::string render_run_profile(const RunProfile& profile) {
+  JsonObject object;
+  object.add("shards", profile.shards);
+  object.add("samples", profile.samples);
+  object.add("batch_blocks", profile.batch_blocks);
+  object.add("batched_samples", profile.batched_samples);
+  object.add("scalar_samples", profile.scalar_samples);
+  object.add("rng_words", profile.rng_words);
+  object.add("fill_seconds", profile.fill_seconds);
+  object.add("eval_seconds", profile.eval_seconds);
+  object.add("merge_seconds", profile.merge_seconds);
+  object.add("threads", profile.threads);
+  object.add("lane_words", profile.lane_words);
+  object.add("backend", profile.backend);
+  return object.render_line();
 }
 
 }  // namespace vlcsa::harness

@@ -62,6 +62,13 @@ class JsonObject {
 /// JSON string escaping (quotes, backslash, control characters).
 [[nodiscard]] std::string json_escape(const std::string& text);
 
+struct RunProfile;  // engine.hpp
+
+/// Renders one RunProfile as a single-line JSON object — the "profile"
+/// payload of service trace lines and adder_explorer --profile.  Pure
+/// observability output; never embedded in a cached result record.
+[[nodiscard]] std::string render_run_profile(const RunProfile& profile);
+
 /// Formats a probability as a percentage with `decimals` digits ("0.01%").
 [[nodiscard]] std::string fmt_pct(double fraction, int decimals = 2);
 

@@ -267,6 +267,11 @@ void ResultCache::put(const CacheKey& key, const std::string& record) {
   }
 }
 
+void ResultCache::record_coalesced_hit() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.coalesced_hits;
+}
+
 CacheStats ResultCache::stats() const {
   CacheStats out;
   {

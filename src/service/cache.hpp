@@ -47,6 +47,7 @@ struct CacheKey {
 struct CacheStats {
   std::uint64_t memory_hits = 0;
   std::uint64_t disk_hits = 0;
+  std::uint64_t coalesced_hits = 0;  // followers served by an in-flight leader
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
   std::uint64_t evictions = 0;
@@ -80,6 +81,12 @@ class ResultCache {
   void put(const CacheKey& key, const std::string& record);
 
   [[nodiscard]] CacheStats stats() const;
+
+  /// Counts one coalesced hit: a request that was served by waiting on an
+  /// identical in-flight computation instead of recomputing.  Coalescing
+  /// itself lives in the service's single-flight map (service.cpp run_one);
+  /// the counter lives here so cache-stats reports all tiers together.
+  void record_coalesced_hit();
 
   [[nodiscard]] const std::string& disk_dir() const { return disk_dir_; }
   [[nodiscard]] std::size_t memory_capacity() const { return memory_capacity_; }

@@ -21,11 +21,23 @@
 #include <string>
 #include <vector>
 
+#include "service/cache.hpp"
+
 namespace vlcsa::service {
 
 /// One (name, count) pair of the per-request-type breakdown.
 struct RequestTypeCount {
   std::string name;
+  std::uint64_t count = 0;
+};
+
+/// One stage's latency histogram (per-stage request breakdown, fed from the
+/// trace spans — see ServiceMetrics::record_stage).  `buckets` is parallel
+/// to latency_bucket_bounds_seconds() plus one overflow slot.
+struct StageLatency {
+  std::string name;
+  std::vector<std::uint64_t> buckets;
+  double sum_seconds = 0.0;
   std::uint64_t count = 0;
 };
 
@@ -40,12 +52,16 @@ struct MetricsSnapshot {
   std::uint64_t rejected_connections = 0;  // accept-loop backlog rejections
   std::uint64_t in_flight = 0;           // requests currently inside a handler
   double uptime_seconds = 0.0;
-  double qps = 0.0;                      // requests_total / uptime
+  double qps = 0.0;                      // requests_total / uptime (lifetime)
+  double qps_60s = 0.0;                  // rate over the last 60 s ring
   double latency_p50_seconds = 0.0;      // bucket upper bounds (see header note)
   double latency_p95_seconds = 0.0;
   double latency_p99_seconds = 0.0;
   double latency_max_seconds = 0.0;      // exact, not bucketed
+  double latency_sum_seconds = 0.0;      // exact sum (histogram _sum)
+  std::vector<std::uint64_t> latency_buckets;  // per-bucket counts (+overflow)
   std::vector<RequestTypeCount> by_type;  // registration order, see kRequestTypes
+  std::vector<StageLatency> stages;       // per-stage latency, stage_names() order
 };
 
 class ServiceMetrics {
@@ -81,10 +97,24 @@ class ServiceMetrics {
   /// at its backlog cap.
   void record_rejected_connection();
 
+  /// Records one stage duration (a trace span) into the per-stage latency
+  /// histograms.  `stage` must be a stage_names() entry; unknown names are
+  /// ignored so the histogram label set stays fixed for scrapers.
+  void record_stage(const std::string& stage, double seconds);
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// The request-type names the breakdown tracks ("invalid" last).
   [[nodiscard]] static const std::vector<std::string>& request_types();
+
+  /// The stage names record_stage accepts — the trace span names the
+  /// service emits (service.cpp), which double as the `stage` label values
+  /// of the Prometheus exposition.
+  [[nodiscard]] static const std::vector<std::string>& stage_names();
+
+  /// Upper bucket bounds of every latency histogram, in seconds (the 1-2-5
+  /// microsecond series below); the final implicit bucket is open-ended.
+  [[nodiscard]] static std::vector<double> latency_bucket_bounds_seconds();
 
  private:
   // Upper bucket bounds in microseconds (1-2-5 series); the final bucket is
@@ -94,6 +124,11 @@ class ServiceMetrics {
       1000,    2000,    5000,    10000,    20000,    50000,    100000,   200000,   500000,
       1000000, 2000000, 5000000, 10000000, 20000000, 50000000, 100000000, 200000000,
       500000000, 1000000000};
+
+  using Buckets = std::array<std::uint64_t, kBucketBoundsUs.size() + 1>;  // +1: overflow
+
+  /// The bucket a duration falls in (index into Buckets).
+  [[nodiscard]] static std::size_t bucket_index(double seconds);
 
   mutable std::mutex mutex_;
   std::chrono::steady_clock::time_point start_;
@@ -105,8 +140,30 @@ class ServiceMetrics {
   std::uint64_t rejected_connections_ = 0;
   std::uint64_t in_flight_ = 0;
   double latency_max_seconds_ = 0.0;
-  std::array<std::uint64_t, kBucketBoundsUs.size() + 1> buckets_{};  // +1: overflow
+  double latency_sum_seconds_ = 0.0;
+  Buckets buckets_{};
   std::vector<std::uint64_t> by_type_;  // parallel to request_types()
+
+  // Last-60-seconds request ring for qps_60s: slot = second % 60, tagged
+  // with second + 1 (0 = never written) so stale slots from an idle gap are
+  // recognized at snapshot time instead of being advanced on every record.
+  std::array<std::uint64_t, 60> second_counts_{};
+  std::array<std::uint64_t, 60> second_stamps_{};
+
+  /// One stage's histogram state (parallel to stage_names()).
+  struct StageState {
+    Buckets buckets{};
+    double sum_seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::vector<StageState> stages_;
 };
+
+/// Renders a metrics snapshot + cache stats in the Prometheus text
+/// exposition format, version 0.0.4 (the "metrics-prom" request's body —
+/// see DESIGN.md).  Counter/gauge names are prefixed "vlcsa_"; both latency
+/// histograms use cumulative le-labeled buckets in seconds.
+[[nodiscard]] std::string render_prometheus_text(const MetricsSnapshot& metrics,
+                                                 const CacheStats& cache);
 
 }  // namespace vlcsa::service

@@ -9,11 +9,26 @@
 #include <utility>
 #include <vector>
 
+#include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 #include "harness/json.hpp"
 #include "harness/report.hpp"
 
 namespace vlcsa::service {
+
+/// Per-request observability state, threaded from handle_line through the
+/// handlers: the span collector, the trace id, and the fields the trace and
+/// access logs report.  One instance per request line, stack-owned by
+/// handle_line — never shared between requests.
+struct ExperimentService::RequestContext {
+  RequestTrace trace;
+  std::string trace_id;        // request-supplied, else generated in finalize
+  bool echo = false;           // "trace": true — echo spans in the reply
+  std::string experiment;      // run requests: the experiment name
+  std::string cache;           // run requests: hit-memory/hit-disk/miss/coalesced
+  const char* code = nullptr;  // error code when the reply is an error
+  std::string profile_json;    // rendered RunProfile (traced engine runs only)
+};
 
 namespace {
 
@@ -34,8 +49,10 @@ constexpr const char* kCodeInternal = "internal";
 /// deadline.
 constexpr std::uint64_t kMaxTimeoutMs = 86'400'000;
 
-ExperimentService::Reply error_reply(const std::string& message,
+ExperimentService::Reply error_reply(ExperimentService::RequestContext& ctx,
+                                     const std::string& message,
                                      const char* code = kCodeBadRequest) {
+  ctx.code = code;  // surfaces in the access/trace log line for this request
   JsonObject response;
   response.add("status", "error");
   response.add("code", code);
@@ -82,6 +99,26 @@ std::string read_string_field(const JsonValue& request, const char* name, std::s
     return std::string("field '") + name + "' must be a string";
   }
   out = field->as_string();
+  return {};
+}
+
+/// Reads the observability envelope fields every top-level request accepts:
+/// "trace" (bool — echo the span tree in the reply) and "trace_id" (string —
+/// caller-supplied correlation id).  "" or an error message.
+std::string read_trace_envelope(const JsonValue& request,
+                                ExperimentService::RequestContext& ctx) {
+  const JsonValue* flag = request.find("trace");
+  if (flag != nullptr) {
+    if (flag->kind() != JsonValue::Kind::kBool) return "field 'trace' must be a boolean";
+    ctx.echo = flag->as_bool();
+    if (ctx.echo) ctx.trace.enable();
+  }
+  const JsonValue* id = request.find("trace_id");
+  if (id != nullptr) {
+    if (id->kind() != JsonValue::Kind::kString) return "field 'trace_id' must be a string";
+    ctx.trace_id = id->as_string();
+    if (ctx.trace_id.empty()) return "field 'trace_id' must be non-empty";
+  }
   return {};
 }
 
@@ -309,10 +346,21 @@ class ArmedDeadline {
 
 ExperimentService::ExperimentService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_dir, config_.memory_entries, config_.cache_max_bytes) {}
+      cache_(config_.cache_dir, config_.memory_entries, config_.cache_max_bytes) {
+  if (!config_.trace_log.empty()) {
+    log_error_ = trace_log_.open(config_.trace_log);
+  }
+  if (!config_.access_log.empty()) {
+    std::string error = access_log_.open(config_.access_log, config_.access_log_max_bytes);
+    if (!error.empty()) {
+      log_error_ = log_error_.empty() ? std::move(error) : log_error_ + "; " + error;
+    }
+  }
+}
 
 std::vector<std::string> ExperimentService::request_names() {
-  return {"run", "run-batch", "list", "describe", "cache-stats", "metrics", "shutdown"};
+  return {"run",     "run-batch", "list",         "describe",
+          "cache-stats", "metrics", "metrics-prom", "shutdown"};
 }
 
 ExperimentService::Reply ExperimentService::handle_line(const std::string& line) {
@@ -320,24 +368,44 @@ ExperimentService::Reply ExperimentService::handle_line(const std::string& line)
   const auto start = Clock::now();
   const ServiceMetrics::InFlight in_flight(metrics_);
 
+  RequestContext ctx;
+  // Tracing turns on only when someone wants the spans: a configured
+  // --trace-log, or a request carrying "trace"/"trace_id" (strict JSON
+  // quotes keys, so the substring test is a safe pre-parse filter — a false
+  // positive merely collects spans nobody renders).  When neither holds,
+  // every span site below costs a single predictable branch; perf_microbench
+  // pins the cached-hit path against that claim.
+  if (trace_log_.enabled() || line.find("\"trace") != std::string::npos) {
+    ctx.trace.enable();
+  }
+  const std::size_t root = ctx.trace.open("request");
+
   std::string type = "invalid";
   Reply reply;
-  const harness::JsonParse parse = harness::parse_json(line);
+  harness::JsonParse parse;
+  {
+    const RequestTrace::Scope parse_scope(ctx.trace, "parse");
+    parse = harness::parse_json(line);
+  }
+  std::string envelope_error;
   if (!parse.ok()) {
-    reply = error_reply("malformed request: " + parse.error);
+    reply = error_reply(ctx, "malformed request: " + parse.error);
   } else if (parse.value.kind() != JsonValue::Kind::kObject) {
-    reply = error_reply("request must be a JSON object");
+    reply = error_reply(ctx, "request must be a JSON object");
+  } else if (envelope_error = read_trace_envelope(parse.value, ctx);
+             !envelope_error.empty()) {
+    reply = error_reply(ctx, envelope_error);
   } else {
     const JsonValue* request_field = parse.value.find("request");
     if (request_field == nullptr || request_field->kind() != JsonValue::Kind::kString) {
-      reply = error_reply("missing string field 'request'");
+      reply = error_reply(ctx, "missing string field 'request'");
     } else {
       // The dispatch table: one row per request type.  request_names() and
       // DESIGN.md's protocol reference must list exactly these names — the
       // protocol-doc test diffs all three.
       struct Row {
         const char* name;
-        Reply (ExperimentService::*handler)(const JsonValue&);
+        Reply (ExperimentService::*handler)(const JsonValue&, RequestContext&);
       };
       static constexpr Row kDispatch[] = {
           {"run", &ExperimentService::handle_run},
@@ -346,6 +414,7 @@ ExperimentService::Reply ExperimentService::handle_line(const std::string& line)
           {"describe", &ExperimentService::handle_describe},
           {"cache-stats", &ExperimentService::handle_cache_stats},
           {"metrics", &ExperimentService::handle_metrics},
+          {"metrics-prom", &ExperimentService::handle_metrics_prom},
           {"shutdown", &ExperimentService::handle_shutdown},
       };
       const std::string& request = request_field->as_string();
@@ -357,27 +426,81 @@ ExperimentService::Reply ExperimentService::handle_line(const std::string& line)
         }
       }
       if (row == nullptr) {
-        reply = error_reply(
-            "unknown request '" + request +
-                "' (expected run, run-batch, list, describe, cache-stats, metrics or shutdown)",
-            kCodeUnknownRequest);
+        reply = error_reply(ctx,
+                            "unknown request '" + request +
+                                "' (expected run, run-batch, list, describe, cache-stats, "
+                                "metrics, metrics-prom or shutdown)",
+                            kCodeUnknownRequest);
       } else {
         type = row->name;
         // A daemon must outlive any single request: anything a handler
         // throws (engine failures, rethrown leader exceptions from the
         // single-flight latch) becomes an error reply, never a dead server.
         try {
-          reply = (this->*row->handler)(parse.value);
+          reply = (this->*row->handler)(parse.value, ctx);
         } catch (const std::exception& error) {
-          reply = error_reply(std::string("internal error: ") + error.what(), kCodeInternal);
+          reply =
+              error_reply(ctx, std::string("internal error: ") + error.what(), kCodeInternal);
         }
       }
     }
   }
 
+  ctx.trace.close(root);
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  finalize_request(ctx, type, reply, wall);
   metrics_.record_request(type, reply.ok, wall);
   return reply;
+}
+
+void ExperimentService::finalize_request(RequestContext& ctx, const std::string& type,
+                                         Reply& reply, double wall_seconds) {
+  if (!ctx.trace.enabled() && !access_log_.enabled()) return;
+
+  // Span durations feed the per-stage latency histograms ("metrics-prom");
+  // the depth-0 root is the request latency histogram itself and is skipped.
+  for (const TraceSpan& span : ctx.trace.spans()) {
+    if (span.depth == 0) continue;
+    metrics_.record_stage(span.name, static_cast<double>(span.dur_us) * 1e-6);
+  }
+
+  if (ctx.trace_id.empty()) ctx.trace_id = trace_ids_.next();
+  const bool slow =
+      config_.slow_ms > 0 && wall_seconds * 1e3 >= static_cast<double>(config_.slow_ms);
+
+  // The echo goes into the already-rendered reply envelope, in front of its
+  // closing brace — the embedded record bytes stay untouched, keeping the
+  // determinism contract (cached records never carry wall time or spans).
+  if (ctx.echo && !reply.line.empty() && reply.line.back() == '}') {
+    reply.line.insert(reply.line.size() - 1,
+                      ", \"trace_id\": \"" + harness::json_escape(ctx.trace_id) +
+                          "\", \"spans\": " + ctx.trace.render_spans());
+  }
+
+  if (!trace_log_.enabled() && !access_log_.enabled()) return;
+  const double timestamp =
+      std::chrono::duration<double>(std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  JsonObject entry;
+  entry.add("ts", timestamp);
+  entry.add("trace_id", ctx.trace_id);
+  entry.add("type", type);
+  if (!ctx.experiment.empty()) entry.add("experiment", ctx.experiment);
+  if (!ctx.cache.empty()) entry.add("cache", ctx.cache);
+  entry.add("status", reply.ok ? "ok" : "error");
+  if (ctx.code != nullptr) entry.add("code", ctx.code);
+  entry.add("wall_ms", wall_seconds * 1e3);
+  if (slow) entry.add("slow", true);
+  if (access_log_.enabled()) access_log_.write(entry.render_line());
+  if (trace_log_.enabled()) {
+    // The trace line is the access line plus the span tree and, for traced
+    // engine runs, the per-shard profile — one self-contained JSONL record
+    // per request, which is what lets a slow request be attributed to a
+    // stage from the log alone.
+    entry.add_json("spans", ctx.trace.render_spans());
+    if (!ctx.profile_json.empty()) entry.add_json("profile", ctx.profile_json);
+    trace_log_.write(entry.render_line());
+  }
 }
 
 int ExperimentService::effective_timeout_ms(const RunSpec& spec) const {
@@ -386,7 +509,8 @@ int ExperimentService::effective_timeout_ms(const RunSpec& spec) const {
 }
 
 ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
-                                                         const std::atomic<bool>* cancel) {
+                                                         const std::atomic<bool>* cancel,
+                                                         RequestContext& ctx) {
   RunOutcome out;
   const auto* error_rate = harness::find_error_rate_experiment(run.experiment);
   const auto* chain_profile =
@@ -453,22 +577,38 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
   try {
     if (leader) {
       try {
-        lookup = cache_.get(key);
+        {
+          const RequestTrace::Scope lookup_scope(ctx.trace, "cache-lookup");
+          lookup = cache_.get(key);
+        }
         if (lookup.tier == ResultCache::Tier::kMiss) {
           harness::RunOptions options;
           options.samples = key.samples;
           options.seed = key.seed;
           options.threads = config_.threads;
           options.cancel = cancel;
-          if (error_rate != nullptr) {
-            const auto result = harness::run_experiment(*error_rate, options, run.path);
-            lookup.record = error_rate_record(*error_rate, key.seed, run.path, result);
-          } else {
-            const auto profiler = harness::run_experiment(*chain_profile, options);
-            lookup.record = chain_profile_record(*chain_profile, key.samples, key.seed, profiler);
+          // Profiling rides the tracing switch: collection is on only when a
+          // trace wants it, so an untraced run pays one null check per shard
+          // and block — and the profile never touches the record either way.
+          harness::RunProfileCollector collector;
+          if (ctx.trace.enabled()) options.profile = &collector;
+          {
+            const RequestTrace::Scope run_scope(ctx.trace, "engine-run");
+            if (error_rate != nullptr) {
+              const auto result = harness::run_experiment(*error_rate, options, run.path);
+              lookup.record = error_rate_record(*error_rate, key.seed, run.path, result);
+            } else {
+              const auto profiler = harness::run_experiment(*chain_profile, options);
+              lookup.record =
+                  chain_profile_record(*chain_profile, key.samples, key.seed, profiler);
+            }
+          }
+          if (options.profile != nullptr) {
+            ctx.profile_json = harness::render_run_profile(collector.snapshot());
           }
           // Only a completed run reaches put(): RunCancelled throws past it,
           // so a timed-out run never writes a partial cache record.
+          const RequestTrace::Scope put_scope(ctx.trace, "record-write");
           cache_.put(key, lookup.record);
         }
       } catch (...) {
@@ -486,6 +626,7 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
       promise.set_value(lookup.record);
     } else {
       out.coalesced = true;
+      const RequestTrace::Scope wait_scope(ctx.trace, "coalesced-wait");
       // A follower enforces its *own* deadline: the leader may have a longer
       // deadline (or none), so the wait is bounded by this request's token.
       // The leader keeps computing — only this reply times out.
@@ -500,6 +641,7 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
         }
       }
       lookup.record = future.get();  // rethrows if the leader failed
+      cache_.record_coalesced_hit();
     }
   } catch (const harness::RunCancelled&) {
     // Either our own deadline fired, or we coalesced onto a leader whose
@@ -515,54 +657,63 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
   return out;
 }
 
-ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request) {
+ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request,
+                                                       RequestContext& ctx) {
   RunSpec run;
-  if (std::string error = read_run_spec(
-          request, {"request", "experiment", "samples", "seed", "eval_path", "timeout_ms"},
-          run);
+  if (std::string error =
+          read_run_spec(request,
+                        {"request", "experiment", "samples", "seed", "eval_path",
+                         "timeout_ms", "trace", "trace_id"},
+                        run);
       !error.empty()) {
-    return error_reply(error);
+    return error_reply(ctx, error);
   }
+  ctx.experiment = run.experiment;
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
 
   std::atomic<bool> cancel{false};
   const ArmedDeadline deadline(watchdog_, start, effective_timeout_ms(run), &cancel);
-  const RunOutcome outcome = run_one(run, deadline.token());
-  if (!outcome.error.empty()) return error_reply(outcome.error, outcome.code);
+  const RunOutcome outcome = run_one(run, deadline.token(), ctx);
+  if (!outcome.error.empty()) return error_reply(ctx, outcome.error, outcome.code);
+  ctx.cache = outcome.coalesced ? "coalesced" : tier_name(outcome.tier);
 
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  const RequestTrace::Scope render_scope(ctx.trace, "render");
   JsonObject response;
   response.add("status", "ok");
   response.add("request", "run");
   response.add("experiment", run.experiment);
-  response.add("cache", outcome.coalesced ? "coalesced" : tier_name(outcome.tier));
+  response.add("cache", ctx.cache);
   response.add("wall_seconds", wall);
   response.add_json("record", outcome.record);
   return {response.render_line(), false};
 }
 
-ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& request) {
-  if (std::string error = check_fields(request, {"request", "runs", "timeout_ms"});
+ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& request,
+                                                             RequestContext& ctx) {
+  if (std::string error =
+          check_fields(request, {"request", "runs", "timeout_ms", "trace", "trace_id"});
       !error.empty()) {
-    return error_reply(error);
+    return error_reply(ctx, error);
   }
   const JsonValue* runs = request.find("runs");
   if (runs == nullptr || runs->kind() != JsonValue::Kind::kArray) {
-    return error_reply("run-batch requires array field 'runs'");
+    return error_reply(ctx, "run-batch requires array field 'runs'");
   }
   std::uint64_t timeout_ms = 0;
   bool timeout_given = false;
   if (std::string error = read_u64_field(request, "timeout_ms", timeout_ms, timeout_given);
       !error.empty()) {
-    return error_reply(error);
+    return error_reply(ctx, error);
   }
   if (timeout_given && timeout_ms == 0) {
-    return error_reply("field 'timeout_ms' must be positive (omit it for the server default)");
+    return error_reply(ctx,
+                       "field 'timeout_ms' must be positive (omit it for the server default)");
   }
   if (timeout_given && timeout_ms > kMaxTimeoutMs) {
-    return error_reply("field 'timeout_ms' must be at most 86400000 (24 hours)");
+    return error_reply(ctx, "field 'timeout_ms' must be at most 86400000 (24 hours)");
   }
 
   using Clock = std::chrono::steady_clock;
@@ -580,6 +731,9 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   std::uint64_t ok_count = 0;
   std::uint64_t error_count = 0;
   for (const JsonValue& element : runs->items()) {
+    // One "element" span per batch element (all depth 1, sequential): the
+    // trace shows where a slow batch spent its deadline element by element.
+    const RequestTrace::Scope element_scope(ctx.trace, "element");
     metrics_.record_batch_element();
     JsonObject rendered;
     RunSpec spec;
@@ -599,7 +753,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
     }
     RunOutcome outcome;
     try {
-      outcome = run_one(spec, deadline.token());
+      outcome = run_one(spec, deadline.token(), ctx);
     } catch (const std::exception& failure) {
       outcome.error = std::string("internal error: ") + failure.what();
       outcome.code = kCodeInternal;
@@ -621,6 +775,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   }
 
   const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  const RequestTrace::Scope render_scope(ctx.trace, "render");
   JsonObject response;
   response.add("status", "ok");
   response.add("request", "run-batch");
@@ -632,15 +787,17 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   return {response.render_line(), false};
 }
 
-ExperimentService::Reply ExperimentService::handle_list(const JsonValue& request) {
-  if (std::string error = check_fields(request, {"request", "prefix"}); !error.empty()) {
-    return error_reply(error);
+ExperimentService::Reply ExperimentService::handle_list(const JsonValue& request,
+                                                        RequestContext& ctx) {
+  if (std::string error = check_fields(request, {"request", "prefix", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
   }
   std::string prefix;
   bool given = false;
   if (std::string error = read_string_field(request, "prefix", prefix, given);
       !error.empty()) {
-    return error_reply(error);
+    return error_reply(ctx, error);
   }
 
   std::vector<std::string> error_rate;
@@ -660,17 +817,20 @@ ExperimentService::Reply ExperimentService::handle_list(const JsonValue& request
   return {response.render_line(), false};
 }
 
-ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& request) {
-  if (std::string error = check_fields(request, {"request", "experiment"}); !error.empty()) {
-    return error_reply(error);
+ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& request,
+                                                            RequestContext& ctx) {
+  if (std::string error =
+          check_fields(request, {"request", "experiment", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
   }
   std::string name;
   bool given = false;
   if (std::string error = read_string_field(request, "experiment", name, given);
       !error.empty()) {
-    return error_reply(error);
+    return error_reply(ctx, error);
   }
-  if (!given || name.empty()) return error_reply("describe requires field 'experiment'");
+  if (!given || name.empty()) return error_reply(ctx, "describe requires field 'experiment'");
 
   JsonObject response;
   response.add("status", "ok");
@@ -699,21 +859,35 @@ ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& req
     response.add("description", experiment->description);
     return {response.render_line(), false};
   }
-  return error_reply("unknown experiment '" + name + "' (try \"list\")",
+  return error_reply(ctx, "unknown experiment '" + name + "' (try \"list\")",
                      kCodeUnknownExperiment);
 }
 
-ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& request) {
-  if (std::string error = check_fields(request, {"request"}); !error.empty()) {
-    return error_reply(error);
+ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& request,
+                                                               RequestContext& ctx) {
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
   }
   const CacheStats stats = cache_.stats();
+  // Per-tier ratios over all lookups that answered a run: memory, disk,
+  // coalesced (single-flight followers), and leader misses.
+  const std::uint64_t hits = stats.memory_hits + stats.disk_hits + stats.coalesced_hits;
+  const std::uint64_t lookups = hits + stats.misses;
+  const auto ratio = [lookups](std::uint64_t count) {
+    return lookups == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(lookups);
+  };
   JsonObject response;
   response.add("status", "ok");
   response.add("request", "cache-stats");
   response.add("memory_hits", stats.memory_hits);
   response.add("disk_hits", stats.disk_hits);
+  response.add("coalesced_hits", stats.coalesced_hits);
   response.add("misses", stats.misses);
+  response.add("memory_hit_ratio", ratio(stats.memory_hits));
+  response.add("disk_hit_ratio", ratio(stats.disk_hits));
+  response.add("coalesced_hit_ratio", ratio(stats.coalesced_hits));
+  response.add("hit_ratio", ratio(hits));
   response.add("stores", stats.stores);
   response.add("evictions", stats.evictions);
   response.add("disk_evictions", stats.disk_evictions);
@@ -726,9 +900,11 @@ ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& 
   return {response.render_line(), false};
 }
 
-ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& request) {
-  if (std::string error = check_fields(request, {"request"}); !error.empty()) {
-    return error_reply(error);
+ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& request,
+                                                           RequestContext& ctx) {
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
   }
   const MetricsSnapshot snapshot = metrics_.snapshot();
   const CacheStats cache_stats = cache_.stats();
@@ -749,6 +925,7 @@ ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& requ
   response.add("in_flight", snapshot.in_flight);
   response.add("uptime_seconds", snapshot.uptime_seconds);
   response.add("qps", snapshot.qps);
+  response.add("qps_60s", snapshot.qps_60s);
   response.add("cache_hits", hits);
   response.add("cache_misses", cache_stats.misses);
   response.add("cache_hit_ratio",
@@ -766,9 +943,30 @@ ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& requ
   return {response.render_line(), false};
 }
 
-ExperimentService::Reply ExperimentService::handle_shutdown(const JsonValue& request) {
-  if (std::string error = check_fields(request, {"request"}); !error.empty()) {
-    return error_reply(error);
+ExperimentService::Reply ExperimentService::handle_metrics_prom(const JsonValue& request,
+                                                                RequestContext& ctx) {
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
+  }
+  // The exposition text rides the line-framed protocol as a JSON envelope:
+  // "body" is the complete text-format payload (newlines escaped by the
+  // renderer), "content_type" what an HTTP scraper would have been served.
+  // vlcsa_client --request=metrics-prom unwraps and prints the body raw.
+  const std::string body = render_prometheus_text(metrics_.snapshot(), cache_.stats());
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "metrics-prom");
+  response.add("content_type", "text/plain; version=0.0.4");
+  response.add("body", body);
+  return {response.render_line(), false};
+}
+
+ExperimentService::Reply ExperimentService::handle_shutdown(const JsonValue& request,
+                                                            RequestContext& ctx) {
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
   }
   JsonObject response;
   response.add("status", "ok");

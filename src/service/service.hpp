@@ -10,7 +10,15 @@
 //   {"request": "describe", "experiment": NAME}
 //   {"request": "cache-stats"}
 //   {"request": "metrics"}
+//   {"request": "metrics-prom"}
 //   {"request": "shutdown"}
+//
+// Every request additionally accepts the observability envelope fields
+// "trace": true (echo the request's span tree in the reply) and
+// "trace_id": ID (caller-supplied correlation id, echoed and logged);
+// trace.hpp has the span machinery and DESIGN.md the field reference.
+// Trace data lives only in reply envelopes and log files — never inside a
+// cached result record, whose bytes stay a pure function of the run inputs.
 //
 // over both experiment families (error-rate and chain-profile).  Request
 // parsing is strict in the cli.hpp tradition: unknown request names, unknown
@@ -42,6 +50,7 @@
 
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
+#include "service/trace.hpp"
 #include "service/watchdog.hpp"
 
 namespace vlcsa::harness {
@@ -56,6 +65,10 @@ struct ServiceConfig {
   int threads = 0;                  // engine threads per run (0 = all cores)
   std::uint64_t cache_max_bytes = 0;  // disk-tier byte cap; 0 = unbounded
   int timeout_ms = 0;  // default per-request run deadline; 0 = none
+  std::string trace_log{};   // JSONL trace sink (--trace-log); empty = off
+  std::string access_log{};  // JSONL access sink (--access-log); empty = off
+  std::uint64_t access_log_max_bytes = 0;  // rotate cap; 0 = unbounded
+  int slow_ms = 0;  // flag requests at/over this wall time; 0 = never
 };
 
 class ExperimentService {
@@ -77,26 +90,42 @@ class ExperimentService {
   [[nodiscard]] ResultCache& cache() { return cache_; }
   [[nodiscard]] ServiceMetrics& metrics() { return metrics_; }
 
+  /// Non-empty when a configured log file (trace_log/access_log) could not
+  /// be opened at construction; the daemon front end refuses to start then
+  /// rather than silently serving without its logs.
+  [[nodiscard]] const std::string& log_error() const { return log_error_; }
+
   /// Every request name handle_line dispatches, in documentation order —
   /// the list DESIGN.md's protocol reference is tested against
   /// (tests/service/protocol_doc_test.cpp).
   [[nodiscard]] static std::vector<std::string> request_names();
 
-  struct RunSpec;     // one validated run request / batch element
-  struct RunOutcome;  // what running one spec produced
+  struct RunSpec;         // one validated run request / batch element
+  struct RunOutcome;      // what running one spec produced
+  struct RequestContext;  // per-request observability state (spans, ids)
 
  private:
-  [[nodiscard]] Reply handle_run(const harness::JsonValue& request);
-  [[nodiscard]] Reply handle_run_batch(const harness::JsonValue& request);
-  [[nodiscard]] Reply handle_list(const harness::JsonValue& request);
-  [[nodiscard]] Reply handle_describe(const harness::JsonValue& request);
-  [[nodiscard]] Reply handle_cache_stats(const harness::JsonValue& request);
-  [[nodiscard]] Reply handle_metrics(const harness::JsonValue& request);
-  [[nodiscard]] Reply handle_shutdown(const harness::JsonValue& request);
+  [[nodiscard]] Reply handle_run(const harness::JsonValue& request, RequestContext& ctx);
+  [[nodiscard]] Reply handle_run_batch(const harness::JsonValue& request, RequestContext& ctx);
+  [[nodiscard]] Reply handle_list(const harness::JsonValue& request, RequestContext& ctx);
+  [[nodiscard]] Reply handle_describe(const harness::JsonValue& request, RequestContext& ctx);
+  [[nodiscard]] Reply handle_cache_stats(const harness::JsonValue& request, RequestContext& ctx);
+  [[nodiscard]] Reply handle_metrics(const harness::JsonValue& request, RequestContext& ctx);
+  [[nodiscard]] Reply handle_metrics_prom(const harness::JsonValue& request,
+                                          RequestContext& ctx);
+  [[nodiscard]] Reply handle_shutdown(const harness::JsonValue& request, RequestContext& ctx);
 
   /// Runs one validated spec through cache + single-flight + engine.
   /// `cancel` (may be null) is the caller-armed deadline token.
-  [[nodiscard]] RunOutcome run_one(const RunSpec& spec, const std::atomic<bool>* cancel);
+  [[nodiscard]] RunOutcome run_one(const RunSpec& spec, const std::atomic<bool>* cancel,
+                                   RequestContext& ctx);
+
+  /// End-of-request observability: feeds span durations into the per-stage
+  /// histograms, assigns a trace id, injects the trace echo into the reply
+  /// envelope (never into the embedded record), and writes the trace and
+  /// access log lines.  A single early-exit branch when nothing is enabled.
+  void finalize_request(RequestContext& ctx, const std::string& type, Reply& reply,
+                        double wall_seconds);
 
   /// Resolves the effective deadline for a run/run-batch request:
   /// request-level "timeout_ms" when given, else the config default.
@@ -106,6 +135,10 @@ class ExperimentService {
   ResultCache cache_;
   ServiceMetrics metrics_;
   DeadlineWatchdog watchdog_;
+  JsonlLog trace_log_;       // per-request span trees (+ profile), JSONL
+  JsonlLog access_log_;      // one compact line per request, JSONL
+  TraceIdGenerator trace_ids_;
+  std::string log_error_;    // see log_error()
 
   // Single-flight latch: concurrent run requests for the same cold key
   // compute once — the first request (leader) runs the experiment, the rest

@@ -187,6 +187,29 @@ INSTANTIATE_TEST_SUITE_P(Backends, RngBackendTest,
                            return std::string(planeops::to_string(info.param));
                          });
 
+TEST(RngAccountingTest, WordsDrawnCountsEveryConsumptionPath) {
+  BlockRng rng(11);
+  EXPECT_EQ(rng.words_drawn(), 0u);
+  for (int i = 0; i < 7; ++i) (void)rng();
+  EXPECT_EQ(rng.words_drawn(), 7u);
+
+  // generate_block consumes exactly its word count, at any alignment
+  // (including spans crossing the 312-word block boundary).
+  std::vector<std::uint64_t> buf(500);
+  rng.generate_block(buf.data(), buf.size());
+  EXPECT_EQ(rng.words_drawn(), 507u);
+
+  // discard counts too — the skipped words are consumed stream positions.
+  rng.discard(1000);
+  EXPECT_EQ(rng.words_drawn(), 1507u);
+  (void)rng();
+  EXPECT_EQ(rng.words_drawn(), 1508u);
+
+  // Reseeding resets the account along with the stream.
+  rng.seed(11);
+  EXPECT_EQ(rng.words_drawn(), 0u);
+}
+
 TEST(RngCopySemanticsTest, CopyConstructionSnapshotsTheStream) {
   // Copying from a non-const generator must pick the copy constructor (as
   // it does for std::mt19937_64), not the SeedSeq template — both copies

@@ -47,6 +47,20 @@ TEST(ResultCache, MissThenMemoryHit) {
   EXPECT_EQ(stats.memory_entries, 1u);
 }
 
+TEST(ResultCache, CoalescedHitsAreCountedAsTheirOwnTier) {
+  // The single-flight map lives in the service, not the cache, so followers
+  // report their hits explicitly — the counter still belongs here with the
+  // other tier stats the cache-stats request renders.
+  ResultCache cache("", 4);
+  EXPECT_EQ(cache.stats().coalesced_hits, 0u);
+  cache.record_coalesced_hit();
+  cache.record_coalesced_hit();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced_hits, 2u);
+  EXPECT_EQ(stats.memory_hits, 0u);  // a coalesced hit is not a tier lookup
+  EXPECT_EQ(stats.misses, 0u);
+}
+
 TEST(ResultCache, KeyComponentsAllDiscriminate) {
   ResultCache cache("", 8);
   const CacheKey key{"table7.1/n64", 1000, 1, "batched", ""};

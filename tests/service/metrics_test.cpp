@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <sstream>
 #include <string>
 
 #include "harness/json.hpp"
+#include "service/cache.hpp"
 #include "service/service.hpp"
 
 namespace vlcsa::service {
@@ -156,6 +159,134 @@ TEST(MetricsRequest, BatchElementsAndStrictValidation) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(u64_field(parsed.value, "batch_elements"), 2u);
   EXPECT_EQ(u64_field(*parsed.value.find("requests_by_type"), "run-batch"), 1u);
+}
+
+TEST(ServiceMetrics, RecentQpsMatchesLifetimeQpsEarlyInUptime) {
+  // With uptime under 60 s every recorded request is inside the ring's
+  // window, so the windowed rate and the lifetime average are the same
+  // number — the property that makes qps_60s trustworthy from first scrape.
+  ServiceMetrics metrics;
+  for (int i = 0; i < 50; ++i) metrics.record_request("list", true, 0.0001);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.requests_total, 50u);
+  EXPECT_GT(snapshot.qps, 0.0);
+  EXPECT_DOUBLE_EQ(snapshot.qps_60s, snapshot.qps);
+}
+
+TEST(ServiceMetrics, StageHistogramsTrackRecordedSpans) {
+  ServiceMetrics metrics;
+  metrics.record_stage("parse", 0.0000005);      // -> 1 us bucket
+  metrics.record_stage("parse", 0.0008);         // -> 1 ms bucket
+  metrics.record_stage("engine-run", 0.050);
+  metrics.record_stage("not-a-stage", 1.0);      // ignored: fixed label set
+
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  ASSERT_EQ(snapshot.stages.size(), ServiceMetrics::stage_names().size());
+  const auto find_stage = [&](const char* name) -> const StageLatency* {
+    for (const StageLatency& stage : snapshot.stages) {
+      if (stage.name == name) return &stage;
+    }
+    return nullptr;
+  };
+  const StageLatency* parse = find_stage("parse");
+  ASSERT_NE(parse, nullptr);
+  EXPECT_EQ(parse->count, 2u);
+  EXPECT_DOUBLE_EQ(parse->sum_seconds, 0.0008005);
+  const StageLatency* engine = find_stage("engine-run");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_EQ(engine->count, 1u);
+  EXPECT_EQ(find_stage("not-a-stage"), nullptr);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t count : parse->buckets) bucketed += count;
+  EXPECT_EQ(bucketed, 2u);
+}
+
+TEST(ServiceMetrics, PrometheusExpositionIsWellFormed) {
+  ServiceMetrics metrics;
+  metrics.record_request("run", true, 0.002);
+  metrics.record_request("list", false, 0.0001);
+  metrics.record_stage("parse", 0.00005);
+  CacheStats cache;
+  cache.memory_hits = 3;
+  cache.disk_hits = 1;
+  cache.coalesced_hits = 2;
+  cache.misses = 4;
+
+  const std::string text = render_prometheus_text(metrics.snapshot(), cache);
+
+  // Every non-comment line is `name{labels} value` with a finite value.
+  std::istringstream in(text);
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("vlcsa_", 0), 0u) << line;
+    const double value = std::stod(line.substr(space + 1));
+    EXPECT_FALSE(std::isnan(value)) << line;
+    ++samples;
+  }
+  EXPECT_GT(samples, 20u);
+
+  for (const char* needle :
+       {"# TYPE vlcsa_requests_total counter", "vlcsa_requests_total 2",
+        "vlcsa_requests_by_type_total{type=\"run\"} 1",
+        "vlcsa_cache_hits_total{tier=\"memory\"} 3",
+        "vlcsa_cache_hits_total{tier=\"coalesced\"} 2",
+        "vlcsa_request_latency_seconds_bucket{le=\"+Inf\"} 2",
+        "vlcsa_request_latency_seconds_count 2",
+        "vlcsa_stage_latency_seconds_bucket{stage=\"parse\",le=\"+Inf\"} 1",
+        "vlcsa_qps_60s"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+
+  // Cumulative-histogram invariant: bucket counts never decrease with le.
+  std::istringstream again(text);
+  std::uint64_t last = 0;
+  bool in_request_histogram = false;
+  while (std::getline(again, line)) {
+    const bool bucket = line.rfind("vlcsa_request_latency_seconds_bucket", 0) == 0;
+    if (bucket && !in_request_histogram) {
+      in_request_histogram = true;
+      last = 0;
+    }
+    if (!bucket) {
+      in_request_histogram = false;
+      continue;
+    }
+    const std::uint64_t count = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(count, last) << line;
+    last = count;
+  }
+}
+
+TEST(MetricsRequest, PromRequestWrapsTheExpositionInAnEnvelope) {
+  ExperimentService service({"", 16, 1});
+  EXPECT_TRUE(
+      service
+          .handle_line(
+              R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000})")
+          .ok);
+
+  const ExperimentService::Reply reply =
+      service.handle_line(R"({"request": "metrics-prom"})");
+  ASSERT_TRUE(reply.ok);
+  const harness::JsonParse parsed = parse_json(reply.line);
+  ASSERT_TRUE(parsed.ok()) << reply.line;
+  const JsonValue* content_type = parsed.value.find("content_type");
+  ASSERT_NE(content_type, nullptr);
+  EXPECT_EQ(content_type->as_string(), "text/plain; version=0.0.4");
+  const JsonValue* body = parsed.value.find("body");
+  ASSERT_NE(body, nullptr);
+  ASSERT_EQ(body->kind(), JsonValue::Kind::kString);
+  const std::string& text = body->as_string();
+  EXPECT_NE(text.find("vlcsa_requests_total 1"), std::string::npos);
+  EXPECT_NE(text.find("vlcsa_cache_misses_total 1"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+
+  // Strict validation: metrics-prom takes no other fields.
+  EXPECT_FALSE(service.handle_line(R"({"request": "metrics-prom", "x": 1})").ok);
 }
 
 }  // namespace

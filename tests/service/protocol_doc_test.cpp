@@ -73,5 +73,20 @@ TEST(ProtocolDoc, EveryDispatchedRequestHasAFieldTableHeading) {
   }
 }
 
+TEST(ProtocolDoc, TraceEnvelopeFieldsAreDocumented) {
+  // The request-envelope observability fields ("trace", "trace_id") and the
+  // echoed reply fields ride every request type, so they are documented once
+  // in the protocol reference rather than per request — but they must be
+  // documented.
+  std::ifstream in(design_md_path());
+  ASSERT_TRUE(in.is_open());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  for (const char* needle : {"`trace`", "`trace_id`", "`spans`"}) {
+    EXPECT_NE(contents.find(needle), std::string::npos)
+        << "DESIGN.md does not document the " << needle << " envelope field";
+  }
+}
+
 }  // namespace
 }  // namespace vlcsa::service

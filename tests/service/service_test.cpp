@@ -690,6 +690,53 @@ TEST(ServiceClient, ReadTimeoutFailsInsteadOfHangingOnASilentServer) {
   ::unlink(socket_path.c_str());
 }
 
+TEST(ExperimentService, CacheStatsBreaksHitsDownByTierWithRatios) {
+  const std::string dir = temp_dir("tiers");
+  const auto stats_of = [](ExperimentService& service) {
+    return parse_reply(service.handle_line(R"({"request": "cache-stats"})"));
+  };
+  const auto u64_of = [](const JsonValue& response, const char* name) {
+    std::uint64_t value = 0;
+    const JsonValue* field = response.find(name);
+    EXPECT_NE(field, nullptr) << name;
+    if (field != nullptr) {
+      EXPECT_TRUE(field->to_u64(value)) << name;
+    }
+    return value;
+  };
+  {
+    ExperimentService service({dir, 64, 1});
+    EXPECT_TRUE(service.handle_line(kErrorRateRun).ok);  // miss
+    EXPECT_TRUE(service.handle_line(kErrorRateRun).ok);  // memory hit
+    const JsonValue response = stats_of(service);
+    EXPECT_EQ(u64_of(response, "memory_hits"), 1u);
+    EXPECT_EQ(u64_of(response, "disk_hits"), 0u);
+    EXPECT_EQ(u64_of(response, "coalesced_hits"), 0u);
+    EXPECT_EQ(u64_of(response, "misses"), 1u);
+    // 2 lookups: 1 memory hit, 1 miss.
+    EXPECT_DOUBLE_EQ(response.find("memory_hit_ratio")->as_double(), 0.5);
+    EXPECT_DOUBLE_EQ(response.find("disk_hit_ratio")->as_double(), 0.0);
+    EXPECT_DOUBLE_EQ(response.find("coalesced_hit_ratio")->as_double(), 0.0);
+    EXPECT_DOUBLE_EQ(response.find("hit_ratio")->as_double(), 0.5);
+  }
+  {
+    // A restart empties the memory tier: the same run answers from disk.
+    ExperimentService service({dir, 64, 1});
+    EXPECT_TRUE(service.handle_line(kErrorRateRun).ok);
+    const JsonValue response = stats_of(service);
+    EXPECT_EQ(u64_of(response, "disk_hits"), 1u);
+    EXPECT_DOUBLE_EQ(response.find("disk_hit_ratio")->as_double(), 1.0);
+    EXPECT_DOUBLE_EQ(response.find("hit_ratio")->as_double(), 1.0);
+  }
+  {
+    // No traffic at all: every ratio is defined (0.0), never NaN.
+    ExperimentService service({"", 4, 1});
+    const JsonValue response = stats_of(service);
+    EXPECT_DOUBLE_EQ(response.find("hit_ratio")->as_double(), 0.0);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ExperimentService, CacheStatsReportsDiskTierSizeAndCap) {
   const std::string dir = temp_dir("cap");
   ServiceConfig config;
