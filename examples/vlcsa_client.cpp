@@ -20,6 +20,7 @@
 #include "harness/json.hpp"
 #include "harness/montecarlo.hpp"
 #include "harness/report.hpp"
+#include "service/fleet.hpp"
 #include "service/server.hpp"
 
 using namespace vlcsa;
@@ -30,12 +31,13 @@ void print_usage() {
   std::cout
       << "usage: vlcsa_client (--socket=PATH | --tcp=HOST:PORT)\n"
          "                    (--request=run|run-batch|list|describe|cache-stats\n"
-         "                               |metrics|metrics-prom|shutdown\n"
+         "                               |metrics|metrics-prom|drain|shutdown\n"
          "                     [--experiment=NAME] [--samples=N] [--seed=S]\n"
          "                     [--eval-path=batched|scalar] [--prefix=P]\n"
          "                     [--run-timeout-ms=T] [--trace] [--trace-id=ID]\n"
          "                     | --send=JSONLINE)\n"
          "                    [--connect-timeout-ms=N] [--timeout-ms=N]\n"
+         "                    [--retries=N] [--retry-base-ms=T]\n"
          "  --socket    Unix domain socket vlcsa_serve listens on\n"
          "  --tcp       TCP endpoint vlcsa_serve listens on\n"
          "  --request   protocol request to build from the flags below\n"
@@ -52,6 +54,11 @@ void print_usage() {
          "                         (default 0 = single attempt)\n"
          "  --timeout-ms   client I/O deadline: fail instead of hanging if the\n"
          "                 server goes silent (default 0 = wait forever)\n"
+         "  --retries      retry a refused connect, a transport failure, or an\n"
+         "                 overloaded/draining error reply up to N times with\n"
+         "                 exponential backoff + jitter (default 0 = no retry)\n"
+         "  --retry-base-ms   first backoff step; doubles per retry, capped at\n"
+         "                 5000 ms (default 100)\n"
          "exit status: 0 response ok, 1 response/transport error, 2 usage error\n";
 }
 
@@ -84,6 +91,8 @@ int main(int argc, char** argv) {
   int io_timeout_ms = 0;
   bool trace = false;
   std::string trace_id;
+  service::fleet::RetryPolicy retry_policy;
+  bool retry_base_given = false;
 
   const auto store_string = [](std::string& field) {
     return [&field](const std::string& value) {
@@ -131,6 +140,16 @@ int main(int argc, char** argv) {
          return harness::parse_nonnegative_int(value, io_timeout_ms);
        }},
       {"--trace-id", store_string(trace_id)},
+      {"--retries",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, retry_policy.attempts);
+       }},
+      {"--retry-base-ms",
+       [&](const std::string& value) {
+         retry_base_given = true;
+         return harness::parse_nonnegative_int(value, retry_policy.base_ms) &&
+                retry_policy.base_ms > 0;
+       }},
   };
 
   // --trace and --help take no value, so they sit outside the ValueFlag set.
@@ -163,6 +182,11 @@ int main(int argc, char** argv) {
     std::cerr << "error: exactly one of --request or --send is required\n";
     return 2;
   }
+  if (retry_base_given && retry_policy.attempts == 0) {
+    // A backoff base without retries would be silently dead.
+    std::cerr << "error: --retry-base-ms requires --retries\n";
+    return 2;
+  }
 
   std::string line = raw_line;
   if (!request.empty()) {
@@ -185,19 +209,26 @@ int main(int argc, char** argv) {
   const std::string connect_error =
       tcp ? client.connect_tcp_or_error(tcp_host, tcp_port, connect_timeout_ms)
           : client.connect_or_error(socket_path, connect_timeout_ms);
-  if (!connect_error.empty()) {
+  if (!connect_error.empty() && retry_policy.attempts == 0) {
+    // With retries the backoff loop redials — a daemon that is still coming
+    // up (or rotating) is exactly what retries exist for.
     std::cerr << "error: " << connect_error << "\n";
     return 1;
   }
-  if (io_timeout_ms > 0) {
+  if (connect_error.empty() && io_timeout_ms > 0) {
     if (const std::string error = client.set_io_timeout_ms(io_timeout_ms); !error.empty()) {
       std::cerr << "error: " << error << "\n";
       return 1;
     }
   }
   std::string response;
-  if (const std::string error = client.roundtrip(line, response); !error.empty()) {
-    std::cerr << "error: " << error << "\n";
+  std::uint64_t retries = 0;
+  const std::string transport_error =
+      retry_policy.attempts > 0 ? client.roundtrip_with_retry(line, response, retry_policy, &retries)
+                                : client.roundtrip(line, response);
+  if (retries > 0) std::cerr << "vlcsa_client: retried " << retries << " time(s)\n";
+  if (!transport_error.empty()) {
+    std::cerr << "error: " << transport_error << "\n";
     return 1;
   }
   const harness::JsonParse parsed = harness::parse_json(response);

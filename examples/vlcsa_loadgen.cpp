@@ -31,6 +31,7 @@
 #include "harness/cli.hpp"
 #include "harness/json.hpp"
 #include "harness/report.hpp"
+#include "service/fleet.hpp"
 #include "service/server.hpp"
 
 using namespace vlcsa;
@@ -43,6 +44,7 @@ void print_usage() {
          "                     [--repeat=N] [--concurrency=N] [--json=FILE]\n"
          "                     [--timeout-ms=N] [--connect-timeout-ms=N]\n"
          "                     [--slo-p99-ms=MS] [--trace-log=FILE]\n"
+         "                     [--retries=N] [--retry-base-ms=T]\n"
          "  --socket      Unix domain socket vlcsa_serve listens on\n"
          "  --tcp         TCP endpoint vlcsa_serve listens on\n"
          "  --trace       request trace: one protocol request line per line\n"
@@ -60,6 +62,11 @@ void print_usage() {
          "                request with a unique trace_id, then check each one\n"
          "                resolved to a complete span tree in that log and\n"
          "                report the per-stage time breakdown (stage_totals_ms)\n"
+         "  --retries     per-request retry budget: redial and retry on refused\n"
+         "                connects, transport failures, and overloaded/draining\n"
+         "                replies, with exponential backoff + jitter (default 0;\n"
+         "                retries are counted in the report's retries_seen)\n"
+         "  --retry-base-ms  first backoff step, doubling per retry (default 100)\n"
          "exit status: 0 clean replay, 1 errors/SLO miss/trace-log validation\n"
          "             failure, 2 usage error\n";
 }
@@ -76,6 +83,7 @@ struct WorkerResult {
   std::uint64_t ok = 0;
   std::uint64_t error_status = 0;     // well-formed {"status": "error"} replies
   std::uint64_t protocol_errors = 0;  // transport failures / malformed replies
+  std::uint64_t retries = 0;          // backoff retries taken (--retries)
   std::string first_error;            // what the first protocol error said
 };
 
@@ -177,6 +185,8 @@ int main(int argc, char** argv) {
   int io_timeout_ms = 0;
   int connect_timeout_ms = 2000;
   int slo_p99_ms = 0;
+  service::fleet::RetryPolicy retry_policy;
+  bool retry_base_given = false;
 
   const std::vector<harness::ValueFlag> flags = {
       {"--socket",
@@ -225,6 +235,16 @@ int main(int argc, char** argv) {
          daemon_trace_log = value;
          return true;
        }},
+      {"--retries",
+       [&](const std::string& value) {
+         return harness::parse_nonnegative_int(value, retry_policy.attempts);
+       }},
+      {"--retry-base-ms",
+       [&](const std::string& value) {
+         retry_base_given = true;
+         return harness::parse_nonnegative_int(value, retry_policy.base_ms) &&
+                retry_policy.base_ms > 0;
+       }},
   };
 
   for (int i = 1; i < argc; ++i) {
@@ -248,6 +268,10 @@ int main(int argc, char** argv) {
   }
   if (trace_path.empty()) {
     std::cerr << "error: --trace=FILE is required\n";
+    return 2;
+  }
+  if (retry_base_given && retry_policy.attempts == 0) {
+    std::cerr << "error: --retry-base-ms requires --retries\n";
     return 2;
   }
 
@@ -325,12 +349,14 @@ int main(int argc, char** argv) {
       const std::string connect_error =
           tcp ? client.connect_tcp_or_error(tcp_host, tcp_port, connect_timeout_ms)
               : client.connect_or_error(socket_path, connect_timeout_ms);
-      if (!connect_error.empty()) {
+      if (!connect_error.empty() && retry_policy.attempts == 0) {
+        // With a retry budget the per-request loop redials; without one the
+        // worker is dead on arrival.
         ++result.protocol_errors;
         result.first_error = connect_error;
         return;
       }
-      if (io_timeout_ms > 0) {
+      if (connect_error.empty() && io_timeout_ms > 0) {
         if (const std::string error = client.set_io_timeout_ms(io_timeout_ms);
             !error.empty()) {
           ++result.protocol_errors;
@@ -347,7 +373,11 @@ int main(int argc, char** argv) {
         }
         std::string response;
         const auto sent = Clock::now();
-        const std::string error = client.roundtrip(request, response);
+        const std::string error =
+            retry_policy.attempts > 0
+                ? client.roundtrip_with_retry(request, response, retry_policy,
+                                              &result.retries)
+                : client.roundtrip(request, response);
         result.latencies_seconds.push_back(
             std::chrono::duration<double>(Clock::now() - sent).count());
         if (!error.empty()) {
@@ -378,6 +408,7 @@ int main(int argc, char** argv) {
   std::uint64_t ok = 0;
   std::uint64_t error_status = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t retries_seen = 0;
   std::string first_error;
   for (const WorkerResult& result : results) {
     latencies.insert(latencies.end(), result.latencies_seconds.begin(),
@@ -385,6 +416,7 @@ int main(int argc, char** argv) {
     ok += result.ok;
     error_status += result.error_status;
     protocol_errors += result.protocol_errors;
+    retries_seen += result.retries;
     if (first_error.empty()) first_error = result.first_error;
   }
   std::sort(latencies.begin(), latencies.end());
@@ -449,7 +481,7 @@ int main(int argc, char** argv) {
   }
 
   harness::JsonObject report;
-  report.add("schema", "vlcsa-loadgen-2");
+  report.add("schema", "vlcsa-loadgen-3");
   report.add("transport", tcp ? "tcp" : "unix");
   report.add("endpoint", tcp ? tcp_host + ":" + std::to_string(tcp_port) : socket_path);
   report.add("trace", trace_path);
@@ -461,6 +493,7 @@ int main(int argc, char** argv) {
   report.add("ok", ok);
   report.add("error_status", error_status);
   report.add("protocol_errors", protocol_errors);
+  report.add("retries_seen", retries_seen);
   report.add("wall_seconds", wall);
   report.add("qps", wall > 0.0 ? static_cast<double>(latencies.size()) / wall : 0.0);
   report.add("latency_p50_ms", p50_ms);

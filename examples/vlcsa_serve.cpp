@@ -13,10 +13,18 @@
 //   $ echo '{"request": "run", "experiment": "table7.1/n64"}'
 //         | ./build/examples/vlcsa_serve --stdio --cache-dir=.vlcsa-cache
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "harness/cli.hpp"
 #include "service/server.hpp"
@@ -26,6 +34,14 @@ using namespace vlcsa;
 
 namespace {
 
+// SIGTERM/SIGINT request a graceful drain (rotation scripts `kill` the pid
+// from --pid-file).  The handler only sets a flag; a watcher thread calls
+// begin_drain() from normal context — everything interesting is
+// async-signal-unsafe.
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int) { g_signal = 1; }
+
 void print_usage() {
   std::cout << "usage: vlcsa_serve [--socket=PATH] [--tcp=HOST:PORT] [--stdio]\n"
                "                   [--cache-dir=DIR] [--cache-max-bytes=N]\n"
@@ -33,6 +49,9 @@ void print_usage() {
                "                   [--timeout-ms=T] [--max-pending=N]\n"
                "                   [--trace-log=FILE] [--access-log=FILE]\n"
                "                   [--access-log-max-bytes=N] [--slow-ms=T]\n"
+               "                   [--pid-file=FILE] [--drain-ms=T]\n"
+               "                   [--max-requests-per-conn=N] [--idle-timeout-ms=T]\n"
+               "                   [--lease-stale-ms=T]\n"
                "  --socket           Unix domain socket path to listen on\n"
                "  --tcp              TCP endpoint to listen on (port 0 = ephemeral;\n"
                "                     the bound port is printed on stderr); may be\n"
@@ -60,7 +79,21 @@ void print_usage() {
                "  --access-log-max-bytes  rotate the access log to FILE.1 when a write\n"
                "                     would push it past N bytes (default 0 = unbounded)\n"
                "  --slow-ms          flag requests at/over this wall time with\n"
-               "                     \"slow\": true in the logs (default 0 = never)\n";
+               "                     \"slow\": true in the logs (default 0 = never)\n"
+               "  --pid-file         write the daemon pid here once the listeners are\n"
+               "                     bound; removed again on clean exit (rotation\n"
+               "                     scripts `kill` this pid to drain)\n"
+               "  --drain-ms         graceful-drain deadline: on SIGTERM/SIGINT or a\n"
+               "                     drain request, wait this long for in-flight runs\n"
+               "                     before cancelling them (default 30000)\n"
+               "  --max-requests-per-conn  close a keep-alive conversation after this\n"
+               "                     many requests (default 0 = unbounded)\n"
+               "  --idle-timeout-ms  close a conversation idle this long (default 0 =\n"
+               "                     never)\n"
+               "  --lease-stale-ms   fleet cache sharing: age past which another\n"
+               "                     replica's compute lease or .tmp file counts as\n"
+               "                     crashed and is taken over (default 30000; 0 =\n"
+               "                     never take over)\n";
 }
 
 /// Splits "HOST:PORT" on the last ':' (tolerates IPv6 hosts like ::1:7411
@@ -85,6 +118,10 @@ int main(int argc, char** argv) {
   int memory_entries = 64;
   bool workers_given = false;
   bool max_pending_given = false;
+  std::string pid_file;
+  bool drain_ms_given = false;
+  bool conn_limits_given = false;
+  bool lease_stale_given = false;
 
   const std::vector<harness::ValueFlag> flags = {
       {"--socket",
@@ -148,6 +185,32 @@ int main(int argc, char** argv) {
        [&](const std::string& value) {
          return harness::parse_nonnegative_int(value, config.slow_ms);
        }},
+      {"--pid-file",
+       [&](const std::string& value) {
+         if (value.empty()) return false;
+         pid_file = value;
+         return true;
+       }},
+      {"--drain-ms",
+       [&](const std::string& value) {
+         drain_ms_given = true;
+         return harness::parse_nonnegative_int(value, server_options.drain_ms);
+       }},
+      {"--max-requests-per-conn",
+       [&](const std::string& value) {
+         conn_limits_given = true;
+         return harness::parse_nonnegative_int(value, server_options.max_requests_per_conn);
+       }},
+      {"--idle-timeout-ms",
+       [&](const std::string& value) {
+         conn_limits_given = true;
+         return harness::parse_nonnegative_int(value, server_options.idle_timeout_ms);
+       }},
+      {"--lease-stale-ms",
+       [&](const std::string& value) {
+         lease_stale_given = true;
+         return harness::parse_nonnegative_int(value, config.lease_stale_ms);
+       }},
   };
 
   // --stdio and --help take no value, so they sit outside the ValueFlag set.
@@ -210,6 +273,19 @@ int main(int argc, char** argv) {
     print_usage();
     return 2;
   }
+  if (stdio && (drain_ms_given || conn_limits_given || !pid_file.empty())) {
+    // Same principle: these only shape socket-mode connection handling.
+    std::cerr << "error: --pid-file/--drain-ms/--max-requests-per-conn/"
+                 "--idle-timeout-ms only apply to socket mode\n";
+    print_usage();
+    return 2;
+  }
+  if (lease_stale_given && config.cache_dir.empty()) {
+    // The lease/scratch staleness age only matters for a shared disk tier.
+    std::cerr << "error: --lease-stale-ms requires --cache-dir\n";
+    print_usage();
+    return 2;
+  }
   config.memory_entries = static_cast<std::size_t>(memory_entries);
 
   service::ExperimentService service(config);
@@ -235,14 +311,39 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
+  // The pid file appears only once the listeners are bound, so a rotation
+  // script that sees it can connect immediately.
+  if (!pid_file.empty()) {
+    std::ofstream pid_out(pid_file, std::ios::trunc);
+    pid_out << ::getpid() << "\n";
+    pid_out.flush();
+    if (!pid_out) {
+      std::cerr << "error: cannot write pid file " << pid_file << "\n";
+      return 1;
+    }
+  }
   std::cerr << "vlcsa_serve: listening on";
   if (!socket_path.empty()) std::cerr << " " << socket_path;
   if (tcp) std::cerr << " " << tcp_host << ":" << server.tcp_port();
   std::cerr << (config.cache_dir.empty() ? " (memory cache only)"
                                          : ", cache dir " + config.cache_dir)
             << "\n";
-  if (const std::string error = server.serve(); !error.empty()) {
-    std::cerr << "error: " << error << "\n";
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  std::atomic<bool> serve_done{false};
+  std::thread signal_watcher([&] {
+    while (!serve_done.load(std::memory_order_relaxed)) {
+      if (g_signal != 0) server.begin_drain();  // idempotent
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+  const std::string serve_error = server.serve();
+  serve_done.store(true, std::memory_order_relaxed);
+  signal_watcher.join();
+  if (!pid_file.empty()) std::remove(pid_file.c_str());
+  if (!serve_error.empty()) {
+    std::cerr << "error: " << serve_error << "\n";
     return 1;
   }
   return 0;

@@ -1,5 +1,7 @@
 #include "service/cache.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -8,6 +10,7 @@
 #include <vector>
 
 #include "harness/json.hpp"
+#include "service/fleet.hpp"
 
 namespace vlcsa::service {
 
@@ -90,21 +93,44 @@ bool record_matches_key(const std::string& record, const CacheKey& key) {
 }
 
 ResultCache::ResultCache(std::string disk_dir, std::size_t memory_capacity,
-                         std::uint64_t max_disk_bytes)
+                         std::uint64_t max_disk_bytes, int lease_stale_ms)
     : disk_dir_(std::move(disk_dir)),
       memory_capacity_(memory_capacity),
-      max_disk_bytes_(max_disk_bytes) {
+      max_disk_bytes_(max_disk_bytes),
+      lease_stale_ms_(lease_stale_ms < 0 ? 0 : lease_stale_ms) {
   if (!disk_dir_.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(disk_dir_, ec);
     // An uncreatable directory degrades every put/get to the memory tier;
     // reads/writes below handle the failure per file.
+    const std::lock_guard<std::mutex> lock(disk_mutex_);
+    fleet::DirLock dir_lock;
+    [[maybe_unused]] const bool locked = dir_lock.acquire(dir_lock_path());
+    // Crashed writers leave .tmp/.lease scratch behind; sweep what is
+    // provably stale.  Fresh scratch belongs to a live replica mid-write —
+    // deleting it would tear that replica's store — so it is kept.
+    reap_stale_scratch_locked();
     if (max_disk_bytes_ != 0) {
       // A pre-populated directory may already exceed the cap (e.g. after a
       // restart with a smaller --cache-max-bytes).
-      const std::lock_guard<std::mutex> lock(disk_mutex_);
       enforce_disk_cap_locked();
     }
+  }
+}
+
+std::string ResultCache::dir_lock_path() const { return disk_dir_ + "/.vlcsa.lock"; }
+
+void ResultCache::reap_stale_scratch_locked() {
+  if (lease_stale_ms_ == 0) return;  // takeover disabled: never touch foreign scratch
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(disk_dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string extension = entry.path().extension().string();
+    if (extension != ".tmp" && extension != ".lease") continue;
+    const long long age = fleet::lease_age_ms(entry.path().string());
+    if (age < 0 || age <= lease_stale_ms_) continue;
+    std::error_code remove_ec;
+    std::filesystem::remove(entry.path(), remove_ec);
   }
 }
 
@@ -130,14 +156,20 @@ void ResultCache::enforce_disk_cap_locked() {
   std::uint64_t total = 0;
   for (const auto& entry : std::filesystem::directory_iterator(disk_dir_, ec)) {
     if (!entry.is_regular_file(ec)) continue;
-    if (entry.path().extension() == ".tmp") {
-      // A crashed writer's leftover; no live .tmp can coexist with this
-      // walk (both run under disk_mutex_), so sweep it.
-      std::error_code remove_ec;
-      std::filesystem::remove(entry.path(), remove_ec);
+    const std::string extension = entry.path().extension().string();
+    if (extension == ".tmp" || extension == ".lease") {
+      // Scratch from a crashed writer — but only provably-stale scratch: a
+      // fresh .tmp/.lease may be another replica's store in flight (this
+      // walk holds the dir flock, which writers take only around the final
+      // rename, not around the slow record write).
+      const long long age = fleet::lease_age_ms(entry.path().string());
+      if (lease_stale_ms_ > 0 && age > lease_stale_ms_) {
+        std::error_code remove_ec;
+        std::filesystem::remove(entry.path(), remove_ec);
+      }
       continue;
     }
-    if (entry.path().extension() != ".json") continue;
+    if (extension != ".json") continue;
     // Per-field error codes: a failed mtime must not be masked by a
     // succeeding size query (or vice versa) — a record with indeterminate
     // age would sort as oldest and be evicted ahead of genuinely old ones.
@@ -212,6 +244,9 @@ ResultCache::Lookup ResultCache::get(const CacheKey& key) {
       std::string record = content.str();
       // File content is record + '\n'; strip exactly the framing newline.
       if (!record.empty() && record.back() == '\n') record.pop_back();
+      // Fault site: hand validation a half record, as if the read raced a
+      // non-atomic writer — it must degrade to a miss, never a wrong hit.
+      fleet::fault::maybe_tear("torn-read", record);
       const std::lock_guard<std::mutex> lock(mutex_);
       if (record_matches_key(record, key)) {
         promote_locked(map_key, record);
@@ -235,9 +270,12 @@ void ResultCache::put(const CacheKey& key, const std::string& record) {
   if (disk_dir_.empty()) return;
   // Write-then-rename so a concurrent reader (or a crash) never sees a
   // truncated record — it would be rejected by validation anyway, but a
-  // rename keeps the disk tier hit rate clean.
+  // rename keeps the disk tier hit rate clean.  The .tmp name carries the
+  // writer's pid: two replicas storing the same key write disjoint scratch
+  // files, and each rename is atomic (last one wins with byte-identical
+  // content — records are pure functions of the key).
   const std::string path = file_path(key);
-  const std::string tmp = path + ".tmp";
+  const std::string tmp = path + "." + std::to_string(::getpid()) + ".tmp";
   const std::lock_guard<std::mutex> disk_lock(disk_mutex_);
   std::error_code ec;
   bool wrote = false;
@@ -253,6 +291,16 @@ void ResultCache::put(const CacheKey& key, const std::string& record) {
     std::filesystem::remove(tmp, ec);
     return;
   }
+  // Fault sites for the fleet tests: dawdle with the .tmp written (so a
+  // kill -9 lands mid-store) or crash outright before the rename.
+  fleet::fault::maybe_sleep("slow-write", 1000);
+  fleet::fault::maybe_crash("crash-before-rename");
+  // The rename and any eviction walk run under the cross-process dir lock:
+  // concurrent replicas never walk (and double-count evictions) at once,
+  // and a walk never races a peer's rename.  An unlockable dir degrades to
+  // the single-process guarantee (rename is atomic regardless).
+  fleet::DirLock dir_lock;
+  [[maybe_unused]] const bool locked = dir_lock.acquire(dir_lock_path());
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
     std::filesystem::remove(tmp, ec);
@@ -265,6 +313,26 @@ void ResultCache::put(const CacheKey& key, const std::string& record) {
     disk_bytes_estimate_ += record.size() + 1;  // + framing '\n'
     if (disk_bytes_estimate_ > max_disk_bytes_) enforce_disk_cap_locked();
   }
+}
+
+std::string ResultCache::lease_path(const CacheKey& key) const {
+  return file_path(key) + ".lease";
+}
+
+fleet::ComputeLease ResultCache::try_acquire_lease(const CacheKey& key) {
+  fleet::ComputeLease lease;
+  if (disk_dir_.empty()) return lease;  // kDisabled: no shared tier to guard
+  lease.try_acquire(lease_path(key), lease_stale_ms_);
+  if (lease.took_over()) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.lease_takeovers;
+  }
+  return lease;
+}
+
+void ResultCache::record_lease_wait() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.lease_waits;
 }
 
 void ResultCache::record_coalesced_hit() {

@@ -17,6 +17,13 @@
 // when a store pushes the directory past the cap, the oldest records (by
 // last write time) are evicted until it fits again, so a long-running
 // daemon's cache directory stays bounded.
+//
+// The disk tier is safe to share between replicas (fleet.hpp): stores write
+// a per-process-unique `.tmp` and rename under an advisory directory flock,
+// eviction walks run under the same flock so two replicas never double-count
+// bytes, startup reaping is mtime-gated so a peer's in-flight `.tmp` is
+// never swept, and `try_acquire_lease` provides cross-process single-flight
+// (one replica computes a cold key, the others wait for its record).
 
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +31,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "service/fleet.hpp"
 
 namespace vlcsa::service {
 
@@ -53,6 +62,8 @@ struct CacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t disk_evictions = 0;  // record files removed by the byte cap
   std::uint64_t invalid_disk_records = 0;  // corrupt/mismatched files seen
+  std::uint64_t lease_waits = 0;      // misses that waited on another replica's lease
+  std::uint64_t lease_takeovers = 0;  // stale (crashed-holder) leases reaped
   std::uint64_t memory_entries = 0;  // current, not monotonic; filled by stats()
   std::uint64_t disk_bytes = 0;      // current on-disk record bytes; by stats()
 };
@@ -63,8 +74,11 @@ class ResultCache {
   /// created if absent.  `memory_capacity` 0 disables the memory tier.
   /// `max_disk_bytes` 0 leaves the disk tier unbounded; otherwise stores
   /// evict the oldest record files until total record bytes fit the cap.
+  /// `lease_stale_ms` bounds how old a foreign `.tmp`/`.lease` file may be
+  /// before it is presumed crashed and reaped (cross-replica staleness
+  /// takeover); 0 disables takeover entirely.
   ResultCache(std::string disk_dir, std::size_t memory_capacity,
-              std::uint64_t max_disk_bytes = 0);
+              std::uint64_t max_disk_bytes = 0, int lease_stale_ms = 30000);
 
   enum class Tier { kMemory, kDisk, kMiss };
 
@@ -96,17 +110,41 @@ class ResultCache {
   /// disk_dir.  Exposed so tests and the CI smoke step can find records.
   [[nodiscard]] std::string file_path(const CacheKey& key) const;
 
+  /// The key's compute-lease file (file_path + ".lease") — what
+  /// try_acquire_lease creates and waiters poll.
+  [[nodiscard]] std::string lease_path(const CacheKey& key) const;
+
+  /// Cross-process single-flight: attempts the key's compute lease.
+  /// kAcquired = we compute (release after put); kBusy = another replica is
+  /// computing, wait on lease_path; kDisabled = no disk tier, just compute.
+  /// Counts takeovers of stale leases into the stats.
+  [[nodiscard]] fleet::ComputeLease try_acquire_lease(const CacheKey& key);
+
+  /// Counts one lease wait: a miss that parked behind another replica's
+  /// compute lease instead of recomputing (the cross-process analogue of
+  /// record_coalesced_hit).
+  void record_lease_wait();
+
+  [[nodiscard]] int lease_stale_ms() const { return lease_stale_ms_; }
+
  private:
   void promote_locked(const std::string& map_key, const std::string& record);
   /// Sums the sizes of all ".json" record files in disk_dir_.
   [[nodiscard]] std::uint64_t disk_usage_bytes() const;
   /// Deletes oldest-first (by last write time) until the tier fits the cap;
-  /// called with disk_mutex_ held, after a store.
+  /// called with disk_mutex_ + the cross-process dir lock held.
   void enforce_disk_cap_locked();
+  /// Removes `.tmp`/`.lease` scratch files older than lease_stale_ms_
+  /// (crashed writers); fresh ones belong to a live peer and are kept.
+  /// Called with disk_mutex_ + the dir lock held (startup).
+  void reap_stale_scratch_locked();
+  /// The advisory cross-process lock file (".vlcsa.lock" inside disk_dir_).
+  [[nodiscard]] std::string dir_lock_path() const;
 
   std::string disk_dir_;
   std::size_t memory_capacity_;
   std::uint64_t max_disk_bytes_;
+  int lease_stale_ms_;
 
   // Serializes disk-tier writes and cap enforcement (separate from mutex_ so
   // slow filesystem work never blocks memory-tier lookups).

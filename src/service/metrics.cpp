@@ -40,8 +40,8 @@ const std::vector<std::string>& ServiceMetrics::request_types() {
   // protocol-doc test pins the dispatch table against DESIGN.md and the
   // metrics test pins this list against the dispatch table.
   static const std::vector<std::string> kTypes = {
-      "run",     "run-batch",    "list",     "describe",
-      "cache-stats", "metrics", "metrics-prom", "shutdown", "invalid"};
+      "run",     "run-batch",    "list",     "describe",  "cache-stats",
+      "metrics", "metrics-prom", "drain",    "shutdown",  "invalid"};
   return kTypes;
 }
 
@@ -51,7 +51,7 @@ const std::vector<std::string>& ServiceMetrics::stage_names() {
   // never see a label churn.  "request" (the root span) is excluded: its
   // distribution is the request latency histogram itself.
   static const std::vector<std::string> kStages = {
-      "parse", "cache-lookup", "coalesced-wait", "engine-run",
+      "parse", "cache-lookup", "coalesced-wait", "lease-wait", "engine-run",
       "record-write", "render", "element"};
   return kStages;
 }
@@ -130,6 +130,11 @@ void ServiceMetrics::record_rejected_connection() {
   ++rejected_connections_;
 }
 
+void ServiceMetrics::set_draining(bool draining) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = draining;
+}
+
 void ServiceMetrics::record_stage(const std::string& stage, double seconds) {
   const auto& names = stage_names();
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -155,6 +160,7 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   out.batch_elements = batch_elements_;
   out.rejected_connections = rejected_connections_;
   out.in_flight = in_flight_;
+  out.draining = draining_ ? 1 : 0;
   out.uptime_seconds = std::chrono::duration<double>(now - start_).count();
   out.qps = out.uptime_seconds > 0.0
                 ? static_cast<double>(requests_total_) / out.uptime_seconds
@@ -311,6 +317,9 @@ std::string render_prometheus_text(const MetricsSnapshot& metrics, const CacheSt
             prom_u64(metrics.rejected_connections));
   prom_header(out, "vlcsa_in_flight", "gauge", "Requests currently inside handlers.");
   prom_line(out, "vlcsa_in_flight", "", prom_u64(metrics.in_flight));
+  prom_header(out, "vlcsa_draining", "gauge",
+              "1 while the daemon is draining (rejecting new runs).");
+  prom_line(out, "vlcsa_draining", "", prom_u64(metrics.draining));
   prom_header(out, "vlcsa_qps_60s", "gauge",
               "Request rate over the last 60 seconds.");
   prom_line(out, "vlcsa_qps_60s", "", prom_double(metrics.qps_60s));
@@ -345,6 +354,12 @@ std::string render_prometheus_text(const MetricsSnapshot& metrics, const CacheSt
               "Corrupt or mismatched disk records seen.");
   prom_line(out, "vlcsa_cache_invalid_disk_records_total", "",
             prom_u64(cache.invalid_disk_records));
+  prom_header(out, "vlcsa_cache_lease_waits_total", "counter",
+              "Misses that waited on another replica's compute lease.");
+  prom_line(out, "vlcsa_cache_lease_waits_total", "", prom_u64(cache.lease_waits));
+  prom_header(out, "vlcsa_cache_lease_takeovers_total", "counter",
+              "Stale (crashed-holder) compute leases reaped.");
+  prom_line(out, "vlcsa_cache_lease_takeovers_total", "", prom_u64(cache.lease_takeovers));
   prom_header(out, "vlcsa_cache_memory_entries", "gauge", "Memory-tier entries.");
   prom_line(out, "vlcsa_cache_memory_entries", "", prom_u64(cache.memory_entries));
   prom_header(out, "vlcsa_cache_disk_bytes", "gauge", "Disk-tier record bytes.");

@@ -51,6 +51,7 @@ struct MetricsSnapshot {
   std::uint64_t batch_elements = 0;      // run-batch elements processed (ok or error)
   std::uint64_t rejected_connections = 0;  // accept-loop backlog rejections
   std::uint64_t in_flight = 0;           // requests currently inside a handler
+  std::uint64_t draining = 0;            // 1 while a graceful drain is under way
   double uptime_seconds = 0.0;
   double qps = 0.0;                      // requests_total / uptime (lifetime)
   double qps_60s = 0.0;                  // rate over the last 60 s ring
@@ -97,6 +98,10 @@ class ServiceMetrics {
   /// at its backlog cap.
   void record_rejected_connection();
 
+  /// Flips the drain gauge (begin_drain sets it; it never clears in practice
+  /// — a draining daemon exits).
+  void set_draining(bool draining);
+
   /// Records one stage duration (a trace span) into the per-stage latency
   /// histograms.  `stage` must be a stage_names() entry; unknown names are
   /// ignored so the histogram label set stays fixed for scrapers.
@@ -139,6 +144,7 @@ class ServiceMetrics {
   std::uint64_t batch_elements_ = 0;
   std::uint64_t rejected_connections_ = 0;
   std::uint64_t in_flight_ = 0;
+  bool draining_ = false;
   double latency_max_seconds_ = 0.0;
   double latency_sum_seconds_ = 0.0;
   Buckets buckets_{};

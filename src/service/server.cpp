@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "harness/json.hpp"
+
 namespace vlcsa::service {
 
 namespace {
@@ -61,6 +63,39 @@ bool recv_line(int fd, std::string& buffer, std::string& line) {
       errno = 0;
       return false;
     }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+/// recv_line with an optional idle deadline: when no complete line is
+/// buffered and nothing arrives within `idle_timeout_ms`, reports kIdle so
+/// the server can close a conversation that went quiet (keep-alive hygiene).
+enum class RecvStatus { kLine, kIdle, kClosed };
+
+RecvStatus recv_line_idle(int fd, std::string& buffer, std::string& line,
+                          int idle_timeout_ms) {
+  while (true) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      return RecvStatus::kLine;
+    }
+    if (idle_timeout_ms > 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, idle_timeout_ms);
+      } while (ready < 0 && errno == EINTR);
+      if (ready == 0) return RecvStatus::kIdle;
+      if (ready < 0) return RecvStatus::kClosed;
+    }
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(fd, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return RecvStatus::kClosed;
     buffer.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -211,6 +246,17 @@ std::string SocketServer::listen_or_error() {
   return {};
 }
 
+void SocketServer::begin_drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || draining_) return;
+    draining_ = true;
+    drain_start_ = std::chrono::steady_clock::now();
+  }
+  // Outside the lock: the service takes its own locks flipping drain state.
+  service_.begin_drain();
+}
+
 void SocketServer::request_stop() {
   const std::lock_guard<std::mutex> lock(mutex_);
   stopping_ = true;
@@ -226,13 +272,26 @@ void SocketServer::request_stop() {
 void SocketServer::handle_connection(int fd) {
   std::string buffer;
   std::string line;
-  while (recv_line(fd, buffer, line)) {
+  int served = 0;
+  while (true) {
+    const RecvStatus status = recv_line_idle(fd, buffer, line, options_.idle_timeout_ms);
+    if (status != RecvStatus::kLine) break;  // peer gone or idle-timed-out
     if (line.empty()) continue;
     const ExperimentService::Reply reply = service_.handle_line(line);
     if (!send_all(fd, reply.line + "\n")) break;
     if (reply.shutdown) {
       request_stop();
       break;
+    }
+    if (reply.drain) {
+      // Like the stdio transport, the drain reply ends this conversation;
+      // begin_drain moves serve() into its graceful-stop sequence.
+      begin_drain();
+      break;
+    }
+    ++served;
+    if (options_.max_requests_per_conn > 0 && served >= options_.max_requests_per_conn) {
+      break;  // keep-alive cap: the client redials (or retries) to continue
     }
   }
 }
@@ -273,7 +332,7 @@ std::string SocketServer::serve() {
   while (failure.empty()) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) break;
+      if (stopping_ || draining_) break;
     }
     pfds.clear();
     for (const int fd : listen_fds_) pfds.push_back({fd, POLLIN, 0});
@@ -317,9 +376,62 @@ std::string SocketServer::serve() {
     }
   }
 
-  // The one shutdown path, for a requested stop and an accept-loop failure
-  // alike: stop and join the workers, then close connections still queued
-  // unserved — an error return must not leak the pending fds.
+  // Graceful drain: stop listening right away (peers get ECONNREFUSED and
+  // retry another replica), keep serving the conversations we already have —
+  // their new runs answer "draining" — and wait for in-flight work.  At the
+  // drain deadline, cancel what is still running and read-half-close the
+  // remaining conversations (SHUT_RD, not RDWR: replies in flight still
+  // deliver, the next recv sees EOF).  A short backstop bounds the wait even
+  // against a worker wedged mid-send.
+  bool drained = false;
+  std::chrono::steady_clock::time_point drain_start;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    drained = draining_ && !stopping_;
+    drain_start = drain_start_;
+  }
+  if (failure.empty() && drained) {
+    for (std::size_t i = 0; i < listen_fds_.size(); ++i) {
+      if (listen_fds_[i] < 0) continue;
+      ::close(listen_fds_[i]);
+      listen_fds_[i] = -1;
+      if (listeners_[i].kind == ListenerSpec::Kind::kUnix) {
+        ::unlink(listeners_[i].path.c_str());
+      }
+    }
+    const auto deadline = drain_start + std::chrono::milliseconds(options_.drain_ms);
+    const auto backstop = deadline + std::chrono::seconds(2);
+    bool cancelled = false;
+    while (true) {
+      const bool runs_done = service_.active_runs() == 0;
+      bool conversations_done = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) break;
+        conversations_done = pending_.empty() && active_.empty();
+      }
+      if (runs_done && conversations_done) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= backstop) break;
+      if (now >= deadline && !cancelled) {
+        service_.cancel_active_runs();
+        cancelled = true;
+      }
+      if (runs_done || now >= deadline) {
+        // Only conversations remain (idle keep-alives, or ones whose runs
+        // were just cancelled): end them after their in-flight replies.
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const int fd : active_) ::shutdown(fd, SHUT_RD);
+        for (const int fd : pending_) ::shutdown(fd, SHUT_RD);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  // The one shutdown path, for a drained stop, a requested stop and an
+  // accept-loop failure alike: stop and join the workers, then close
+  // connections still queued unserved — an error return must not leak the
+  // pending fds.
   request_stop();
   for (auto& worker : pool) worker.join();
   for (const int fd : pending_) ::close(fd);
@@ -331,7 +443,19 @@ ServiceClient::~ServiceClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+void ServiceClient::close_connection() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
 std::string ServiceClient::connect_or_error(const std::string& socket_path, int timeout_ms) {
+  close_connection();
+  // Remembered before dialing so reconnect() can retry a refused endpoint.
+  endpoint_ = Endpoint::kUnix;
+  unix_path_ = socket_path;
+  connect_timeout_ms_ = timeout_ms;
+
   sockaddr_un addr{};
   std::string error;
   if (!fill_sockaddr(socket_path, addr, error)) return error;
@@ -354,6 +478,12 @@ std::string ServiceClient::connect_or_error(const std::string& socket_path, int 
 
 std::string ServiceClient::connect_tcp_or_error(const std::string& host, int port,
                                                 int timeout_ms) {
+  close_connection();
+  endpoint_ = Endpoint::kTcp;
+  tcp_host_ = host;
+  tcp_port_ = port;
+  connect_timeout_ms_ = timeout_ms;
+
   using Clock = std::chrono::steady_clock;
   const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   std::string last_error = "connect " + host + ":" + std::to_string(port) + " failed";
@@ -385,6 +515,7 @@ std::string ServiceClient::connect_tcp_or_error(const std::string& host, int por
 std::string ServiceClient::set_io_timeout_ms(int timeout_ms) {
   if (fd_ < 0) return "not connected";
   if (timeout_ms < 0) timeout_ms = 0;
+  io_timeout_ms_ = timeout_ms;
   timeval tv{};
   tv.tv_sec = timeout_ms / 1000;
   tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
@@ -415,6 +546,82 @@ std::string ServiceClient::read_response(std::string& response) {
     return "connection closed before a response line arrived";
   }
   return {};
+}
+
+std::string ServiceClient::reconnect() {
+  const Endpoint endpoint = endpoint_;
+  const int io_timeout_ms = io_timeout_ms_;
+  std::string error;
+  switch (endpoint) {
+    case Endpoint::kNone:
+      return "no endpoint configured (connect first)";
+    case Endpoint::kUnix:
+      error = connect_or_error(unix_path_, connect_timeout_ms_);
+      break;
+    case Endpoint::kTcp:
+      error = connect_tcp_or_error(tcp_host_, tcp_port_, connect_timeout_ms_);
+      break;
+  }
+  if (!error.empty()) return error;
+  if (io_timeout_ms > 0) return set_io_timeout_ms(io_timeout_ms);
+  return {};
+}
+
+namespace {
+
+/// True for well-formed error replies a retry can help with: the server
+/// refused this request ("overloaded" backlog shed, "draining" rotation) but
+/// the same request is valid against the same fleet a moment later.  Every
+/// other reply — ok, a semantic error, or a line that does not parse — is
+/// final.
+bool reply_is_retryable(const std::string& response) {
+  using Kind = harness::JsonValue::Kind;
+  const harness::JsonParse parse = harness::parse_json(response);
+  if (!parse.ok()) return false;
+  const harness::JsonValue* status = parse.value.find("status");
+  if (status == nullptr || status->kind() != Kind::kString ||
+      status->as_string() != "error") {
+    return false;
+  }
+  const harness::JsonValue* code = parse.value.find("code");
+  if (code == nullptr || code->kind() != Kind::kString) return false;
+  return code->as_string() == "overloaded" || code->as_string() == "draining";
+}
+
+}  // namespace
+
+std::string ServiceClient::roundtrip_with_retry(const std::string& request_line,
+                                                std::string& response,
+                                                const fleet::RetryPolicy& policy,
+                                                std::uint64_t* retries_out) {
+  fleet::BackoffSchedule backoff(policy);
+  std::string error;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) {
+      if (retries_out != nullptr) ++*retries_out;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff.next_delay_ms()));
+    }
+    if (fd_ < 0) {
+      error = reconnect();
+      if (!error.empty()) {
+        if (attempt >= policy.attempts) return error;
+        continue;  // refused/unreachable: the retryable case retries exist for
+      }
+    }
+    error = roundtrip(request_line, response);
+    if (!error.empty()) {
+      // Transport failure (peer hung up mid-roundtrip, keep-alive cap, I/O
+      // timeout): the connection state is unknown, drop it and redial.
+      close_connection();
+      if (attempt >= policy.attempts) return error;
+      continue;
+    }
+    if (!reply_is_retryable(response)) return {};
+    // The server answered but refused (overloaded/draining) — it also ends
+    // such conversations, so redial rather than reuse the half-dead fd.
+    close_connection();
+    if (attempt >= policy.attempts) return {};  // caller sees the refusal reply
+  }
 }
 
 }  // namespace vlcsa::service

@@ -19,7 +19,17 @@
 // new connection is answered with one "overloaded"-coded error line and
 // closed instead of queueing unboundedly.  A "shutdown" request answers the
 // requester, then stops the accept loop and drains the pool.
+//
+// A "drain" request (or begin_drain(), the signal handler's entry point)
+// stops the daemon *gracefully*: listeners close immediately, open
+// conversations keep being served — new runs inside them answer a
+// "draining"-coded error — and the server waits for in-flight runs to
+// finish.  At Options::drain_ms past the drain start, still-running work is
+// cancelled (those runs answer "draining" too) and remaining conversations
+// are read-half-closed so keep-alive clients move on; serve() then returns
+// "" exactly like a clean shutdown.
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "service/fleet.hpp"
 #include "service/service.hpp"
 
 namespace vlcsa::service {
@@ -59,6 +70,9 @@ class SocketServer {
   struct Options {
     int workers = 2;        // warm connection pool size (clamped to >= 1)
     int max_pending = 128;  // reject when this many fds await a worker; 0 = unbounded
+    int max_requests_per_conn = 0;  // close a conversation after this many; 0 = unbounded
+    int idle_timeout_ms = 0;        // close a conversation idle this long; 0 = never
+    int drain_ms = 30000;  // drain deadline: cancel still-running work after this
   };
 
   SocketServer(std::vector<ListenerSpec> listeners, ExperimentService& service,
@@ -83,6 +97,11 @@ class SocketServer {
 
   /// Thread-safe external stop (e.g. from a signal handler's helper thread).
   void request_stop();
+
+  /// Thread-safe graceful stop (idempotent; a no-op once stopping): flips
+  /// the service into drain mode and makes serve() run the drain sequence
+  /// described in the header comment.  SIGTERM handlers call this.
+  void begin_drain();
 
   /// First Unix listener's path ("" when serving TCP only).
   [[nodiscard]] std::string socket_path() const;
@@ -111,6 +130,8 @@ class SocketServer {
   std::deque<int> pending_;  // accepted fds awaiting a worker
   std::vector<int> active_;  // fds currently conversing with a worker
   bool stopping_ = false;
+  bool draining_ = false;    // graceful drain under way (see begin_drain)
+  std::chrono::steady_clock::time_point drain_start_{};
 };
 
 /// One client connection speaking the line protocol, over either transport.
@@ -148,9 +169,42 @@ class ServiceClient {
   /// a full-backlog connection receives.  Returns "" on success.
   [[nodiscard]] std::string read_response(std::string& response);
 
+  /// Drops the current connection (if any) and redials the endpoint the last
+  /// connect_* call configured, reapplying the I/O timeout.  Works even when
+  /// that connect failed — the endpoint is remembered before dialing, so a
+  /// client can be pointed at a daemon that is not up yet and retry in.
+  [[nodiscard]] std::string reconnect();
+
+  /// roundtrip(), plus fleet-grade resilience: on a transport error, a
+  /// refused connection, or an "overloaded"/"draining"-coded error reply,
+  /// drops the connection, sleeps one backoff step and retries, up to
+  /// `policy.attempts` retries (0 = plain roundtrip).  Each retry increments
+  /// `*retries_out` when given.  Returns "" when a response line arrived —
+  /// after exhausted retries that line may still be the refusal reply, so
+  /// callers inspect `response` as usual; a non-empty return means transport
+  /// failure even after retrying.
+  [[nodiscard]] std::string roundtrip_with_retry(const std::string& request_line,
+                                                 std::string& response,
+                                                 const fleet::RetryPolicy& policy,
+                                                 std::uint64_t* retries_out = nullptr);
+
  private:
+  enum class Endpoint { kNone, kUnix, kTcp };
+
+  /// Closes fd_ and clears the line buffer (half-received bytes must never
+  /// leak into the next connection's framing).
+  void close_connection();
+
   int fd_ = -1;
   std::string buffer_;  // bytes received past the last complete line
+
+  // The last-dialed endpoint, for reconnect()/roundtrip_with_retry.
+  Endpoint endpoint_ = Endpoint::kNone;
+  std::string unix_path_;
+  std::string tcp_host_;
+  int tcp_port_ = 0;
+  int connect_timeout_ms_ = 0;
+  int io_timeout_ms_ = 0;  // reapplied after every reconnect; 0 = none
 };
 
 }  // namespace vlcsa::service

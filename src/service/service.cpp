@@ -42,6 +42,7 @@ constexpr const char* kCodeUnknownRequest = "unknown-request";
 constexpr const char* kCodeUnknownExperiment = "unknown-experiment";
 constexpr const char* kCodeTimeout = "timeout";
 constexpr const char* kCodeInternal = "internal";
+constexpr const char* kCodeDraining = "draining";
 
 /// Upper bound on any request-supplied timeout_ms (24 hours): large enough
 /// for any real run, small enough to survive the milliseconds-as-int cast —
@@ -346,7 +347,8 @@ class ArmedDeadline {
 
 ExperimentService::ExperimentService(ServiceConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_dir, config_.memory_entries, config_.cache_max_bytes) {
+      cache_(config_.cache_dir, config_.memory_entries, config_.cache_max_bytes,
+             config_.lease_stale_ms) {
   if (!config_.trace_log.empty()) {
     log_error_ = trace_log_.open(config_.trace_log);
   }
@@ -359,8 +361,13 @@ ExperimentService::ExperimentService(ServiceConfig config)
 }
 
 std::vector<std::string> ExperimentService::request_names() {
-  return {"run",     "run-batch", "list",         "describe",
-          "cache-stats", "metrics", "metrics-prom", "shutdown"};
+  return {"run",     "run-batch", "list",         "describe", "cache-stats",
+          "metrics", "metrics-prom", "drain",     "shutdown"};
+}
+
+void ExperimentService::begin_drain() {
+  drain_.begin();
+  metrics_.set_draining(true);
 }
 
 ExperimentService::Reply ExperimentService::handle_line(const std::string& line) {
@@ -415,6 +422,7 @@ ExperimentService::Reply ExperimentService::handle_line(const std::string& line)
           {"cache-stats", &ExperimentService::handle_cache_stats},
           {"metrics", &ExperimentService::handle_metrics},
           {"metrics-prom", &ExperimentService::handle_metrics_prom},
+          {"drain", &ExperimentService::handle_drain},
           {"shutdown", &ExperimentService::handle_shutdown},
       };
       const std::string& request = request_field->as_string();
@@ -429,7 +437,7 @@ ExperimentService::Reply ExperimentService::handle_line(const std::string& line)
         reply = error_reply(ctx,
                             "unknown request '" + request +
                                 "' (expected run, run-batch, list, describe, cache-stats, "
-                                "metrics, metrics-prom or shutdown)",
+                                "metrics, metrics-prom, drain or shutdown)",
                             kCodeUnknownRequest);
       } else {
         type = row->name;
@@ -543,12 +551,24 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
     key.stream_version = kGaussStreamVersion;
   }
 
+  // Cancellation wears two hats: a fired per-request deadline (timeout) or
+  // a server drain cancelling in-flight runs at its deadline (draining —
+  // clients should retry another replica, and it is not a timeout metric).
+  const auto cancelled = [this, &out](const std::string& what) {
+    if (drain_.draining()) {
+      out.error = "draining: " + what + " (server is draining, retry another replica)";
+      out.code = kCodeDraining;
+    } else {
+      metrics_.record_timeout();
+      out.error = "timeout: " + what;
+      out.code = kCodeTimeout;
+    }
+  };
+
   // A deadline that already fired answers without touching the cache, so a
   // timed-out batch drains its remaining elements in microseconds.
   if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
-    metrics_.record_timeout();  // counted like any other timeout-coded reply
-    out.error = "timeout: deadline expired before the run started";
-    out.code = kCodeTimeout;
+    cancelled("deadline expired before the run started");
     return out;
   }
 
@@ -577,11 +597,34 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
   try {
     if (leader) {
       try {
-        {
-          const RequestTrace::Scope lookup_scope(ctx.trace, "cache-lookup");
-          lookup = cache_.get(key);
-        }
-        if (lookup.tier == ResultCache::Tier::kMiss) {
+        bool lease_waited = false;
+        while (true) {
+          {
+            const RequestTrace::Scope lookup_scope(ctx.trace, "cache-lookup");
+            lookup = cache_.get(key);
+          }
+          if (lookup.tier != ResultCache::Tier::kMiss) break;
+          // Cross-process single-flight (fleet.hpp): replicas sharing one
+          // cache dir elect a computer per cold key via a lease file.  kBusy
+          // means another replica is already sampling this key — wait for
+          // its record (or its crash) instead of duplicating the compute.
+          const fleet::ComputeLease lease = cache_.try_acquire_lease(key);
+          if (lease.state() == fleet::ComputeLease::State::kBusy) {
+            if (!lease_waited) {
+              lease_waited = true;  // count once per request, not per poll round
+              cache_.record_lease_wait();
+            }
+            const RequestTrace::Scope wait_scope(ctx.trace, "lease-wait");
+            const fleet::LeaseWaitResult wait = fleet::wait_for_lease_release(
+                cache_.lease_path(key), cache_.lease_stale_ms(), cancel);
+            if (wait == fleet::LeaseWaitResult::kCancelled) throw harness::RunCancelled{};
+            // kReleased: the holder stored (next lookup hits disk) or failed
+            // (next round takes the lease).  kStale: the holder crashed; the
+            // next try_acquire_lease reaps it and takes over.  Either way a
+            // false takeover is harmless — a concurrent survivor would only
+            // rename byte-identical content over byte-identical content.
+            continue;
+          }
           harness::RunOptions options;
           options.samples = key.samples;
           options.seed = key.seed;
@@ -606,10 +649,15 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
           if (options.profile != nullptr) {
             ctx.profile_json = harness::render_run_profile(collector.snapshot());
           }
-          // Only a completed run reaches put(): RunCancelled throws past it,
-          // so a timed-out run never writes a partial cache record.
-          const RequestTrace::Scope put_scope(ctx.trace, "record-write");
-          cache_.put(key, lookup.record);
+          {
+            // Only a completed run reaches put(): RunCancelled throws past
+            // it, so a timed-out run never writes a partial cache record.
+            const RequestTrace::Scope put_scope(ctx.trace, "record-write");
+            cache_.put(key, lookup.record);
+          }
+          // The lease releases here (RAII) — after the record is on disk,
+          // so a waiter that sees the release always finds the record.
+          break;
         }
       } catch (...) {
         {
@@ -633,9 +681,7 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
       if (cancel != nullptr) {
         while (future.wait_for(std::chrono::milliseconds(5)) != std::future_status::ready) {
           if (cancel->load(std::memory_order_relaxed)) {
-            metrics_.record_timeout();
-            out.error = "timeout: deadline expired while waiting for a coalesced run";
-            out.code = kCodeTimeout;
+            cancelled("deadline expired while waiting for a coalesced run");
             return out;
           }
         }
@@ -646,9 +692,7 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
   } catch (const harness::RunCancelled&) {
     // Either our own deadline fired, or we coalesced onto a leader whose
     // deadline fired — the computation is gone either way.
-    metrics_.record_timeout();
-    out.error = "timeout: run cancelled before completion";
-    out.code = kCodeTimeout;
+    cancelled("run cancelled before completion");
     return out;
   }
 
@@ -659,6 +703,12 @@ ExperimentService::RunOutcome ExperimentService::run_one(const RunSpec& run,
 
 ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request,
                                                        RequestContext& ctx) {
+  // New work is refused during a drain; observational requests keep working
+  // (rotation scripts poll metrics/cache-stats while the drain converges).
+  if (drain_.draining()) {
+    return error_reply(ctx, "server draining: not accepting new runs, retry another replica",
+                       kCodeDraining);
+  }
   RunSpec run;
   if (std::string error =
           read_run_spec(request,
@@ -674,8 +724,14 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request,
   const auto start = Clock::now();
 
   std::atomic<bool> cancel{false};
+  // Registered for the drain deadline's cancel sweep (declaration order
+  // matters: the scope unregisters before the token it points at dies).
+  const fleet::DrainState::RunScope drain_scope(drain_, &cancel);
   const ArmedDeadline deadline(watchdog_, start, effective_timeout_ms(run), &cancel);
-  const RunOutcome outcome = run_one(run, deadline.token(), ctx);
+  // The token goes to the engine whether or not a deadline is armed: the
+  // drain sweep (cancel_active_runs) flips it too, and an untimed run must
+  // still die at the drain deadline.
+  const RunOutcome outcome = run_one(run, &cancel, ctx);
   if (!outcome.error.empty()) return error_reply(ctx, outcome.error, outcome.code);
   ctx.cache = outcome.coalesced ? "coalesced" : tier_name(outcome.tier);
 
@@ -693,6 +749,10 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request,
 
 ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& request,
                                                              RequestContext& ctx) {
+  if (drain_.draining()) {
+    return error_reply(ctx, "server draining: not accepting new runs, retry another replica",
+                       kCodeDraining);
+  }
   if (std::string error =
           check_fields(request, {"request", "runs", "timeout_ms", "trace", "trace_id"});
       !error.empty()) {
@@ -724,6 +784,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   const int effective_ms =
       timeout_given ? static_cast<int>(timeout_ms) : config_.timeout_ms;
   std::atomic<bool> cancel{false};
+  const fleet::DrainState::RunScope drain_scope(drain_, &cancel);
   const ArmedDeadline deadline(watchdog_, start, effective_ms, &cancel);
 
   std::vector<std::string> results;
@@ -753,7 +814,9 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
     }
     RunOutcome outcome;
     try {
-      outcome = run_one(spec, deadline.token(), ctx);
+      // &cancel, not deadline.token(): the drain sweep must reach untimed
+      // batches too (see handle_run).
+      outcome = run_one(spec, &cancel, ctx);
     } catch (const std::exception& failure) {
       outcome.error = std::string("internal error: ") + failure.what();
       outcome.code = kCodeInternal;
@@ -892,6 +955,8 @@ ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& 
   response.add("evictions", stats.evictions);
   response.add("disk_evictions", stats.disk_evictions);
   response.add("invalid_disk_records", stats.invalid_disk_records);
+  response.add("lease_waits", stats.lease_waits);
+  response.add("lease_takeovers", stats.lease_takeovers);
   response.add("memory_entries", stats.memory_entries);
   response.add("memory_capacity", static_cast<std::uint64_t>(cache_.memory_capacity()));
   response.add("disk_dir", cache_.disk_dir());
@@ -923,6 +988,7 @@ ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& requ
   response.add("batch_elements", snapshot.batch_elements);
   response.add("rejected_connections", snapshot.rejected_connections);
   response.add("in_flight", snapshot.in_flight);
+  response.add("draining", snapshot.draining != 0);
   response.add("uptime_seconds", snapshot.uptime_seconds);
   response.add("qps", snapshot.qps);
   response.add("qps_60s", snapshot.qps_60s);
@@ -962,6 +1028,26 @@ ExperimentService::Reply ExperimentService::handle_metrics_prom(const JsonValue&
   return {response.render_line(), false};
 }
 
+ExperimentService::Reply ExperimentService::handle_drain(const JsonValue& request,
+                                                         RequestContext& ctx) {
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+      !error.empty()) {
+    return error_reply(ctx, error);
+  }
+  // Flip the service-level flag immediately (so even a stdio conversation
+  // rejects later runs); the socket server sees Reply::drain and drives the
+  // connection side — stop accepting, drain deadline, exit 0.
+  begin_drain();
+  JsonObject response;
+  response.add("status", "ok");
+  response.add("request", "drain");
+  response.add("draining", true);
+  response.add("active_runs", static_cast<std::uint64_t>(drain_.active_runs()));
+  Reply reply{response.render_line(), false};
+  reply.drain = true;
+  return reply;
+}
+
 ExperimentService::Reply ExperimentService::handle_shutdown(const JsonValue& request,
                                                             RequestContext& ctx) {
   if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
@@ -982,7 +1068,9 @@ std::uint64_t serve_stdio(std::istream& in, std::ostream& out, ExperimentService
     const ExperimentService::Reply reply = service.handle_line(line);
     out << reply.line << '\n' << std::flush;
     ++handled;
-    if (reply.shutdown) break;
+    // A drain ends a stdio conversation the same way a shutdown does: the
+    // one connection this transport has is done accepting work.
+    if (reply.shutdown || reply.drain) break;
   }
   return handled;
 }

@@ -11,6 +11,7 @@
 //   {"request": "cache-stats"}
 //   {"request": "metrics"}
 //   {"request": "metrics-prom"}
+//   {"request": "drain"}
 //   {"request": "shutdown"}
 //
 // Every request additionally accepts the observability envelope fields
@@ -49,6 +50,7 @@
 #include <vector>
 
 #include "service/cache.hpp"
+#include "service/fleet.hpp"
 #include "service/metrics.hpp"
 #include "service/trace.hpp"
 #include "service/watchdog.hpp"
@@ -69,6 +71,7 @@ struct ServiceConfig {
   std::string access_log{};  // JSONL access sink (--access-log); empty = off
   std::uint64_t access_log_max_bytes = 0;  // rotate cap; 0 = unbounded
   int slow_ms = 0;  // flag requests at/over this wall time; 0 = never
+  int lease_stale_ms = 30000;  // fleet: crashed-peer .tmp/.lease takeover age; 0 = never
 };
 
 class ExperimentService {
@@ -79,6 +82,7 @@ class ExperimentService {
     std::string line;       // one response object, no trailing newline
     bool shutdown = false;  // the request asked the daemon to stop
     bool ok = true;         // "status" was "ok" (metrics bookkeeping)
+    bool drain = false;     // the request asked the daemon to drain gracefully
   };
 
   /// Handles one request line, returning one response line.  Never throws on
@@ -94,6 +98,19 @@ class ExperimentService {
   /// be opened at construction; the daemon front end refuses to start then
   /// rather than silently serving without its logs.
   [[nodiscard]] const std::string& log_error() const { return log_error_; }
+
+  /// Graceful drain (idempotent): from here on, run/run-batch requests
+  /// answer a "draining"-coded error while observational requests (list,
+  /// metrics, cache-stats, ...) keep working so rotation scripts can watch
+  /// the drain converge.  The socket server drives the connection side
+  /// (stop accepting, drain deadline — server.hpp).
+  void begin_drain();
+  [[nodiscard]] bool draining() const { return drain_.draining(); }
+  /// Runs currently inside run/run-batch handlers (drain progress).
+  [[nodiscard]] std::size_t active_runs() const { return drain_.active_runs(); }
+  /// Flips every in-flight run's cancel token — the drain deadline fired;
+  /// cancelled runs answer "draining"-coded errors.
+  void cancel_active_runs() { drain_.cancel_active_runs(); }
 
   /// Every request name handle_line dispatches, in documentation order —
   /// the list DESIGN.md's protocol reference is tested against
@@ -113,6 +130,7 @@ class ExperimentService {
   [[nodiscard]] Reply handle_metrics(const harness::JsonValue& request, RequestContext& ctx);
   [[nodiscard]] Reply handle_metrics_prom(const harness::JsonValue& request,
                                           RequestContext& ctx);
+  [[nodiscard]] Reply handle_drain(const harness::JsonValue& request, RequestContext& ctx);
   [[nodiscard]] Reply handle_shutdown(const harness::JsonValue& request, RequestContext& ctx);
 
   /// Runs one validated spec through cache + single-flight + engine.
@@ -139,6 +157,7 @@ class ExperimentService {
   JsonlLog access_log_;      // one compact line per request, JSONL
   TraceIdGenerator trace_ids_;
   std::string log_error_;    // see log_error()
+  fleet::DrainState drain_;  // graceful-drain flag + in-flight run registry
 
   // Single-flight latch: concurrent run requests for the same cold key
   // compute once — the first request (leader) runs the experiment, the rest
@@ -149,9 +168,9 @@ class ExperimentService {
 };
 
 /// The --stdio transport: reads request lines from `in` until EOF or a
-/// shutdown request, writing one response line each to `out` (flushed per
-/// line, so a pipe peer can converse).  Returns the number of requests
-/// handled.  This is the mode tests and one-shot pipelines use; the Unix
+/// shutdown/drain request (a one-conversation transport drains by ending the
+/// conversation), writing one response line each to `out` (flushed per line,
+/// so a pipe peer can converse).  Returns the number of requests handled.  This is the mode tests and one-shot pipelines use; the Unix
 /// socket transport lives in server.hpp.
 std::uint64_t serve_stdio(std::istream& in, std::ostream& out, ExperimentService& service);
 

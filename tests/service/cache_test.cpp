@@ -7,11 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+
+#include "service/fleet.hpp"
 
 namespace vlcsa::service {
 namespace {
@@ -260,6 +266,222 @@ TEST(ResultCache, FilePathIsReadableAndKeyed) {
   CacheKey other = key;
   other.seed = 2;
   EXPECT_NE(cache.file_path(other), path);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-mode disk tier: crash recovery, scratch reaping, fault injection, and
+// two replicas sharing one cache directory (fork-based — cache_test runs no
+// threads, so forking is safe even under the sanitizers).
+
+void backdate(const std::string& path, int seconds) {
+  const auto stamp = std::filesystem::last_write_time(path);
+  std::filesystem::last_write_time(path, stamp - std::chrono::seconds(seconds));
+}
+
+int count_with_extension(const std::string& dir, const std::string& extension) {
+  int count = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == extension) ++count;
+  }
+  return count;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(ResultCacheFleet, StartupReapsOnlyProvablyStaleScratch) {
+  const std::string dir = temp_dir("reap");
+  std::filesystem::create_directories(dir);
+  const CacheKey key{"exp/reap", 10, 1, "batched", ""};
+  {
+    ResultCache writer(dir, 0);
+    writer.put(key, record_for(key));
+  }
+  const auto scratch = [&](const std::string& name) {
+    std::ofstream out(dir + "/" + name);
+    out << "scratch\n";
+  };
+  scratch("crashed.json.1234.tmp");
+  scratch("crashed.json.lease");
+  backdate(dir + "/crashed.json.1234.tmp", 60);
+  backdate(dir + "/crashed.json.lease", 60);
+  scratch("live-peer.json.5678.tmp");  // fresh: a live replica mid-store
+
+  ResultCache cache(dir, 0, 0, /*lease_stale_ms=*/1000);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/crashed.json.1234.tmp"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/crashed.json.lease"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/live-peer.json.5678.tmp"))
+      << "fresh foreign scratch must survive startup reaping";
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kDisk);  // records untouched
+
+  // lease_stale_ms 0 disables takeover: even ancient scratch is never swept.
+  scratch("ancient.json.9.tmp");
+  backdate(dir + "/ancient.json.9.tmp", 3600);
+  ResultCache frozen(dir, 0, 0, /*lease_stale_ms=*/0);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/ancient.json.9.tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheFleet, TruncatedRecordAndLeftoverTmpRecoverOnRestart) {
+  // The crash the write-then-rename scheme defends against, seen at startup:
+  // a torn record file (e.g. torn by the filesystem, not the protocol) plus
+  // a dead writer's .tmp.  The restarted daemon must serve a miss, reap the
+  // scratch, and recover by recomputing.
+  const std::string dir = temp_dir("restart");
+  const CacheKey key{"exp/restart", 10, 1, "batched", ""};
+  const std::string record = record_for(key, "recovered");
+  std::string path;
+  {
+    ResultCache writer(dir, 0);
+    writer.put(key, record);
+    path = writer.file_path(key);
+  }
+  const std::string full = read_file(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << full.substr(0, full.size() / 2);
+  }
+  {
+    std::ofstream out(path + ".4242.tmp");
+    out << full.substr(0, 3);
+  }
+  backdate(path + ".4242.tmp", 60);
+
+  ResultCache cache(dir, 0, 0, /*lease_stale_ms=*/1000);
+  EXPECT_EQ(count_with_extension(dir, ".tmp"), 0);
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().invalid_disk_records, 1u);
+  cache.put(key, record);
+  const auto hit = cache.get(key);
+  EXPECT_EQ(hit.tier, ResultCache::Tier::kDisk);
+  EXPECT_EQ(hit.record, record);
+  EXPECT_EQ(read_file(path), record + "\n");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheFleet, TornReadFaultDegradesToMissNeverWrongHit) {
+  const std::string dir = temp_dir("torn");
+  ResultCache cache(dir, 0);
+  const CacheKey key{"exp/torn", 10, 1, "batched", ""};
+  const std::string record = record_for(key, "whole");
+  cache.put(key, record);
+
+  fleet::fault::configure_for_test("torn-read");
+  EXPECT_EQ(cache.get(key).tier, ResultCache::Tier::kMiss);
+  EXPECT_EQ(cache.stats().invalid_disk_records, 1u);
+
+  // The fault tears the in-memory read, not the file: healthy reads hit.
+  fleet::fault::configure_for_test("");
+  const auto hit = cache.get(key);
+  EXPECT_EQ(hit.tier, ResultCache::Tier::kDisk);
+  EXPECT_EQ(hit.record, record);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheFleet, CrashBeforeRenameLeavesScratchNotARecord) {
+  const std::string dir = temp_dir("crash");
+  const CacheKey key{"exp/crash", 10, 1, "batched", ""};
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Child replica: dies at the injected fault site mid-store.  No gtest
+    // in the child — it reports through its exit status alone.
+    fleet::fault::configure_for_test("crash-before-rename");
+    ResultCache dying(dir, 0);
+    dying.put(key, record_for(key));
+    _exit(0);  // unreachable: the fault site _exits with kExitCode first
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), fleet::fault::kExitCode);
+
+  // The kill landed between write and rename: scratch exists, the record
+  // does not, and a surviving replica sees a plain miss (the fresh .tmp is
+  // kept — it cannot be told apart from a live peer's in-flight store).
+  ResultCache survivor(dir, 0);
+  EXPECT_FALSE(std::filesystem::exists(survivor.file_path(key)));
+  EXPECT_EQ(count_with_extension(dir, ".tmp"), 1);
+  EXPECT_EQ(survivor.get(key).tier, ResultCache::Tier::kMiss);
+
+  // Once the scratch ages past the staleness bound, a restart reaps it and
+  // the key recovers through a normal recompute-and-store.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".tmp") backdate(entry.path().string(), 60);
+  }
+  ResultCache reaper(dir, 0, 0, /*lease_stale_ms=*/1000);
+  EXPECT_EQ(count_with_extension(dir, ".tmp"), 0);
+  reaper.put(key, record_for(key));
+  EXPECT_EQ(reaper.get(key).tier, ResultCache::Tier::kDisk);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheFleet, TwoProcessConcurrentStoreIsByteIdentical) {
+  // Two replicas store the same key into one directory at once — the
+  // determinism contract makes their records byte-identical, and the
+  // pid-suffixed tmp + dir-locked rename make the overlap harmless: one
+  // record file, exact bytes, no scratch left behind.
+  const std::string dir = temp_dir("twoproc");
+  const CacheKey key{"exp/shared", 20, 3, "batched", ""};
+  const std::string record = record_for(key, "identical-bytes");
+  ResultCache mine(dir, 0);  // created before the fork so both see the dir
+
+  const pid_t child = fork();
+  ASSERT_NE(child, -1);
+  if (child == 0) {
+    // Dawdle with the .tmp written so the stores genuinely overlap.
+    fleet::fault::configure_for_test("slow-write=50");
+    ResultCache peer(dir, 0);
+    peer.put(key, record);
+    _exit(std::filesystem::exists(peer.file_path(key)) ? 0 : 1);
+  }
+  mine.put(key, record);
+  int status = 0;
+  ASSERT_EQ(waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  EXPECT_EQ(count_with_extension(dir, ".json"), 1);
+  EXPECT_EQ(count_with_extension(dir, ".tmp"), 0);
+  EXPECT_EQ(read_file(mine.file_path(key)), record + "\n");
+  const auto hit = mine.get(key);
+  EXPECT_EQ(hit.tier, ResultCache::Tier::kDisk);
+  EXPECT_EQ(hit.record, record);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ResultCacheFleet, LeaseCountersFlowThroughStats) {
+  const std::string dir = temp_dir("leasestats");
+  ResultCache cache(dir, 0, 0, /*lease_stale_ms=*/1000);
+  const CacheKey key{"exp/lease", 10, 1, "batched", ""};
+
+  // First acquire wins; with the lease file present a second cache (another
+  // "replica") reads busy; a stale lease is taken over and counted.
+  {
+    const fleet::ComputeLease lease = cache.try_acquire_lease(key);
+    EXPECT_EQ(lease.state(), fleet::ComputeLease::State::kAcquired);
+    ResultCache other(dir, 0, 0, 1000);
+    EXPECT_EQ(other.try_acquire_lease(key).state(), fleet::ComputeLease::State::kBusy);
+  }
+  {
+    std::ofstream out(cache.lease_path(key));
+    out << "424242\n";
+  }
+  backdate(cache.lease_path(key), 60);
+  EXPECT_EQ(cache.try_acquire_lease(key).state(), fleet::ComputeLease::State::kAcquired);
+  cache.record_lease_wait();
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lease_takeovers, 1u);
+  EXPECT_EQ(stats.lease_waits, 1u);
+
+  // No disk tier: the lease machinery reports disabled, never blocks.
+  ResultCache memory_only("", 4);
+  EXPECT_EQ(memory_only.try_acquire_lease(key).state(), fleet::ComputeLease::State::kDisabled);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

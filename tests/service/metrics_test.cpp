@@ -92,6 +92,17 @@ TEST(ServiceMetrics, InFlightGaugeTracksScope) {
   EXPECT_EQ(metrics.snapshot().in_flight, 0u);
 }
 
+TEST(ServiceMetrics, DrainingGaugeFollowsSetDraining) {
+  ServiceMetrics metrics;
+  EXPECT_EQ(metrics.snapshot().draining, 0u);
+  metrics.set_draining(true);
+  EXPECT_EQ(metrics.snapshot().draining, 1u);
+  const std::string text = render_prometheus_text(metrics.snapshot(), CacheStats{});
+  EXPECT_NE(text.find("vlcsa_draining 1"), std::string::npos);
+  metrics.set_draining(false);
+  EXPECT_EQ(metrics.snapshot().draining, 0u);
+}
+
 TEST(ServiceMetrics, TypeListMatchesDispatchTablePlusInvalid) {
   // request_types() must be exactly the dispatch table's names plus the
   // "invalid" fallback slot, in order.

@@ -72,7 +72,10 @@ void expect_error_containing(ExperimentService& service, const std::string& line
 std::string read_single_cache_file(const std::string& dir) {
   std::string found;
   int count = 0;
+  // Only .json record files: the directory also holds the fleet-mode
+  // .vlcsa.lock advisory-lock file.
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
     ++count;
     found = entry.path().string();
   }
@@ -350,6 +353,7 @@ TEST(SocketServer, EndToEndOverUnixSocket) {
 std::vector<std::string> read_cache_files_sorted(const std::string& dir) {
   std::vector<std::string> contents;
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;  // skip .vlcsa.lock
     std::ifstream in(entry.path(), std::ios::binary);
     std::ostringstream content;
     content << in.rdbuf();
@@ -476,8 +480,14 @@ TEST(ExperimentService, TimeoutCancelsRunWithoutWritingACacheRecord) {
   EXPECT_NE(field(response, "error").find("timeout"), std::string::npos);
 
   EXPECT_EQ(service.cache_stats().stores, 0u);
-  EXPECT_FALSE(std::filesystem::exists(dir) &&
-               !std::filesystem::is_empty(dir));  // no record file, even partial
+  // No record file, even partial (the dir itself holds the fleet lock file).
+  int record_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json" || entry.path().extension() == ".tmp") {
+      ++record_files;
+    }
+  }
+  EXPECT_EQ(record_files, 0);
   EXPECT_EQ(service.metrics().snapshot().timeouts, 1u);
 
   // The same key still computes fine afterwards with a sane budget.

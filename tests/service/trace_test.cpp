@@ -346,6 +346,7 @@ TEST(ExperimentService, TracedRunCachesAByteIdenticalRecord) {
     std::string content;
     int count = 0;
     for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() != ".json") continue;  // skip .vlcsa.lock
       ++count;
       std::ifstream in(entry.path(), std::ios::binary);
       content.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
