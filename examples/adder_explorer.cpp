@@ -61,7 +61,8 @@ void print_usage() {
                "  --json        also write a machine-readable result record to FILE\n"
                "  --profile     print the engine run profile (shards, RNG words drawn,\n"
                "                fill/eval/merge time split, backend) to stderr as one\n"
-               "                JSON line\n"
+               "                JSON line; with --json the profile is also embedded\n"
+               "                in the record as its \"profile\" member\n"
                "  --list-experiments  list registry experiment names\n";
 }
 
@@ -160,6 +161,9 @@ int run_experiment_by_name(const harness::ExplorerOptions& opt) {
       record.add("avg_cycles", result.average_cycles());
       record.add("wall_seconds", wall);
       record.add("samples_per_sec", rate);
+      if (opt.profile) {
+        record.add_json("profile", harness::render_run_profile(collector.snapshot()));
+      }
       write_json(opt.json_path, record);
     }
     return 0;
@@ -209,6 +213,9 @@ int run_experiment_by_name(const harness::ExplorerOptions& opt) {
       record.add("mean_chain_length", profiler.mean_length());
       record.add("wall_seconds", wall);
       record.add("samples_per_sec", rate);
+      if (opt.profile) {
+        record.add_json("profile", harness::render_run_profile(collector.snapshot()));
+      }
       write_json(opt.json_path, record);
     }
     return 0;

@@ -32,6 +32,7 @@
 #include "harness/json.hpp"
 #include "harness/report.hpp"
 #include "service/fleet.hpp"
+#include "service/metrics.hpp"
 #include "service/server.hpp"
 
 using namespace vlcsa;
@@ -107,9 +108,12 @@ struct LoggedSpan {
 
 /// Checks one trace-log line's span array for well-formedness: exactly one
 /// depth-0 root named "request" (first in the array), depths that follow the
-/// open order (a span's depth equals its parents on the stack), and every
-/// child interval contained in its parent's.  Returns "" or what is wrong,
-/// and accumulates per-stage microseconds into `stage_totals_us`.
+/// open order (a span's depth equals its parents on the stack), every child
+/// interval contained in its parent's, and every non-root span named after a
+/// registered service stage.  Returns "" or what is wrong, and accumulates
+/// per-stage microseconds into `stage_totals_us` (pre-seeded with every
+/// stage_names() entry, so a stage the daemon never hit — e.g. lease-wait on
+/// a single-replica run — still reports as a zero row instead of vanishing).
 std::string check_span_tree(const std::vector<LoggedSpan>& spans,
                             std::vector<std::pair<std::string, std::uint64_t>>& stage_totals_us) {
   if (spans.empty()) return "no spans";
@@ -137,7 +141,13 @@ std::string check_span_tree(const std::vector<LoggedSpan>& spans,
           break;
         }
       }
-      if (!found) stage_totals_us.emplace_back(span.name, span.dur_us);
+      // Any stage the service can emit was pre-seeded, so an unmatched name
+      // is a span this validator does not know — fail loudly instead of
+      // silently folding it in (the gate that let lease-wait go unvalidated
+      // when the fleet PR introduced it).
+      if (!found) {
+        return "span '" + span.name + "' is not a registered service stage";
+      }
     }
     stack.push_back(&span);
   }
@@ -433,7 +443,13 @@ int main(int argc, char** argv) {
   // failed (those ids never reached the daemon).
   std::string trace_log_error;
   std::uint64_t traced_requests = 0;
+  // Pre-seeded with the service's full stage vocabulary: stages that never
+  // fired stay as zero rows (stage_totals_ms keys are stable across runs)
+  // and any span outside this set fails validation.
   std::vector<std::pair<std::string, std::uint64_t>> stage_totals_us;
+  for (const std::string& stage : service::ServiceMetrics::stage_names()) {
+    stage_totals_us.emplace_back(stage, 0);
+  }
   if (!daemon_trace_log.empty() && protocol_errors == 0) {
     std::unordered_set<std::string> expected;
     for (std::uint64_t index = 0; index < total_requests; ++index) {
@@ -481,7 +497,7 @@ int main(int argc, char** argv) {
   }
 
   harness::JsonObject report;
-  report.add("schema", "vlcsa-loadgen-3");
+  report.add("schema", "vlcsa-loadgen-4");
   report.add("transport", tcp ? "tcp" : "unix");
   report.add("endpoint", tcp ? tcp_host + ":" + std::to_string(tcp_port) : socket_path);
   report.add("trace", trace_path);

@@ -125,6 +125,12 @@ void ServiceMetrics::record_batch_element() {
   ++batch_elements_;
 }
 
+void ServiceMetrics::record_sweep_request(std::uint64_t cells) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++sweep_requests_;
+  sweep_cells_ += cells;
+}
+
 void ServiceMetrics::record_rejected_connection() {
   const std::lock_guard<std::mutex> lock(mutex_);
   ++rejected_connections_;
@@ -158,6 +164,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   out.error_total = error_total_;
   out.timeouts = timeouts_;
   out.batch_elements = batch_elements_;
+  out.sweep_requests = sweep_requests_;
+  out.sweep_cells = sweep_cells_;
   out.rejected_connections = rejected_connections_;
   out.in_flight = in_flight_;
   out.draining = draining_ ? 1 : 0;
@@ -311,6 +319,12 @@ std::string render_prometheus_text(const MetricsSnapshot& metrics, const CacheSt
   prom_header(out, "vlcsa_batch_elements_total", "counter",
               "run-batch elements processed.");
   prom_line(out, "vlcsa_batch_elements_total", "", prom_u64(metrics.batch_elements));
+  prom_header(out, "vlcsa_sweep_requests_total", "counter",
+              "run/run-batch requests declaring origin \"sweep\".");
+  prom_line(out, "vlcsa_sweep_requests_total", "", prom_u64(metrics.sweep_requests));
+  prom_header(out, "vlcsa_sweep_cells_total", "counter",
+              "Sweep grid cells carried by origin-\"sweep\" run traffic.");
+  prom_line(out, "vlcsa_sweep_cells_total", "", prom_u64(metrics.sweep_cells));
   prom_header(out, "vlcsa_rejected_connections_total", "counter",
               "Connections rejected at the backlog cap.");
   prom_line(out, "vlcsa_rejected_connections_total", "",

@@ -49,6 +49,8 @@ struct MetricsSnapshot {
   std::uint64_t error_total = 0;
   std::uint64_t timeouts = 0;            // run/run-batch elements cancelled by deadline
   std::uint64_t batch_elements = 0;      // run-batch elements processed (ok or error)
+  std::uint64_t sweep_requests = 0;      // run/run-batch requests declaring origin "sweep"
+  std::uint64_t sweep_cells = 0;         // sweep cells those requests carried
   std::uint64_t rejected_connections = 0;  // accept-loop backlog rejections
   std::uint64_t in_flight = 0;           // requests currently inside a handler
   std::uint64_t draining = 0;            // 1 while a graceful drain is under way
@@ -93,6 +95,12 @@ class ServiceMetrics {
   /// One run-batch element was processed (counted in addition to the
   /// enclosing run-batch request itself).
   void record_batch_element();
+
+  /// One run/run-batch request declared "origin": "sweep", carrying `cells`
+  /// grid cells (1 for a run, the element count for a run-batch) — the
+  /// daemon-side view of sweep traffic an operator watches from Prometheus
+  /// while a grid hammers a replica.
+  void record_sweep_request(std::uint64_t cells);
 
   /// The accept loop turned a connection away because the pending queue was
   /// at its backlog cap.
@@ -142,6 +150,8 @@ class ServiceMetrics {
   std::uint64_t error_total_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t batch_elements_ = 0;
+  std::uint64_t sweep_requests_ = 0;
+  std::uint64_t sweep_cells_ = 0;
   std::uint64_t rejected_connections_ = 0;
   std::uint64_t in_flight_ = 0;
   bool draining_ = false;

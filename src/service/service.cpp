@@ -24,6 +24,7 @@ struct ExperimentService::RequestContext {
   RequestTrace trace;
   std::string trace_id;        // request-supplied, else generated in finalize
   bool echo = false;           // "trace": true — echo spans in the reply
+  std::string origin;          // caller-declared traffic origin (e.g. "sweep")
   std::string experiment;      // run requests: the experiment name
   std::string cache;           // run requests: hit-memory/hit-disk/miss/coalesced
   const char* code = nullptr;  // error code when the reply is an error
@@ -104,8 +105,10 @@ std::string read_string_field(const JsonValue& request, const char* name, std::s
 }
 
 /// Reads the observability envelope fields every top-level request accepts:
-/// "trace" (bool — echo the span tree in the reply) and "trace_id" (string —
-/// caller-supplied correlation id).  "" or an error message.
+/// "trace" (bool — echo the span tree in the reply), "trace_id" (string —
+/// caller-supplied correlation id) and "origin" (string — what kind of
+/// caller this traffic comes from, e.g. "sweep"; logged, and counted in the
+/// sweep metrics for run traffic).  "" or an error message.
 std::string read_trace_envelope(const JsonValue& request,
                                 ExperimentService::RequestContext& ctx) {
   const JsonValue* flag = request.find("trace");
@@ -119,6 +122,12 @@ std::string read_trace_envelope(const JsonValue& request,
     if (id->kind() != JsonValue::Kind::kString) return "field 'trace_id' must be a string";
     ctx.trace_id = id->as_string();
     if (ctx.trace_id.empty()) return "field 'trace_id' must be non-empty";
+  }
+  const JsonValue* origin = request.find("origin");
+  if (origin != nullptr) {
+    if (origin->kind() != JsonValue::Kind::kString) return "field 'origin' must be a string";
+    ctx.origin = origin->as_string();
+    if (ctx.origin.empty()) return "field 'origin' must be non-empty";
   }
   return {};
 }
@@ -479,10 +488,13 @@ void ExperimentService::finalize_request(RequestContext& ctx, const std::string&
   // The echo goes into the already-rendered reply envelope, in front of its
   // closing brace — the embedded record bytes stay untouched, keeping the
   // determinism contract (cached records never carry wall time or spans).
+  // A traced engine run's profile rides along, so a sweep or client can
+  // attribute a computed run without tailing the daemon's trace log.
   if (ctx.echo && !reply.line.empty() && reply.line.back() == '}') {
-    reply.line.insert(reply.line.size() - 1,
-                      ", \"trace_id\": \"" + harness::json_escape(ctx.trace_id) +
-                          "\", \"spans\": " + ctx.trace.render_spans());
+    std::string echo = ", \"trace_id\": \"" + harness::json_escape(ctx.trace_id) +
+                       "\", \"spans\": " + ctx.trace.render_spans();
+    if (!ctx.profile_json.empty()) echo += ", \"profile\": " + ctx.profile_json;
+    reply.line.insert(reply.line.size() - 1, echo);
   }
 
   if (!trace_log_.enabled() && !access_log_.enabled()) return;
@@ -493,6 +505,7 @@ void ExperimentService::finalize_request(RequestContext& ctx, const std::string&
   entry.add("ts", timestamp);
   entry.add("trace_id", ctx.trace_id);
   entry.add("type", type);
+  if (!ctx.origin.empty()) entry.add("origin", ctx.origin);
   if (!ctx.experiment.empty()) entry.add("experiment", ctx.experiment);
   if (!ctx.cache.empty()) entry.add("cache", ctx.cache);
   entry.add("status", reply.ok ? "ok" : "error");
@@ -713,12 +726,13 @@ ExperimentService::Reply ExperimentService::handle_run(const JsonValue& request,
   if (std::string error =
           read_run_spec(request,
                         {"request", "experiment", "samples", "seed", "eval_path",
-                         "timeout_ms", "trace", "trace_id"},
+                         "timeout_ms", "trace", "trace_id", "origin"},
                         run);
       !error.empty()) {
     return error_reply(ctx, error);
   }
   ctx.experiment = run.experiment;
+  if (ctx.origin == "sweep") metrics_.record_sweep_request(1);
 
   using Clock = std::chrono::steady_clock;
   const auto start = Clock::now();
@@ -754,7 +768,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
                        kCodeDraining);
   }
   if (std::string error =
-          check_fields(request, {"request", "runs", "timeout_ms", "trace", "trace_id"});
+          check_fields(request, {"request", "runs", "timeout_ms", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -774,6 +788,9 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
   }
   if (timeout_given && timeout_ms > kMaxTimeoutMs) {
     return error_reply(ctx, "field 'timeout_ms' must be at most 86400000 (24 hours)");
+  }
+  if (ctx.origin == "sweep") {
+    metrics_.record_sweep_request(static_cast<std::uint64_t>(runs->items().size()));
   }
 
   using Clock = std::chrono::steady_clock;
@@ -796,6 +813,10 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
     // trace shows where a slow batch spent its deadline element by element.
     const RequestTrace::Scope element_scope(ctx.trace, "element");
     metrics_.record_batch_element();
+    // Per-element profile attribution: run_one fills ctx.profile_json for a
+    // traced computed run; clearing it per element keeps each profile with
+    // its own element instead of the last miss shadowing the batch.
+    ctx.profile_json.clear();
     JsonObject rendered;
     RunSpec spec;
     std::string error;
@@ -832,6 +853,10 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
       rendered.add("experiment", spec.experiment);
       rendered.add("cache", outcome.coalesced ? "coalesced" : tier_name(outcome.tier));
       rendered.add_json("record", outcome.record);
+      // A traced computed element carries its own RunProfile (cache hits
+      // never ran the engine and have none) — the per-cell attribution
+      // sweeps aggregate into their profile rollups.
+      if (!ctx.profile_json.empty()) rendered.add_json("profile", ctx.profile_json);
       ++ok_count;
     }
     results.push_back(rendered.render_line());
@@ -852,7 +877,7 @@ ExperimentService::Reply ExperimentService::handle_run_batch(const JsonValue& re
 
 ExperimentService::Reply ExperimentService::handle_list(const JsonValue& request,
                                                         RequestContext& ctx) {
-  if (std::string error = check_fields(request, {"request", "prefix", "trace", "trace_id"});
+  if (std::string error = check_fields(request, {"request", "prefix", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -883,7 +908,7 @@ ExperimentService::Reply ExperimentService::handle_list(const JsonValue& request
 ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& request,
                                                             RequestContext& ctx) {
   if (std::string error =
-          check_fields(request, {"request", "experiment", "trace", "trace_id"});
+          check_fields(request, {"request", "experiment", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -928,7 +953,7 @@ ExperimentService::Reply ExperimentService::handle_describe(const JsonValue& req
 
 ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& request,
                                                                RequestContext& ctx) {
-  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -967,7 +992,7 @@ ExperimentService::Reply ExperimentService::handle_cache_stats(const JsonValue& 
 
 ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& request,
                                                            RequestContext& ctx) {
-  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -986,6 +1011,8 @@ ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& requ
   response.add("error_total", snapshot.error_total);
   response.add("timeouts", snapshot.timeouts);
   response.add("batch_elements", snapshot.batch_elements);
+  response.add("sweep_requests", snapshot.sweep_requests);
+  response.add("sweep_cells", snapshot.sweep_cells);
   response.add("rejected_connections", snapshot.rejected_connections);
   response.add("in_flight", snapshot.in_flight);
   response.add("draining", snapshot.draining != 0);
@@ -1011,7 +1038,7 @@ ExperimentService::Reply ExperimentService::handle_metrics(const JsonValue& requ
 
 ExperimentService::Reply ExperimentService::handle_metrics_prom(const JsonValue& request,
                                                                 RequestContext& ctx) {
-  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -1030,7 +1057,7 @@ ExperimentService::Reply ExperimentService::handle_metrics_prom(const JsonValue&
 
 ExperimentService::Reply ExperimentService::handle_drain(const JsonValue& request,
                                                          RequestContext& ctx) {
-  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }
@@ -1050,7 +1077,7 @@ ExperimentService::Reply ExperimentService::handle_drain(const JsonValue& reques
 
 ExperimentService::Reply ExperimentService::handle_shutdown(const JsonValue& request,
                                                             RequestContext& ctx) {
-  if (std::string error = check_fields(request, {"request", "trace", "trace_id"});
+  if (std::string error = check_fields(request, {"request", "trace", "trace_id", "origin"});
       !error.empty()) {
     return error_reply(ctx, error);
   }

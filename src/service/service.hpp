@@ -15,8 +15,11 @@
 //   {"request": "shutdown"}
 //
 // Every request additionally accepts the observability envelope fields
-// "trace": true (echo the request's span tree in the reply) and
-// "trace_id": ID (caller-supplied correlation id, echoed and logged);
+// "trace": true (echo the request's span tree in the reply — a traced
+// computed run's reply also carries its RunProfile), "trace_id": ID
+// (caller-supplied correlation id, echoed and logged) and "origin": KIND
+// (caller-declared traffic origin, logged; "sweep" run traffic is counted
+// in the sweep metrics so operators can see a grid hammering a replica);
 // trace.hpp has the span machinery and DESIGN.md the field reference.
 // Trace data lives only in reply envelopes and log files — never inside a
 // cached result record, whose bytes stay a pure function of the run inputs.

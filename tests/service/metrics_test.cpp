@@ -300,5 +300,20 @@ TEST(MetricsRequest, PromRequestWrapsTheExpositionInAnEnvelope) {
   EXPECT_FALSE(service.handle_line(R"({"request": "metrics-prom", "x": 1})").ok);
 }
 
+TEST(ServiceMetrics, SweepCountersAccumulateCellsPerRequest) {
+  ServiceMetrics metrics;
+  EXPECT_EQ(metrics.snapshot().sweep_requests, 0u);
+  EXPECT_EQ(metrics.snapshot().sweep_cells, 0u);
+  metrics.record_sweep_request(2);
+  metrics.record_sweep_request(1);
+  const MetricsSnapshot snapshot = metrics.snapshot();
+  EXPECT_EQ(snapshot.sweep_requests, 2u);
+  EXPECT_EQ(snapshot.sweep_cells, 3u);
+
+  const std::string text = render_prometheus_text(snapshot, CacheStats{});
+  EXPECT_NE(text.find("vlcsa_sweep_requests_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("vlcsa_sweep_cells_total 3\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vlcsa::service

@@ -773,5 +773,78 @@ TEST(ExperimentService, CacheStatsReportsDiskTierSizeAndCap) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ExperimentService, OriginIsValidatedAndCountsSweepRunTraffic) {
+  ExperimentService service({"", 16, 1});
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig7.1/n64-k6", "origin": 7})",
+      "field 'origin' must be a string");
+  expect_error_containing(
+      service, R"({"request": "run", "experiment": "fig7.1/n64-k6", "origin": ""})",
+      "field 'origin' must be non-empty");
+
+  // Only run traffic counts toward the sweep counters: a metrics request may
+  // declare the origin (it lands in the access log) without incrementing them.
+  std::uint64_t value = 99;
+  JsonValue response =
+      parse_reply(service.handle_line(R"({"request": "metrics", "origin": "sweep"})"));
+  ASSERT_TRUE(response.find("sweep_requests")->to_u64(value));
+  EXPECT_EQ(value, 0u);
+
+  const std::string run =
+      R"({"request": "run", "experiment": "fig7.1/n64-k6", "samples": 2000, "origin": "sweep"})";
+  EXPECT_EQ(field(parse_reply(service.handle_line(run)), "status"), "ok");
+  const std::string batch =
+      R"({"request": "run-batch", "origin": "sweep", "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000}, )"
+      R"({"experiment": "fig6.1/uniform-unsigned", "samples": 2000}]})";
+  EXPECT_EQ(field(parse_reply(service.handle_line(batch)), "status"), "ok");
+  // Runs with a different (or no) origin stay out of the sweep counters.
+  (void)parse_reply(service.handle_line(kChainProfileRun));
+
+  response = parse_reply(service.handle_line(R"({"request": "metrics"})"));
+  ASSERT_TRUE(response.find("sweep_requests")->to_u64(value));
+  EXPECT_EQ(value, 2u);  // the origin-"sweep" run + run-batch
+  ASSERT_TRUE(response.find("sweep_cells")->to_u64(value));
+  EXPECT_EQ(value, 3u);  // 1 single-run cell + 2 batch elements
+}
+
+TEST(ExperimentService, TracedRunBatchAttachesProfilesOnlyToComputedElements) {
+  ExperimentService service({"", 16, 1});
+  const std::string batch =
+      R"({"request": "run-batch", "trace": true, "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000}, )"
+      R"({"experiment": "fig6.1/uniform-unsigned", "samples": 2000}]})";
+
+  const JsonValue cold = parse_reply(service.handle_line(batch));
+  ASSERT_EQ(cold.find("results")->items().size(), 2u);
+  for (const JsonValue& result : cold.find("results")->items()) {
+    EXPECT_EQ(field(result, "cache"), "miss");
+    const JsonValue* profile = result.find("profile");
+    ASSERT_NE(profile, nullptr) << field(result, "experiment");
+    ASSERT_EQ(profile->kind(), JsonValue::Kind::kObject);
+    std::uint64_t samples = 0;
+    ASSERT_NE(profile->find("samples"), nullptr);
+    ASSERT_TRUE(profile->find("samples")->to_u64(samples));
+    EXPECT_EQ(samples, 2000u);  // the element's own engine run, not a total
+  }
+
+  // Cache hits never ran the engine, so they carry no profile even when
+  // traced — a sweep's rollup only aggregates real compute.
+  const JsonValue warm = parse_reply(service.handle_line(batch));
+  for (const JsonValue& result : warm.find("results")->items()) {
+    EXPECT_EQ(field(result, "cache"), "hit-memory");
+    EXPECT_EQ(result.find("profile"), nullptr);
+  }
+
+  // Untraced batches never carry profiles, computed or not.
+  ExperimentService fresh({"", 16, 1});
+  const std::string untraced =
+      R"({"request": "run-batch", "runs": [)"
+      R"({"experiment": "fig7.1/n64-k6", "samples": 2000}]})";
+  const JsonValue plain = parse_reply(fresh.handle_line(untraced));
+  ASSERT_EQ(plain.find("results")->items().size(), 1u);
+  EXPECT_EQ(plain.find("results")->items()[0].find("profile"), nullptr);
+}
+
 }  // namespace
 }  // namespace vlcsa::service

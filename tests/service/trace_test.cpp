@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -144,6 +145,83 @@ TEST(JsonlLog, WritesLinesAndRotatesAtTheCap) {
   ASSERT_EQ(previous.size(), 1u);
   EXPECT_EQ(current[0], line);
   EXPECT_EQ(previous[0], line);
+}
+
+TEST(JsonlLog, WriteLandingExactlyOnTheCapDoesNotRotate) {
+  const std::string path = temp_file("rotate_exact.jsonl");
+  const std::string line = R"({"n": 1})";  // 9 bytes + newline
+  // Cap sized so two writes land exactly on it: rotation triggers only when
+  // a write would *pass* the cap, so the file is allowed to fill completely.
+  JsonlLog log;
+  ASSERT_EQ(log.open(path, 2 * (line.size() + 1)), "");
+  log.write(line);
+  log.write(line);  // lands exactly on max_bytes — must NOT rotate
+  EXPECT_FALSE(std::filesystem::exists(path + ".1"));
+  EXPECT_EQ(read_lines(path).size(), 2u);
+
+  log.write(line);  // would pass the cap — now it rotates
+  EXPECT_TRUE(std::filesystem::exists(path + ".1"));
+  EXPECT_EQ(read_lines(path + ".1").size(), 2u);
+  EXPECT_EQ(read_lines(path).size(), 1u);
+}
+
+TEST(JsonlLog, RotationReplacesAPreExistingDotOne) {
+  const std::string path = temp_file("rotate_stale.jsonl");
+  {
+    // A leftover previous generation from an earlier daemon run.
+    std::ofstream stale(path + ".1");
+    stale << "{\"stale\": true}\n";
+  }
+  const std::string line = R"({"n": 1, "pad": "xxxxxxxxxxxxxxxxxxxxxxxx"})";
+  JsonlLog log;
+  ASSERT_EQ(log.open(path, 64), "");
+  log.write(line);
+  log.write(line);  // passes the cap — rotation must replace the stale .1
+
+  const std::vector<std::string> previous = read_lines(path + ".1");
+  ASSERT_EQ(previous.size(), 1u);
+  EXPECT_EQ(previous[0], line);  // not the stale sentinel
+  EXPECT_EQ(read_lines(path).size(), 1u);
+}
+
+TEST(JsonlLog, ConcurrentWritersNeverTearLines) {
+  const std::string path = temp_file("rotate_concurrent.jsonl");
+  JsonlLog log;
+  ASSERT_EQ(log.open(path), "");  // unbounded: every line survives
+
+  // Two writers with different line lengths interleave; line-level locking
+  // must keep every write a whole line (a torn write would interleave the
+  // two shapes mid-line and fail to parse).
+  constexpr int kPerWriter = 500;
+  const auto writer = [&log](int id) {
+    for (int n = 0; n < kPerWriter; ++n) {
+      log.write("{\"writer\": " + std::to_string(id) + ", \"n\": " + std::to_string(n) +
+                (id == 0 ? ", \"pad\": \"xxxxxxxxxxxxxxxx\"}" : "}"));
+    }
+  };
+  std::thread a(writer, 0);
+  std::thread b(writer, 1);
+  a.join();
+  b.join();
+
+  const std::vector<std::string> lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u * kPerWriter);
+  std::array<std::vector<bool>, 2> seen;
+  seen[0].assign(kPerWriter, false);
+  seen[1].assign(kPerWriter, false);
+  for (const std::string& line : lines) {
+    const JsonParse parsed = parse_json(line);
+    ASSERT_TRUE(parsed.ok()) << "torn line: " << line;
+    const JsonValue* writer_id = parsed.value.find("writer");
+    const JsonValue* n = parsed.value.find("n");
+    ASSERT_NE(writer_id, nullptr);
+    ASSERT_NE(n, nullptr);
+    seen[static_cast<std::size_t>(writer_id->as_double())]
+        [static_cast<std::size_t>(n->as_double())] = true;
+  }
+  for (const auto& writer_seen : seen) {
+    for (const bool hit : writer_seen) EXPECT_TRUE(hit);
+  }
 }
 
 TEST(JsonlLog, OpenFailureReportsThePath) {
